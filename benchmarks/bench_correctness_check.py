@@ -1,0 +1,29 @@
+"""§7.1 correctness validation: the Figure 22 random-simulation check plus
+the bmv2/Scapy-style packet-delivery test on the byte-accurate
+Ethernet-IPv4-TCP parser."""
+
+from __future__ import annotations
+
+from repro.harness import run_correctness_check
+
+
+def test_correctness_check(benchmark, report):
+    def run():
+        return run_correctness_check(samples=300)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.random_check_passed
+    assert result.delivered_to_target
+    assert result.wrong_ip_dropped
+    assert result.non_ip_dropped
+    text = (
+        "Correctness check (Figure 22 + bmv2-style packet test)\n"
+        f"  random simulation: {result.random_samples} samples, "
+        f"passed={result.random_check_passed}\n"
+        f"  TCP to 10.0.0.2 delivered: {result.delivered_to_target}\n"
+        f"  TCP to wrong IP dropped:   {result.wrong_ip_dropped}\n"
+        f"  non-IP packet dropped:     {result.non_ip_dropped}"
+    )
+    report("correctness", text)
+    print()
+    print(text)

@@ -1,0 +1,30 @@
+"""§7.3 retargetability: the same specification compiled for both device
+families by the same compiler — only the device profile changes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.suites import DASH_V2, SAI_V1
+from repro.harness import run_retarget
+
+
+@pytest.mark.parametrize(
+    "source,name", [(SAI_V1, "sai_v1"), (DASH_V2, "dash_v2")]
+)
+def test_retarget(benchmark, report, source, name):
+    def run():
+        return run_retarget(source=source)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.both_valid
+    assert result.tofino_entries > 0
+    assert result.ipu_stages > 0
+    text = (
+        f"Retarget {result.benchmark}: tofino={result.tofino_entries} "
+        f"entries, ipu={result.ipu_stages} stages\n\n"
+        f"{result.tofino_config}\n{result.ipu_config}"
+    )
+    report(f"retarget_{name}", text)
+    print()
+    print(text.splitlines()[0])

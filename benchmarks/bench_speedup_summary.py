@@ -1,0 +1,74 @@
+"""§7 headline: the geometric-mean optimization speed-up.
+
+For a representative subset of Table 3 rows we compile twice — all
+optimizations ON vs all OFF (the naive encoding), the latter under a
+wall-clock cap standing in for the paper's 24-hour timeout — and aggregate
+the speed-ups.  The paper reports a geometric mean of 309.44x with >80% of
+benchmarks compiling within a minute; the shape to hold here is a large
+(>>1) geometric mean with every row's OPT arm finishing in seconds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen import benchmark_by_label
+from repro.harness import run_row, summarize_speedups
+from repro.harness.reporting import fmt_speedup
+
+# A spread of benchmark families (small/medium/loopy/wide-key).
+SUBSET = [
+    "Parse Ethernet",
+    "Parse icmp",
+    "Parse MPLS",
+    "Multi-keys (diff pkt fields)",
+    "Pure Extraction states",
+    "Sai V1",
+    "Dash V2",
+]
+
+ORIG_CAP = 15.0
+
+_ROWS_CACHE = []
+
+
+@pytest.mark.parametrize("label", SUBSET)
+def test_speedup_row(benchmark, label):
+    bench = benchmark_by_label(label)
+
+    def run():
+        return run_row(
+            bench,
+            "tofino",
+            include_orig=True,
+            orig_cap_seconds=ORIG_CAP,
+            validate_samples=100,
+        )
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS_CACHE.append(row)
+    assert row.validated
+
+
+def test_speedup_summary_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_ROWS_CACHE) == len(SUBSET)
+    summary = summarize_speedups(_ROWS_CACHE)
+    lines = [str(summary), ""]
+    for row in _ROWS_CACHE:
+        lines.append(
+            f"{row.label:35s} opt={row.opt_seconds:7.2f}s "
+            f"orig={row.orig_seconds} "
+            f"speedup={fmt_speedup(row.opt_seconds, row.orig_seconds)}"
+        )
+    text = "\n".join(lines)
+    report("speedup_summary", text)
+    print()
+    print(text)
+    # Paper shape: the optimizations help overall (the geometric mean is
+    # well above 1) and every OPT compile is fast.  Note two honesty
+    # caveats, documented in EXPERIMENTS.md: the Orig arm's single random
+    # seed test makes per-row speedups noisy, and Opt3 (pre-allocated
+    # extraction) is structural in our skeleton, so the Orig arm is less
+    # naive than the paper's fully-symbolic encoding.
+    assert summary.geomean_speedup > 2.0, summary
+    assert summary.under_one_minute == 1.0

@@ -1,0 +1,67 @@
+"""Throughput microbenchmarks for the substrates (not paper experiments,
+but useful to track the reproduction's own performance): the CDCL solver,
+the reference simulator, the implementation simulator and packet
+crafting."""
+
+from __future__ import annotations
+
+import random
+
+from repro.benchgen import benchmark_by_label
+from repro.core import compile_spec
+from repro.harness.table3 import TOFINO
+from repro.ir import Bits, parse_spec, simulate_spec
+from repro.packets import Ether, IPv4, TCP
+from repro.smt.sat import SatSolver, lit
+
+
+def test_sat_solver_php5(benchmark):
+    """Pigeonhole(5) UNSAT proof throughput."""
+
+    def run():
+        n = 5
+        s = SatSolver()
+        for p in range(n + 1):
+            s.add_clause([lit(p * n + h) for h in range(n)])
+        for h in range(n):
+            for p1 in range(n + 1):
+                for p2 in range(p1 + 1, n + 1):
+                    s.add_clause(
+                        [lit(p1 * n + h, False), lit(p2 * n + h, False)]
+                    )
+        assert s.solve() is False
+
+    benchmark(run)
+
+
+def test_spec_simulator_throughput(benchmark):
+    spec = benchmark_by_label("Sai V2").spec()
+    rng = random.Random(0)
+    inputs = [Bits(rng.getrandbits(48), 48) for _ in range(50)]
+
+    def run():
+        for bits in inputs:
+            simulate_spec(spec, bits)
+
+    benchmark(run)
+
+
+def test_impl_simulator_throughput(benchmark):
+    spec = benchmark_by_label("Parse Ethernet").spec()
+    program = compile_spec(spec, TOFINO).program
+    rng = random.Random(0)
+    inputs = [Bits(rng.getrandbits(32), 32) for _ in range(50)]
+
+    def run():
+        for bits in inputs:
+            program.simulate(bits)
+
+    benchmark(run)
+
+
+def test_packet_crafting_throughput(benchmark):
+    def run():
+        pkt = Ether() / IPv4(dst=0x0A000002) / TCP()
+        return pkt.to_bytes()
+
+    benchmark(run)

@@ -1,0 +1,28 @@
+"""Table 1 / Figure 7: the Spec1/Spec2 worked examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_table1_examples
+
+_RESULTS = []
+
+
+def test_table1_examples(benchmark, report):
+    results = benchmark.pedantic(run_table1_examples, rounds=1, iterations=1)
+    _RESULTS.extend(results)
+    by_name = {r.name: r for r in results}
+    # Spec1's unconditional chain collapses to one row; Spec2 needs the
+    # conditional pair plus the exit (Table 1's three rows).
+    assert by_name["Spec1"].entries == 1
+    assert by_name["Spec2"].entries == 3
+    lines = ["Table 1: Spec1/Spec2 TCAM rows"]
+    for r in results:
+        lines.append(f"  {r.name}: {r.entries} entries")
+        for row in r.rows:
+            lines.append(f"    {row}")
+    text = "\n".join(lines)
+    report("table1", text)
+    print()
+    print(text)

@@ -1,0 +1,43 @@
+"""Table 4: ParserHawk vs DPParserGen over the motivating examples with
+parameterized hardware resources (key width / lookahead / extraction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import format_table4, run_table4
+from repro.harness.table4 import TABLE4_CONFIGS
+
+_ROWS_CACHE = []
+
+
+@pytest.mark.parametrize(
+    "config", TABLE4_CONFIGS, ids=[c[0] for c in TABLE4_CONFIGS]
+)
+def test_table4_row(benchmark, config):
+    def run():
+        return run_table4(configs=[config])[0]
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS_CACHE.append(row)
+    if not row.dp_rejected:
+        assert row.ph_entries <= row.dp_entries, row.label
+
+
+def test_table4_report(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_ROWS_CACHE) == len(TABLE4_CONFIGS)
+    text = format_table4(_ROWS_CACHE)
+    report("table4", text)
+    print()
+    print(text)
+    rows = {r.label: r for r in _ROWS_CACHE}
+    # Paper shapes: when the key fits, both compile (DP may still lose on
+    # merging); when the key must split, ParserHawk is strictly better;
+    # and the redundant-entry example collapses to a single row (1 vs 10).
+    assert rows["ME-2 (4-bit window)"].ph_entries < (
+        rows["ME-2 (4-bit window)"].dp_entries
+    )
+    assert rows["ME-3 (16-bit window)"].ph_entries == 1
+    assert rows["ME-3 (16-bit window)"].dp_entries >= 9
+    assert rows["Large tran key"].ph_entries < rows["Large tran key"].dp_entries

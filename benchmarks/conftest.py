@@ -1,0 +1,31 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every ``bench_*`` file regenerates one table or figure from the paper's
+evaluation (§7).  Compile-style benchmarks run once per row
+(``benchmark.pedantic(rounds=1)``) because a single compilation IS the
+experiment; throughput-style benchmarks (simulators, SAT) use normal
+pytest-benchmark rounds.
+
+Regenerated tables are appended to ``benchmarks/_reports/`` so the paper
+comparison in EXPERIMENTS.md can be refreshed from a plain
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "_reports"
+
+
+def write_report(name: str, text: str) -> None:
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def report():
+    return write_report

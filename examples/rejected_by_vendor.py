@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A program the vendor compiler falsely rejects, compiled by ParserHawk.
+
+§3.2's story: a developer writes a transition key wider than the device's
+match window.  Only a few of those bits actually discriminate, but the
+rule-based compiler cannot discover that ("Wide tran key" rejection, 11/58
+false rejections in Table 3).  ParserHawk searches over key slices and
+finds the narrow implementation — no manual reshaping needed.
+"""
+
+from repro import compile_spec, parse_spec, tofino_profile
+from repro.baselines import BaselineRejected, tofino_compiler
+from repro.core import verify_equivalent
+
+SOURCE = """
+// The developer keys on the full 12-bit flow tag, but the values that
+// matter only differ in the low byte.
+header hdr { flowTag : 12; payload : 4; }
+
+parser WideKey {
+    state start {
+        extract(hdr.flowTag);
+        transition select(hdr.flowTag) {
+            0x0A1 : fast_path;
+            0x0A3 : fast_path;
+            0x0B2 : fast_path;
+            default : accept;
+        }
+    }
+    state fast_path { extract(hdr.payload); transition accept; }
+}
+"""
+
+
+def main() -> None:
+    spec = parse_spec(SOURCE)
+    # The device matches at most 8 key bits per entry.
+    device = tofino_profile(key_limit=8, tcam_limit=32, lookahead_limit=8)
+
+    print("=== vendor compiler (emulated) ===")
+    try:
+        tofino_compiler.compile_spec(spec, device)
+        print("unexpectedly compiled")
+    except BaselineRejected as exc:
+        print(f"rejected: {exc.reason}")
+        print(
+            "  (a developer would now spend an hour manually splitting the "
+            "key - §7.2)\n"
+        )
+
+    print("=== ParserHawk ===")
+    result = compile_spec(spec, device)
+    assert result.ok, result.message
+    print(result.summary_row())
+    print(result.program.describe())
+
+    for state in result.program.states:
+        assert state.key_width <= device.key_limit
+    print(
+        "\nall implementation keys fit the 8-bit window; "
+        "the synthesizer found the discriminating slice on its own"
+    )
+    assert verify_equivalent(spec, result.program) is None
+    print("exact equivalence to the specification verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This environment is offline and lacks the ``wheel`` package, so PEP 660
+editable installs cannot build; ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or plain ``pip install -e .`` on a machine with
+``wheel``) uses this legacy path instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""ParserHawk reproduction: a hardware-aware parser generator using
+program synthesis (SIGCOMM 2025).
+
+Public API quick tour::
+
+    from repro import parse_spec, compile_spec, tofino_profile
+
+    spec = parse_spec(P4_SUBSET_SOURCE)
+    result = compile_spec(spec, tofino_profile())
+    print(result.program.describe())
+
+Packages:
+
+* :mod:`repro.smt`       — from-scratch CDCL SAT + bit-vector SMT substrate
+* :mod:`repro.lang`      — P4-subset frontend (lexer, parser, AST)
+* :mod:`repro.ir`        — semantic IR, reference simulator, analyses, rewrites
+* :mod:`repro.hw`        — TCAM primitives, device profiles, implementation
+  programs, back-end code generators
+* :mod:`repro.core`      — the ParserHawk compiler: encoder, CEGIS, verifier,
+  optimizations, post-synthesis optimizer
+* :mod:`repro.baselines` — DPParserGen (Gibb et al.) and emulated commercial
+  Tofino/IPU compilers
+* :mod:`repro.packets`   — Scapy-substitute packet crafting
+* :mod:`repro.bmv2`      — behavioural-model substitute for end-to-end checks
+* :mod:`repro.benchgen`  — the paper's benchmark suite and mutation driver
+* :mod:`repro.harness`   — regenerates every table and figure
+"""
+
+from .core import (
+    CompileOptions,
+    CompileResult,
+    ParserHawkCompiler,
+    compile_spec,
+    random_simulation_check,
+    verify_equivalent,
+)
+from .hw import (
+    DeviceProfile,
+    TcamProgram,
+    custom_profile,
+    ipu_profile,
+    tofino_profile,
+    trident_profile,
+)
+from .ir import Bits, ParserSpec, parse_spec, simulate_spec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bits",
+    "CompileOptions",
+    "CompileResult",
+    "DeviceProfile",
+    "ParserHawkCompiler",
+    "ParserSpec",
+    "TcamProgram",
+    "compile_spec",
+    "custom_profile",
+    "ipu_profile",
+    "parse_spec",
+    "random_simulation_check",
+    "simulate_spec",
+    "tofino_profile",
+    "trident_profile",
+    "verify_equivalent",
+    "__version__",
+]

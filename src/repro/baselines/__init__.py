@@ -1,0 +1,12 @@
+"""Baseline parser compilers: DPParserGen and emulated vendor compilers."""
+
+from . import dp_parsergen, ipu_compiler, tofino_compiler
+from .common import BaselineRejected, BaselineResult
+
+__all__ = [
+    "BaselineRejected",
+    "BaselineResult",
+    "dp_parsergen",
+    "ipu_compiler",
+    "tofino_compiler",
+]

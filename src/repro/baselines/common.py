@@ -1,0 +1,120 @@
+"""Shared machinery for the baseline compilers.
+
+The baselines translate specification states rule-by-rule into TCAM
+entries.  They share the rule-folding and the (deliberately) first-fit
+cube-merging heuristic here; what distinguishes them is which inputs they
+reject and how they allocate states to hardware (see the per-module
+docstrings)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..hw.impl import TcamProgram
+from ..ir.spec import SpecState
+
+
+class BaselineRejected(Exception):
+    """The baseline compiler cannot handle this input program.
+
+    ``reason`` is the short failure label used in the paper's Table 3
+    (e.g. "Wide tran key", "Parser loop rej", "Too many TCAM")."""
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        self.reason = reason
+        self.detail = detail
+        super().__init__(f"{reason}{': ' + detail if detail else ''}")
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of a baseline compilation."""
+
+    ok: bool
+    compiler: str
+    program: Optional[TcamProgram] = None
+    reason: str = ""
+    stages_override: Optional[int] = None   # spilled stage count (IPU)
+
+    @property
+    def num_entries(self) -> int:
+        return self.program.num_entries if self.program else -1
+
+    @property
+    def num_stages(self) -> int:
+        if self.stages_override is not None:
+            return self.stages_override
+        return self.program.num_stages if self.program else -1
+
+    def summary(self) -> str:
+        if not self.ok:
+            return f"{self.compiler}: REJECTED ({self.reason})"
+        return (
+            f"{self.compiler}: {self.num_entries} entries, "
+            f"{self.num_stages} stage(s)"
+        )
+
+
+def folded_rules(state: SpecState) -> List[Tuple[int, int, str]]:
+    """A state's rules as (value, mask, dest) over the concatenated key."""
+    widths = [k.width for k in state.key]
+    out = []
+    for rule in state.rules:
+        value, mask = rule.combined_value_mask(widths)
+        out.append((value, mask, rule.next_state))
+    return out
+
+
+def first_fit_merge(
+    rules: List[Tuple[int, int, str]], width: int
+) -> List[Tuple[int, int, str]]:
+    """Order-sensitive greedy cube merging.
+
+    Scans the rule list once, merging each rule into the most recent
+    compatible cube (same destination, same mask, values differing in one
+    mask bit).  This mirrors the merging quality of the heuristic
+    compilers: it finds the easy pairs but — unlike ParserHawk's
+    search — misses merges that require reordering or multi-step
+    regrouping, which is exactly the suboptimality §3.2.1 demonstrates."""
+    cubes: List[Tuple[int, int, str]] = []
+    for value, mask, dest in rules:
+        merged = False
+        for i in range(len(cubes) - 1, -1, -1):
+            cv, cm, cd = cubes[i]
+            if cd != dest or cm != mask:
+                continue
+            diff = (cv ^ value) & cm
+            if diff and (diff & (diff - 1)) == 0:
+                # Safe only when no other cube sits between the pair with an
+                # overlapping pattern and a different destination.
+                blocked = False
+                new_mask = cm & ~diff
+                new_value = cv & new_mask
+                for j in range(i + 1, len(cubes)):
+                    ov, om, od_ = cubes[j]
+                    common = om & new_mask
+                    if od_ != dest and (ov & common) == (new_value & common):
+                        blocked = True
+                        break
+                if blocked:
+                    continue
+                cubes[i] = (new_value, new_mask, dest)
+                merged = True
+                break
+        if not merged:
+            cubes.append((value, mask, dest))
+    return cubes
+
+
+def chunk_key_msb_first(width: int, key_limit: int) -> List[Tuple[int, int]]:
+    """Fixed MSB-first split of a wide key into (hi, lo) chunks — the
+    baseline compilers' inflexible Step-2 strategy (they never explore
+    alternative check orders, cf. Figure 4 V1)."""
+    chunks = []
+    hi = width - 1
+    while hi >= 0:
+        lo = max(0, hi - key_limit + 1)
+        chunks.append((hi, lo))
+        hi = lo - 1
+    return chunks

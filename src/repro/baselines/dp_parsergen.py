@@ -1,0 +1,307 @@
+"""DPParserGen — reimplementation of Gibb et al.'s dynamic-programming
+parser generator (§2.3, baseline of §7).
+
+Faithful to the description in the paper, including its restrictions:
+
+* targets only single-TCAM-table architectures;
+* the transition key of a state must come from fields extracted in that
+  same state — no lookahead, no keys over earlier states' fields;
+* the input program may not use mask+value / wildcard select arms, and may
+  not transition to ``accept`` on a specific value (only a default arm may
+  accept) — the expressiveness of parsers at the time;
+* entry merging uses an order-sensitive greedy pass and key splitting uses
+  a fixed MSB-first chunk order, both of which the paper's §3.2 shows to
+  be suboptimal (ME-1/ME-2);
+* semantically redundant entries are kept (ME-3).
+
+Its strength — the actual DP — is clustering adjacent states connected by
+unconditional transitions so their internal transition needs no TCAM entry
+(Figure 1), which we apply to a fixpoint before emission.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.skeleton import _slice_key as slice_key
+from ..hw.device import DeviceProfile
+from ..hw.impl import ACCEPT_SID, REJECT_SID, ImplEntry, ImplState, TcamProgram
+from ..hw.tcam import TernaryPattern
+from ..ir.rewrites import merge_states
+from ..ir.spec import ACCEPT, REJECT, FieldKey, LookaheadKey, ParserSpec
+from .common import (
+    BaselineRejected,
+    BaselineResult,
+    chunk_key_msb_first,
+    first_fit_merge,
+    folded_rules,
+)
+
+COMPILER_NAME = "DPParserGen"
+
+
+def check_representable(spec: ParserSpec) -> None:
+    """Raise :class:`BaselineRejected` if the input uses features outside
+    DPParserGen's input language."""
+    for state in spec.states.values():
+        extracted_here = set(state.extracts)
+        widths = [k.width for k in state.key]
+        for part in state.key:
+            if isinstance(part, LookaheadKey):
+                raise BaselineRejected(
+                    "No lookahead", f"state {state.name} uses lookahead"
+                )
+            assert isinstance(part, FieldKey)
+            if part.field not in extracted_here:
+                raise BaselineRejected(
+                    "Key not local",
+                    f"state {state.name} keys on {part.field} extracted "
+                    "elsewhere",
+                )
+        for rule in state.rules:
+            if rule.is_default:
+                continue
+            value, mask = rule.combined_value_mask(widths)
+            full = (1 << sum(widths)) - 1 if widths else 0
+            if mask != full:
+                raise BaselineRejected(
+                    "No wildcard match",
+                    f"state {state.name} uses mask+value arm",
+                )
+            if rule.next_state == ACCEPT:
+                raise BaselineRejected(
+                    "No accept on value",
+                    f"state {state.name} accepts on a specific value",
+                )
+
+
+def _cluster(spec: ParserSpec) -> ParserSpec:
+    """The DP clustering pass: merge unconditional adjacent states to a
+    fixpoint (each merge removes one internal transition entry)."""
+    current = spec
+    for _ in range(len(spec.states) + 1):
+        merged = merge_states(current)
+        if merged is current:
+            return current
+        current = merged
+    return current
+
+
+def compile_spec(
+    spec: ParserSpec, device: DeviceProfile
+) -> BaselineResult:
+    """Compile with DPParserGen; raises :class:`BaselineRejected` on
+    unsupported inputs or resource overflow."""
+    if device.is_pipelined:
+        raise BaselineRejected(
+            "Single-TCAM only", "DPParserGen cannot target pipelined parsers"
+        )
+    check_representable(spec)
+    clustered = _cluster(spec)
+
+    states: List[ImplState] = []
+    entries: List[ImplEntry] = []
+    name_to_sid: Dict[str, int] = {}
+    order = [n for n in clustered.state_order if n in clustered.states]
+    for name in order:
+        name_to_sid[name] = len(states)
+        spec_state = clustered.states[name]
+        states.append(
+            ImplState(
+                name_to_sid[name],
+                name,
+                tuple(spec_state.extracts),
+                tuple(spec_state.key),
+            )
+        )
+
+    def dest_sid(dest: str) -> int:
+        if dest == ACCEPT:
+            return ACCEPT_SID
+        if dest == REJECT:
+            return REJECT_SID
+        return name_to_sid[dest]
+
+    for name in order:
+        spec_state = clustered.states[name]
+        sid = name_to_sid[name]
+        width = spec_state.key_width
+        if not spec_state.key:
+            dest = spec_state.rules[0].next_state
+            entries.append(
+                ImplEntry(sid, TernaryPattern(0, 0, 0), dest_sid(dest))
+            )
+            continue
+        rules = folded_rules(spec_state)
+        default: Optional[str] = None
+        body = rules
+        if rules and rules[-1][1] == 0:
+            default = rules[-1][2]
+            body = rules[:-1]
+        merged = first_fit_merge(body, width)
+        if width <= device.key_limit:
+            for value, mask, dest in merged:
+                entries.append(
+                    ImplEntry(
+                        sid, TernaryPattern(value, mask, width), dest_sid(dest)
+                    )
+                )
+            if default is not None:
+                entries.append(
+                    ImplEntry(
+                        sid, TernaryPattern(0, 0, width), dest_sid(default)
+                    )
+                )
+        else:
+            _split_wide_key(
+                clustered, spec_state, sid, merged, default, device,
+                states, entries, dest_sid,
+            )
+
+    program = TcamProgram(
+        dict(clustered.fields),
+        states,
+        entries,
+        name_to_sid[clustered.start],
+        clustered.name,
+    )
+    if program.num_entries > device.tcam_limit:
+        raise BaselineRejected(
+            "Too many TCAM",
+            f"{program.num_entries} entries > {device.tcam_limit}",
+        )
+    return BaselineResult(True, COMPILER_NAME, program)
+
+
+def _split_wide_key(
+    spec: ParserSpec,
+    spec_state,
+    sid: int,
+    merged: List[Tuple[int, int, str]],
+    default: Optional[str],
+    device: DeviceProfile,
+    states: List[ImplState],
+    entries: List[ImplEntry],
+    dest_sid,
+) -> None:
+    """Fixed MSB-first key splitting (the V1 strategy of Figure 4):
+    build a chunk trie over each cube's chunk patterns, one auxiliary
+    extraction-free state per internal trie node, a default arm duplicated
+    at every level."""
+    width = spec_state.key_width
+    chunks = chunk_key_msb_first(width, device.key_limit)
+    base_state = states[sid]
+
+    def chunk_of(value: int, mask: int, depth: int) -> Tuple[int, int]:
+        hi, lo = chunks[depth]
+        cw = hi - lo + 1
+        return (value >> lo) & ((1 << cw) - 1), (mask >> lo) & ((1 << cw) - 1)
+
+    # Recursive construction over "alive" cube index sets.  Each node
+    # checks one chunk; a TCAM cannot backtrack, so when the alive cubes'
+    # chunk patterns overlap we fall back to enumerating exact chunk
+    # values — the V1-style entry blow-up of Figure 4.
+    memo: Dict[Tuple[int, Tuple[int, ...]], int] = {}
+
+    def node_for(depth: int, alive: Tuple[int, ...]) -> int:
+        key = (depth, alive)
+        if key in memo:
+            return memo[key]
+        if depth == 0:
+            node = sid
+            hi, lo = chunks[0]
+            states[sid] = ImplState(
+                sid,
+                base_state.name,
+                base_state.extracts,
+                tuple(slice_key(spec_state.key, hi, lo)),
+                base_state.stage,
+            )
+        else:
+            node = len(states)
+            hi, lo = chunks[depth]
+            states.append(
+                ImplState(
+                    node,
+                    f"{base_state.name}__dp{node}",
+                    (),
+                    tuple(slice_key(spec_state.key, hi, lo)),
+                )
+            )
+        memo[key] = node
+        hi, lo = chunks[depth]
+        cw = hi - lo + 1
+        last = depth == len(chunks) - 1
+        patterns = [chunk_of(merged[i][0], merged[i][1], depth) for i in alive]
+        disjoint = all(
+            not _chunk_overlap(patterns[a], patterns[b])
+            for a in range(len(alive))
+            for b in range(a + 1, len(alive))
+            if patterns[a] != patterns[b]
+        )
+        if disjoint:
+            groups: List[Tuple[Tuple[int, int], Tuple[int, ...]]] = []
+            for idx, pat in zip(alive, patterns):
+                for gpat, members in groups:
+                    if gpat == pat:
+                        break
+                else:
+                    groups.append(
+                        (pat, tuple(i for i, p in zip(alive, patterns) if p == pat))
+                    )
+            for (cv, cm), members in groups:
+                if last:
+                    target = dest_sid(merged[members[0]][2])
+                else:
+                    target = node_for(depth + 1, members)
+                entries.append(
+                    ImplEntry(node, TernaryPattern(cv, cm, cw), target)
+                )
+        else:
+            # Overlapping chunk patterns: enumerate exact values.
+            for value in range(1 << cw):
+                members = tuple(
+                    i
+                    for i, (cv, cm) in zip(alive, patterns)
+                    if (value & cm) == (cv & cm)
+                )
+                if not members:
+                    continue
+                if last:
+                    target = dest_sid(merged[members[0]][2])
+                else:
+                    target = node_for(depth + 1, members)
+                entries.append(
+                    ImplEntry(
+                        node,
+                        TernaryPattern(value, (1 << cw) - 1, cw),
+                        target,
+                    )
+                )
+        if default is not None:
+            entries.append(
+                ImplEntry(node, TernaryPattern(0, 0, cw), dest_sid(default))
+            )
+        return node
+
+    if merged:
+        node_for(0, tuple(range(len(merged))))
+    else:
+        hi, lo = chunks[0]
+        cw = hi - lo + 1
+        states[sid] = ImplState(
+            sid,
+            base_state.name,
+            base_state.extracts,
+            tuple(slice_key(spec_state.key, hi, lo)),
+            base_state.stage,
+        )
+        if default is not None:
+            entries.append(
+                ImplEntry(sid, TernaryPattern(0, 0, cw), dest_sid(default))
+            )
+
+
+def _chunk_overlap(a: Tuple[int, int], b: Tuple[int, int]) -> bool:
+    common = a[1] & b[1]
+    return (a[0] & common) == (b[0] & common)

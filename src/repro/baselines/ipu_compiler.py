@@ -1,0 +1,132 @@
+"""Emulation of the commercial Intel IPU parser compiler baseline.
+
+Per §7.2, this compiler maps each written parser state to its own pipeline
+stage in program order and CANNOT (1) split wide transition keys,
+(2) unroll loops within parser states ("Parser loop rej" in Table 3), or
+(3) rule out never-reached entries ("Conflict transition" when a dead
+entry contradicts an earlier catch-all).  A state whose entries exceed the
+per-stage TCAM budget spills into an extra stage (the paper's
+"Parse Ethernet + R1" needs 2 stages for one state)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import networkx as nx
+
+from ..hw.device import DeviceProfile
+from ..hw.impl import ACCEPT_SID, REJECT_SID, ImplEntry, ImplState, TcamProgram
+from ..hw.tcam import TernaryPattern
+from ..ir.analysis import build_state_graph, has_loops
+from ..ir.spec import ACCEPT, REJECT, LookaheadKey, ParserSpec
+from .common import BaselineRejected, BaselineResult, first_fit_merge, folded_rules
+
+COMPILER_NAME = "ipu-compiler"
+
+
+def compile_spec(spec: ParserSpec, device: DeviceProfile) -> BaselineResult:
+    if not device.is_pipelined:
+        raise BaselineRejected(
+            "Wrong target", "the IPU compiler targets pipelined parsers"
+        )
+    # Limitation (2): no loop unrolling.
+    if has_loops(spec):
+        raise BaselineRejected(
+            "Parser loop rej", "the program revisits a parser state"
+        )
+    # Limitation (3): entries after a catch-all are kept and then flagged
+    # as contradicting the earlier rule.
+    for state in spec.states.values():
+        widths = [k.width for k in state.key]
+        seen_catch_all = False
+        for rule in state.rules:
+            _value, mask = rule.combined_value_mask(widths)
+            if seen_catch_all:
+                raise BaselineRejected(
+                    "Conflict transition",
+                    f"state {state.name} has an entry after a catch-all",
+                )
+            if mask == 0 and state.key:
+                seen_catch_all = True
+
+    # Stage assignment: one stage per state in topological order, as
+    # written; no repacking across stages.
+    graph = build_state_graph(spec)
+    graph.remove_nodes_from([ACCEPT, REJECT])
+    order = [
+        n for n in nx.topological_sort(graph) if n in spec.states
+    ]
+
+    states: List[ImplState] = []
+    entries: List[ImplEntry] = []
+    name_to_sid: Dict[str, int] = {}
+    stage_of: Dict[str, int] = {}
+    next_stage = 0
+    for name in order:
+        spec_state = spec.states[name]
+        name_to_sid[name] = len(states)
+        rule_count = max(1, len(spec_state.rules))
+        # A state that cannot fit its entries in one stage's TCAM spills
+        # into an additional stage.
+        stages_needed = max(
+            1, -(-rule_count // max(1, device.tcam_limit))
+        )
+        stage_of[name] = next_stage
+        states.append(
+            ImplState(
+                name_to_sid[name],
+                name,
+                tuple(spec_state.extracts),
+                tuple(spec_state.key),
+                stage=next_stage,
+            )
+        )
+        next_stage += stages_needed
+    if next_stage > device.stage_limit:
+        raise BaselineRejected(
+            "Too many stages",
+            f"{next_stage} stages > limit {device.stage_limit}",
+        )
+
+    def dest_sid(dest: str) -> int:
+        if dest == ACCEPT:
+            return ACCEPT_SID
+        if dest == REJECT:
+            return REJECT_SID
+        return name_to_sid[dest]
+
+    for name in order:
+        spec_state = spec.states[name]
+        sid = name_to_sid[name]
+        width = spec_state.key_width
+        if width > device.key_limit:
+            raise BaselineRejected(
+                "Wide tran key",
+                f"state {name} key is {width} bits > {device.key_limit}",
+            )
+        lookahead = sum(
+            k.width for k in spec_state.key if isinstance(k, LookaheadKey)
+        )
+        if lookahead > device.lookahead_limit:
+            raise BaselineRejected(
+                "Lookahead window",
+                f"state {name} looks ahead {lookahead} bits",
+            )
+        if not spec_state.key:
+            dest = spec_state.rules[0].next_state
+            entries.append(
+                ImplEntry(sid, TernaryPattern(0, 0, 0), dest_sid(dest))
+            )
+            continue
+        merged = first_fit_merge(folded_rules(spec_state), width)
+        for value, mask, dest in merged:
+            entries.append(
+                ImplEntry(sid, TernaryPattern(value, mask, width), dest_sid(dest))
+            )
+
+    program = TcamProgram(
+        dict(spec.fields), states, entries, name_to_sid[spec.start], spec.name
+    )
+    return BaselineResult(
+        True, COMPILER_NAME, program, stages_override=next_stage
+    )

@@ -1,0 +1,94 @@
+"""Emulation of the commercial Tofino parser compiler baseline.
+
+§7.2 documents the behaviours that matter for the evaluation: the vendor
+compiler translates the program rule-by-rule as written, applies only easy
+first-fit merging, and CANNOT (1) split transition keys that exceed the
+hardware window (no R4-like rewrite), or (3) rule out never-reached
+entries.  It supports loops (single TCAM table).  Resource overflow is a
+hard failure ("Too many TCAM" / "Wide tran key" in Table 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hw.device import DeviceProfile
+from ..hw.impl import ACCEPT_SID, REJECT_SID, ImplEntry, ImplState, TcamProgram
+from ..hw.tcam import TernaryPattern
+from ..ir.spec import ACCEPT, REJECT, LookaheadKey, ParserSpec
+from .common import BaselineRejected, BaselineResult, first_fit_merge, folded_rules
+
+COMPILER_NAME = "tofino-compiler"
+
+
+def compile_spec(spec: ParserSpec, device: DeviceProfile) -> BaselineResult:
+    """Rule-by-rule translation with first-fit merging only."""
+    if device.is_pipelined:
+        raise BaselineRejected(
+            "Wrong target", "the Tofino compiler targets single-TCAM parsers"
+        )
+    states: List[ImplState] = []
+    entries: List[ImplEntry] = []
+    name_to_sid: Dict[str, int] = {}
+    order = [n for n in spec.state_order if n in spec.states]
+    for name in order:
+        name_to_sid[name] = len(states)
+        spec_state = spec.states[name]
+        states.append(
+            ImplState(
+                name_to_sid[name],
+                name,
+                tuple(spec_state.extracts),
+                tuple(spec_state.key),
+            )
+        )
+
+    def dest_sid(dest: str) -> int:
+        if dest == ACCEPT:
+            return ACCEPT_SID
+        if dest == REJECT:
+            return REJECT_SID
+        return name_to_sid[dest]
+
+    for name in order:
+        spec_state = spec.states[name]
+        sid = name_to_sid[name]
+        width = spec_state.key_width
+        if width > device.key_limit:
+            # Limitation (1): no transition-key splitting.
+            raise BaselineRejected(
+                "Wide tran key",
+                f"state {name} key is {width} bits > {device.key_limit}",
+            )
+        lookahead = sum(
+            k.width for k in spec_state.key if isinstance(k, LookaheadKey)
+        )
+        if lookahead > device.lookahead_limit:
+            raise BaselineRejected(
+                "Lookahead window",
+                f"state {name} looks ahead {lookahead} bits",
+            )
+        if not spec_state.key:
+            dest = spec_state.rules[0].next_state
+            entries.append(
+                ImplEntry(sid, TernaryPattern(0, 0, 0), dest_sid(dest))
+            )
+            continue
+        # Limitation (3): every written rule gets an entry, including
+        # entries shadowed by earlier catch-alls; only identical
+        # duplicates and easy first-fit pairs merge.
+        rules = folded_rules(spec_state)
+        merged = first_fit_merge(rules, width)
+        for value, mask, dest in merged:
+            entries.append(
+                ImplEntry(sid, TernaryPattern(value, mask, width), dest_sid(dest))
+            )
+
+    program = TcamProgram(
+        dict(spec.fields), states, entries, name_to_sid[spec.start], spec.name
+    )
+    if program.num_entries > device.tcam_limit:
+        raise BaselineRejected(
+            "Too many TCAM",
+            f"{program.num_entries} entries > {device.tcam_limit}",
+        )
+    return BaselineResult(True, COMPILER_NAME, program)

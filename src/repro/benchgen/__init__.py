@@ -1,0 +1,24 @@
+"""Benchmark suite: the paper's programs, mutations, and synthetic specs."""
+
+from .suites import (
+    BASE_PROGRAMS,
+    Benchmark,
+    EXTRA_BENCHMARKS,
+    MUTATIONS,
+    TABLE3_ROWS,
+    all_base_specs,
+    benchmark_by_label,
+)
+from .synthetic import random_spec, random_spec_family
+
+__all__ = [
+    "BASE_PROGRAMS",
+    "Benchmark",
+    "EXTRA_BENCHMARKS",
+    "MUTATIONS",
+    "TABLE3_ROWS",
+    "all_base_specs",
+    "benchmark_by_label",
+    "random_spec",
+    "random_spec_family",
+]

@@ -1,0 +1,529 @@
+"""The paper's benchmark suite (§7, Table 3), re-authored at laptop scale.
+
+Every base program keeps the *structure* that drives compiler behaviour —
+state counts, transition shapes, loopiness, key composition — while field
+widths are scaled so the pure-Python solver substrate finishes in CI time
+(see DESIGN.md's scaling note).  Benchmarks derive from the same sources
+the paper cites: classic Ethernet/IP/ICMP parsing (Gibb et al.), MPLS
+stacks, SONiC's sai.p4 and dash.p4 subsets, plus the synthetic patterns
+("Large tran key", "Multi-key", "Pure extraction") the paper created from
+conversations with parser developers.
+
+Mutations reuse the Figure 21 rewrite rules R1-R5 plus two named
+transforms: ``unroll`` (loop unrolling) and ``merge`` (state merging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from ..core.normalize import unroll_self_loops
+from ..ir.rewrites import (
+    add_redundant_entries,
+    add_unreachable_entries,
+    merge_entries,
+    merge_states,
+    merge_transition_key,
+    remove_redundant_entries,
+    remove_unreachable_entries,
+    split_entries,
+    split_states,
+    split_transition_key,
+)
+from ..ir.spec import ParserSpec, parse_spec
+
+# ---------------------------------------------------------------------------
+# Base programs
+# ---------------------------------------------------------------------------
+
+PARSE_ETHERNET = """
+// Classic Ethernet dispatch (Gibb et al. benchmark, scaled).
+header eth  { dst : 8; src : 8; etherType : 8; }
+header ipv4 { verIhl : 4; proto : 4; }
+header vlan { pcpVid : 4; etherType : 4; }
+parser ParseEthernet {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            0x08 : parse_ipv4;
+            0x81 : parse_vlan;
+            default : accept;
+        }
+    }
+    state parse_ipv4 { extract(ipv4); transition accept; }
+    state parse_vlan { extract(vlan); transition accept; }
+}
+"""
+
+PARSE_ICMP = """
+// Ethernet -> IPv4 -> ICMP with a type check (production pattern).
+header eth  { dst : 4; src : 4; etherType : 4; }
+header ipv4 { ver : 2; proto : 4; }
+header icmp { icmpType : 4; code : 2; }
+parser ParseIcmp {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            0x8 : parse_ipv4;
+            default : accept;
+        }
+    }
+    state parse_ipv4 {
+        extract(ipv4);
+        transition select(ipv4.proto) {
+            1 : parse_icmp;
+            6 : accept;
+            default : reject;
+        }
+    }
+    state parse_icmp {
+        extract(icmp);
+        transition select(icmp.icmpType) {
+            0 : accept;
+            8 : accept;
+            default : reject;
+        }
+    }
+}
+"""
+
+PARSE_MPLS = """
+// MPLS label stack: the loop benchmark (single TCAM entry reuse on
+// Tofino; must unroll for the IPU).
+header eth  { etherType : 4; }
+header mpls { label : 3 stack 3; bos : 1 stack 3; }
+parser ParseMPLS {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            0x8 : parse_mpls;
+            default : accept;
+        }
+    }
+    state parse_mpls {
+        extract(mpls);
+        transition select(mpls.bos) {
+            1 : accept;
+            default : parse_mpls;
+        }
+    }
+}
+"""
+
+LARGE_TRAN_KEY = """
+// A transition key wider than the device window, where only the low bits
+// actually discriminate: ParserHawk picks the narrow slice; compilers
+// without R4-style rewriting reject ("Wide tran key").
+header h  { wide : 12; a : 4; }
+parser LargeTranKey {
+    state start {
+        extract(h.wide);
+        transition select(h.wide) {
+            0x0A1 : n1;
+            0x0A3 : n1;
+            0x0B2 : n1;
+            default : accept;
+        }
+    }
+    state n1 { extract(h.a); transition accept; }
+}
+"""
+
+MULTI_KEY_SAME_FIELD = """
+// Two slices of one field as the transition key.
+header h { f : 8; x : 4; }
+parser MultiKeySame {
+    state start {
+        extract(h.f);
+        transition select(h.f[7:4], h.f[1:0]) {
+            (0xA, 1) : n1;
+            (0xA, 2) : n1;
+            (0x5, 0) : n2;
+            default : accept;
+        }
+    }
+    state n1 { extract(h.x); transition accept; }
+    state n2 { transition reject; }
+}
+"""
+
+MULTI_KEY_DIFF_FIELDS = """
+// A key concatenated from two different fields.
+header h { f : 4; g : 4; x : 4; }
+parser MultiKeyDiff {
+    state start {
+        extract(h.f);
+        extract(h.g);
+        transition select(h.f[3:2], h.g) {
+            (0b10, 0x3) : n1;
+            (0b10, 0x7) : n1;
+            (0b01, 0x0) : n2;
+            default : accept;
+        }
+    }
+    state n1 { extract(h.x); transition accept; }
+    state n2 { transition accept; }
+}
+"""
+
+PURE_EXTRACTION = """
+// A chain of extraction-only states: collapses to one state / one entry.
+header h { a : 4; b : 4; c : 4; d : 4; e : 4; }
+parser PureExtraction {
+    state start { extract(h.a); transition s1; }
+    state s1 { extract(h.b); transition s2; }
+    state s2 { extract(h.c); transition s3; }
+    state s3 { extract(h.d); transition s4; }
+    state s4 { extract(h.e); transition accept; }
+}
+"""
+
+SAI_V1 = """
+// sai.p4 subset V1 (SONiC PINS fixed parser), scaled: L2 -> VLAN/IP.
+header eth  { dst : 4; src : 4; etherType : 8; }
+header vlan { vid : 4; etherType : 8; }
+header ipv4 { ver : 2; proto : 4; }
+header ipv6 { ver : 2; next : 4; }
+parser SaiV1 {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            0x81 : parse_vlan;
+            0x08 : parse_ipv4;
+            0x86 : parse_ipv6;
+            default : accept;
+        }
+    }
+    state parse_vlan {
+        extract(vlan);
+        transition select(vlan.etherType) {
+            0x08 : parse_ipv4;
+            0x86 : parse_ipv6;
+            default : accept;
+        }
+    }
+    state parse_ipv4 { extract(ipv4); transition accept; }
+    state parse_ipv6 { extract(ipv6); transition accept; }
+}
+"""
+
+SAI_V2 = """
+// sai.p4 subset V2: adds the transport layer and ICMP dispatch.
+header eth  { dst : 4; src : 4; etherType : 8; }
+header vlan { vid : 4; etherType : 8; }
+header ipv4 { ver : 2; proto : 4; }
+header ipv6 { ver : 2; next : 4; }
+header tcp  { sport : 4; dport : 4; }
+header udp  { sport : 4; dport : 4; }
+header icmp { icmpType : 4; }
+parser SaiV2 {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            0x81 : parse_vlan;
+            0x08 : parse_ipv4;
+            0x86 : parse_ipv6;
+            default : accept;
+        }
+    }
+    state parse_vlan {
+        extract(vlan);
+        transition select(vlan.etherType) {
+            0x08 : parse_ipv4;
+            0x86 : parse_ipv6;
+            default : accept;
+        }
+    }
+    state parse_ipv4 {
+        extract(ipv4);
+        transition select(ipv4.proto) {
+            6 : parse_tcp;
+            1 : parse_icmp;
+            default : accept;
+        }
+    }
+    state parse_ipv6 {
+        extract(ipv6);
+        transition select(ipv6.next) {
+            6 : parse_tcp;
+            default : accept;
+        }
+    }
+    state parse_tcp  { extract(tcp); transition accept; }
+    state parse_icmp { extract(icmp); transition accept; }
+}
+"""
+
+DASH_V1 = """
+// dash.p4 subset V1: the underlay chain of the DASH pipeline parser.
+header eth   { dst : 4; etherType : 4; }
+header ipv4  { proto : 4; }
+header udp   { dport : 4; }
+parser DashV1 {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            0x8 : parse_ipv4;
+            default : reject;
+        }
+    }
+    state parse_ipv4 {
+        extract(ipv4);
+        transition select(ipv4.proto) {
+            0x1 : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_udp { extract(udp); transition accept; }
+}
+"""
+
+DASH_V2 = """
+// dash.p4 subset V2: underlay + VXLAN + inner headers, mostly a long
+// extraction chain (small search space, many states — the paper's Dash V2
+// has 19 entries but only a 28-bit search space).
+header eth   { dst : 4; etherType : 4; }
+header ipv4  { proto : 4; }
+header udp   { dport : 4; }
+header vxlan { vni : 4; }
+header inner_eth  { dst : 4; etherType : 4; }
+header inner_ipv4 { proto : 4; }
+parser DashV2 {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            0x8 : parse_ipv4;
+            default : reject;
+        }
+    }
+    state parse_ipv4 {
+        extract(ipv4);
+        transition select(ipv4.proto) {
+            0x1 : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_udp {
+        extract(udp);
+        transition select(udp.dport) {
+            0x4 : parse_vxlan;
+            default : accept;
+        }
+    }
+    state parse_vxlan { extract(vxlan); transition parse_inner_eth; }
+    state parse_inner_eth {
+        extract(inner_eth);
+        transition select(inner_eth.etherType) {
+            0x8 : parse_inner_ipv4;
+            default : accept;
+        }
+    }
+    state parse_inner_ipv4 { extract(inner_ipv4); transition accept; }
+}
+"""
+
+FINANCE_FEED = """
+// Financial-exchange feed classifier (§2.2's CME/Google Cloud use case):
+// identify the packet's origin class from a venue tag plus session bits.
+header eth    { etherType : 4; }
+header venue  { tag : 8; }
+header feedA  { seq : 4; }
+header feedB  { seq : 4; }
+parser FinanceFeed {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            0x8 : parse_venue;
+            default : accept;
+        }
+    }
+    state parse_venue {
+        extract(venue);
+        transition select(venue.tag) {
+            0x11 : parse_feed_a;
+            0x13 : parse_feed_a;
+            0x21 : parse_feed_b;
+            0x23 : parse_feed_b;
+            default : reject;
+        }
+    }
+    state parse_feed_a { extract(feedA); transition accept; }
+    state parse_feed_b { extract(feedB); transition accept; }
+}
+"""
+
+GENEVE_TUNNEL = """
+// Geneve with a varbit option block sized by optLen (RFC 8926 pattern).
+header eth    { etherType : 4; }
+header udp    { dport : 4; }
+header geneve { optLen : 2; vni : 4; options : varbit 12; }
+parser GeneveTunnel {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            0x8 : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_udp {
+        extract(udp);
+        transition select(udp.dport) {
+            0x6 : parse_geneve;
+            default : accept;
+        }
+    }
+    state parse_geneve {
+        extract(geneve.optLen);
+        extract(geneve.vni);
+        extract_var(geneve.options, geneve.optLen, 4);
+        transition accept;
+    }
+}
+"""
+
+LOOKAHEAD_TAG = """
+// Lookahead-driven dispatch: peek at the next header's tag before
+// extracting it (DPParserGen cannot express this).
+header eth { etherType : 4; }
+header tagged { tag : 2; body : 4; }
+parser LookaheadTag {
+    state start {
+        extract(eth);
+        transition select(lookahead(2)) {
+            0b01 : parse_tagged;
+            default : accept;
+        }
+    }
+    state parse_tagged { extract(tagged); transition accept; }
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Mutations
+# ---------------------------------------------------------------------------
+
+MutationFn = Callable[[ParserSpec], ParserSpec]
+
+
+def _merge_all(spec: ParserSpec) -> ParserSpec:
+    """Merge unconditional chains to a fixpoint (the '+ state merging'
+    variant of the Pure Extraction benchmark)."""
+    current = spec
+    for _ in range(len(spec.states) + 1):
+        merged = merge_states(current)
+        if merged is current:
+            return current
+        current = merged
+    return current
+
+
+MUTATIONS: Dict[str, MutationFn] = {
+    "+R1": add_redundant_entries,
+    "-R1": remove_redundant_entries,
+    "+R2": add_unreachable_entries,
+    "-R2": remove_unreachable_entries,
+    "+R3": split_entries,
+    "-R3": merge_entries,
+    "+R4": split_transition_key,
+    "-R4": merge_transition_key,
+    "+R5": split_states,
+    "-R5": merge_states,
+    "+unroll": unroll_self_loops,
+    "+merge": _merge_all,
+}
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One Table 3 row: a base program plus a mutation list."""
+
+    name: str
+    base: str                        # key into BASE_PROGRAMS
+    mutations: Tuple[str, ...] = ()
+    notes: str = ""
+
+    @property
+    def row_label(self) -> str:
+        if not self.mutations:
+            return self.name
+        return f"{self.name} {' '.join(self.mutations)}"
+
+    def spec(self) -> ParserSpec:
+        spec = parse_spec(BASE_PROGRAMS[self.base])
+        for mutation in self.mutations:
+            fn = MUTATIONS[mutation]
+            spec = fn(spec)
+        return spec
+
+
+BASE_PROGRAMS: Dict[str, str] = {
+    "parse_ethernet": PARSE_ETHERNET,
+    "parse_icmp": PARSE_ICMP,
+    "parse_mpls": PARSE_MPLS,
+    "large_tran_key": LARGE_TRAN_KEY,
+    "multi_key_same": MULTI_KEY_SAME_FIELD,
+    "multi_key_diff": MULTI_KEY_DIFF_FIELDS,
+    "pure_extraction": PURE_EXTRACTION,
+    "sai_v1": SAI_V1,
+    "sai_v2": SAI_V2,
+    "dash_v1": DASH_V1,
+    "dash_v2": DASH_V2,
+    "finance_feed": FINANCE_FEED,
+    "geneve_tunnel": GENEVE_TUNNEL,
+    "lookahead_tag": LOOKAHEAD_TAG,
+}
+
+
+# The Table 3 row set (base + mutations), mirroring the paper's grouping.
+TABLE3_ROWS: List[Benchmark] = [
+    Benchmark("Parse Ethernet", "parse_ethernet"),
+    Benchmark("Parse Ethernet", "parse_ethernet", ("+R1",)),
+    Benchmark("Parse Ethernet", "parse_ethernet", ("-R3",)),
+    Benchmark("Parse Ethernet", "parse_ethernet", ("+R2",)),
+    Benchmark("Parse icmp", "parse_icmp"),
+    Benchmark("Parse icmp", "parse_icmp", ("+R5",)),
+    Benchmark("Parse icmp", "parse_icmp", ("-R3",)),
+    Benchmark("Parse MPLS", "parse_mpls"),
+    Benchmark("Parse MPLS", "parse_mpls", ("+unroll",)),
+    Benchmark("Parse MPLS", "parse_mpls", ("-R1",)),
+    Benchmark("Parse MPLS", "parse_mpls", ("+R1",)),
+    Benchmark("Large tran key", "large_tran_key"),
+    Benchmark("Large tran key", "large_tran_key", ("+R4",)),
+    Benchmark("Large tran key", "large_tran_key", ("+R1", "+R4")),
+    Benchmark("Large tran key", "large_tran_key", ("+R3", "+R4")),
+    Benchmark("Multi-key (same pkt field)", "multi_key_same"),
+    Benchmark("Multi-key (same pkt field)", "multi_key_same", ("-R5",)),
+    Benchmark("Multi-key (same pkt field)", "multi_key_same", ("-R5", "-R3")),
+    Benchmark("Multi-keys (diff pkt fields)", "multi_key_diff"),
+    Benchmark("Multi-keys (diff pkt fields)", "multi_key_diff", ("+R5",)),
+    Benchmark("Multi-keys (diff pkt fields)", "multi_key_diff", ("-R5",)),
+    Benchmark("Pure Extraction states", "pure_extraction"),
+    Benchmark("Pure Extraction states", "pure_extraction", ("+merge",)),
+    Benchmark("Sai V1", "sai_v1"),
+    Benchmark("Sai V1", "sai_v1", ("+R2",)),
+    Benchmark("Sai V2", "sai_v2"),
+    Benchmark("Sai V2", "sai_v2", ("+R1", "+R2")),
+    Benchmark("Dash V2", "dash_v2"),
+    Benchmark("Dash V2", "dash_v2", ("+R1", "+R2")),
+]
+
+# Extra rows exercised by tests/examples but not in Table 3 proper.
+EXTRA_BENCHMARKS: List[Benchmark] = [
+    Benchmark("Dash V1", "dash_v1"),
+    Benchmark("Finance feed", "finance_feed"),
+    Benchmark("Geneve tunnel", "geneve_tunnel"),
+    Benchmark("Lookahead tag", "lookahead_tag"),
+]
+
+
+def benchmark_by_label(label: str) -> Benchmark:
+    for bench in TABLE3_ROWS + EXTRA_BENCHMARKS:
+        if bench.row_label == label:
+            return bench
+    raise KeyError(f"no benchmark labelled {label!r}")
+
+
+def all_base_specs() -> Dict[str, ParserSpec]:
+    return {name: parse_spec(src) for name, src in BASE_PROGRAMS.items()}

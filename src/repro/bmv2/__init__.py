@@ -1,0 +1,16 @@
+"""Behavioural-model substitute (bmv2 stand-in) for end-to-end checks.
+
+§7.1 tests compiled parsers on the open-source bmv2 simulator by sending
+crafted packets through a parser + match-action pipeline and checking
+delivery.  This module provides the same flow: a compiled
+:class:`~repro.hw.impl.TcamProgram` front-end feeding simple match-action
+tables that forward or drop based on parsed fields."""
+
+from .pipeline import (
+    BehavioralModel,
+    DROP,
+    MatchActionTable,
+    PipelineResult,
+)
+
+__all__ = ["BehavioralModel", "DROP", "MatchActionTable", "PipelineResult"]

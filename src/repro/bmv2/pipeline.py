@@ -1,0 +1,116 @@
+"""A miniature behavioural switch model: parser + match-action tables.
+
+The parse stage runs a compiled :class:`TcamProgram` (or, for differential
+testing, the specification simulator); the match-action stage applies
+exact/ternary tables over parsed fields to pick an egress port or drop.
+Rejected packets drop at the parser, exactly like bmv2's parser
+exceptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..hw.impl import TcamProgram
+from ..hw.tcam import TernaryPattern
+from ..ir.bits import Bits
+from ..ir.simulator import OUTCOME_ACCEPT, ParseResult, simulate_spec
+from ..ir.spec import ParserSpec
+from ..packets.headers import Header
+
+DROP = -1
+
+
+@dataclass
+class PipelineResult:
+    """What happened to one packet."""
+
+    port: int                       # egress port, or DROP
+    parse: ParseResult
+    matched_rules: List[str] = field(default_factory=list)
+
+    @property
+    def delivered(self) -> bool:
+        return self.port != DROP
+
+
+class MatchActionTable:
+    """Exact/ternary match over one parsed field, action = set egress."""
+
+    def __init__(self, name: str, key_field: str, key_width: int) -> None:
+        self.name = name
+        self.key_field = key_field
+        self.key_width = key_width
+        self.rules: List[Tuple[TernaryPattern, int, str]] = []
+        self.default_port = DROP
+
+    def add_exact(self, value: int, port: int, label: str = "") -> None:
+        full = (1 << self.key_width) - 1
+        self.rules.append(
+            (TernaryPattern(value, full, self.key_width), port, label or hex(value))
+        )
+
+    def add_ternary(
+        self, value: int, mask: int, port: int, label: str = ""
+    ) -> None:
+        self.rules.append(
+            (TernaryPattern(value, mask, self.key_width), port,
+             label or f"{value:#x}/{mask:#x}")
+        )
+
+    def set_default(self, port: int) -> None:
+        self.default_port = port
+
+    def lookup(self, od: Dict[str, int]) -> Tuple[int, Optional[str]]:
+        if self.key_field not in od:
+            return self.default_port, None
+        key = od[self.key_field]
+        for pattern, port, label in self.rules:
+            if pattern.matches(key):
+                return port, f"{self.name}:{label}"
+        return self.default_port, None
+
+
+class BehavioralModel:
+    """Parser + a chain of match-action tables."""
+
+    def __init__(
+        self,
+        parser: Union[TcamProgram, ParserSpec],
+        max_steps: int = 64,
+    ) -> None:
+        self.parser = parser
+        self.max_steps = max_steps
+        self.tables: List[MatchActionTable] = []
+
+    def add_table(self, table: MatchActionTable) -> MatchActionTable:
+        self.tables.append(table)
+        return table
+
+    def parse(self, packet: Union[Header, Bits, bytes]) -> ParseResult:
+        bits = _to_bits(packet)
+        if isinstance(self.parser, TcamProgram):
+            return self.parser.simulate(bits, self.max_steps)
+        return simulate_spec(self.parser, bits, self.max_steps)
+
+    def process(self, packet: Union[Header, Bits, bytes]) -> PipelineResult:
+        parse = self.parse(packet)
+        if parse.outcome != OUTCOME_ACCEPT:
+            return PipelineResult(DROP, parse)
+        port = DROP
+        matched: List[str] = []
+        for table in self.tables:
+            port, label = table.lookup(parse.od)
+            if label is not None:
+                matched.append(label)
+            if port == DROP:
+                return PipelineResult(DROP, parse, matched)
+        return PipelineResult(port, parse, matched)
+
+
+def _to_bits(packet: Union[Header, Bits, bytes]) -> Bits:
+    if isinstance(packet, Bits):
+        return packet
+    if isinstance(packet, (bytes, bytearray)):
+        return Bits.from_bytes(bytes(packet))
+    return packet.bits()

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile``  — compile a parser source file for a target device and emit
+  the synthesized program (human-readable, vendor config, or JSON);
+* ``simulate`` — run the reference simulator on an input bitstream;
+* ``validate`` — compile then run the Figure 22 random-simulation check;
+* ``bench``    — regenerate one of the paper's tables from the harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .core import CompileOptions, compile_spec, portfolio_compile
+from .core.validate import random_simulation_check
+from .hw import (
+    custom_profile,
+    emit_ipu,
+    emit_json,
+    emit_tofino,
+    ipu_profile,
+    tofino_profile,
+    trident_profile,
+)
+from .ir import Bits, parse_spec, simulate_spec
+
+
+def make_device(args: argparse.Namespace):
+    builders = {
+        "tofino": lambda: tofino_profile(
+            key_limit=args.key_limit,
+            tcam_limit=args.tcam_limit,
+            lookahead_limit=args.lookahead_limit,
+            extract_limit=args.extract_limit,
+        ),
+        "ipu": lambda: ipu_profile(
+            key_limit=args.key_limit,
+            tcam_per_stage_limit=args.tcam_limit,
+            lookahead_limit=args.lookahead_limit,
+            stage_limit=args.stage_limit,
+            extract_limit=args.extract_limit,
+        ),
+        "trident": lambda: trident_profile(
+            key_limit=args.key_limit,
+            tcam_per_stage_limit=args.tcam_limit,
+            lookahead_limit=args.lookahead_limit,
+            stage_limit=args.stage_limit,
+        ),
+        "custom": lambda: custom_profile(
+            key_limit=args.key_limit,
+            tcam_limit=args.tcam_limit,
+            lookahead_limit=args.lookahead_limit,
+            extract_limit=args.extract_limit,
+        ),
+    }
+    return builders[args.target]()
+
+
+def _add_device_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--target",
+        choices=["tofino", "ipu", "trident", "custom"],
+        default="tofino",
+    )
+    parser.add_argument("--key-limit", type=int, default=16)
+    parser.add_argument("--tcam-limit", type=int, default=64)
+    parser.add_argument("--lookahead-limit", type=int, default=16)
+    parser.add_argument("--stage-limit", type=int, default=10)
+    parser.add_argument("--extract-limit", type=int, default=256)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    spec = parse_spec(Path(args.source).read_text())
+    device = make_device(args)
+    options = CompileOptions(
+        total_max_seconds=args.timeout,
+        parallel_workers=args.jobs,
+        seed=args.seed,
+    )
+    if args.jobs > 1:
+        result = portfolio_compile(spec, device, options)
+    else:
+        result = compile_spec(spec, device, options)
+    if not result.ok:
+        print(f"compilation failed: {result.status}: {result.message}",
+              file=sys.stderr)
+        return 1
+    assert result.program is not None
+    if args.emit == "text":
+        print(result.program.describe())
+    elif args.emit == "json":
+        print(emit_json(result.program))
+    elif args.emit == "config":
+        emitter = emit_ipu if device.is_pipelined else emit_tofino
+        print(emitter(result.program))
+    elif args.emit == "dot":
+        from .ir.dot import program_to_dot
+
+        print(program_to_dot(result.program))
+    if args.report:
+        from .hw.resources import resource_report
+
+        print(resource_report(result.program, device).render(),
+              file=sys.stderr)
+    print(f"# {result.summary_row()}", file=sys.stderr)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    spec = parse_spec(Path(args.source).read_text())
+    text = args.input
+    if text.startswith("0x"):
+        raw = bytes.fromhex(text[2:])
+        bits = Bits.from_bytes(raw)
+    else:
+        bits = Bits.from_str(text.removeprefix("0b"))
+    result = simulate_spec(spec, bits)
+    print(f"outcome: {result.outcome}")
+    print(f"consumed: {result.consumed} bits")
+    print(f"path: {' -> '.join(result.path)}")
+    for key in sorted(result.od):
+        width = result.od_widths[key]
+        print(f"  {key} = {result.od[key]:#x} ({width} bits)")
+    return 0 if result.outcome != "overrun" else 1
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    spec = parse_spec(Path(args.source).read_text())
+    device = make_device(args)
+    options = CompileOptions(total_max_seconds=args.timeout, seed=args.seed)
+    result = compile_spec(spec, device, options)
+    if not result.ok:
+        print(f"compilation failed: {result.message}", file=sys.stderr)
+        return 1
+    report = random_simulation_check(
+        spec, result.program, samples=args.samples, seed=args.seed
+    )
+    print(report)
+    return 0 if report.passed else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .harness import (
+        format_table3,
+        format_table4,
+        format_table5,
+        run_table3,
+        run_table4,
+        run_table5,
+    )
+
+    if args.table == "table3":
+        rows = run_table3(
+            args.device,
+            include_orig=args.orig,
+            orig_cap_seconds=args.orig_cap,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        print(format_table3(rows))
+    elif args.table == "table4":
+        print(format_table4(run_table4()))
+    elif args.table == "table5":
+        print(format_table5(run_table5(args.device)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ParserHawk reproduction: synthesis-based parser compiler",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a parser source")
+    p_compile.add_argument("source")
+    _add_device_args(p_compile)
+    p_compile.add_argument(
+        "--emit", choices=["text", "config", "json", "dot"], default="text"
+    )
+    p_compile.add_argument(
+        "--report", action="store_true",
+        help="print a resource-utilization report to stderr",
+    )
+    p_compile.add_argument("--timeout", type=float, default=None)
+    p_compile.add_argument("--jobs", type=int, default=1)
+    p_compile.add_argument("--seed", type=int, default=0)
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_sim = sub.add_parser("simulate", help="run the reference simulator")
+    p_sim.add_argument("source")
+    p_sim.add_argument(
+        "input", help="input bitstream: 0b0101... or 0xAB... (byte aligned)"
+    )
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_val = sub.add_parser(
+        "validate", help="compile + Figure 22 random check"
+    )
+    p_val.add_argument("source")
+    _add_device_args(p_val)
+    p_val.add_argument("--samples", type=int, default=500)
+    p_val.add_argument("--timeout", type=float, default=None)
+    p_val.add_argument("--seed", type=int, default=0)
+    p_val.set_defaults(func=cmd_validate)
+
+    p_bench = sub.add_parser("bench", help="regenerate a paper table")
+    p_bench.add_argument(
+        "table", choices=["table3", "table4", "table5"]
+    )
+    p_bench.add_argument(
+        "--device", choices=["tofino", "ipu"], default="tofino"
+    )
+    p_bench.add_argument("--orig", action="store_true")
+    p_bench.add_argument("--orig-cap", type=float, default=20.0)
+    p_bench.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""ParserHawk core: the program-synthesis-based parser compiler."""
+
+from .cegis import CegisOutcome, SynthesisTimeout, synthesize_for_budget
+from .compiler import ParserHawkCompiler, compile_spec
+from .encoder import EncodingOverflow, SymbolicProgram
+from .normalize import CompileError, canonicalize, prepare_spec, unroll_self_loops
+from .options import CompileOptions
+from .parallel import Subproblem, derive_subproblems, portfolio_compile
+from .postopt import optimize as post_optimize
+from .result import (
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CompileResult,
+    CompileStats,
+)
+from .skeleton import Skeleton, build_skeleton
+from .validate import ValidationReport, random_simulation_check
+from .verifier import Counterexample, verify_equivalent
+
+__all__ = [
+    "CegisOutcome",
+    "CompileError",
+    "CompileOptions",
+    "CompileResult",
+    "CompileStats",
+    "Counterexample",
+    "EncodingOverflow",
+    "ParserHawkCompiler",
+    "STATUS_INFEASIBLE",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "Skeleton",
+    "SymbolicProgram",
+    "Subproblem",
+    "SynthesisTimeout",
+    "ValidationReport",
+    "build_skeleton",
+    "canonicalize",
+    "derive_subproblems",
+    "compile_spec",
+    "post_optimize",
+    "portfolio_compile",
+    "prepare_spec",
+    "random_simulation_check",
+    "synthesize_for_budget",
+    "unroll_self_loops",
+    "verify_equivalent",
+]

@@ -1,0 +1,249 @@
+"""The CEGIS loop (§5.2, Figure 13).
+
+``synthesize_for_budget`` runs synthesis/verification rounds for one fixed
+resource budget (a skeleton).  The synthesis phase solves the accumulated
+test-case constraints with the CDCL solver; the verification phase runs the
+exact product-equivalence checker.  Counterexamples flow back as new test
+cases (edge ③ of Figure 13); an UNSAT synthesis result means no
+implementation exists within this budget (edge ②)."""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..hw.impl import TcamProgram
+from ..ir.bits import Bits
+from ..ir.simulator import (
+    OUTCOME_OVERRUN,
+    ParseResult,
+    simulate_spec,
+    spec_input_bound,
+    trace_spec,
+)
+from ..ir.spec import ParserSpec
+from ..smt import SAT, Solver, UNKNOWN, UNSAT
+from .encoder import SymbolicProgram
+from .skeleton import Skeleton
+from .verifier import (
+    Counterexample,
+    VerificationBudgetExceeded,
+    verify_equivalent,
+)
+
+
+class SynthesisTimeout(Exception):
+    """The synthesis budget (time or conflicts) ran out."""
+
+
+@dataclass
+class CegisOutcome:
+    program: Optional[TcamProgram]
+    feasible: bool
+    iterations: int = 0
+    synthesis_seconds: float = 0.0
+    verification_seconds: float = 0.0
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+
+
+def initial_tests(
+    spec: ParserSpec,
+    rng: random.Random,
+    max_tests: int = 48,
+    max_steps: int = 64,
+    directed: bool = True,
+) -> List[Tuple[Bits, ParseResult]]:
+    """Seed test set.
+
+    The paper seeds CEGIS with a single random input/output pair and lets
+    counterexamples do the rest.  We use the same loop but seed it with
+    *directed* tests: starting from the all-zero input, each traced run
+    spawns mutants that splice every rule's constant into the transition-key
+    bit positions the trace touched, until every (path, outcome) signature
+    discovered has a representative.  This covers each reachable rule with
+    high probability and typically saves several CEGIS round-trips."""
+    bound = max(8, spec_input_bound(spec, max_steps))
+    if not directed:
+        # Paper fidelity (§5.2): a single random input/output pair; the
+        # CEGIS loop grows the rest from counterexamples.
+        length = rng.randint(1, bound)
+        bits = Bits(rng.getrandbits(length), length)
+        return [(bits, simulate_spec(spec, bits, max_steps))]
+    tests: List[Tuple[Bits, ParseResult]] = []
+    seen_sigs = set()
+    seen_inputs = set()
+    queue: List[Bits] = [Bits(0, bound)]
+    for _ in range(3):
+        queue.append(Bits(rng.getrandbits(bound), bound))
+    # Short inputs exercise truncation behaviour.
+    queue.append(Bits(0, max(0, bound // 4)))
+    queue.append(Bits(0, 1))
+    processed = 0
+    while queue and len(tests) < max_tests and processed < 10 * max_tests:
+        bits = queue.pop(0)
+        processed += 1
+        if bits in seen_inputs:
+            continue
+        seen_inputs.add(bits)
+        result, steps = trace_spec(spec, bits, max_steps)
+        if result.outcome == OUTCOME_OVERRUN:
+            continue
+        # Signature includes the observed key values: two inputs with the
+        # same spec path can still distinguish candidate implementations.
+        sig = (
+            tuple(result.path),
+            result.outcome,
+            tuple((s.state, s.key_value) for s in steps if s.key_width),
+        )
+        if sig not in seen_sigs:
+            seen_sigs.add(sig)
+            tests.append((bits, result))
+        # Mutants: splice each rule constant of each traced keyed state
+        # into the key positions that run touched.
+        for step in steps:
+            if not step.key_positions:
+                continue
+            state = spec.states[step.state]
+            widths = [k.width for k in state.key]
+            full = (1 << step.key_width) - 1
+            if step.key_width <= 3:
+                # Small key: enumerate it exhaustively.  CEGIS then sees the
+                # state's complete transition behaviour up front, which
+                # usually makes the first synthesized candidate correct.
+                for value in range(1 << step.key_width):
+                    mutated = _splice(
+                        bits, step.key_positions, step.key_width, value, full
+                    )
+                    if mutated not in seen_inputs:
+                        queue.append(mutated)
+                continue
+            for rule in state.rules:
+                value, mask = rule.combined_value_mask(widths)
+                mutated = _splice(bits, step.key_positions, step.key_width,
+                                  value, mask)
+                if mutated not in seen_inputs:
+                    queue.append(mutated)
+                # Neighbourhood of each constant (flip one masked bit) plus
+                # a random probe, to hit default arms and near-misses.
+                for b in range(step.key_width):
+                    if (mask >> b) & 1:
+                        mutated = _splice(
+                            bits, step.key_positions, step.key_width,
+                            value ^ (1 << b), full,
+                        )
+                        if mutated not in seen_inputs:
+                            queue.append(mutated)
+                rnd = rng.getrandbits(step.key_width) if step.key_width else 0
+                mutated = _splice(bits, step.key_positions, step.key_width,
+                                  rnd, full)
+                if mutated not in seen_inputs:
+                    queue.append(mutated)
+    return tests
+
+
+def _splice(
+    bits: Bits, positions: List[int], key_width: int, value: int, mask: int
+) -> Bits:
+    """Overwrite the masked key bits at their absolute input positions."""
+    raw = bits.uint()
+    n = len(bits)
+    for j, pos in enumerate(positions):
+        if pos >= n:
+            continue
+        bit_index = key_width - 1 - j
+        if not (mask >> bit_index) & 1:
+            continue
+        shift = n - 1 - pos
+        if (value >> bit_index) & 1:
+            raw |= 1 << shift
+        else:
+            raw &= ~(1 << shift)
+    return Bits(raw, n)
+
+
+def synthesize_for_budget(
+    skeleton: Skeleton,
+    rng: random.Random,
+    max_iterations: int = 40,
+    max_seconds: Optional[float] = None,
+    max_conflicts_per_solve: Optional[int] = None,
+    deadline: Optional[float] = None,
+    verify_max_configs: int = 60000,
+    directed_tests: bool = True,
+) -> CegisOutcome:
+    """Run CEGIS for one skeleton.  ``feasible=False`` reports a proved
+    UNSAT (no program in this budget); a timeout raises
+    :class:`SynthesisTimeout`."""
+    spec = skeleton.spec
+    max_steps = max(skeleton.unroll_steps, 16)
+    outcome = CegisOutcome(program=None, feasible=True)
+    sp = SymbolicProgram(skeleton)
+    solver = Solver()
+    started = time.monotonic()
+
+    def remaining() -> Optional[float]:
+        limits = []
+        if max_seconds is not None:
+            limits.append(max_seconds - (time.monotonic() - started))
+        if deadline is not None:
+            limits.append(deadline - time.monotonic())
+        if not limits:
+            return None
+        return min(limits)
+
+    for constraint in sp.structural_constraints():
+        solver.add(constraint)
+    for bits, expected in initial_tests(
+        spec, rng, max_steps=max_steps, directed=directed_tests
+    ):
+        for constraint in sp.encode_test(bits, expected):
+            solver.add(constraint)
+
+    for iteration in range(1, max_iterations + 1):
+        outcome.iterations = iteration
+        budget_s = remaining()
+        if budget_s is not None and budget_s <= 0:
+            raise SynthesisTimeout("CEGIS time budget exhausted")
+        t0 = time.monotonic()
+        status = solver.check(
+            max_seconds=budget_s, max_conflicts=max_conflicts_per_solve
+        )
+        outcome.synthesis_seconds += time.monotonic() - t0
+        stats = solver.stats()
+        outcome.sat_conflicts = stats["conflicts"]
+        outcome.sat_decisions = stats["decisions"]
+        if status == UNSAT:
+            outcome.feasible = False
+            return outcome
+        if status == UNKNOWN:
+            raise SynthesisTimeout("SAT solver budget exhausted")
+        candidate = sp.decode(solver.model())
+        t0 = time.monotonic()
+        try:
+            cex = verify_equivalent(
+                spec,
+                candidate,
+                max_steps=max_steps,
+                max_configs=verify_max_configs,
+            )
+        finally:
+            outcome.verification_seconds += time.monotonic() - t0
+        if cex is None:
+            outcome.program = candidate
+            return outcome
+        outcome.counterexamples.append(cex)
+        expected = simulate_spec(spec, cex.bits, max_steps)
+        if expected.outcome == OUTCOME_OVERRUN:
+            raise RuntimeError(
+                "specification overran its step bound on a counterexample; "
+                "increase max_unroll_steps"
+            )
+        for constraint in sp.encode_test(cex.bits, expected):
+            solver.add(constraint)
+    raise SynthesisTimeout(
+        f"CEGIS did not converge within {max_iterations} iterations"
+    )

@@ -1,0 +1,338 @@
+"""ParserHawk's top-level compiler (Figure 8's whole pipeline).
+
+``ParserHawkCompiler.compile`` runs:
+
+1. front-end — canonicalize the spec, unroll self-loops for forward-only
+   targets, apply Opt2/Opt6 scaling;
+2. resource search — iterate budgets (stages outer for pipelined targets,
+   TCAM entries inner) from their lower bounds upward; the first budget
+   whose CEGIS run succeeds is resource-minimal;
+3. back-end — post-synthesis optimization, scale restoration, a final
+   exact verification against the *original* specification, and a device
+   constraint check.
+
+Opt7's portfolio (loop-free vs loop-aware arms, §6.7.1) runs the loop-free
+arm first for loop-free specs — the sequential emulation of the paper's
+parallel race — and optionally distributes budget attempts over a process
+pool when ``options.parallel_workers > 1``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Iterable, List, Optional, Tuple
+
+from ..hw.device import DeviceProfile
+from ..ir.analysis import check_extract_before_use, has_loops, max_parse_depth
+from ..ir.spec import ParserSpec
+from .cegis import SynthesisTimeout, synthesize_for_budget
+from .encoder import EncodingOverflow
+from .normalize import CompileError, prepare_spec
+from .options import CompileOptions
+from .postopt import optimize as post_optimize
+from .result import (
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CompileResult,
+    CompileStats,
+)
+from .skeleton import build_skeleton, entry_lower_bound
+from .verifier import VerificationBudgetExceeded, verify_equivalent
+
+
+class ParserHawkCompiler:
+    """Program-synthesis-based parser compiler."""
+
+    def __init__(self, options: Optional[CompileOptions] = None) -> None:
+        self.options = options or CompileOptions()
+
+    # ------------------------------------------------------------------
+    def compile(
+        self, spec: ParserSpec, device: DeviceProfile
+    ) -> CompileResult:
+        options = self.options
+        stats = CompileStats()
+        started = time.monotonic()
+        deadline = (
+            started + options.total_max_seconds
+            if options.total_max_seconds
+            else None
+        )
+        problems = check_extract_before_use(spec)
+        if problems:
+            return CompileResult(
+                STATUS_INFEASIBLE,
+                device,
+                message="; ".join(problems),
+                options_summary=options.enabled_summary(),
+            )
+        try:
+            result = self._compile_scaled(
+                spec, device, options, stats, deadline
+            )
+        except CompileError as exc:
+            return CompileResult(
+                STATUS_INFEASIBLE,
+                device,
+                message=str(exc),
+                options_summary=options.enabled_summary(),
+            )
+        except SynthesisTimeout as exc:
+            stats.total_seconds = time.monotonic() - started
+            return CompileResult(
+                STATUS_TIMEOUT,
+                device,
+                stats=stats,
+                message=str(exc),
+                options_summary=options.enabled_summary(),
+            )
+        stats.total_seconds = time.monotonic() - started
+        result.stats = stats
+        result.options_summary = options.enabled_summary()
+        return result
+
+    # ------------------------------------------------------------------
+    def _compile_scaled(
+        self,
+        spec: ParserSpec,
+        device: DeviceProfile,
+        options: CompileOptions,
+        stats: CompileStats,
+        deadline: Optional[float],
+    ) -> CompileResult:
+        arms = self._portfolio_arms(spec, device, options)
+        last_failure = "no feasible budget found"
+        for allow_loops in arms:
+            synth_spec, plan = prepare_spec(
+                spec,
+                pipelined=device.is_pipelined or not allow_loops,
+                minimize_widths=options.opt2_bitwidth_minimization,
+                fix_varbits=options.opt6_fixed_varbits,
+            )
+            result = self._search_budgets(
+                spec, synth_spec, plan, device, options, stats,
+                deadline, allow_loops,
+            )
+            if result.ok:
+                return result
+            last_failure = result.message or last_failure
+        return CompileResult(STATUS_INFEASIBLE, device, message=last_failure)
+
+    def _portfolio_arms(
+        self,
+        spec: ParserSpec,
+        device: DeviceProfile,
+        options: CompileOptions,
+    ) -> List[bool]:
+        """Which loop modes to try, in order (§6.7.1)."""
+        if device.is_pipelined:
+            return [False]
+        if not device.allows_loops:
+            return [False]
+        if options.opt7_parallelism and not has_loops(spec):
+            # Loop-free arm first: smaller search space, usually wins the
+            # race the paper runs in parallel.
+            return [False, True]
+        return [True]
+
+    # ------------------------------------------------------------------
+    def _search_budgets(
+        self,
+        original_spec: ParserSpec,
+        synth_spec: ParserSpec,
+        plan,
+        device: DeviceProfile,
+        options: CompileOptions,
+        stats: CompileStats,
+        deadline: Optional[float],
+        allow_loops: bool,
+    ) -> CompileResult:
+        rng = random.Random(options.seed)
+        entry_lb = entry_lower_bound(synth_spec, device)
+        entry_ub = min(
+            device.total_entry_budget(),
+            entry_lb + options.max_extra_entries,
+        )
+        if device.is_pipelined:
+            stage_lb = max(1, max_parse_depth(synth_spec))
+            stage_budgets: Iterable[Optional[int]] = range(
+                min(stage_lb, device.stage_limit), device.stage_limit + 1
+            )
+        else:
+            stage_budgets = [None]
+        # Budget exploration uses iterative deepening with time slices
+        # (the sequential emulation of §6.7.2's parallel subproblem
+        # portfolio): ascending budgets each get a slice; budgets proved
+        # UNSAT are retired; budgets whose slice expires are retried with a
+        # larger slice only if nothing cheaper succeeds first.  The first
+        # success is therefore the smallest budget the solver could settle
+        # within the escalation schedule.
+        budgets: List[Tuple[Optional[int], int]] = []
+        for stage_budget in stage_budgets:
+            for num_entries in range(entry_lb, entry_ub + 1):
+                budgets.append((stage_budget, num_entries))
+        retired: set = set()
+        saw_unknown = False
+        slice_seconds = options.budget_time_slice
+        while budgets and slice_seconds <= options.max_time_slice:
+            remaining: List[Tuple[Optional[int], int]] = []
+            for stage_budget, num_entries in budgets:
+                if (stage_budget, num_entries) in retired:
+                    continue
+                if deadline is not None and time.monotonic() > deadline:
+                    raise SynthesisTimeout("compiler deadline exceeded")
+                stats.budgets_tried += 1
+                skeleton = build_skeleton(
+                    synth_spec,
+                    device,
+                    options,
+                    num_entries=num_entries,
+                    stage_budget=stage_budget,
+                    allow_loops=allow_loops,
+                )
+                stats.search_space_bits = max(
+                    stats.search_space_bits, skeleton.search_space_bits()
+                )
+                slice_cap = slice_seconds
+                if options.synthesis_max_seconds is not None:
+                    slice_cap = min(slice_cap, options.synthesis_max_seconds)
+                try:
+                    outcome = synthesize_for_budget(
+                        skeleton,
+                        rng,
+                        max_iterations=options.max_cegis_iterations,
+                        max_seconds=slice_cap,
+                        max_conflicts_per_solve=options.synthesis_max_conflicts,
+                        deadline=deadline,
+                        directed_tests=options.directed_seed_tests,
+                    )
+                except SynthesisTimeout:
+                    saw_unknown = True
+                    remaining.append((stage_budget, num_entries))
+                    continue
+                except (EncodingOverflow, VerificationBudgetExceeded) as exc:
+                    return CompileResult(
+                        STATUS_INFEASIBLE, device, message=str(exc)
+                    )
+                stats.cegis_iterations += outcome.iterations
+                stats.synthesis_seconds += outcome.synthesis_seconds
+                stats.verification_seconds += outcome.verification_seconds
+                stats.counterexamples += len(outcome.counterexamples)
+                stats.sat_conflicts += outcome.sat_conflicts
+                stats.sat_decisions += outcome.sat_decisions
+                if not outcome.feasible:
+                    retired.add((stage_budget, num_entries))
+                    continue  # proved UNSAT at this budget; grow it
+                assert outcome.program is not None
+                program = post_optimize(outcome.program, device)
+                program = self._restore_scaling(program, plan)
+                final = self._finalize(original_spec, program, device, options)
+                if final is not None:
+                    return final
+                # Restoration failed validation (rare: scaling interacted
+                # with semantics): retry this budget without scaling.
+                final = self._retry_unscaled(
+                    original_spec, device, options, stats, deadline,
+                    allow_loops, num_entries, stage_budget, rng, slice_cap,
+                )
+                if final is not None:
+                    return final
+                remaining.append((stage_budget, num_entries))
+            budgets = remaining
+            slice_seconds *= options.time_slice_growth
+        if saw_unknown or budgets:
+            raise SynthesisTimeout(
+                "budget search exhausted its time-slice schedule"
+            )
+        return CompileResult(
+            STATUS_INFEASIBLE,
+            device,
+            message="no implementation exists within the device's "
+            "resource limits",
+        )
+
+    def _retry_unscaled(
+        self,
+        original_spec: ParserSpec,
+        device: DeviceProfile,
+        options: CompileOptions,
+        stats: CompileStats,
+        deadline: Optional[float],
+        allow_loops: bool,
+        num_entries: int,
+        stage_budget: Optional[int],
+        rng: random.Random,
+        slice_cap: float,
+    ) -> Optional[CompileResult]:
+        unscaled, _plan = prepare_spec(
+            original_spec,
+            pipelined=device.is_pipelined or not allow_loops,
+            minimize_widths=False,
+            fix_varbits=False,
+        )
+        skeleton = build_skeleton(
+            unscaled,
+            device,
+            options,
+            num_entries=num_entries,
+            stage_budget=stage_budget,
+            allow_loops=allow_loops,
+        )
+        try:
+            outcome = synthesize_for_budget(
+                skeleton,
+                rng,
+                max_iterations=options.max_cegis_iterations,
+                max_seconds=slice_cap,
+                max_conflicts_per_solve=options.synthesis_max_conflicts,
+                deadline=deadline,
+                directed_tests=options.directed_seed_tests,
+            )
+        except (SynthesisTimeout, EncodingOverflow, VerificationBudgetExceeded):
+            return None
+        stats.cegis_iterations += outcome.iterations
+        if outcome.feasible and outcome.program is not None:
+            program = post_optimize(outcome.program, device)
+            return self._finalize(original_spec, program, device, options)
+        return None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _restore_scaling(program, plan):
+        from ..hw.impl import TcamProgram
+
+        restored_fields = plan.restore_fields(program.fields)
+        return TcamProgram(
+            restored_fields,
+            program.states,
+            program.entries,
+            program.start_sid,
+            program.source_name,
+        )
+
+    def _finalize(
+        self,
+        original_spec: ParserSpec,
+        program,
+        device: DeviceProfile,
+        options: CompileOptions,
+    ) -> Optional[CompileResult]:
+        violations = program.check_constraints(device)
+        if violations:
+            return None
+        max_steps = max(32, 4 * max_parse_depth(original_spec))
+        cex = verify_equivalent(original_spec, program, max_steps=max_steps)
+        if cex is not None:
+            return None
+        return CompileResult(STATUS_OK, device, program=program)
+
+
+def compile_spec(
+    spec: ParserSpec,
+    device: DeviceProfile,
+    options: Optional[CompileOptions] = None,
+) -> CompileResult:
+    """Convenience one-shot compile."""
+    return ParserHawkCompiler(options).compile(spec, device)

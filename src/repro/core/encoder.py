@@ -1,0 +1,619 @@
+"""Synthesis-phase encoding: symbolic program variables plus per-test
+semantic constraints (φ_common ∧ φ_device of §5.1, specialized to one
+concrete input bitstream).
+
+The CEGIS synthesis phase has concrete inputs and a symbolic configuration.
+For each test case we unroll the Figure 6 execution into a guarded
+reachability DAG whose nodes are (step, state, cursor, extracted-values)
+tuples; the guard of a node is a Boolean term over the configuration
+variables.  Leaves whose output dictionary disagrees with the expected one
+assert the negation of their guard.  Device constraints (stage ordering,
+per-stage budgets, key-width fits) are structural constraints over the same
+variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..hw.impl import ACCEPT_SID, REJECT_SID, ImplEntry, ImplState, TcamProgram
+from ..hw.tcam import TernaryPattern
+from ..ir.bits import Bits
+from ..ir.simulator import OUTCOME_ACCEPT, OUTCOME_REJECT, ParseResult
+from ..ir.spec import FieldKey, LookaheadKey, ParserSpec
+from ..smt import (
+    And,
+    BitVec,
+    BitVecVal,
+    Bool,
+    BvAnd,
+    Eq,
+    ExactlyOne,
+    Extract,
+    FALSE,
+    If,
+    Implies,
+    Model,
+    Not,
+    Or,
+    TRUE,
+    Term,
+)
+from .skeleton import FREE_PATTERN, KeyCandidate, Skeleton
+
+# Key evaluation outcomes at a DAG node.
+_VALID = "valid"
+_LA_SHORT = "lookahead_short"     # lookahead past end of input -> reject
+_FORBIDDEN = "forbidden"          # references an unextracted field
+
+
+class EncodingOverflow(Exception):
+    """The execution DAG for a test grew past the configured cap."""
+
+
+@dataclass(frozen=True)
+class _NodeKey:
+    step: int
+    sid: int
+    cursor: int
+    od: Tuple[Tuple[str, int, int], ...]       # (od_key, value, width) sorted
+    stacks: Tuple[Tuple[str, int], ...]        # (field, count) sorted
+
+
+class SymbolicProgram:
+    """All configuration variables for one skeleton, plus decode()."""
+
+    def __init__(self, skeleton: Skeleton, tag: str = "") -> None:
+        self.skeleton = skeleton
+        self.tag = tag
+        sk = skeleton
+        # Per state: one-hot key-candidate selection.
+        self.key_sel: List[List[Term]] = [
+            [Bool(f"k{tag}_s{st.sid}_c{ci}") for ci in range(len(st.candidates))]
+            for st in sk.states
+        ]
+        # Per entry: "off" plus one-hot (state, candidate, pattern) selection.
+        self.off: List[Term] = [
+            Bool(f"off{tag}_e{e}") for e in range(sk.num_entries)
+        ]
+        self.entry_sel: List[Dict[Tuple[int, int, int], Term]] = []
+        for e in range(sk.num_entries):
+            sel: Dict[Tuple[int, int, int], Term] = {}
+            for st in sk.states:
+                for ci, pool in enumerate(st.patterns):
+                    for pi in range(len(pool)):
+                        sel[(st.sid, ci, pi)] = Bool(
+                            f"sel{tag}_e{e}_s{st.sid}_c{ci}_p{pi}"
+                        )
+            self.entry_sel.append(sel)
+        # Per entry: one-hot next-state selection over the union of targets
+        # any possible owner admits (see Skeleton.allowed_next).
+        self.allowed_next: Dict[int, List[int]] = sk.allowed_next()
+        union_targets: List[int] = sorted(
+            {t for targets in self.allowed_next.values() for t in targets}
+        )
+        self.next_ids: List[int] = union_targets
+        self.next_sel: List[Dict[int, Term]] = [
+            {t: Bool(f"nxt{tag}_e{e}_t{t}") for t in self.next_ids}
+            for e in range(sk.num_entries)
+        ]
+        # Free symbolic patterns (Opt4 disabled).
+        self._max_width = max(
+            (c.width for st in sk.states for c in st.candidates), default=1
+        )
+        self._max_width = max(self._max_width, 1)
+        self.free_value: List[Term] = []
+        self.free_mask: List[Term] = []
+        uses_free = any(
+            pool == [FREE_PATTERN] or FREE_PATTERN in pool
+            for st in sk.states
+            for pool in st.patterns
+        )
+        if uses_free:
+            self.free_value = [
+                BitVec(f"fv{tag}_e{e}", self._max_width)
+                for e in range(sk.num_entries)
+            ]
+            self.free_mask = [
+                BitVec(f"fm{tag}_e{e}", self._max_width)
+                for e in range(sk.num_entries)
+            ]
+        # Stage ordering via a unary (thermometer) encoding:
+        # stage_ge[s][i] means stage(s) >= i+1; the chain
+        # stage_ge[s][i] -> stage_ge[s][i-1] makes comparisons linear-size.
+        self.use_stages = sk.device.is_pipelined or not sk.allow_loops
+        self.stage_ge: List[List[Term]] = []
+        if self.use_stages:
+            if sk.device.is_pipelined:
+                budget = sk.stage_budget
+            else:
+                # Loop-free arm: stages only enforce acyclicity, so the
+                # unrolling depth bounds how many levels any chain needs.
+                budget = min(sk.num_states, sk.unroll_steps)
+            self.stage_budget = max(1, budget)
+            self.stage_ge = [
+                [
+                    Bool(f"stg{tag}_s{st.sid}_ge{i + 1}")
+                    for i in range(self.stage_budget - 1)
+                ]
+                for st in sk.states
+            ]
+        # Cached "entry e is owned by state s" terms.
+        self._own_cache: Dict[Tuple[int, int], Term] = {}
+
+    # ------------------------------------------------------------------
+    def own_term(self, e: int, sid: int) -> Term:
+        key = (e, sid)
+        if key not in self._own_cache:
+            sels = [
+                var
+                for (s, _ci, _pi), var in self.entry_sel[e].items()
+                if s == sid
+            ]
+            self._own_cache[key] = Or(*sels) if sels else FALSE
+        return self._own_cache[key]
+
+    # ------------------------------------------------------------------
+    def structural_constraints(self) -> List[Term]:
+        sk = self.skeleton
+        out: List[Term] = []
+        for st in sk.states:
+            out.append(ExactlyOne(self.key_sel[st.sid]))
+        for e in range(sk.num_entries):
+            choices = [self.off[e]] + list(self.entry_sel[e].values())
+            out.append(ExactlyOne(choices))
+            out.append(ExactlyOne(list(self.next_sel[e].values())))
+            # Selecting a (state, candidate, pattern) commits the state to
+            # that key candidate.
+            for (sid, ci, _pi), var in self.entry_sel[e].items():
+                out.append(Implies(var, self.key_sel[sid][ci]))
+            # Owner-dependent next-state domain restriction.
+            for st in sk.states:
+                own = self.own_term(e, st.sid)
+                if own is FALSE:
+                    continue
+                allowed = set(self.allowed_next[st.sid])
+                for t, nxt in self.next_sel[e].items():
+                    if t not in allowed:
+                        out.append(Or(Not(own), Not(nxt)))
+        # Symmetry breaking: off entries sink to the high indices, and
+        # entry owners are non-decreasing in the state id — the relative
+        # order of entries only matters within one state, so sorting owners
+        # removes an E!-sized permutation symmetry.
+        for e in range(1, sk.num_entries):
+            out.append(Implies(self.off[e - 1], self.off[e]))
+        for e in range(sk.num_entries - 1):
+            for st in sk.states:
+                own = self.own_term(e, st.sid)
+                if own is FALSE:
+                    continue
+                for st2 in sk.states:
+                    if st2.sid >= st.sid:
+                        continue
+                    own2 = self.own_term(e + 1, st2.sid)
+                    if own2 is FALSE:
+                        continue
+                    out.append(Or(Not(own), Not(own2)))
+        out.extend(self._coverage_constraints())
+        if self.use_stages:
+            out.extend(self._stage_constraints())
+        return out
+
+    def _coverage_constraints(self) -> List[Term]:
+        """Implied constraints that sharpen propagation: every distinct
+        non-reject destination of an accept-path spec state must be the
+        target of at least one entry owned by that state's family (the
+        same argument as the entry lower bound, stated clausally)."""
+        from ..ir.spec import ACCEPT as SPEC_ACCEPT
+        from ..ir.spec import REJECT as SPEC_REJECT
+        from .skeleton import accept_path_states
+
+        sk = self.skeleton
+        out: List[Term] = []
+        on_path = accept_path_states(sk.spec)
+        name_to_sid = {s.name: s.sid for s in sk.states if not s.is_aux}
+        for st in sk.states:
+            if st.is_aux or st.name not in on_path:
+                continue
+            family = [
+                m.sid for m in sk.states if m.unit_sid == st.sid
+            ]
+            spec_state = sk.spec.states[st.name]
+            dests = set()
+            for rule in spec_state.rules:
+                if rule.next_state == SPEC_REJECT:
+                    continue
+                if rule.next_state == SPEC_ACCEPT:
+                    dests.add(ACCEPT_SID)
+                else:
+                    dests.add(name_to_sid[rule.next_state])
+            for d in dests:
+                witnesses = []
+                for e in range(sk.num_entries):
+                    nxt = self.next_sel[e].get(d)
+                    if nxt is None:
+                        continue
+                    for m in family:
+                        own = self.own_term(e, m)
+                        if own is not FALSE:
+                            witnesses.append(And(own, nxt))
+                if witnesses:
+                    out.append(Or(*witnesses))
+        return out
+
+    def _stage_gt(self, t: int, s: int) -> Term:
+        """stage(t) > stage(s) in the thermometer encoding."""
+        if self.stage_budget <= 1:
+            return FALSE
+        disjuncts = [
+            And(self.stage_ge[t][i], Not(self.stage_ge[s][i]))
+            for i in range(self.stage_budget - 1)
+        ]
+        return Or(*disjuncts)
+
+    def _stage_constraints(self) -> List[Term]:
+        sk = self.skeleton
+        out: List[Term] = []
+        for st in sk.states:
+            ge = self.stage_ge[st.sid]
+            for i in range(1, len(ge)):
+                out.append(Implies(ge[i], ge[i - 1]))
+        # Start state sits in stage 0.
+        if self.stage_ge and self.stage_ge[sk.start_sid]:
+            out.append(Not(self.stage_ge[sk.start_sid][0]))
+        # Forward motion: entry owned by s targeting state t needs
+        # stage(t) > stage(s).
+        for e in range(sk.num_entries):
+            for st in sk.states:
+                own = self.own_term(e, st.sid)
+                if own is FALSE:
+                    continue
+                for t_sid, nxt in self.next_sel[e].items():
+                    if t_sid < 0 or t_sid not in set(
+                        self.allowed_next[st.sid]
+                    ):
+                        continue
+                    out.append(
+                        Implies(And(own, nxt), self._stage_gt(t_sid, st.sid))
+                    )
+        # Per-stage entry budget (skip when trivially satisfied).
+        if (
+            sk.device.is_pipelined
+            and sk.device.tcam_per_stage
+            and sk.num_entries > sk.device.tcam_limit
+        ):
+            from ..smt import PopCountAtMost
+
+            for i in range(self.stage_budget):
+                at_stage = []
+                for e in range(sk.num_entries):
+                    owners = []
+                    for st in sk.states:
+                        own = self.own_term(e, st.sid)
+                        if own is FALSE:
+                            continue
+                        owners.append(And(own, self._stage_eq(st.sid, i)))
+                    at_stage.append(Or(*owners) if owners else FALSE)
+                out.append(PopCountAtMost(at_stage, sk.device.tcam_limit))
+        return out
+
+    def _stage_eq(self, sid: int, i: int) -> Term:
+        ge = self.stage_ge[sid]
+        at_least = ge[i - 1] if i >= 1 else TRUE
+        below = Not(ge[i]) if i < len(ge) else TRUE
+        return And(at_least, below)
+
+    # ------------------------------------------------------------------
+    # Per-test semantic constraints
+    # ------------------------------------------------------------------
+    def encode_test(
+        self,
+        bits: Bits,
+        expected: ParseResult,
+        max_nodes: int = 4000,
+    ) -> List[Term]:
+        """Constraints forcing the configuration to reproduce ``expected``
+        on input ``bits``."""
+        sk = self.skeleton
+        spec = sk.spec
+        constraints: List[Term] = []
+        if expected.outcome not in (OUTCOME_ACCEPT, OUTCOME_REJECT):
+            raise ValueError(
+                f"test expectation must be accept/reject, got {expected.outcome}"
+            )
+
+        root = _NodeKey(0, sk.start_sid, 0, (), ())
+        guards: Dict[_NodeKey, List[Term]] = {root: [TRUE]}
+        ordered: List[_NodeKey] = [root]
+        seen = {root}
+        idx = 0
+        while idx < len(ordered):
+            node = ordered[idx]
+            idx += 1
+            if len(ordered) > max_nodes:
+                raise EncodingOverflow(
+                    f"execution DAG exceeded {max_nodes} nodes"
+                )
+            guard = Or(*guards[node]) if len(guards[node]) > 1 else guards[node][0]
+            if guard is FALSE:
+                continue
+            if node.step >= sk.unroll_steps:
+                # Overrun: never acceptable.
+                constraints.append(Not(guard))
+                continue
+            st = sk.states[node.sid]
+            od = dict((k, (v, w)) for k, v, w in node.od)
+            stacks = dict(node.stacks)
+            cursor = node.cursor
+            # --- extraction ---
+            ok = True
+            for fname in st.extracts:
+                fdef = spec.fields[fname]
+                if fdef.is_varbit:
+                    src = fdef.length_field
+                    if src is None or src not in od:
+                        ok = False
+                        break
+                    width = od[src][0] * fdef.length_multiplier
+                    if width > fdef.width:
+                        ok = False
+                        break
+                else:
+                    width = fdef.width
+                if cursor + width > len(bits):
+                    ok = False
+                    break
+                if fdef.is_stack:
+                    count = stacks.get(fname, 0)
+                    if count >= fdef.stack_depth:
+                        ok = False
+                        break
+                    stacks[fname] = count + 1
+                    od_key = fdef.instance_key(count)
+                else:
+                    od_key = fname
+                od[od_key] = (
+                    bits.slice(cursor, width).uint() if width else 0,
+                    width,
+                )
+                cursor += width
+            if not ok:
+                # Packet-dependent reject during extraction.
+                self._leaf(constraints, guard, OUTCOME_REJECT, od, expected)
+                continue
+            # --- key evaluation per candidate ---
+            cand_status: List[Tuple[str, Optional[int]]] = []
+            for cand in st.candidates:
+                cand_status.append(
+                    _eval_candidate(cand, od, stacks, bits, cursor, spec)
+                )
+            # Forbidden candidates cannot be chosen on a reachable path.
+            la_short_guards: List[Term] = []
+            for ci, (status, _value) in enumerate(cand_status):
+                sel = self.key_sel[st.sid][ci]
+                if status == _FORBIDDEN:
+                    constraints.append(Not(And(guard, sel)))
+                elif status == _LA_SHORT:
+                    la_short_guards.append(sel)
+            if la_short_guards:
+                self._leaf(
+                    constraints,
+                    And(guard, Or(*la_short_guards)),
+                    OUTCOME_REJECT,
+                    od,
+                    expected,
+                )
+            # --- entry matching (first match wins) ---
+            active: List[Term] = []
+            for e in range(sk.num_entries):
+                act = self._activation(e, st, cand_status)
+                active.append(act)
+            valid_key = Or(
+                *[
+                    self.key_sel[st.sid][ci]
+                    for ci, (status, _v) in enumerate(cand_status)
+                    if status == _VALID
+                ]
+            )
+            not_earlier: Term = TRUE
+            od_tuple = tuple(
+                sorted((k, v, w) for k, (v, w) in od.items())
+            )
+            stacks_tuple = tuple(sorted(stacks.items()))
+            allowed_here = set(self.allowed_next[st.sid])
+            for e in range(sk.num_entries):
+                fire = And(guard, valid_key, active[e], not_earlier)
+                if fire is not FALSE:
+                    for t_sid, nxt in self.next_sel[e].items():
+                        if t_sid not in allowed_here:
+                            continue
+                        edge = And(fire, nxt)
+                        if edge is FALSE:
+                            continue
+                        if t_sid == ACCEPT_SID:
+                            self._leaf(
+                                constraints, edge, OUTCOME_ACCEPT, od, expected
+                            )
+                        elif t_sid == REJECT_SID:
+                            self._leaf(
+                                constraints, edge, OUTCOME_REJECT, od, expected
+                            )
+                        else:
+                            child = _NodeKey(
+                                node.step + 1,
+                                t_sid,
+                                cursor,
+                                od_tuple,
+                                stacks_tuple,
+                            )
+                            if child not in seen:
+                                seen.add(child)
+                                guards[child] = []
+                                ordered.append(child)
+                            guards[child].append(edge)
+                not_earlier = And(not_earlier, Not(active[e]))
+            # No entry matched -> reject.
+            no_match = And(guard, valid_key, not_earlier)
+            self._leaf(constraints, no_match, OUTCOME_REJECT, od, expected)
+        return constraints
+
+    def _activation(
+        self,
+        e: int,
+        st,
+        cand_status: List[Tuple[str, Optional[int]]],
+    ) -> Term:
+        """Bool term: entry e is on, owned by st, and its pattern matches the
+        key value of st's selected candidate at this node."""
+        disjuncts: List[Term] = []
+        for ci, (status, value) in enumerate(cand_status):
+            if status != _VALID:
+                continue
+            pool = st.patterns[ci]
+            cand = st.candidates[ci]
+            for pi, pat in enumerate(pool):
+                sel = self.entry_sel[e].get((st.sid, ci, pi))
+                if sel is None:
+                    continue
+                if pat == FREE_PATTERN:
+                    disjuncts.append(
+                        And(sel, self._free_match(e, cand, value))
+                    )
+                else:
+                    assert isinstance(pat, TernaryPattern)
+                    if pat.matches(value):
+                        disjuncts.append(sel)
+        return Or(*disjuncts) if disjuncts else FALSE
+
+    def _free_match(self, e: int, cand: KeyCandidate, value: int) -> Term:
+        width = max(1, cand.width)
+        v = self.free_value[e]
+        m = self.free_mask[e]
+        if width < self._max_width:
+            v = Extract(width - 1, 0, v)
+            m = Extract(width - 1, 0, m)
+        kv = BitVecVal(value & ((1 << width) - 1), width)
+        return Eq(BvAnd(kv, m), BvAnd(v, m))
+
+    def _leaf(
+        self,
+        constraints: List[Term],
+        guard: Term,
+        outcome: str,
+        od: Dict[str, Tuple[int, int]],
+        expected: ParseResult,
+    ) -> None:
+        if guard is FALSE:
+            return
+        if outcome != expected.outcome:
+            constraints.append(Not(guard))
+            return
+        if outcome == OUTCOME_ACCEPT:
+            got = {k: v for k, (v, _w) in od.items()}
+            got_widths = {k: w for k, (_v, w) in od.items()}
+            if got != expected.od or got_widths != expected.od_widths:
+                constraints.append(Not(guard))
+        # Matching reject (or matching accept output): no constraint.
+
+    # ------------------------------------------------------------------
+    # Decoding a model into a concrete TcamProgram
+    # ------------------------------------------------------------------
+    def decode(self, model: Model) -> TcamProgram:
+        sk = self.skeleton
+        states: List[ImplState] = []
+        chosen_cand: List[KeyCandidate] = []
+        for st in sk.states:
+            ci = next(
+                (
+                    i
+                    for i, var in enumerate(self.key_sel[st.sid])
+                    if model[var]
+                ),
+                0,
+            )
+            cand = st.candidates[ci]
+            chosen_cand.append(cand)
+            stage = 0
+            if self.use_stages and sk.device.is_pipelined:
+                for var in self.stage_ge[st.sid]:
+                    if model[var]:
+                        stage += 1
+                    else:
+                        break
+            states.append(
+                ImplState(st.sid, st.name, st.extracts, cand.parts, stage)
+            )
+        entries: List[ImplEntry] = []
+        for e in range(sk.num_entries):
+            if model[self.off[e]]:
+                continue
+            triple = next(
+                (
+                    key
+                    for key, var in self.entry_sel[e].items()
+                    if model[var]
+                ),
+                None,
+            )
+            if triple is None:
+                continue
+            sid, ci, pi = triple
+            pool = sk.states[sid].patterns[ci]
+            cand = sk.states[sid].candidates[ci]
+            pat = pool[pi]
+            if pat == FREE_PATTERN:
+                width = max(1, cand.width)
+                mask = model[self.free_mask[e]] & ((1 << width) - 1)
+                value = model[self.free_value[e]] & mask
+                if cand.width == 0:
+                    pattern = TernaryPattern(0, 0, 0)
+                else:
+                    pattern = TernaryPattern(value, mask, cand.width)
+            else:
+                pattern = pat
+            next_sid = next(
+                t for t, var in self.next_sel[e].items() if model[var]
+            )
+            entries.append(ImplEntry(sid, pattern, next_sid))
+        return TcamProgram(
+            fields=dict(sk.spec.fields),
+            states=states,
+            entries=entries,
+            start_sid=sk.start_sid,
+            source_name=sk.spec.name,
+        )
+
+
+def _eval_candidate(
+    cand: KeyCandidate,
+    od: Dict[str, Tuple[int, int]],
+    stacks: Dict[str, int],
+    bits: Bits,
+    cursor: int,
+    spec: ParserSpec,
+) -> Tuple[str, Optional[int]]:
+    """Evaluate a key candidate at a concrete DAG node."""
+    value = 0
+    for part in cand.parts:
+        if isinstance(part, FieldKey):
+            fdef = spec.fields[part.field]
+            if fdef.is_stack:
+                count = stacks.get(part.field, 0)
+                if count == 0:
+                    return (_FORBIDDEN, None)
+                od_key = fdef.instance_key(count - 1)
+            else:
+                od_key = part.field
+            if od_key not in od:
+                return (_FORBIDDEN, None)
+            fv = od[od_key][0]
+            piece = (fv >> part.lo) & ((1 << part.width) - 1)
+        else:
+            assert isinstance(part, LookaheadKey)
+            start = cursor + part.offset
+            if start + part.width > len(bits):
+                return (_LA_SHORT, None)
+            piece = bits.slice(start, part.width).uint()
+        value = (value << part.width) | piece
+    return (_VALID, value)

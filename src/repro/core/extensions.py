@@ -1,0 +1,175 @@
+"""Extensions beyond the paper's core system.
+
+``factor_common_suffixes`` implements the paper's first future-work item
+(§8, Figure 23): co-optimizing the packet-format definition with the
+parser.  When several states extract layout-identical field suffixes and
+then make the *same* transition decision over them, the suffix can be
+hoisted into a shared "common" header parsed by one shared state — every
+factored state then needs no TCAM entries of its own beyond a default
+hop, and the shared state's entries are paid for once instead of once per
+original state.
+
+Unlike the R1-R5 rewrites this transform REDEFINES the packet format: the
+factored fields get new names (``common.fN``), so the output dictionary
+schema changes.  That is exactly why no existing compiler can apply it
+silently (§8: "Neither ParserHawk nor other existing compilers can do
+so") — it needs the downstream pipeline to agree to the new field names.
+The function therefore returns the renaming map alongside the new spec,
+and ``equivalent_modulo_renaming`` checks behavioural equivalence under
+that map.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.bits import Bits
+from ..ir.simulator import OUTCOME_ACCEPT, simulate_spec, spec_input_bound
+from ..ir.spec import (
+    Field,
+    FieldKey,
+    LookaheadKey,
+    ParserSpec,
+    Rule,
+    SpecState,
+)
+
+
+@dataclass
+class FactoredSpec:
+    """Result of the Figure 23 transform."""
+
+    spec: ParserSpec
+    # old qualified field name -> new qualified field name, per source state
+    # (the same common field stands in for different originals depending on
+    # which state extracted it, so the map is keyed by (state, old_name)).
+    renames: Dict[Tuple[str, str], str] = dc_field(default_factory=dict)
+    factored_groups: List[List[str]] = dc_field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.factored_groups)
+
+
+def _suffix_signature(
+    spec: ParserSpec, state: SpecState
+) -> Optional[Tuple]:
+    """The factoring signature of a state: the widths of its trailing
+    key-relevant fields, the key shape over them, and the rule list.
+
+    Only the Figure 23 shape is recognized: the state's key references
+    exactly the LAST extracted field (full or sliced), that field is a
+    plain fixed-width scalar, and the rules are position-closed."""
+    if state.is_unconditional or not state.extracts:
+        return None
+    last = state.extracts[-1]
+    fdef = spec.fields[last]
+    if fdef.is_varbit or fdef.is_stack:
+        return None
+    for part in state.key:
+        if isinstance(part, LookaheadKey):
+            return None
+        assert isinstance(part, FieldKey)
+        if part.field != last:
+            return None
+    key_shape = tuple((p.hi, p.lo) for p in state.key)  # type: ignore[union-attr]
+    rules = tuple(
+        (rule.patterns, rule.next_state) for rule in state.rules
+    )
+    return (fdef.width, key_shape, rules)
+
+
+def factor_common_suffixes(
+    spec: ParserSpec, min_group: int = 2
+) -> FactoredSpec:
+    """Apply the Figure 23 refactoring wherever it helps."""
+    groups: Dict[Tuple, List[str]] = {}
+    for name in spec.state_order:
+        state = spec.states.get(name)
+        if state is None:
+            continue
+        signature = _suffix_signature(spec, state)
+        if signature is not None:
+            groups.setdefault(signature, []).append(name)
+
+    out = FactoredSpec(spec)
+    states = dict(spec.states)
+    fields = dict(spec.fields)
+    order = list(spec.state_order)
+    counter = 0
+    changed = False
+    for signature, members in groups.items():
+        if len(members) < min_group:
+            continue
+        # Destinations must not point back into the group (the shared
+        # state cannot distinguish which original it came from).
+        width, key_shape, rules = signature
+        dests = {dest for _p, dest in rules}
+        if dests & set(members):
+            continue
+        changed = True
+        counter += 1
+        common_field = f"common{counter}.f0"
+        fields[common_field] = Field(common_field, width)
+        common_name = f"common{counter}"
+        while common_name in states:
+            common_name += "_"
+        common_key = tuple(
+            FieldKey(common_field, hi, lo) for hi, lo in key_shape
+        )
+        states[common_name] = SpecState(
+            common_name,
+            (common_field,),
+            common_key,
+            tuple(Rule(patterns, dest) for patterns, dest in rules),
+        )
+        order.append(common_name)
+        for member in members:
+            state = states[member]
+            old_field = state.extracts[-1]
+            out.renames[(member, old_field)] = common_field
+            states[member] = SpecState(
+                member,
+                tuple(state.extracts[:-1]),
+                (),
+                (Rule((), common_name),),
+            )
+        out.factored_groups.append(list(members))
+    if not changed:
+        return out
+    out.spec = ParserSpec(spec.name, fields, states, spec.start, order)
+    return out
+
+
+def equivalent_modulo_renaming(
+    original: ParserSpec,
+    factored: FactoredSpec,
+    samples: int = 300,
+    seed: int = 0,
+    max_steps: int = 64,
+) -> bool:
+    """Differential check: the factored spec behaves like the original
+    once the common fields are renamed back per the executed path."""
+    rng = random.Random(seed)
+    bound = max(8, spec_input_bound(original, max_steps))
+    for i in range(samples):
+        length = rng.randint(0, bound) if i else bound
+        bits = Bits(rng.getrandbits(length) if length else 0, length)
+        a = simulate_spec(original, bits, max_steps)
+        b = simulate_spec(factored.spec, bits, max_steps)
+        if a.outcome != b.outcome:
+            return False
+        if a.outcome != OUTCOME_ACCEPT:
+            continue
+        # Rename b's common fields back using the path taken.
+        renamed = dict(b.od)
+        renamed_widths = dict(b.od_widths)
+        for (state_name, old_field), new_field in factored.renames.items():
+            if state_name in b.path and new_field in renamed:
+                renamed[old_field] = renamed.pop(new_field)
+                renamed_widths[old_field] = renamed_widths.pop(new_field)
+        if renamed != a.od or renamed_widths != a.od_widths:
+            return False
+    return True

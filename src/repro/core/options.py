@@ -1,0 +1,103 @@
+"""Compilation options: the §6 optimization toggles and search budgets.
+
+Each ``optN`` flag corresponds to one optimization from the paper; the
+Table 5 ablation benches flip them individually.  ``all_disabled`` is the
+"Orig" arm of Table 3 (naive encoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Knobs for a :class:`~repro.core.compiler.ParserHawkCompiler` run."""
+
+    # §6.1 spec-guided key construction: restrict impl transition-key bits
+    # to those the specification itself keys on.
+    opt1_spec_guided_keys: bool = True
+    # §6.2 bit-width minimization: shrink fields irrelevant to control flow
+    # to 1 bit during synthesis, restore afterwards.
+    opt2_bitwidth_minimization: bool = True
+    # §6.3 pre-allocated field extraction: fix which impl state extracts
+    # which fields; the solver only orders the states.
+    opt3_preallocation: bool = True
+    # §6.4 constant synthesis: one-hot candidate pools for TCAM value/mask
+    # pairs instead of free symbolic bit-vectors.
+    opt4_constant_synthesis: bool = True
+    # §6.4.1 recovery: include concatenations of adjacent states' constants.
+    opt4_adjacent_concat: bool = True
+    # §6.5 grouped transition-key allocation: treat each field slice used by
+    # the spec as one indivisible key group.
+    opt5_key_grouping: bool = True
+    # §6.6 fixed-size treatment of varbit fields during synthesis.
+    opt6_fixed_varbits: bool = True
+    # §6.7 portfolio parallelism (loop-aware vs loop-free, key-limit levels).
+    opt7_parallelism: bool = True
+    parallel_workers: int = 1          # 1 = deterministic sequential portfolio
+    # Directed seed tests for CEGIS (our addition; the paper seeds with a
+    # single random input/output pair, which the "Orig" arm reproduces).
+    directed_seed_tests: bool = True
+
+    # CEGIS budgets.
+    max_cegis_iterations: int = 40
+    max_unroll_steps: Optional[int] = None   # K in Figure 6; None = derive
+    synthesis_max_conflicts: Optional[int] = None
+    synthesis_max_seconds: Optional[float] = None
+    total_max_seconds: Optional[float] = None
+
+    # Resource search.
+    max_extra_entries: int = 8         # beyond the lower bound, per attempt
+    max_aux_states_per_state: int = 4  # key-splitting auxiliaries
+    minimize_stages: bool = True       # lexicographic (stages, entries) on IPU
+    # Iterative-deepening schedule over budgets (§6.7.2 portfolio,
+    # sequential emulation): each budget gets a time slice per round.
+    budget_time_slice: float = 10.0
+    time_slice_growth: float = 4.0
+    max_time_slice: float = 900.0
+
+    # Reproducibility.
+    seed: int = 0
+
+    def with_(self, **kwargs) -> "CompileOptions":
+        return replace(self, **kwargs)
+
+    @classmethod
+    def all_disabled(cls, **overrides) -> "CompileOptions":
+        """The naive-encoding "Orig" configuration of Table 3."""
+        base = cls(
+            opt1_spec_guided_keys=False,
+            opt2_bitwidth_minimization=False,
+            opt3_preallocation=False,
+            opt4_constant_synthesis=False,
+            opt4_adjacent_concat=False,
+            opt5_key_grouping=False,
+            opt6_fixed_varbits=False,
+            opt7_parallelism=False,
+            directed_seed_tests=False,
+        )
+        return replace(base, **overrides)
+
+    @classmethod
+    def all_enabled(cls, **overrides) -> "CompileOptions":
+        return replace(cls(), **overrides)
+
+    def enabled_summary(self) -> str:
+        bits = []
+        for i, flag in enumerate(
+            [
+                self.opt1_spec_guided_keys,
+                self.opt2_bitwidth_minimization,
+                self.opt3_preallocation,
+                self.opt4_constant_synthesis,
+                self.opt5_key_grouping,
+                self.opt6_fixed_varbits,
+                self.opt7_parallelism,
+            ],
+            start=1,
+        ):
+            if flag:
+                bits.append(f"Opt{i}")
+        return "+".join(bits) if bits else "none"

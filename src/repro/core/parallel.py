@@ -1,0 +1,156 @@
+"""Opt7: parallel synthesis portfolios (§6.7).
+
+The paper distributes subproblems over a server pool: loop-aware vs
+loop-free arms (§6.7.1) and per-hardware-constraint-level arms (§6.7.2,
+e.g. one subproblem per transition-key width limit), halting as soon as
+any subproblem yields a valid outcome.
+
+``portfolio_compile`` reproduces that with a ``ProcessPoolExecutor``: each
+worker runs a full sequential compile of one subproblem, and the first
+success (in subproblem priority order) wins.  With
+``options.parallel_workers <= 1`` the portfolio degenerates to the
+deterministic sequential iteration the rest of the repo uses by default.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..hw.device import DeviceProfile
+from ..ir.analysis import has_loops
+from ..ir.spec import ParserSpec
+from .options import CompileOptions
+from .result import STATUS_INFEASIBLE, CompileResult
+
+
+@dataclass(frozen=True)
+class Subproblem:
+    """One portfolio arm: a device variant plus an option variant."""
+
+    label: str
+    device: DeviceProfile
+    options: CompileOptions
+    priority: int = 0
+
+
+def derive_subproblems(
+    spec: ParserSpec, device: DeviceProfile, options: CompileOptions
+) -> List[Subproblem]:
+    """The §6.7 subproblem set for one compilation.
+
+    * key-limit levels: the device limit plus tighter limits down to the
+      spec's widest actually-needed slice — a tighter limit shrinks the
+      candidate pools, so those arms often finish first and their results
+      are valid on the real device (a narrower key always fits);
+    * loop arms on loop-capable devices for loop-free specs: the loop-free
+      encoding is smaller and usually wins the race (Figure 20).
+    """
+    subproblems: List[Subproblem] = []
+    priority = 0
+
+    key_levels = [device.key_limit]
+    widest_key = max(
+        (s.key_width for s in spec.states.values()), default=0
+    )
+    for level in (widest_key, max(1, device.key_limit // 2)):
+        if 0 < level < device.key_limit and level not in key_levels:
+            key_levels.append(level)
+
+    loop_arms = [None]
+    if (
+        device.allows_loops
+        and not device.is_pipelined
+        and not has_loops(spec)
+    ):
+        loop_arms = [False, True]   # loop-free arm first (Figure 20)
+
+    for level in key_levels:
+        for loop_arm in loop_arms:
+            dev = device if level == device.key_limit else (
+                device.with_limits(key_limit=level)
+            )
+            opts = options.with_(parallel_workers=1)
+            if loop_arm is False:
+                opts = opts.with_(opt7_parallelism=True)
+            label = f"key<={level}" + (
+                "" if loop_arm is None else
+                (",loop-free" if loop_arm is False else ",loop-aware")
+            )
+            subproblems.append(Subproblem(label, dev, opts, priority))
+            priority += 1
+    return subproblems
+
+
+def _run_subproblem(
+    spec: ParserSpec, subproblem: Subproblem
+) -> Tuple[int, CompileResult]:
+    # Imported here so worker processes resolve it after fork/spawn.
+    from .compiler import ParserHawkCompiler
+
+    compiler = ParserHawkCompiler(subproblem.options)
+    return subproblem.priority, compiler.compile(spec, subproblem.device)
+
+
+def portfolio_compile(
+    spec: ParserSpec,
+    device: DeviceProfile,
+    options: Optional[CompileOptions] = None,
+) -> CompileResult:
+    """Compile via the parallel subproblem portfolio.
+
+    Results from tighter-key arms are re-validated against the REAL device
+    profile before being returned (they always fit — a narrower key is a
+    subset of a wider one — but the constraint check keeps us honest)."""
+    options = options or CompileOptions()
+    subproblems = derive_subproblems(spec, device, options)
+    workers = max(1, options.parallel_workers)
+
+    results: List[Tuple[int, CompileResult]] = []
+    if workers == 1:
+        for sub in subproblems:
+            priority, result = _run_subproblem(spec, sub)
+            if result.ok:
+                results.append((priority, result))
+                break
+            results.append((priority, result))
+    else:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers
+        ) as pool:
+            futures = {
+                pool.submit(_run_subproblem, spec, sub): sub
+                for sub in subproblems
+            }
+            pending = set(futures)
+            try:
+                for future in concurrent.futures.as_completed(pending):
+                    priority, result = future.result()
+                    results.append((priority, result))
+                    if result.ok:
+                        # First success wins; cancel the stragglers.
+                        for other in pending:
+                            other.cancel()
+                        break
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    winners = [
+        (priority, result) for priority, result in results if result.ok
+    ]
+    if winners:
+        _priority, best = min(winners, key=lambda pr: pr[0])
+        assert best.program is not None
+        violations = best.program.check_constraints(device)
+        if not violations:
+            return best
+    failures = "; ".join(
+        f"{sub.label}: {result.status}"
+        for sub, (_p, result) in zip(subproblems, results)
+    )
+    return CompileResult(
+        STATUS_INFEASIBLE,
+        device,
+        message=f"no portfolio arm succeeded ({failures})",
+    )

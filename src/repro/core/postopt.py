@@ -1,0 +1,176 @@
+"""Post-synthesis optimization (§5.3).
+
+The synthesis phase restricts the skeleton (pre-allocated extraction, one
+extraction unit per state) to keep the search tractable; this pass cleans
+up the result:
+
+* prune states and entries unreachable from the start state;
+* recursively merge a state whose only exit is a catch-all entry into its
+  successor (when the successor has no other predecessors) — the merged
+  catch-all entry disappears, saving one TCAM row;
+* split states whose extraction exceeds the device's per-state extraction
+  limit into chains (each link costs one catch-all entry).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hw.device import DeviceProfile
+from ..hw.impl import ImplEntry, ImplState, TcamProgram
+from ..hw.tcam import TernaryPattern
+
+
+def prune_unreachable(program: TcamProgram) -> TcamProgram:
+    """Drop states/entries not reachable from the start state."""
+    live = set(program.used_sids())
+    live.add(program.start_sid)
+    states = [s for s in program.states if s.sid in live]
+    entries = [e for e in program.entries if e.sid in live]
+    return TcamProgram(
+        program.fields, states, entries, program.start_sid, program.source_name
+    )
+
+
+def merge_passthrough_states(
+    program: TcamProgram, device: DeviceProfile
+) -> TcamProgram:
+    """Merge A -> B when A's only entry is a catch-all to B, B's only
+    predecessor is A, and the merged extraction fits the device limit."""
+    changed = True
+    current = program
+    while changed:
+        changed = False
+        preds: Dict[int, List[int]] = {}
+        for entry in current.entries:
+            if entry.next_sid >= 0:
+                preds.setdefault(entry.next_sid, []).append(entry.sid)
+        for state in current.states:
+            own = current.entries_of(state.sid)
+            if len(own) != 1:
+                continue
+            entry = own[0]
+            if not entry.pattern.is_catch_all or entry.next_sid < 0:
+                continue
+            succ_sid = entry.next_sid
+            if succ_sid == state.sid:
+                continue
+            if preds.get(succ_sid, []) != [state.sid]:
+                continue
+            if succ_sid == current.start_sid:
+                continue
+            succ = current.state(succ_sid)
+            merged_bits = sum(
+                current.fields[f].width
+                for f in state.extracts + succ.extracts
+            )
+            if merged_bits > device.extract_limit:
+                continue
+            # Lookahead keys in the successor shift by the successor's own
+            # extraction only, which is unchanged; field keys are position
+            # independent.  Merge is safe.
+            merged = ImplState(
+                state.sid,
+                state.name,
+                tuple(state.extracts) + tuple(succ.extracts),
+                succ.key,
+                state.stage,
+            )
+            new_states = [
+                merged if s.sid == state.sid else s
+                for s in current.states
+                if s.sid != succ_sid
+            ]
+            new_entries: List[ImplEntry] = []
+            for e in current.entries:
+                if e.sid == state.sid:
+                    continue  # the catch-all disappears
+                if e.sid == succ_sid:
+                    new_entries.append(
+                        ImplEntry(state.sid, e.pattern, e.next_sid)
+                    )
+                else:
+                    new_entries.append(e)
+            current = TcamProgram(
+                current.fields,
+                new_states,
+                new_entries,
+                current.start_sid,
+                current.source_name,
+            )
+            changed = True
+            break
+    return current
+
+
+def split_oversize_extractions(
+    program: TcamProgram, device: DeviceProfile
+) -> TcamProgram:
+    """Split any state whose extraction exceeds the device's per-state limit
+    into a chain of states (each chained link costs one catch-all entry)."""
+    states = list(program.states)
+    entries = list(program.entries)
+    next_sid = max((s.sid for s in states), default=0) + 1
+    changed = False
+    for state in list(states):
+        total = sum(program.fields[f].width for f in state.extracts)
+        if total <= device.extract_limit:
+            continue
+        # Greedily pack fields into links.
+        chunks: List[List[str]] = [[]]
+        acc = 0
+        for fname in state.extracts:
+            w = program.fields[fname].width
+            if acc + w > device.extract_limit and chunks[-1]:
+                chunks.append([])
+                acc = 0
+            chunks[-1].append(fname)
+            acc += w
+        if len(chunks) == 1:
+            continue
+        changed = True
+        # First link keeps the sid; later links are fresh states; the key
+        # and original entries move to the last link.
+        link_sids = [state.sid] + [next_sid + i for i in range(len(chunks) - 1)]
+        next_sid += len(chunks) - 1
+        new_states = []
+        for i, (sid, chunk) in enumerate(zip(link_sids, chunks)):
+            last = i == len(chunks) - 1
+            new_states.append(
+                ImplState(
+                    sid,
+                    state.name if i == 0 else f"{state.name}__x{i}",
+                    tuple(chunk),
+                    state.key if last else (),
+                    state.stage + i if device.is_pipelined else state.stage,
+                )
+            )
+        states = [s for s in states if s.sid != state.sid] + new_states
+        moved = []
+        for e in entries:
+            if e.sid == state.sid:
+                moved.append(ImplEntry(link_sids[-1], e.pattern, e.next_sid))
+            else:
+                moved.append(e)
+        entries = moved
+        for i in range(len(link_sids) - 1):
+            entries.append(
+                ImplEntry(
+                    link_sids[i],
+                    TernaryPattern(0, 0, 0),
+                    link_sids[i + 1],
+                )
+            )
+    if not changed:
+        return program
+    return TcamProgram(
+        program.fields, states, entries, program.start_sid, program.source_name
+    )
+
+
+def optimize(program: TcamProgram, device: DeviceProfile) -> TcamProgram:
+    """The full §5.3 pipeline."""
+    out = prune_unreachable(program)
+    out = merge_passthrough_states(out, device)
+    out = split_oversize_extractions(out, device)
+    return out

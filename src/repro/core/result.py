@@ -1,0 +1,66 @@
+"""Compilation result and statistics records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hw.device import DeviceProfile
+from ..hw.impl import TcamProgram
+
+STATUS_OK = "ok"
+STATUS_INFEASIBLE = "infeasible"     # no implementation within device limits
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class CompileStats:
+    """Where the compile time went."""
+
+    synthesis_seconds: float = 0.0
+    verification_seconds: float = 0.0
+    total_seconds: float = 0.0
+    cegis_iterations: int = 0
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+    budgets_tried: int = 0
+    counterexamples: int = 0
+    search_space_bits: int = 0
+
+
+@dataclass
+class CompileResult:
+    """The outcome of one ParserHawk compilation."""
+
+    status: str
+    device: DeviceProfile
+    program: Optional[TcamProgram] = None
+    stats: CompileStats = field(default_factory=CompileStats)
+    message: str = ""
+    options_summary: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK and self.program is not None
+
+    @property
+    def num_entries(self) -> int:
+        if not self.program:
+            return -1
+        return self.program.num_entries
+
+    @property
+    def num_stages(self) -> int:
+        if not self.program:
+            return -1
+        return self.program.num_stages
+
+    def summary_row(self) -> str:
+        if not self.ok:
+            return f"{self.status}: {self.message}"
+        return (
+            f"{self.num_entries} entries, {self.num_stages} stage(s), "
+            f"{self.stats.total_seconds:.2f}s, "
+            f"{self.stats.cegis_iterations} CEGIS iteration(s), "
+            f"search space {self.stats.search_space_bits} bits"
+        )

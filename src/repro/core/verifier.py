@@ -1,0 +1,553 @@
+"""Verification phase: exact equivalence check between a concrete candidate
+implementation and the specification (§5.2's verification step).
+
+Both machines are concrete here; only the input bitstream is symbolic.  We
+run a product symbolic execution: each joint configuration carries both
+machines' states, cursors and extraction logs plus a path condition — a CNF
+over *absolute input bit positions* recording which ternary key tests
+matched or missed so far.  Branching at a configuration enumerates the
+satisfiable (spec-rule, impl-entry) first-match pairs, discharging each
+feasibility query with the CDCL solver (the queries are tiny: one variable
+per distinct input bit touched so far).
+
+At a joint leaf:
+
+* differing outcomes                          -> counterexample;
+* both accept but a field was extracted from
+  different input positions with a consistent
+  way to make the slices differ               -> counterexample;
+* both accept with different input extents    -> truncation counterexample
+  (the shorter side still accepts at length L, the longer side rejects);
+* otherwise the leaf is equivalent.
+
+This is sound and complete for the bounded unrolling depth: every control
+path of either machine corresponds to some branch, and every remaining
+input freedom is checked for observable differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..hw.impl import ACCEPT_SID, REJECT_SID, TcamProgram
+from ..ir.bits import Bits
+from ..ir.simulator import OUTCOME_ACCEPT, OUTCOME_REJECT
+from ..ir.spec import (
+    ACCEPT,
+    REJECT,
+    FieldKey,
+    LookaheadKey,
+    ParserSpec,
+    Rule,
+)
+from ..smt.sat import SatSolver, lit
+
+_DONE_ACCEPT = "#accept"
+_DONE_REJECT = "#reject"
+
+
+class VerificationBudgetExceeded(Exception):
+    """The product execution grew past its configured bounds."""
+
+
+@dataclass
+class _Machine:
+    """One side of the product: location plus extraction bookkeeping."""
+
+    location: str | int            # state name (spec) / sid (impl) / _DONE_*
+    cursor: int
+    od_pos: Dict[str, Tuple[int, int]] = dc_field(default_factory=dict)
+    stacks: Dict[str, int] = dc_field(default_factory=dict)
+    extent: int = 0
+    steps: int = 0
+
+    def clone(self) -> "_Machine":
+        m = _Machine(self.location, self.cursor, dict(self.od_pos),
+                     dict(self.stacks), self.extent, self.steps)
+        return m
+
+    @property
+    def done(self) -> bool:
+        return self.location in (_DONE_ACCEPT, _DONE_REJECT)
+
+    @property
+    def outcome(self) -> str:
+        return OUTCOME_ACCEPT if self.location == _DONE_ACCEPT else OUTCOME_REJECT
+
+
+class _Path:
+    """CNF over absolute input bit positions + fixed assignments."""
+
+    def __init__(self) -> None:
+        self.clauses: List[List[Tuple[int, bool]]] = []  # (pos, is_one)
+        self.units: Dict[int, bool] = {}
+
+    def clone(self) -> "_Path":
+        p = _Path()
+        p.clauses = list(self.clauses)
+        p.units = dict(self.units)
+        return p
+
+    def add_unit(self, pos: int, value: bool) -> bool:
+        """Returns False when inconsistent with existing units."""
+        if pos in self.units:
+            return self.units[pos] == value
+        self.units[pos] = value
+        return True
+
+    def add_clause(self, literals: List[Tuple[int, bool]]) -> None:
+        self.clauses.append(literals)
+
+    def solve(
+        self, extra_clauses: Sequence[List[Tuple[int, bool]]] = ()
+    ) -> Optional[Dict[int, bool]]:
+        """A model over mentioned positions, or None when unsatisfiable."""
+        positions: Set[int] = set(self.units)
+        for clause in self.clauses:
+            positions.update(p for p, _v in clause)
+        for clause in extra_clauses:
+            positions.update(p for p, _v in clause)
+        index = {p: i for i, p in enumerate(sorted(positions))}
+        solver = SatSolver()
+        solver.ensure_vars(len(index))
+        for pos, value in self.units.items():
+            solver.add_clause([lit(index[pos], value)])
+        for clause in list(self.clauses) + list(extra_clauses):
+            solver.add_clause([lit(index[p], v) for p, v in clause])
+        result = solver.solve()
+        if not result:
+            return None
+        model = solver.model()
+        return {p: model[i] for p, i in index.items()}
+
+
+@dataclass
+class Counterexample:
+    bits: Bits
+    reason: str
+
+
+# ---------------------------------------------------------------------------
+
+
+class ProductVerifier:
+    """Equivalence checker for (spec, TcamProgram) pairs."""
+
+    def __init__(
+        self,
+        spec: ParserSpec,
+        program: TcamProgram,
+        max_steps: int = 64,
+        max_configs: int = 60000,
+    ) -> None:
+        self.spec = spec
+        self.program = program
+        self.max_steps = max_steps
+        self.max_configs = max_configs
+        self._configs = 0
+
+    # -- public ----------------------------------------------------------
+    def find_counterexample(self) -> Optional[Counterexample]:
+        spec_m = _Machine(self.spec.start, 0)
+        impl_m = _Machine(self.program.start_sid, 0)
+        self._configs = 0
+        return self._explore(spec_m, impl_m, _Path())
+
+    # -- core ------------------------------------------------------------
+    def _explore(
+        self, spec_m: _Machine, impl_m: _Machine, path: _Path
+    ) -> Optional[Counterexample]:
+        self._configs += 1
+        if self._configs > self.max_configs:
+            raise VerificationBudgetExceeded(
+                f"more than {self.max_configs} product configurations"
+            )
+        if spec_m.done and impl_m.done:
+            return self._check_leaf(spec_m, impl_m, path)
+        if spec_m.steps > self.max_steps or impl_m.steps > self.max_steps:
+            # Non-termination of the candidate (or unrolling too small):
+            # treat as a mismatch to force terminating implementations.
+            return self._materialize(
+                path, spec_m, impl_m, "execution exceeded step bound"
+            )
+        # Step the machine that is not done; prefer the one that is behind.
+        if spec_m.done or (not impl_m.done and impl_m.steps <= spec_m.steps):
+            return self._step_impl(spec_m, impl_m, path)
+        return self._step_spec(spec_m, impl_m, path)
+
+    # -- spec stepping -----------------------------------------------------
+    def _step_spec(
+        self, spec_m: _Machine, impl_m: _Machine, path: _Path
+    ) -> Optional[Counterexample]:
+        state = self.spec.states[spec_m.location]
+        for branch_m, branch_path, ok in self._extract_branches(
+            spec_m, path, state.extracts, self.spec
+        ):
+            branch_m.steps += 1
+            if not ok:
+                branch_m.location = _DONE_REJECT
+                cex = self._explore(branch_m, impl_m.clone(), branch_path)
+                if cex:
+                    return cex
+                continue
+            if state.is_unconditional:
+                dest = state.rules[0].next_state
+                branch_m.location = _map_dest(dest)
+                cex = self._explore(branch_m, impl_m.clone(), branch_path)
+                if cex:
+                    return cex
+                continue
+            positions = self._key_positions_spec(branch_m, state)
+            if positions is None:
+                branch_m.location = _DONE_REJECT  # lookahead past end: N/A here
+                cex = self._explore(branch_m, impl_m.clone(), branch_path)
+                if cex:
+                    return cex
+                continue
+            branch_m.extent = max(
+                branch_m.extent, max(positions) + 1 if positions else 0
+            )
+            widths = [k.width for k in state.key]
+            folded = [r.combined_value_mask(widths) for r in state.rules]
+            dests = [r.next_state for r in state.rules] + [REJECT]
+            total = sum(widths)
+            cex = self._branch_matches(
+                positions,
+                total,
+                folded,
+                dests,
+                branch_path,
+                lambda dest, new_path: self._after_spec_transition(
+                    branch_m, impl_m, dest, new_path
+                ),
+            )
+            if cex:
+                return cex
+        return None
+
+    def _after_spec_transition(
+        self, spec_m: _Machine, impl_m: _Machine, dest: str, path: _Path
+    ) -> Optional[Counterexample]:
+        m = spec_m.clone()
+        m.location = _map_dest(dest)
+        return self._explore(m, impl_m.clone(), path)
+
+    # -- impl stepping ------------------------------------------------------
+    def _step_impl(
+        self, spec_m: _Machine, impl_m: _Machine, path: _Path
+    ) -> Optional[Counterexample]:
+        state = self.program.state(impl_m.location)
+        for branch_m, branch_path, ok in self._extract_branches(
+            impl_m, path, state.extracts, self.program
+        ):
+            branch_m.steps += 1
+            if not ok:
+                branch_m.location = _DONE_REJECT
+                cex = self._explore(spec_m.clone(), branch_m, branch_path)
+                if cex:
+                    return cex
+                continue
+            positions = self._key_positions_impl(branch_m, state)
+            if positions == "short":
+                branch_m.location = _DONE_REJECT
+                cex = self._explore(spec_m.clone(), branch_m, branch_path)
+                if cex:
+                    return cex
+                continue
+            if positions is None:
+                # Key over an unextracted field: malformed candidate.
+                return self._materialize(
+                    branch_path,
+                    spec_m,
+                    branch_m,
+                    f"impl state {state.name} keys on unextracted field",
+                )
+            branch_m.extent = max(
+                branch_m.extent, max(positions) + 1 if positions else 0
+            )
+            entries = self.program.entries_of(state.sid)
+            folded = [(e.pattern.value, e.pattern.mask) for e in entries]
+            dests = [e.next_sid for e in entries] + [REJECT_SID]
+            cex = self._branch_matches(
+                positions,
+                state.key_width,
+                folded,
+                dests,
+                branch_path,
+                lambda dest, new_path: self._after_impl_transition(
+                    spec_m, branch_m, dest, new_path
+                ),
+            )
+            if cex:
+                return cex
+        return None
+
+    def _after_impl_transition(
+        self, spec_m: _Machine, impl_m: _Machine, dest: int, path: _Path
+    ) -> Optional[Counterexample]:
+        m = impl_m.clone()
+        if dest == ACCEPT_SID:
+            m.location = _DONE_ACCEPT
+        elif dest == REJECT_SID:
+            m.location = _DONE_REJECT
+        else:
+            m.location = dest
+        return self._explore(spec_m.clone(), m, path)
+
+    # -- shared helpers ------------------------------------------------------
+    def _extract_branches(self, machine: _Machine, path: _Path, extracts, holder):
+        """Yield (machine', path', ok) branches for a state's extraction.
+
+        Varbit fields branch over every possible length value (their length
+        field's bits become path constraints); fixed fields are direct.
+        ``ok=False`` marks stack-overflow / oversize rejects.  Input-too-
+        short rejects are handled by the truncation rule at leaves, so
+        extraction itself always "succeeds" positionally here.
+        """
+        fields = holder.fields
+        branches = [(machine.clone(), path.clone(), True)]
+        for fname in extracts:
+            fdef = fields[fname]
+            new_branches = []
+            for m, p, ok in branches:
+                if not ok:
+                    new_branches.append((m, p, ok))
+                    continue
+                if fdef.is_varbit:
+                    src = fdef.length_field
+                    if src is None or src not in m.od_pos:
+                        new_branches.append((m, p, False))
+                        continue
+                    src_pos, src_width = m.od_pos[src]
+                    for length in range(1 << src_width):
+                        width = length * fdef.length_multiplier
+                        bm = m.clone()
+                        bp = p.clone()
+                        feasible = True
+                        for b in range(src_width):
+                            bitpos = src_pos + b
+                            bitval = bool((length >> (src_width - 1 - b)) & 1)
+                            if not bp.add_unit(bitpos, bitval):
+                                feasible = False
+                                break
+                        if not feasible or bp.solve() is None:
+                            continue
+                        if width > fdef.width:
+                            new_branches.append((bm, bp, False))
+                            continue
+                        self._do_extract(bm, fname, fdef, width)
+                        new_branches.append((bm, bp, True))
+                    continue
+                width = fdef.width
+                if fdef.is_stack:
+                    count = m.stacks.get(fname, 0)
+                    if count >= fdef.stack_depth:
+                        new_branches.append((m, p, False))
+                        continue
+                self._do_extract(m, fname, fdef, width)
+                new_branches.append((m, p, True))
+            branches = new_branches
+        return branches
+
+    @staticmethod
+    def _do_extract(m: _Machine, fname: str, fdef, width: int) -> None:
+        if fdef.is_stack:
+            count = m.stacks.get(fname, 0)
+            m.stacks[fname] = count + 1
+            od_key = fdef.instance_key(count)
+        else:
+            od_key = fname
+        m.od_pos[od_key] = (m.cursor, width)
+        m.cursor += width
+        m.extent = max(m.extent, m.cursor)
+
+    def _key_positions_spec(self, m: _Machine, state) -> Optional[List[int]]:
+        return self._key_positions(m, state.key, self.spec.fields)
+
+    def _key_positions_impl(self, m: _Machine, state):
+        out = self._key_positions(m, state.key, self.program.fields)
+        return out
+
+    def _key_positions(self, m: _Machine, key, fields):
+        """Absolute input positions of each key bit, MSB first."""
+        positions: List[int] = []
+        for part in key:
+            if isinstance(part, FieldKey):
+                fdef = fields[part.field]
+                if fdef.is_stack:
+                    count = m.stacks.get(part.field, 0)
+                    if count == 0:
+                        return None
+                    od_key = fdef.instance_key(count - 1)
+                else:
+                    od_key = part.field
+                if od_key not in m.od_pos:
+                    return None
+                pos, width = m.od_pos[od_key]
+                if part.hi >= width:
+                    return None
+                for b in range(part.hi, part.lo - 1, -1):
+                    positions.append(pos + (width - 1 - b))
+            else:
+                assert isinstance(part, LookaheadKey)
+                start = m.cursor + part.offset
+                positions.extend(range(start, start + part.width))
+        return positions
+
+    def _branch_matches(
+        self,
+        positions: List[int],
+        key_width: int,
+        folded: List[Tuple[int, int]],
+        dests: List,
+        path: _Path,
+        cont,
+    ) -> Optional[Counterexample]:
+        """Branch over which rule/entry matches first (last dest = no-match).
+
+        ``positions[j]`` is the input bit for key bit index j (MSB first);
+        pattern bit (key_width-1-j) corresponds to it."""
+
+        def match_literals(value: int, mask: int) -> Optional[List[Tuple[int, bool]]]:
+            lits = []
+            for j, pos in enumerate(positions):
+                bit = key_width - 1 - j
+                if (mask >> bit) & 1:
+                    lits.append((pos, bool((value >> bit) & 1)))
+            return lits
+
+        for idx in range(len(folded) + 1):
+            branch_path = path.clone()
+            feasible = True
+            # Earlier rules must miss.
+            for k in range(min(idx, len(folded))):
+                miss = [
+                    (pos, not v) for pos, v in match_literals(*folded[k])
+                ]
+                if not miss:
+                    feasible = False  # earlier catch-all: cannot be missed
+                    break
+                branch_path.add_clause(miss)
+            if not feasible:
+                continue
+            if idx < len(folded):
+                ok = True
+                for pos, v in match_literals(*folded[idx]):
+                    if not branch_path.add_unit(pos, v):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            if branch_path.solve() is None:
+                continue
+            cex = cont(dests[idx], branch_path)
+            if cex:
+                return cex
+        return None
+
+    # -- leaves ----------------------------------------------------------
+    def _check_leaf(
+        self, spec_m: _Machine, impl_m: _Machine, path: _Path
+    ) -> Optional[Counterexample]:
+        if spec_m.outcome != impl_m.outcome:
+            return self._materialize(
+                path,
+                spec_m,
+                impl_m,
+                f"outcome mismatch: spec {spec_m.outcome} vs impl "
+                f"{impl_m.outcome}",
+            )
+        if spec_m.outcome != OUTCOME_ACCEPT:
+            return None
+        if set(spec_m.od_pos) != set(impl_m.od_pos):
+            missing = set(spec_m.od_pos) ^ set(impl_m.od_pos)
+            return self._materialize(
+                path, spec_m, impl_m, f"extracted-field sets differ: {missing}"
+            )
+        for od_key, (spos, swidth) in spec_m.od_pos.items():
+            ipos, iwidth = impl_m.od_pos[od_key]
+            if swidth != iwidth:
+                return self._materialize(
+                    path,
+                    spec_m,
+                    impl_m,
+                    f"field {od_key} width {swidth} vs {iwidth}",
+                )
+            if spos == ipos:
+                continue
+            for k in range(swidth):
+                a, b = spos + k, ipos + k
+                if a == b:
+                    continue
+                for va in (False, True):
+                    probe = [
+                        [(a, va)],
+                        [(b, not va)],
+                    ]
+                    model = path.solve(extra_clauses=probe)
+                    if model is not None:
+                        return self._materialize(
+                            path,
+                            spec_m,
+                            impl_m,
+                            f"field {od_key} value differs "
+                            f"(positions {spos} vs {ipos})",
+                            model=model,
+                        )
+        if spec_m.extent != impl_m.extent:
+            # Truncation: the shorter side accepts, the longer rejects.
+            length = min(spec_m.extent, impl_m.extent)
+            return self._materialize(
+                path,
+                spec_m,
+                impl_m,
+                f"input-extent mismatch: spec {spec_m.extent} vs impl "
+                f"{impl_m.extent}",
+                force_length=length,
+            )
+        return None
+
+    def _materialize(
+        self,
+        path: _Path,
+        spec_m: _Machine,
+        impl_m: _Machine,
+        reason: str,
+        model: Optional[Dict[int, bool]] = None,
+        force_length: Optional[int] = None,
+    ) -> Optional[Counterexample]:
+        if model is None:
+            model = path.solve()
+        if model is None:
+            return None  # infeasible path: not a real counterexample
+        length = force_length
+        if length is None:
+            length = max(spec_m.extent, impl_m.extent)
+            if model:
+                length = max(length, max(model) + 1)
+        value = 0
+        for pos, bit in model.items():
+            if pos < length and bit:
+                value |= 1 << (length - 1 - pos)
+        return Counterexample(Bits(value, length), reason)
+
+
+def _map_dest(dest: str):
+    if dest == ACCEPT:
+        return _DONE_ACCEPT
+    if dest == REJECT:
+        return _DONE_REJECT
+    return dest
+
+
+def verify_equivalent(
+    spec: ParserSpec,
+    program: TcamProgram,
+    max_steps: int = 64,
+    max_configs: int = 60000,
+) -> Optional[Counterexample]:
+    """None when equivalent; otherwise a concrete distinguishing input."""
+    return ProductVerifier(
+        spec, program, max_steps=max_steps, max_configs=max_configs
+    ).find_counterexample()

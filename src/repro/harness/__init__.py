@@ -1,0 +1,48 @@
+"""Experiment harness: regenerate every table and figure of §7."""
+
+from .figures import (
+    CorrectnessReport,
+    ExampleResult,
+    Fig4Result,
+    Fig5Result,
+    RetargetResult,
+    run_correctness_check,
+    run_fig4,
+    run_fig5,
+    run_retarget,
+    run_table1_examples,
+)
+from .reporting import format_table, geometric_mean
+from .summary import SpeedupSummary, summarize_speedups
+from .table3 import IPU, TOFINO, Table3Row, format_table3, run_row, run_table3
+from .table4 import Table4Row, format_table4, run_table4
+from .table5 import Table5Row, format_table5, run_table5
+
+__all__ = [
+    "CorrectnessReport",
+    "ExampleResult",
+    "Fig4Result",
+    "Fig5Result",
+    "IPU",
+    "RetargetResult",
+    "SpeedupSummary",
+    "TOFINO",
+    "Table3Row",
+    "Table4Row",
+    "Table5Row",
+    "format_table",
+    "format_table3",
+    "format_table4",
+    "format_table5",
+    "geometric_mean",
+    "run_correctness_check",
+    "run_fig4",
+    "run_fig5",
+    "run_retarget",
+    "run_row",
+    "run_table1_examples",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "summarize_speedups",
+]

@@ -1,0 +1,72 @@
+"""Row formatting and aggregate statistics for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+TimeValue = Union[float, Tuple[float, bool]]   # seconds, (seconds, capped?)
+
+
+def fmt_time(value: Optional[TimeValue]) -> str:
+    """Format seconds; capped measurements render as '>cap' like the
+    paper's '>86400' cells."""
+    if value is None:
+        return "-"
+    if isinstance(value, tuple):
+        seconds, capped = value
+        if capped:
+            return f">{seconds:.0f}"
+        return f"{seconds:.2f}"
+    return f"{value:.2f}"
+
+
+def speedup_of(opt: Optional[TimeValue], orig: Optional[TimeValue]) -> Optional[float]:
+    """orig/opt; a capped orig yields a lower bound (still orig/opt)."""
+    if opt is None or orig is None:
+        return None
+    opt_s = opt[0] if isinstance(opt, tuple) else opt
+    orig_s = orig[0] if isinstance(orig, tuple) else orig
+    if opt_s <= 0:
+        opt_s = 1e-3
+    return orig_s / opt_s
+
+
+def fmt_speedup(
+    opt: Optional[TimeValue], orig: Optional[TimeValue]
+) -> str:
+    s = speedup_of(opt, orig)
+    if s is None:
+        return "-"
+    capped = isinstance(orig, tuple) and orig[1]
+    prefix = ">" if capped else ""
+    return f"{prefix}{s:.2f}x"
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v and v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Plain-text aligned table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(str(c).ljust(widths[i]) for i, c in enumerate(row))
+        )
+    return "\n".join(lines)

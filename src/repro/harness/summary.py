@@ -1,0 +1,53 @@
+"""Headline aggregates from §7: geometric-mean optimization speed-up and
+the fraction of benchmarks finishing under the 1-minute / 5-minute marks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .reporting import geometric_mean, speedup_of
+from .table3 import Table3Row
+
+
+@dataclass
+class SpeedupSummary:
+    geomean_speedup: float
+    min_speedup: float
+    max_speedup: float
+    rows: int
+    under_one_minute: float          # fraction of OPT compiles < 60 s
+    under_five_minutes: float
+    any_capped: bool                 # some Orig arms hit their cap
+
+    def __str__(self) -> str:
+        prefix = ">" if self.any_capped else ""
+        return (
+            f"geomean speedup {prefix}{self.geomean_speedup:.2f}x over "
+            f"{self.rows} rows (range {self.min_speedup:.2f}x.."
+            f"{self.max_speedup:.2f}x); "
+            f"{self.under_one_minute:.0%} compile <1min, "
+            f"{self.under_five_minutes:.0%} <5min"
+        )
+
+
+def summarize_speedups(rows: Sequence[Table3Row]) -> SpeedupSummary:
+    speedups: List[float] = []
+    capped = False
+    for row in rows:
+        s = speedup_of(row.opt_seconds, row.orig_seconds)
+        if s is not None:
+            speedups.append(s)
+            if isinstance(row.orig_seconds, tuple) and row.orig_seconds[1]:
+                capped = True
+    opt_times = [row.opt_seconds for row in rows]
+    n = max(1, len(opt_times))
+    return SpeedupSummary(
+        geomean_speedup=geometric_mean(speedups),
+        min_speedup=min(speedups) if speedups else 0.0,
+        max_speedup=max(speedups) if speedups else 0.0,
+        rows=len(rows),
+        under_one_minute=sum(1 for t in opt_times if t < 60) / n,
+        under_five_minutes=sum(1 for t in opt_times if t < 300) / n,
+        any_capped=capped,
+    )

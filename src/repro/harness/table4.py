@@ -1,0 +1,188 @@
+"""Table 4: ParserHawk vs DPParserGen over the motivating examples under
+parameterized hardware resources.
+
+* ME-1 needs a good entry-merging strategy (Figure 4 Step 1),
+* ME-2 needs transition-key splitting (Figure 4 Step 2) — run at two key
+  widths: one where the key fits (both compilers tie) and one where it
+  must split (DPParserGen's fixed MSB-first order loses),
+* ME-3 contains semantically redundant entries DPParserGen cannot detect,
+* plus the Large-tran-key benchmark from the main suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..baselines import BaselineRejected, dp_parsergen
+from ..core import CompileOptions, ParserHawkCompiler
+from ..hw import custom_profile
+from ..ir.spec import parse_spec
+from .reporting import format_table
+
+ME1 = """
+// ME-1: entry merging quality (the Figure 3 program).
+header h { tranKey : 4; a : 2; b : 2; c : 2; }
+parser ME1 {
+    state start {
+        extract(h.tranKey);
+        transition select(h.tranKey) {
+            15 : n1; 11 : n1; 7 : n1; 3 : n1;
+            14 : n2;
+            2 : n3;
+            default : n4;
+        }
+    }
+    state n1 { extract(h.a); transition accept; }
+    state n2 { extract(h.b); transition accept; }
+    state n3 { extract(h.c); transition accept; }
+    state n4 { transition reject; }
+}
+"""
+
+ME2 = """
+// ME-2: a wide exact-match key that must be split on narrow devices.
+header h { k : 8; a : 2; }
+parser ME2 {
+    state start {
+        extract(h.k);
+        transition select(h.k) {
+            0x1A : n1;
+            0x1B : n1;
+            0x2A : n2;
+            default : n3;
+        }
+    }
+    state n1 { extract(h.a); transition accept; }
+    state n2 { transition reject; }
+    state n3 { transition reject; }
+}
+"""
+
+ME3 = """
+// ME-3: many rules, all with the same destination — semantically one
+// catch-all.  Values are pairwise Hamming-distance >= 2, so first-fit
+// merging finds nothing.
+header h { k : 4; a : 2; }
+parser ME3 {
+    state start {
+        extract(h.k);
+        transition select(h.k) {
+            0 : n1; 3 : n1; 5 : n1; 6 : n1;
+            9 : n1; 10 : n1; 12 : n1; 15 : n1;
+            default : n1;
+        }
+    }
+    state n1 { extract(h.a); transition accept; }
+}
+"""
+
+LARGE_KEY = """
+// Large tran key (Table 4's first row): wide key, narrow discriminator.
+header h { wide : 8; a : 2; }
+parser LargeKey {
+    state start {
+        extract(h.wide);
+        transition select(h.wide) {
+            0x0A : n1;
+            0x0B : n1;
+            default : n2;
+        }
+    }
+    state n1 { extract(h.a); transition accept; }
+    state n2 { transition reject; }
+}
+"""
+
+
+@dataclass
+class Table4Row:
+    label: str
+    ph_entries: int
+    dp_entries: int
+    dp_rejected: str
+    key_limit: int
+    lookahead_limit: int
+    extract_limit: int
+    ph_seconds: float
+
+
+# (label, source, key_limit, lookahead, extract_limit) — mirrors the
+# parameterized-hardware rows of Table 4.
+TABLE4_CONFIGS = [
+    ("Large tran key", LARGE_KEY, 4, 2, 10),
+    ("ME-1 (4-bit key)", ME1, 4, 2, 10),
+    ("ME-2 (16-bit window)", ME2, 16, 2, 10),
+    ("ME-2 (8-bit window)", ME2, 8, 2, 10),
+    ("ME-2 (4-bit window)", ME2, 4, 2, 10),
+    ("ME-3 (16-bit window)", ME3, 16, 2, 10),
+]
+
+
+def run_table4(
+    configs: Optional[Sequence] = None,
+    options: Optional[CompileOptions] = None,
+) -> List[Table4Row]:
+    rows: List[Table4Row] = []
+    for label, source, key_limit, lookahead, extract in (
+        configs if configs is not None else TABLE4_CONFIGS
+    ):
+        spec = parse_spec(source)
+        device = custom_profile(
+            key_limit=key_limit,
+            tcam_limit=64,
+            lookahead_limit=lookahead,
+            extract_limit=extract,
+        )
+        compiler = ParserHawkCompiler(options or CompileOptions())
+        t0 = time.monotonic()
+        result = compiler.compile(spec, device)
+        elapsed = time.monotonic() - t0
+        if not result.ok:
+            raise RuntimeError(f"ParserHawk failed on {label}: {result.message}")
+        dp_entries = -1
+        rejected = ""
+        try:
+            dp = dp_parsergen.compile_spec(spec, device)
+            dp_entries = dp.num_entries
+        except BaselineRejected as exc:
+            rejected = exc.reason
+        rows.append(
+            Table4Row(
+                label,
+                result.num_entries,
+                dp_entries,
+                rejected,
+                key_limit,
+                lookahead,
+                extract,
+                elapsed,
+            )
+        )
+    return rows
+
+
+def format_table4(rows: Sequence[Table4Row]) -> str:
+    headers = [
+        "Benchmark",
+        "ParserHawk #TCAM",
+        "DPParserGen #TCAM",
+        "key width",
+        "lookahead",
+        "extraction",
+    ]
+    body = []
+    for row in rows:
+        dp = row.dp_rejected if row.dp_rejected else str(row.dp_entries)
+        body.append(
+            [
+                row.label,
+                str(row.ph_entries),
+                dp,
+                f"{row.key_limit}-bit",
+                f"{row.lookahead_limit}-bit",
+                f"{row.extract_limit}-bit",
+            ]
+        )
+    return format_table(headers, body, title="Table 4 (vs DPParserGen)")

@@ -1,0 +1,129 @@
+"""Back-end code generators: vendor-flavoured config text from a TcamProgram.
+
+ParserHawk's back-end (Figure 8's "Code generator") turns the synthesized
+TCAM rows into target-specific artifacts.  We emit two formats:
+
+* Tofino style — one flat ``.pvs``-like table of (state, match, next,
+  shift, extractors) rows for the single-TCAM architecture;
+* IPU style — per-stage table sections for the pipelined architecture.
+
+Both formats are plain text, deterministic, and round-trippable enough for
+golden tests.  A generic JSON dump supports machine consumption.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..ir.spec import FieldKey, LookaheadKey
+from .device import DeviceProfile
+from .impl import ACCEPT_SID, REJECT_SID, ImplEntry, TcamProgram
+
+
+def _dest_name(program: TcamProgram, next_sid: int) -> str:
+    if next_sid == ACCEPT_SID:
+        return "ACCEPT"
+    if next_sid == REJECT_SID:
+        return "REJECT"
+    return program.state(next_sid).name
+
+
+def _shift_bits(program: TcamProgram, sid: int) -> int:
+    state = program.state(sid)
+    return sum(program.fields[f].width for f in state.extracts)
+
+
+def emit_tofino(program: TcamProgram) -> str:
+    """Single-TCAM table listing, one row per entry."""
+    lines = [
+        f"# tofino parser config: {program.source_name or 'parser'}",
+        f"# entries: {program.num_entries}",
+        "# state | match (value/mask) | next_state | shift_bits | extract",
+    ]
+    for entry in program.entries:
+        state = program.state(entry.sid)
+        extract = ",".join(state.extracts) or "-"
+        lines.append(
+            f"{state.name} | {entry.pattern.to_wildcard_string()} | "
+            f"{_dest_name(program, entry.next_sid)} | "
+            f"{_shift_bits(program, entry.sid)} | {extract}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def emit_ipu(program: TcamProgram) -> str:
+    """Per-stage table sections for the pipelined architecture."""
+    lines = [
+        f"# ipu parser config: {program.source_name or 'parser'}",
+        f"# stages: {program.num_stages}",
+    ]
+    by_stage: Dict[int, List[ImplEntry]] = {}
+    for entry in program.entries:
+        stage = program.state(entry.sid).stage
+        by_stage.setdefault(stage, []).append(entry)
+    for stage in sorted(by_stage):
+        lines.append(f"[stage {stage}]")
+        for entry in by_stage[stage]:
+            state = program.state(entry.sid)
+            extract = ",".join(state.extracts) or "-"
+            lines.append(
+                f"  {state.name} | {entry.pattern.to_wildcard_string()} | "
+                f"{_dest_name(program, entry.next_sid)} | "
+                f"shift={_shift_bits(program, entry.sid)} | {extract}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def emit_json(program: TcamProgram) -> str:
+    """Machine-readable dump of the whole program."""
+    doc = {
+        "name": program.source_name,
+        "start": program.start_sid,
+        "num_entries": program.num_entries,
+        "num_stages": program.num_stages,
+        "states": [
+            {
+                "sid": s.sid,
+                "name": s.name,
+                "stage": s.stage,
+                "extracts": list(s.extracts),
+                "key": [_key_json(k) for k in s.key],
+            }
+            for s in program.states
+        ],
+        "entries": [
+            {
+                "sid": e.sid,
+                "value": e.pattern.value,
+                "mask": e.pattern.mask,
+                "width": e.pattern.width,
+                "next": e.next_sid,
+            }
+            for e in program.entries
+        ],
+        "fields": {
+            name: {
+                "width": f.width,
+                "varbit": f.is_varbit,
+                "length_field": f.length_field,
+                "length_multiplier": f.length_multiplier,
+            }
+            for name, f in program.fields.items()
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _key_json(part) -> dict:
+    if isinstance(part, FieldKey):
+        return {"kind": "field", "field": part.field, "hi": part.hi, "lo": part.lo}
+    assert isinstance(part, LookaheadKey)
+    return {"kind": "lookahead", "offset": part.offset, "width": part.width}
+
+
+def emit_for_device(program: TcamProgram, device: DeviceProfile) -> str:
+    """Dispatch on architecture."""
+    if device.is_pipelined:
+        return emit_ipu(program)
+    return emit_tofino(program)

@@ -1,0 +1,150 @@
+"""Device profiles: the hardware configuration half of ParserHawk's encoding.
+
+§5.1 splits the encoding into generic FSM rules plus a per-device profile of
+constraints.  A :class:`DeviceProfile` captures the four constraint families
+of §5.1.2 (extraction length, transition-key width, lookahead window, entry/
+stage budgets) plus the architectural shape of Figure 2:
+
+* ``SINGLE_TCAM``  — one big table, entries revisitable (Tofino).  Loops OK.
+* ``PIPELINED``    — one TCAM per stage, forward-only (Intel IPU).  No loops.
+* ``INTERLEAVED``  — pipelined sub-parsers with pipeline interludes
+  (Broadcom Trident style); modeled as PIPELINED with a relaxed stage
+  budget per sub-parser.
+
+Retargeting ParserHawk to a new device means instantiating a new profile —
+exactly the paper's "<100 lines of code difference" claim, here it is a
+data value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+SINGLE_TCAM = "single_tcam"
+PIPELINED = "pipelined"
+INTERLEAVED = "interleaved"
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Hardware configuration profile (the φ_device constraint constants)."""
+
+    name: str
+    architecture: str                  # SINGLE_TCAM / PIPELINED / INTERLEAVED
+    key_limit: int                     # max transition-key bits per entry
+    tcam_limit: int                    # max TCAM entries (total, or per stage)
+    lookahead_limit: int               # max lookahead window in bits
+    stage_limit: int = 1               # parser stages (PIPELINED only)
+    extract_limit: int = 512           # max bits extracted per state visit
+    allows_loops: bool = False         # may an entry be revisited?
+    tcam_per_stage: bool = False       # tcam_limit applies per stage
+
+    def __post_init__(self) -> None:
+        if self.key_limit <= 0:
+            raise ValueError("key_limit must be positive")
+        if self.tcam_limit <= 0:
+            raise ValueError("tcam_limit must be positive")
+        if self.stage_limit <= 0:
+            raise ValueError("stage_limit must be positive")
+        if self.architecture not in (SINGLE_TCAM, PIPELINED, INTERLEAVED):
+            raise ValueError(f"unknown architecture {self.architecture!r}")
+
+    @property
+    def is_pipelined(self) -> bool:
+        return self.architecture in (PIPELINED, INTERLEAVED)
+
+    def with_limits(self, **kwargs) -> "DeviceProfile":
+        """A copy with some limits overridden (used by Table 4's
+        parameterized-hardware sweep and Opt7's subproblem derivation)."""
+        return replace(self, **kwargs)
+
+    def total_entry_budget(self) -> int:
+        if self.tcam_per_stage:
+            return self.tcam_limit * self.stage_limit
+        return self.tcam_limit
+
+
+def tofino_profile(
+    key_limit: int = 32,
+    tcam_limit: int = 256,
+    lookahead_limit: int = 32,
+    extract_limit: int = 128,
+) -> DeviceProfile:
+    """The single-TCAM, loop-capable profile (Figure 2(a)).
+
+    Real Tofino parsers have 256 TCAM rows, a 32-bit combined match window
+    and multi-byte extractors; the defaults reflect the public documentation
+    scaled to the simulator (see DESIGN.md's scaling note).
+    """
+    return DeviceProfile(
+        name="tofino",
+        architecture=SINGLE_TCAM,
+        key_limit=key_limit,
+        tcam_limit=tcam_limit,
+        lookahead_limit=lookahead_limit,
+        extract_limit=extract_limit,
+        allows_loops=True,
+    )
+
+
+def ipu_profile(
+    key_limit: int = 32,
+    tcam_per_stage_limit: int = 16,
+    lookahead_limit: int = 32,
+    stage_limit: int = 8,
+    extract_limit: int = 128,
+) -> DeviceProfile:
+    """The pipelined-TCAM profile (Figure 2(b)): one table per stage,
+    transitions must move strictly forward, no entry reuse."""
+    return DeviceProfile(
+        name="ipu",
+        architecture=PIPELINED,
+        key_limit=key_limit,
+        tcam_limit=tcam_per_stage_limit,
+        lookahead_limit=lookahead_limit,
+        stage_limit=stage_limit,
+        extract_limit=extract_limit,
+        allows_loops=False,
+        tcam_per_stage=True,
+    )
+
+
+def trident_profile(
+    key_limit: int = 16,
+    tcam_per_stage_limit: int = 16,
+    lookahead_limit: int = 16,
+    stage_limit: int = 12,
+) -> DeviceProfile:
+    """Interleaved sub-parser profile (Figure 2(c)); modeled as a deeper
+    pipeline since the packet-processing interludes do not constrain the
+    parser-side resource counts ParserHawk reasons about."""
+    return DeviceProfile(
+        name="trident",
+        architecture=INTERLEAVED,
+        key_limit=key_limit,
+        tcam_limit=tcam_per_stage_limit,
+        lookahead_limit=lookahead_limit,
+        stage_limit=stage_limit,
+        allows_loops=False,
+        tcam_per_stage=True,
+    )
+
+
+def custom_profile(
+    key_limit: int,
+    tcam_limit: int,
+    lookahead_limit: int,
+    extract_limit: int = 512,
+    name: str = "custom",
+    allows_loops: bool = True,
+) -> DeviceProfile:
+    """Parameterized single-TCAM profile — Table 4 sweeps these knobs."""
+    return DeviceProfile(
+        name=name,
+        architecture=SINGLE_TCAM,
+        key_limit=key_limit,
+        tcam_limit=tcam_limit,
+        lookahead_limit=lookahead_limit,
+        extract_limit=extract_limit,
+        allows_loops=allows_loops,
+    )

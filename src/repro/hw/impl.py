@@ -1,0 +1,318 @@
+"""The synthesized parser implementation: TCAM program + Figure 6 simulator.
+
+A :class:`TcamProgram` is ParserHawk's output (§4's set of TCAM rows):
+implementation states with pre-assigned extraction and key composition, and
+priority-ordered ternary entries giving the state transitions.  The
+``simulate`` method is the executable form of the paper's Figure 6
+pseudo-code and produces :class:`~repro.ir.simulator.ParseResult` objects
+directly comparable with the specification simulator's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.bits import Bits
+from ..ir.simulator import (
+    OUTCOME_ACCEPT,
+    OUTCOME_OVERRUN,
+    OUTCOME_REJECT,
+    ParseResult,
+    SimulationError,
+)
+from ..ir.spec import Field, FieldKey, KeyPart, LookaheadKey
+from .device import DeviceProfile
+from .tcam import TernaryPattern
+
+ACCEPT_SID = -1
+REJECT_SID = -2
+
+
+@dataclass(frozen=True)
+class ImplState:
+    """An implementation parser state (a node of Figure 2)."""
+
+    sid: int
+    name: str
+    extracts: Tuple[str, ...]
+    key: Tuple[KeyPart, ...]
+    stage: int = 0
+
+    @property
+    def key_width(self) -> int:
+        return sum(k.width for k in self.key)
+
+    @property
+    def lookahead_bits(self) -> int:
+        return sum(k.width for k in self.key if isinstance(k, LookaheadKey))
+
+
+@dataclass(frozen=True)
+class ImplEntry:
+    """One TCAM row: owner state, ternary pattern, destination state id."""
+
+    sid: int
+    pattern: TernaryPattern
+    next_sid: int
+
+    def describe(self, states: Dict[int, ImplState]) -> str:
+        owner = states[self.sid].name if self.sid in states else f"S{self.sid}"
+        if self.next_sid == ACCEPT_SID:
+            dest = "accept"
+        elif self.next_sid == REJECT_SID:
+            dest = "reject"
+        else:
+            dest = states[self.next_sid].name if self.next_sid in states else (
+                f"S{self.next_sid}"
+            )
+        return f"{owner}: {self.pattern} -> {dest}"
+
+
+@dataclass
+class TcamProgram:
+    """A complete compiled parser."""
+
+    fields: Dict[str, Field]
+    states: List[ImplState]
+    entries: List[ImplEntry]
+    start_sid: int = 0
+    source_name: str = ""
+
+    def __post_init__(self) -> None:
+        self._by_sid = {s.sid: s for s in self.states}
+        self._entries_of: Dict[int, List[ImplEntry]] = {}
+        for entry in self.entries:
+            self._entries_of.setdefault(entry.sid, []).append(entry)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    @property
+    def num_stages(self) -> int:
+        used = {
+            self._by_sid[e.sid].stage for e in self.entries if e.sid in self._by_sid
+        }
+        used |= {
+            s.stage
+            for s in self.states
+            if s.extracts or s.sid == self.start_sid
+        }
+        return (max(used) + 1) if used else 0
+
+    def state(self, sid: int) -> ImplState:
+        return self._by_sid[sid]
+
+    def entries_of(self, sid: int) -> List[ImplEntry]:
+        return self._entries_of.get(sid, [])
+
+    def used_sids(self) -> List[int]:
+        """State ids reachable from start following entry destinations."""
+        seen = set()
+        frontier = [self.start_sid]
+        while frontier:
+            sid = frontier.pop()
+            if sid in seen or sid < 0:
+                continue
+            seen.add(sid)
+            for entry in self.entries_of(sid):
+                frontier.append(entry.next_sid)
+        return sorted(seen)
+
+    # ------------------------------------------------------------------
+    # Execution (Figure 6)
+    # ------------------------------------------------------------------
+    def simulate(self, bits: Bits, max_steps: int = 64) -> ParseResult:
+        od: Dict[str, int] = {}
+        od_widths: Dict[str, int] = {}
+        path: List[str] = []
+        stack_counts: Dict[str, int] = {}
+        cursor = 0
+        sid = self.start_sid
+        for _ in range(max_steps):
+            if sid == ACCEPT_SID:
+                return ParseResult(OUTCOME_ACCEPT, od, od_widths, cursor, path)
+            if sid == REJECT_SID:
+                return ParseResult(OUTCOME_REJECT, od, od_widths, cursor, path)
+            state = self._by_sid[sid]
+            path.append(state.name)
+            # Extraction (pre-allocated per state; Opt3).
+            for fname in state.extracts:
+                fdef = self.fields[fname]
+                if fdef.is_varbit:
+                    if fdef.length_field is None or fdef.length_field not in od:
+                        raise SimulationError(
+                            f"varbit {fname} length unavailable in state "
+                            f"{state.name}"
+                        )
+                    width = od[fdef.length_field] * fdef.length_multiplier
+                    if width > fdef.width:
+                        return ParseResult(
+                            OUTCOME_REJECT, od, od_widths, cursor, path
+                        )
+                else:
+                    width = fdef.width
+                if cursor + width > len(bits):
+                    return ParseResult(OUTCOME_REJECT, od, od_widths, cursor, path)
+                if fdef.is_stack:
+                    index = stack_counts.get(fname, 0)
+                    if index >= fdef.stack_depth:
+                        return ParseResult(
+                            OUTCOME_REJECT, od, od_widths, cursor, path
+                        )
+                    stack_counts[fname] = index + 1
+                    od_key = fdef.instance_key(index)
+                else:
+                    od_key = fname
+                od[od_key] = bits.slice(cursor, width).uint() if width else 0
+                od_widths[od_key] = width
+                cursor += width
+            # Key construction.
+            key_value = 0
+            missing_input = False
+            for part in state.key:
+                if isinstance(part, FieldKey):
+                    fdef = self.fields[part.field]
+                    if fdef.is_stack:
+                        count = stack_counts.get(part.field, 0)
+                        if count == 0:
+                            raise SimulationError(
+                                f"impl state {state.name} keys on empty "
+                                f"stack {part.field}"
+                            )
+                        od_key = fdef.instance_key(count - 1)
+                    else:
+                        od_key = part.field
+                    if od_key not in od:
+                        raise SimulationError(
+                            f"impl state {state.name} keys on unextracted "
+                            f"field {part.field}"
+                        )
+                    value = (od[od_key] >> part.lo) & ((1 << part.width) - 1)
+                else:
+                    start = cursor + part.offset
+                    if start + part.width > len(bits):
+                        missing_input = True
+                        break
+                    value = bits.slice(start, part.width).uint()
+                key_value = (key_value << part.width) | value
+            if missing_input:
+                return ParseResult(OUTCOME_REJECT, od, od_widths, cursor, path)
+            # TCAM search: first match wins; no match rejects.
+            dest: Optional[int] = None
+            for entry in self.entries_of(sid):
+                if entry.pattern.matches(key_value):
+                    dest = entry.next_sid
+                    break
+            if dest is None:
+                return ParseResult(OUTCOME_REJECT, od, od_widths, cursor, path)
+            sid = dest
+        return ParseResult(OUTCOME_OVERRUN, od, od_widths, cursor, path)
+
+    # ------------------------------------------------------------------
+    # Constraint checking (the φ_device obligations, §5.1.2)
+    # ------------------------------------------------------------------
+    def check_constraints(self, device: DeviceProfile) -> List[str]:
+        """All violations of the device profile; empty list means valid."""
+        problems: List[str] = []
+        for state in self.states:
+            if not self.entries_of(state.sid) and state.sid != self.start_sid:
+                if not state.extracts:
+                    continue  # fully unused skeleton state
+            if state.key_width > device.key_limit:
+                problems.append(
+                    f"state {state.name}: key width {state.key_width} > "
+                    f"limit {device.key_limit}"
+                )
+            if state.lookahead_bits > device.lookahead_limit:
+                problems.append(
+                    f"state {state.name}: lookahead {state.lookahead_bits} > "
+                    f"limit {device.lookahead_limit}"
+                )
+            extracted = sum(
+                self.fields[f].width for f in state.extracts
+            )
+            if extracted > device.extract_limit:
+                problems.append(
+                    f"state {state.name}: extracts {extracted} bits > "
+                    f"limit {device.extract_limit}"
+                )
+        if device.tcam_per_stage:
+            per_stage: Dict[int, int] = {}
+            for entry in self.entries:
+                stage = self._by_sid[entry.sid].stage
+                per_stage[stage] = per_stage.get(stage, 0) + 1
+            for stage, count in sorted(per_stage.items()):
+                if count > device.tcam_limit:
+                    problems.append(
+                        f"stage {stage}: {count} entries > per-stage limit "
+                        f"{device.tcam_limit}"
+                    )
+            if self.num_stages > device.stage_limit:
+                problems.append(
+                    f"{self.num_stages} stages > limit {device.stage_limit}"
+                )
+        else:
+            if self.num_entries > device.tcam_limit:
+                problems.append(
+                    f"{self.num_entries} entries > TCAM limit "
+                    f"{device.tcam_limit}"
+                )
+        if device.is_pipelined:
+            for entry in self.entries:
+                if entry.next_sid < 0:
+                    continue
+                src = self._by_sid[entry.sid].stage
+                dst = self._by_sid[entry.next_sid].stage
+                if dst <= src:
+                    problems.append(
+                        f"entry {entry.describe(self._by_sid)}: stage "
+                        f"{dst} <= {src} violates forward-only pipeline"
+                    )
+        if not device.allows_loops:
+            if self._has_loop():
+                problems.append("program revisits a state but device "
+                                "forbids entry reuse")
+        return problems
+
+    def _has_loop(self) -> bool:
+        graph: Dict[int, List[int]] = {}
+        for entry in self.entries:
+            if entry.next_sid >= 0:
+                graph.setdefault(entry.sid, []).append(entry.next_sid)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[int, int] = {}
+
+        def dfs(node: int) -> bool:
+            color[node] = GRAY
+            for succ in graph.get(node, []):
+                c = color.get(succ, WHITE)
+                if c == GRAY:
+                    return True
+                if c == WHITE and dfs(succ):
+                    return True
+            color[node] = BLACK
+            return False
+
+        return dfs(self.start_sid)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        lines = [f"TcamProgram({self.source_name}): "
+                 f"{self.num_entries} entries, {self.num_stages} stage(s)"]
+        for state in self.states:
+            if not self.entries_of(state.sid) and not state.extracts:
+                continue
+            keys = ", ".join(str(k) for k in state.key) or "-"
+            fields = ", ".join(state.extracts) or "-"
+            lines.append(
+                f"  state {state.name} (sid={state.sid}, stage={state.stage}) "
+                f"extracts [{fields}] key [{keys}]"
+            )
+            for entry in self.entries_of(state.sid):
+                lines.append(f"    {entry.describe(self._by_sid)}")
+        return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Resource-utilization reporting for compiled programs.
+
+Incremental-change headroom is the reason the paper optimizes resource
+usage at all ("fewer resource usage can leave more room for future
+incremental changes", §5.1) — this module quantifies that headroom:
+per-state and per-stage TCAM consumption, key/lookahead widths against
+device limits, and overall utilization percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..ir.spec import LookaheadKey
+from .device import DeviceProfile
+from .impl import TcamProgram
+
+
+@dataclass
+class StateUsage:
+    name: str
+    sid: int
+    stage: int
+    entries: int
+    key_bits: int
+    lookahead_bits: int
+    extracted_bits: int
+
+
+@dataclass
+class ResourceReport:
+    device: str
+    total_entries: int
+    entry_budget: int
+    stages_used: int
+    stage_budget: int
+    widest_key: int
+    key_limit: int
+    states: List[StateUsage] = field(default_factory=list)
+    per_stage_entries: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def entry_utilization(self) -> float:
+        return self.total_entries / self.entry_budget if self.entry_budget else 0.0
+
+    @property
+    def stage_utilization(self) -> float:
+        return self.stages_used / self.stage_budget if self.stage_budget else 0.0
+
+    @property
+    def headroom_entries(self) -> int:
+        """Entries still available for incremental parser changes."""
+        return max(0, self.entry_budget - self.total_entries)
+
+    def render(self) -> str:
+        lines = [
+            f"resource report ({self.device})",
+            f"  TCAM entries : {self.total_entries}/{self.entry_budget} "
+            f"({self.entry_utilization:.0%}), headroom "
+            f"{self.headroom_entries}",
+            f"  stages       : {self.stages_used}/{self.stage_budget} "
+            f"({self.stage_utilization:.0%})",
+            f"  widest key   : {self.widest_key}/{self.key_limit} bits",
+            "  per state:",
+        ]
+        for usage in self.states:
+            lines.append(
+                f"    {usage.name:24s} stage={usage.stage} "
+                f"entries={usage.entries:2d} key={usage.key_bits:2d}b "
+                f"lookahead={usage.lookahead_bits:2d}b "
+                f"extracts={usage.extracted_bits:3d}b"
+            )
+        if len(self.per_stage_entries) > 1:
+            lines.append("  per stage:")
+            for stage in sorted(self.per_stage_entries):
+                lines.append(
+                    f"    stage {stage}: "
+                    f"{self.per_stage_entries[stage]} entries"
+                )
+        return "\n".join(lines)
+
+
+def resource_report(
+    program: TcamProgram, device: DeviceProfile
+) -> ResourceReport:
+    """Account every hardware resource the program consumes."""
+    live = set(program.used_sids())
+    states: List[StateUsage] = []
+    per_stage: Dict[int, int] = {}
+    widest = 0
+    for state in program.states:
+        if state.sid not in live:
+            continue
+        entries = len(program.entries_of(state.sid))
+        lookahead = sum(
+            k.width for k in state.key if isinstance(k, LookaheadKey)
+        )
+        extracted = sum(
+            program.fields[f].width for f in state.extracts
+        )
+        widest = max(widest, state.key_width)
+        per_stage[state.stage] = per_stage.get(state.stage, 0) + entries
+        states.append(
+            StateUsage(
+                state.name,
+                state.sid,
+                state.stage,
+                entries,
+                state.key_width,
+                lookahead,
+                extracted,
+            )
+        )
+    entry_budget = device.total_entry_budget()
+    return ResourceReport(
+        device=device.name,
+        total_entries=program.num_entries,
+        entry_budget=entry_budget,
+        stages_used=program.num_stages,
+        stage_budget=device.stage_limit if device.is_pipelined else 1,
+        widest_key=widest,
+        key_limit=device.key_limit,
+        states=states,
+        per_stage_entries=per_stage,
+    )

@@ -1,0 +1,282 @@
+"""Static analysis over parser specifications.
+
+These analyses feed the synthesis optimizations of §6:
+
+* key-bit usage per field            -> Opt1 (spec-guided key construction)
+* irrelevant fields                  -> Opt2 (bit-width minimization)
+* per-state extraction inventory     -> Opt3 (pre-allocated extraction)
+* constant pools and wide-constant
+  sub-ranges                         -> Opt4 (constant synthesis)
+* field-key grouping                 -> Opt5 (grouped key allocation)
+* loop detection                     -> Opt7.1 (loop-aware vs loop-free)
+
+They also provide general hygiene checks (reachability, extract-before-use)
+used by the frontend lint and by the rewrite mutators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from .spec import ACCEPT, REJECT, FieldKey, LookaheadKey, ParserSpec, SpecState
+
+
+def build_state_graph(spec: ParserSpec) -> nx.DiGraph:
+    """Directed state-transition graph (accept/reject included as sinks)."""
+    graph = nx.DiGraph()
+    for state in spec.states.values():
+        graph.add_node(state.name)
+        for rule in state.rules:
+            graph.add_edge(state.name, rule.next_state)
+    graph.add_node(ACCEPT)
+    graph.add_node(REJECT)
+    return graph
+
+
+def reachable_states(spec: ParserSpec) -> Set[str]:
+    """States reachable from start (excluding accept/reject)."""
+    graph = build_state_graph(spec)
+    reach = nx.descendants(graph, spec.start) | {spec.start}
+    return {s for s in reach if s in spec.states}
+
+
+def unreachable_states(spec: ParserSpec) -> Set[str]:
+    return set(spec.states) - reachable_states(spec)
+
+
+def has_loops(spec: ParserSpec) -> bool:
+    """True when some reachable state lies on a cycle (e.g. MPLS stacks)."""
+    graph = build_state_graph(spec)
+    reach = reachable_states(spec)
+    sub = graph.subgraph(reach)
+    try:
+        nx.find_cycle(sub)
+        return True
+    except nx.NetworkXNoCycle:
+        return False
+
+
+def looping_states(spec: ParserSpec) -> Set[str]:
+    graph = build_state_graph(spec).subgraph(reachable_states(spec))
+    out: Set[str] = set()
+    for component in nx.strongly_connected_components(graph):
+        if len(component) > 1:
+            out |= set(component)
+        else:
+            (node,) = component
+            if graph.has_edge(node, node):
+                out.add(node)
+    return out
+
+
+def max_parse_depth(spec: ParserSpec, loop_unroll: int = 4) -> int:
+    """Bound on the number of state executions along any run.
+
+    For acyclic specs this is the longest path from start; loops add
+    ``loop_unroll`` extra iterations per looping state, matching the K
+    parameter of the paper's Figure 6 unrolling.
+    """
+    reach = reachable_states(spec)
+    graph = build_state_graph(spec).subgraph(reach | {ACCEPT, REJECT})
+    loopers = looping_states(spec)
+    if not loopers:
+        condensed = graph
+        longest: Dict[str, int] = {}
+
+        def depth_of(node: str) -> int:
+            if node in (ACCEPT, REJECT) or node not in spec.states:
+                return 0
+            if node in longest:
+                return longest[node]
+            longest[node] = 1  # guard against accidental cycles
+            best = 0
+            for succ in condensed.successors(node):
+                best = max(best, depth_of(succ))
+            longest[node] = 1 + best
+            return longest[node]
+
+        return depth_of(spec.start)
+    return len(reach) + loop_unroll * len(loopers)
+
+
+# ---------------------------------------------------------------------------
+# Key-bit usage (Opt1 / Opt2 / Opt5)
+# ---------------------------------------------------------------------------
+
+def key_bits_by_field(spec: ParserSpec) -> Dict[str, Set[int]]:
+    """For every field: the set of bit indices used in any transition key."""
+    usage: Dict[str, Set[int]] = {name: set() for name in spec.fields}
+    for state in spec.states.values():
+        for part in state.key:
+            if isinstance(part, FieldKey):
+                usage[part.field].update(range(part.lo, part.hi + 1))
+    return usage
+
+
+def key_groups_by_field(spec: ParserSpec) -> Dict[str, List[Tuple[int, int]]]:
+    """Opt5: contiguous (lo, hi) groups of key bits per field, treating each
+    distinct slice appearing in the program as one indivisible group."""
+    groups: Dict[str, Set[Tuple[int, int]]] = {}
+    for state in spec.states.values():
+        for part in state.key:
+            if isinstance(part, FieldKey):
+                groups.setdefault(part.field, set()).add((part.lo, part.hi))
+    return {f: sorted(g) for f, g in groups.items()}
+
+
+def irrelevant_fields(spec: ParserSpec) -> Set[str]:
+    """Opt2: fields none of whose bits appear in any transition key and that
+    are not varbit length sources."""
+    usage = key_bits_by_field(spec)
+    length_sources = {
+        f.length_field for f in spec.fields.values() if f.length_field
+    }
+    return {
+        name
+        for name, bits in usage.items()
+        if not bits and name not in length_sources
+    }
+
+
+def max_lookahead(spec: ParserSpec) -> int:
+    """The furthest bit past the cursor any lookahead key reads."""
+    best = 0
+    for state in spec.states.values():
+        for part in state.key:
+            if isinstance(part, LookaheadKey):
+                best = max(best, part.offset + part.width)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Constant pools (Opt4)
+# ---------------------------------------------------------------------------
+
+def state_constants(state: SpecState) -> List[Tuple[int, int]]:
+    """The (value, mask) pairs appearing in a state's rules, folded over the
+    whole concatenated key (wildcards give mask 0)."""
+    widths = [k.width for k in state.key]
+    return [rule.combined_value_mask(widths) for rule in state.rules]
+
+
+def constant_pool(spec: ParserSpec) -> Dict[str, List[Tuple[int, int]]]:
+    """Per state: spec constants for Opt4.1's restricted value search."""
+    return {
+        name: state_constants(state) for name, state in spec.states.items()
+    }
+
+
+def adjacent_concat_constants(
+    spec: ParserSpec, limit: int = 64
+) -> Dict[Tuple[str, str], List[Tuple[int, int, int]]]:
+    """Opt4.1's recovery step: for each edge (s -> t) between keyed states,
+    concatenations of s's and t's rule constants as
+    (value, mask, combined_width) candidates."""
+    out: Dict[Tuple[str, str], List[Tuple[int, int, int]]] = {}
+    for state in spec.states.values():
+        if state.is_unconditional:
+            continue
+        for rule in state.rules:
+            succ = rule.next_state
+            if succ in (ACCEPT, REJECT) or succ not in spec.states:
+                continue
+            target = spec.states[succ]
+            if target.is_unconditional:
+                continue
+            pairs: List[Tuple[int, int, int]] = []
+            s_width = state.key_width
+            t_width = target.key_width
+            for sv, sm in state_constants(state):
+                for tv, tm in state_constants(target):
+                    pairs.append(
+                        (
+                            (sv << t_width) | tv,
+                            (sm << t_width) | tm,
+                            s_width + t_width,
+                        )
+                    )
+                    if len(pairs) >= limit:
+                        break
+                if len(pairs) >= limit:
+                    break
+            out[(state.name, succ)] = pairs
+    return out
+
+
+def split_wide_constant(value: int, width: int, key_limit: int) -> List[Tuple[int, int]]:
+    """Opt4.3: all sub-range constants C[i..j] with j - i < key_limit,
+    returned as (sub_value, sub_width).  Reduces the constant search space
+    from 2^KW to O(KW * len(C))."""
+    out: List[Tuple[int, int]] = []
+    seen: Set[Tuple[int, int]] = set()
+    for lo in range(width):
+        for hi in range(lo, min(lo + key_limit, width)):
+            sub_width = hi - lo + 1
+            sub_value = (value >> lo) & ((1 << sub_width) - 1)
+            item = (sub_value, sub_width)
+            if item not in seen:
+                seen.add(item)
+                out.append(item)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Lints
+# ---------------------------------------------------------------------------
+
+def check_extract_before_use(spec: ParserSpec) -> List[str]:
+    """Fields referenced in a state's key must be extracted on every path
+    reaching that state.  Returns a list of human-readable violations."""
+    problems: List[str] = []
+    extracted_on_entry: Dict[str, Set[str]] = {}
+
+    def visit(name: str, have: frozenset, guard: Set[Tuple[str, frozenset]]):
+        if (name, have) in guard:
+            return
+        guard.add((name, have))
+        state = spec.states[name]
+        now = set(have)
+        now.update(state.extracts)
+        for part in state.key:
+            if isinstance(part, FieldKey) and part.field not in now:
+                problems.append(
+                    f"state {name} keys on {part.field} which may be "
+                    "unextracted on some path"
+                )
+        for rule in state.rules:
+            if rule.next_state in spec.states:
+                visit(rule.next_state, frozenset(now), guard)
+
+    visit(spec.start, frozenset(), set())
+    # Deduplicate, preserve order.
+    seen: Set[str] = set()
+    unique = []
+    for p in problems:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    return unique
+
+
+def search_space_bits(spec: ParserSpec, device_key_limit: int = 32) -> int:
+    """A coarse size-of-search-space estimate in bits, mirroring the paper's
+    Table 3 'Search Space (bits)' column: symbolic constants (value+mask per
+    rule at key width) plus structural variables (next-state selection and
+    key allocation choices)."""
+    total = 0
+    num_states = max(1, len(spec.states))
+    import math
+
+    state_bits = max(1, math.ceil(math.log2(num_states + 2)))
+    for state in spec.states.values():
+        kw = min(state.key_width, device_key_limit) if state.key else 0
+        for _rule in state.rules:
+            total += 2 * kw          # value + mask
+            total += state_bits      # next-state choice
+        for part in state.key:
+            total += part.width      # allocation choice per key bit
+    for field in spec.fields.values():
+        total += 1                   # extraction placement freedom
+    return total

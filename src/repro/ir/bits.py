@@ -1,0 +1,132 @@
+"""An immutable bit-string with network (MSB-first) ordering.
+
+Packet parsing consumes bits from the front of the wire stream, so this
+class indexes bit 0 as the FIRST bit on the wire (the most significant bit
+of the first byte).  Field values extracted from a slice are interpreted
+big-endian, matching how P4 targets deposit header fields.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+
+class Bits:
+    """Immutable sequence of bits, wire order."""
+
+    __slots__ = ("_value", "_length")
+
+    def __init__(self, value: int = 0, length: int = 0) -> None:
+        if length < 0:
+            raise ValueError("negative bit length")
+        self._length = length
+        self._value = value & ((1 << length) - 1) if length else 0
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_int(cls, value: int, length: int) -> "Bits":
+        if value < 0:
+            raise ValueError("Bits.from_int needs a non-negative value")
+        if length < value.bit_length():
+            raise ValueError(
+                f"value {value} does not fit in {length} bits"
+            )
+        return cls(value, length)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Bits":
+        return cls(int.from_bytes(data, "big"), 8 * len(data))
+
+    @classmethod
+    def from_str(cls, text: str) -> "Bits":
+        """From a string of '0'/'1' characters (spaces/underscores ignored)."""
+        clean = text.replace(" ", "").replace("_", "")
+        if clean and set(clean) - {"0", "1"}:
+            raise ValueError(f"not a bit string: {text!r}")
+        if not clean:
+            return cls()
+        return cls(int(clean, 2), len(clean))
+
+    @classmethod
+    def concat(cls, parts: Iterable["Bits"]) -> "Bits":
+        value = 0
+        length = 0
+        for part in parts:
+            value = (value << len(part)) | part._value
+            length += len(part)
+        return cls(value, length)
+
+    @classmethod
+    def zeros(cls, length: int) -> "Bits":
+        return cls(0, length)
+
+    @classmethod
+    def ones(cls, length: int) -> "Bits":
+        return cls((1 << length) - 1, length)
+
+    # -- accessors ---------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Bits)
+            and self._length == other._length
+            and self._value == other._value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._length))
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[int, "Bits"]:
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._length)
+            if step != 1:
+                raise ValueError("Bits slicing requires step 1")
+            return self.slice(start, stop - start)
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"bit index {index} out of range")
+        shift = self._length - 1 - index
+        return (self._value >> shift) & 1
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield self[i]
+
+    def slice(self, start: int, length: int) -> "Bits":
+        """``length`` bits beginning at wire offset ``start``."""
+        if start < 0 or length < 0 or start + length > self._length:
+            raise IndexError(
+                f"slice(start={start}, length={length}) out of range "
+                f"for {self._length} bits"
+            )
+        shift = self._length - start - length
+        return Bits(self._value >> shift, length)
+
+    def uint(self) -> int:
+        """The big-endian unsigned integer value of the whole string."""
+        return self._value
+
+    def __add__(self, other: "Bits") -> "Bits":
+        if not isinstance(other, Bits):
+            return NotImplemented
+        return Bits.concat([self, other])
+
+    def to_bytes(self) -> bytes:
+        """Pack into bytes (must be a whole number of bytes)."""
+        if self._length % 8:
+            raise ValueError(f"length {self._length} is not byte aligned")
+        return self._value.to_bytes(self._length // 8, "big")
+
+    def to01(self) -> str:
+        return format(self._value, f"0{self._length}b") if self._length else ""
+
+    def __repr__(self) -> str:
+        if self._length <= 64:
+            return f"Bits('{self.to01()}')"
+        return f"Bits(<{self._length} bits>)"

@@ -1,0 +1,44 @@
+"""P4-subset frontend: lexer, AST, recursive-descent parser."""
+
+from .ast import (
+    ACCEPT,
+    REJECT,
+    Extract,
+    ExtractVar,
+    FieldDecl,
+    FieldRef,
+    HeaderDecl,
+    Lookahead,
+    ParserDecl,
+    Program,
+    SelectCase,
+    StateDecl,
+    Transition,
+    ValueMask,
+)
+from .errors import ParseError, SemanticError, SourceLocation
+from .lexer import Token, tokenize
+from .parser import parse_program
+
+__all__ = [
+    "ACCEPT",
+    "Extract",
+    "ExtractVar",
+    "FieldDecl",
+    "FieldRef",
+    "HeaderDecl",
+    "Lookahead",
+    "ParseError",
+    "ParserDecl",
+    "Program",
+    "REJECT",
+    "SelectCase",
+    "SemanticError",
+    "SourceLocation",
+    "StateDecl",
+    "Token",
+    "Transition",
+    "ValueMask",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,44 @@
+"""Source-located diagnostics for the P4-subset frontend."""
+
+from __future__ import annotations
+
+
+class SourceLocation:
+    """Line/column position inside a parser-program source string."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourceLocation)
+            and (self.line, self.column) == (other.line, other.column)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column))
+
+
+class ParseError(Exception):
+    """A lexing or parsing failure, with source position."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        where = f" at {location}" if location else ""
+        super().__init__(f"{message}{where}")
+
+
+class SemanticError(Exception):
+    """A well-formed program that violates language rules
+    (unknown state, duplicate field, bad slice bounds, ...)."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.location = location
+        where = f" at {location}" if location else ""
+        super().__init__(f"{message}{where}")

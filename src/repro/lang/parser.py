@@ -1,0 +1,402 @@
+"""Recursive-descent parser for the P4-subset language.
+
+Grammar (EBNF, ``//`` comments allowed anywhere)::
+
+    program     := header_decl* parser_decl
+    header_decl := "header" IDENT "{" field_decl* "}"
+    field_decl  := IDENT ":" (INT | "varbit" INT) ";"
+    parser_decl := "parser" IDENT "{" state_decl* "}"
+    state_decl  := "state" IDENT "{" statement* transition "}"
+    statement   := "extract" "(" IDENT ")" ";"
+                 | "extract_var" "(" DOTTED "," DOTTED "," INT ")" ";"
+    transition  := "transition" dest ";"
+                 | "transition" "select" "(" key ("," key)* ")" "{" case* "}"
+    key         := DOTTED ("[" INT ":" INT "]")?
+                 | "lookahead" "(" INT ("," INT)? ")"
+    case        := patterns ":" dest ";"
+    patterns    := pattern | "(" pattern ("," pattern)* ")"
+    pattern     := INT ("&&&" INT)? | "default" | "_"
+    dest        := IDENT | "accept" | "reject"
+
+``DOTTED`` is an identifier containing exactly one dot (``hdr.field``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    ACCEPT,
+    REJECT,
+    Extract,
+    ExtractVar,
+    FieldDecl,
+    FieldRef,
+    HeaderDecl,
+    Lookahead,
+    ParserDecl,
+    Program,
+    SelectCase,
+    StateDecl,
+    Transition,
+    ValueMask,
+)
+from .errors import ParseError, SemanticError
+from .lexer import Token, tokenize
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._idx = 0
+
+    def peek(self) -> Token:
+        return self._tokens[self._idx]
+
+    def next(self) -> Token:
+        tok = self._tokens[self._idx]
+        if tok.kind != "eof":
+            self._idx += 1
+        return tok
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, found {tok.text!r}", tok.location)
+        return self.next()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+
+def parse_program(source: str) -> Program:
+    """Parse a complete source string into a validated :class:`Program`."""
+    stream = _TokenStream(tokenize(source))
+    program = Program()
+    while True:
+        tok = stream.peek()
+        if tok.kind == "eof":
+            break
+        if tok.kind == "keyword" and tok.text == "header":
+            program.headers.append(_parse_header(stream))
+        elif tok.kind == "keyword" and tok.text == "parser":
+            if program.parser is not None:
+                raise ParseError("multiple parser blocks", tok.location)
+            program.parser = _parse_parser(stream)
+        else:
+            raise ParseError(
+                f"expected 'header' or 'parser', found {tok.text!r}", tok.location
+            )
+    if program.parser is None:
+        raise ParseError("source contains no parser block")
+    _validate(program)
+    return program
+
+
+def _parse_header(stream: _TokenStream) -> HeaderDecl:
+    kw = stream.expect("keyword", "header")
+    name = stream.expect("ident").text
+    stream.expect("punct", "{")
+    fields: List[FieldDecl] = []
+    while not stream.accept("punct", "}"):
+        fname_tok = stream.expect("ident")
+        stream.expect("punct", ":")
+        if stream.accept("keyword", "varbit"):
+            width_tok = stream.expect("int")
+            fields.append(
+                FieldDecl(
+                    fname_tok.text,
+                    width_tok.value,
+                    is_varbit=True,
+                    location=fname_tok.location,
+                )
+            )
+        else:
+            width_tok = stream.expect("int")
+            depth = 1
+            if stream.accept("keyword", "stack"):
+                depth = stream.expect("int").value
+                if depth < 1:
+                    raise ParseError("stack depth must be >= 1", width_tok.location)
+            fields.append(
+                FieldDecl(
+                    fname_tok.text,
+                    width_tok.value,
+                    stack_depth=depth,
+                    location=fname_tok.location,
+                )
+            )
+        stream.expect("punct", ";")
+    return HeaderDecl(name, tuple(fields), location=kw.location)
+
+
+def _parse_parser(stream: _TokenStream) -> ParserDecl:
+    kw = stream.expect("keyword", "parser")
+    name = stream.expect("ident").text
+    stream.expect("punct", "{")
+    states: List[StateDecl] = []
+    while not stream.accept("punct", "}"):
+        states.append(_parse_state(stream))
+    return ParserDecl(name, tuple(states), location=kw.location)
+
+
+def _parse_state(stream: _TokenStream) -> StateDecl:
+    kw = stream.expect("keyword", "state")
+    name = stream.expect("ident").text
+    stream.expect("punct", "{")
+    statements: List = []
+    transition: Optional[Transition] = None
+    while not stream.accept("punct", "}"):
+        tok = stream.peek()
+        if tok.kind == "keyword" and tok.text == "extract":
+            statements.append(_parse_extract(stream))
+        elif tok.kind == "keyword" and tok.text == "extract_var":
+            statements.append(_parse_extract_var(stream))
+        elif tok.kind == "keyword" and tok.text == "transition":
+            if transition is not None:
+                raise ParseError("state has multiple transitions", tok.location)
+            transition = _parse_transition(stream)
+        else:
+            raise ParseError(
+                f"expected statement or transition, found {tok.text!r}", tok.location
+            )
+    if transition is None:
+        raise ParseError(f"state {name} has no transition", kw.location)
+    return StateDecl(name, tuple(statements), transition, location=kw.location)
+
+
+def _parse_extract(stream: _TokenStream) -> Extract:
+    kw = stream.expect("keyword", "extract")
+    stream.expect("punct", "(")
+    target = stream.expect("ident").text
+    stream.expect("punct", ")")
+    stream.expect("punct", ";")
+    if "." in target:
+        header, fld = target.split(".", 1)
+        if "." in fld:
+            raise ParseError(f"malformed extract target {target!r}", kw.location)
+        return Extract(header, fld, location=kw.location)
+    return Extract(target, location=kw.location)
+
+
+def _parse_extract_var(stream: _TokenStream) -> ExtractVar:
+    kw = stream.expect("keyword", "extract_var")
+    stream.expect("punct", "(")
+    target = stream.expect("ident")
+    if "." not in target.text:
+        raise ParseError("extract_var target must be header.field", target.location)
+    hdr, fld = target.text.split(".", 1)
+    stream.expect("punct", ",")
+    length_tok = stream.expect("ident")
+    if "." not in length_tok.text:
+        raise ParseError("extract_var length must be header.field", length_tok.location)
+    lh, lf = length_tok.text.split(".", 1)
+    stream.expect("punct", ",")
+    mult = stream.expect("int").value
+    stream.expect("punct", ")")
+    stream.expect("punct", ";")
+    return ExtractVar(
+        hdr, fld, FieldRef(lh, lf, location=length_tok.location), mult,
+        location=kw.location,
+    )
+
+
+def _parse_transition(stream: _TokenStream) -> Transition:
+    kw = stream.expect("keyword", "transition")
+    if stream.accept("keyword", "select"):
+        stream.expect("punct", "(")
+        keys = [_parse_key(stream)]
+        while stream.accept("punct", ","):
+            keys.append(_parse_key(stream))
+        stream.expect("punct", ")")
+        stream.expect("punct", "{")
+        cases: List[SelectCase] = []
+        while not stream.accept("punct", "}"):
+            cases.append(_parse_case(stream, len(keys)))
+        if not cases:
+            raise ParseError("select with no cases", kw.location)
+        return Transition(tuple(keys), tuple(cases), location=kw.location)
+    dest = _parse_dest(stream)
+    stream.expect("punct", ";")
+    case = SelectCase((), dest, is_default=True, location=kw.location)
+    return Transition((), (case,), location=kw.location)
+
+
+def _parse_key(stream: _TokenStream):
+    tok = stream.peek()
+    if stream.accept("keyword", "lookahead"):
+        stream.expect("punct", "(")
+        width = stream.expect("int").value
+        offset = 0
+        if stream.accept("punct", ","):
+            offset = stream.expect("int").value
+        stream.expect("punct", ")")
+        return Lookahead(width, offset, location=tok.location)
+    ident = stream.expect("ident")
+    if "." not in ident.text:
+        raise ParseError(
+            f"select key must be header.field or lookahead(..), found {ident.text!r}",
+            ident.location,
+        )
+    hdr, fld = ident.text.split(".", 1)
+    hi = lo = None
+    if stream.accept("punct", "["):
+        hi = stream.expect("int").value
+        stream.expect("punct", ":")
+        lo = stream.expect("int").value
+        stream.expect("punct", "]")
+        if lo > hi:
+            raise ParseError(f"slice [{hi}:{lo}] has lo > hi", ident.location)
+    return FieldRef(hdr, fld, hi, lo, location=ident.location)
+
+
+def _parse_case(stream: _TokenStream, num_keys: int) -> SelectCase:
+    tok = stream.peek()
+    patterns: Tuple[ValueMask, ...]
+    is_default = False
+    if stream.accept("punct", "("):
+        pats = [_parse_pattern(stream)]
+        while stream.accept("punct", ","):
+            pats.append(_parse_pattern(stream))
+        stream.expect("punct", ")")
+        patterns = tuple(pats)
+    else:
+        pattern = _parse_pattern(stream)
+        if pattern.wildcard and num_keys > 1:
+            patterns = tuple(ValueMask(0, wildcard=True) for _ in range(num_keys))
+        else:
+            patterns = (pattern,)
+        is_default = pattern.wildcard and stream.peek().text == ":"
+    stream.expect("punct", ":")
+    dest = _parse_dest(stream)
+    stream.expect("punct", ";")
+    if len(patterns) != num_keys and not all(p.wildcard for p in patterns):
+        raise ParseError(
+            f"case has {len(patterns)} patterns for {num_keys} keys", tok.location
+        )
+    is_default = all(p.wildcard for p in patterns)
+    return SelectCase(patterns, dest, is_default=is_default, location=tok.location)
+
+
+def _parse_pattern(stream: _TokenStream) -> ValueMask:
+    tok = stream.peek()
+    if stream.accept("keyword", "default") or stream.accept("ident", "_"):
+        return ValueMask(0, wildcard=True)
+    value = stream.expect("int").value
+    if stream.accept("punct", "&&&"):
+        mask = stream.expect("int").value
+        return ValueMask(value, mask)
+    return ValueMask(value)
+
+
+def _parse_dest(stream: _TokenStream) -> str:
+    tok = stream.peek()
+    if stream.accept("keyword", "accept"):
+        return ACCEPT
+    if stream.accept("keyword", "reject"):
+        return REJECT
+    ident = stream.expect("ident")
+    if "." in ident.text:
+        raise ParseError("transition target cannot contain '.'", ident.location)
+    return ident.text
+
+
+# ---------------------------------------------------------------------------
+# Semantic validation
+# ---------------------------------------------------------------------------
+
+def _validate(program: Program) -> None:
+    headers = {h.name: h for h in program.headers}
+    if len(headers) != len(program.headers):
+        raise SemanticError("duplicate header names")
+    for header in program.headers:
+        names = [f.name for f in header.fields]
+        if len(set(names)) != len(names):
+            raise SemanticError(f"duplicate fields in header {header.name}")
+        for f in header.fields:
+            if f.width <= 0:
+                raise SemanticError(
+                    f"field {header.name}.{f.name} has non-positive width"
+                )
+    parser = program.parser
+    assert parser is not None
+    state_names = {s.name for s in parser.states}
+    if len(state_names) != len(parser.states):
+        raise SemanticError("duplicate state names")
+    if parser.start not in state_names:
+        raise SemanticError(f"parser has no start state {parser.start!r}")
+    for state in parser.states:
+        for stmt in state.statements:
+            if isinstance(stmt, Extract):
+                if stmt.header not in headers:
+                    raise SemanticError(
+                        f"state {state.name} extracts unknown header {stmt.header}",
+                        stmt.location,
+                    )
+                if stmt.field is not None:
+                    fdecl = None
+                    try:
+                        fdecl = headers[stmt.header].field(stmt.field)
+                    except KeyError:
+                        raise SemanticError(
+                            f"state {state.name} extracts unknown field "
+                            f"{stmt.header}.{stmt.field}",
+                            stmt.location,
+                        ) from None
+                    if fdecl.is_varbit:
+                        raise SemanticError(
+                            f"use extract_var for varbit field "
+                            f"{stmt.header}.{stmt.field}",
+                            stmt.location,
+                        )
+            elif isinstance(stmt, ExtractVar):
+                _validate_field_ref(
+                    headers, FieldRef(stmt.header, stmt.field), state.name
+                )
+                _validate_field_ref(headers, stmt.length_ref, state.name)
+                target = headers[stmt.header].field(stmt.field)
+                if not target.is_varbit:
+                    raise SemanticError(
+                        f"extract_var target {stmt.header}.{stmt.field} "
+                        "is not varbit",
+                        stmt.location,
+                    )
+        for key in state.transition.keys:
+            if isinstance(key, FieldRef):
+                _validate_field_ref(headers, key, state.name)
+            elif isinstance(key, Lookahead):
+                if key.width <= 0 or key.offset < 0:
+                    raise SemanticError(
+                        f"bad lookahead in state {state.name}", key.location
+                    )
+        for case in state.transition.cases:
+            dest = case.next_state
+            if dest not in (ACCEPT, REJECT) and dest not in state_names:
+                raise SemanticError(
+                    f"state {state.name} transitions to unknown state {dest}",
+                    case.location,
+                )
+
+
+def _validate_field_ref(headers, ref: FieldRef, state_name: str) -> None:
+    if ref.header not in headers:
+        raise SemanticError(
+            f"state {state_name} references unknown header {ref.header}",
+            ref.location,
+        )
+    header = headers[ref.header]
+    try:
+        fdecl = header.field(ref.field)
+    except KeyError:
+        raise SemanticError(
+            f"state {state_name} references unknown field {ref}", ref.location
+        ) from None
+    if ref.sliced:
+        if not (0 <= ref.lo <= ref.hi < fdecl.width):
+            raise SemanticError(
+                f"slice {ref} out of range for width {fdecl.width}", ref.location
+            )

@@ -1,0 +1,343 @@
+"""Concrete protocol headers: Ethernet, 802.1Q, MPLS, IPv4, IPv6, TCP,
+UDP, ICMP, VXLAN, Geneve.
+
+Each header is a Python class with a declarative ``LAYOUT``; construct
+with keyword overrides (``IPv4(ttl=1, dst=0x0A000001)``), stack with
+``/`` (Scapy style), and render with ``bits()`` / ``bytes()``.
+Auto-fields (lengths, checksums, next-protocol numbers) are computed at
+render time unless explicitly pinned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.bits import Bits
+from .fields import FieldDef, internet_checksum
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+ETHERTYPE_VLAN = 0x8100
+ETHERTYPE_MPLS = 0x8847
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+UDP_PORT_VXLAN = 4789
+UDP_PORT_GENEVE = 6081
+
+
+class Header:
+    """Base class: declarative layout + layering via ``/``."""
+
+    LAYOUT: List[FieldDef] = []
+    NAME = "header"
+
+    def __init__(self, **overrides: int) -> None:
+        known = {f.name for f in self.LAYOUT}
+        for key in overrides:
+            if key not in known:
+                raise TypeError(f"{self.NAME} has no field {key!r}")
+        self.values: Dict[str, Optional[int]] = {
+            f.name: overrides.get(f.name) for f in self.LAYOUT
+        }
+        self.payload: Optional[Header] = None
+
+    # -- layering ---------------------------------------------------------
+    def __truediv__(self, other: "Header") -> "Header":
+        node = self
+        while node.payload is not None:
+            node = node.payload
+        node.payload = other
+        return self
+
+    def layers(self) -> List["Header"]:
+        out: List[Header] = []
+        node: Optional[Header] = self
+        while node is not None:
+            out.append(node)
+            node = node.payload
+        return out
+
+    def layer(self, cls: type) -> Optional["Header"]:
+        for node in self.layers():
+            if isinstance(node, cls):
+                return node
+        return None
+
+    # -- rendering ----------------------------------------------------------
+    def _auto(self, name: str) -> Optional[int]:
+        """Subclasses compute auto fields (lengths, protocols, checksums)."""
+        return None
+
+    def header_bits(self) -> Bits:
+        parts = []
+        for fdef in self.LAYOUT:
+            value = self.values[fdef.name]
+            if value is None:
+                value = self._auto(fdef.name)
+            parts.append(fdef.render(value))
+        return Bits.concat(parts)
+
+    def bits(self) -> Bits:
+        out = self.header_bits()
+        if self.payload is not None:
+            out = out + self.payload.bits()
+        return out
+
+    def to_bytes(self) -> bytes:
+        return self.bits().to_bytes()
+
+    def payload_length_bytes(self) -> int:
+        if self.payload is None:
+            return 0
+        return len(self.payload.bits()) // 8
+
+    def __repr__(self) -> str:
+        inner = f" / {self.payload!r}" if self.payload else ""
+        shown = ", ".join(
+            f"{k}={v:#x}" for k, v in self.values.items() if v is not None
+        )
+        return f"{self.NAME}({shown}){inner}"
+
+
+class Raw(Header):
+    """Opaque payload bytes."""
+
+    NAME = "raw"
+    LAYOUT: List[FieldDef] = []
+
+    def __init__(self, data: bytes = b"") -> None:
+        super().__init__()
+        self.data = data
+
+    def header_bits(self) -> Bits:
+        return Bits.from_bytes(self.data)
+
+
+class Ether(Header):
+    NAME = "ethernet"
+    LAYOUT = [
+        FieldDef("dst", 48, 0xFFFFFFFFFFFF),
+        FieldDef("src", 48, 0x02_00_00_00_00_01),
+        FieldDef("etherType", 16, ETHERTYPE_IPV4),
+    ]
+
+    def _auto(self, name: str) -> Optional[int]:
+        if name == "etherType" and self.payload is not None:
+            mapping = {
+                IPv4: ETHERTYPE_IPV4,
+                IPv6: ETHERTYPE_IPV6,
+                Dot1Q: ETHERTYPE_VLAN,
+                MPLS: ETHERTYPE_MPLS,
+            }
+            for cls, value in mapping.items():
+                if isinstance(self.payload, cls):
+                    return value
+        return None
+
+
+class Dot1Q(Header):
+    NAME = "dot1q"
+    LAYOUT = [
+        FieldDef("pcp", 3),
+        FieldDef("dei", 1),
+        FieldDef("vid", 12, 1),
+        FieldDef("etherType", 16, ETHERTYPE_IPV4),
+    ]
+
+    def _auto(self, name: str) -> Optional[int]:
+        if name == "etherType" and self.payload is not None:
+            if isinstance(self.payload, IPv4):
+                return ETHERTYPE_IPV4
+            if isinstance(self.payload, IPv6):
+                return ETHERTYPE_IPV6
+            if isinstance(self.payload, MPLS):
+                return ETHERTYPE_MPLS
+        return None
+
+
+class MPLS(Header):
+    NAME = "mpls"
+    LAYOUT = [
+        FieldDef("label", 20),
+        FieldDef("tc", 3),
+        FieldDef("bos", 1),
+        FieldDef("ttl", 8, 64),
+    ]
+
+    def _auto(self, name: str) -> Optional[int]:
+        if name == "bos":
+            return 0 if isinstance(self.payload, MPLS) else 1
+        return None
+
+
+class IPv4(Header):
+    NAME = "ipv4"
+    LAYOUT = [
+        FieldDef("version", 4, 4),
+        FieldDef("ihl", 4, 5),
+        FieldDef("dscp", 6),
+        FieldDef("ecn", 2),
+        FieldDef("totalLen", 16),
+        FieldDef("identification", 16),
+        FieldDef("flags", 3),
+        FieldDef("fragOffset", 13),
+        FieldDef("ttl", 8, 64),
+        FieldDef("protocol", 8),
+        FieldDef("checksum", 16),
+        FieldDef("src", 32, 0x0A000001),
+        FieldDef("dst", 32, 0x0A000002),
+    ]
+
+    def __init__(self, options: bytes = b"", **overrides: int) -> None:
+        if len(options) % 4:
+            raise ValueError("IPv4 options must be 32-bit aligned")
+        self.options = options
+        super().__init__(**overrides)
+
+    def _auto(self, name: str) -> Optional[int]:
+        if name == "ihl":
+            return 5 + len(self.options) // 4
+        if name == "totalLen":
+            return 20 + len(self.options) + self.payload_length_bytes()
+        if name == "protocol":
+            if isinstance(self.payload, TCP):
+                return PROTO_TCP
+            if isinstance(self.payload, UDP):
+                return PROTO_UDP
+            if isinstance(self.payload, ICMP):
+                return PROTO_ICMP
+            return 0
+        if name == "checksum":
+            return 0  # placeholder; patched in header_bits
+        return None
+
+    def header_bits(self) -> Bits:
+        base = super().header_bits() + Bits.from_bytes(self.options)
+        raw = bytearray(base.to_bytes())
+        raw[10:12] = b"\x00\x00"
+        if self.values["checksum"] is None:
+            checksum = internet_checksum(bytes(raw))
+            raw[10:12] = checksum.to_bytes(2, "big")
+        else:
+            raw[10:12] = self.values["checksum"].to_bytes(2, "big")
+        return Bits.from_bytes(bytes(raw))
+
+
+class IPv6(Header):
+    NAME = "ipv6"
+    LAYOUT = [
+        FieldDef("version", 4, 6),
+        FieldDef("trafficClass", 8),
+        FieldDef("flowLabel", 20),
+        FieldDef("payloadLen", 16),
+        FieldDef("nextHeader", 8),
+        FieldDef("hopLimit", 8, 64),
+        FieldDef("src", 128, 0xFE80 << 112 | 1),
+        FieldDef("dst", 128, 0xFE80 << 112 | 2),
+    ]
+
+    def _auto(self, name: str) -> Optional[int]:
+        if name == "payloadLen":
+            return self.payload_length_bytes()
+        if name == "nextHeader":
+            if isinstance(self.payload, TCP):
+                return PROTO_TCP
+            if isinstance(self.payload, UDP):
+                return PROTO_UDP
+            return 59  # no next header
+        return None
+
+
+class TCP(Header):
+    NAME = "tcp"
+    LAYOUT = [
+        FieldDef("sport", 16, 1234),
+        FieldDef("dport", 16, 80),
+        FieldDef("seq", 32),
+        FieldDef("ack", 32),
+        FieldDef("dataOffset", 4, 5),
+        FieldDef("reserved", 4),
+        FieldDef("flags", 8, 0x02),
+        FieldDef("window", 16, 0xFFFF),
+        FieldDef("checksum", 16),
+        FieldDef("urgent", 16),
+    ]
+
+
+class UDP(Header):
+    NAME = "udp"
+    LAYOUT = [
+        FieldDef("sport", 16, 1234),
+        FieldDef("dport", 16, 53),
+        FieldDef("length", 16),
+        FieldDef("checksum", 16),
+    ]
+
+    def _auto(self, name: str) -> Optional[int]:
+        if name == "length":
+            return 8 + self.payload_length_bytes()
+        if name == "dport":
+            if isinstance(self.payload, VXLAN):
+                return UDP_PORT_VXLAN
+            if isinstance(self.payload, Geneve):
+                return UDP_PORT_GENEVE
+            return None
+        return None
+
+
+class ICMP(Header):
+    NAME = "icmp"
+    LAYOUT = [
+        FieldDef("type", 8, 8),
+        FieldDef("code", 8),
+        FieldDef("checksum", 16),
+        FieldDef("identifier", 16),
+        FieldDef("sequence", 16),
+    ]
+
+    def header_bits(self) -> Bits:
+        base = super().header_bits()
+        raw = bytearray(base.to_bytes())
+        if self.values["checksum"] is None:
+            raw[2:4] = b"\x00\x00"
+            raw[2:4] = internet_checksum(bytes(raw)).to_bytes(2, "big")
+        return Bits.from_bytes(bytes(raw))
+
+
+class VXLAN(Header):
+    NAME = "vxlan"
+    LAYOUT = [
+        FieldDef("flags", 8, 0x08),
+        FieldDef("reserved1", 24),
+        FieldDef("vni", 24, 1),
+        FieldDef("reserved2", 8),
+    ]
+
+
+class Geneve(Header):
+    NAME = "geneve"
+    LAYOUT = [
+        FieldDef("version", 2),
+        FieldDef("optLen", 6),          # in 4-byte units
+        FieldDef("oam", 1),
+        FieldDef("critical", 1),
+        FieldDef("reserved", 6),
+        FieldDef("protocolType", 16, 0x6558),
+        FieldDef("vni", 24, 1),
+        FieldDef("reserved2", 8),
+    ]
+
+    def __init__(self, options: bytes = b"", **overrides: int) -> None:
+        if len(options) % 4:
+            raise ValueError("Geneve options must be 32-bit aligned")
+        self.options = options
+        super().__init__(**overrides)
+
+    def _auto(self, name: str) -> Optional[int]:
+        if name == "optLen":
+            return len(self.options) // 4
+        return None
+
+    def header_bits(self) -> Bits:
+        return super().header_bits() + Bits.from_bytes(self.options)

@@ -1,0 +1,22 @@
+"""From-scratch CDCL SAT solver used as ParserHawk's search substrate."""
+
+from .clause import Clause, lit, lit_from_dimacs, neg, sign_of, to_dimacs, var_of
+from .dimacs import load_dimacs, parse_dimacs, solver_from_dimacs, write_dimacs
+from .solver import Budget, SatSolver, luby
+
+__all__ = [
+    "Budget",
+    "Clause",
+    "SatSolver",
+    "lit",
+    "lit_from_dimacs",
+    "load_dimacs",
+    "luby",
+    "neg",
+    "parse_dimacs",
+    "sign_of",
+    "solver_from_dimacs",
+    "to_dimacs",
+    "var_of",
+    "write_dimacs",
+]

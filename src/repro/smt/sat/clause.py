@@ -1,0 +1,77 @@
+"""Clause and literal primitives for the CDCL SAT solver.
+
+Literals use the common "packed" integer encoding: variable ``v`` (0-based)
+yields positive literal ``2*v`` and negative literal ``2*v + 1``.  This keeps
+watch lists and assignment tables as flat Python lists, which is the fastest
+data layout available to a pure-Python solver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def lit(var: int, positive: bool = True) -> int:
+    """Pack a 0-based variable index into a literal."""
+    return 2 * var + (0 if positive else 1)
+
+
+def lit_from_dimacs(dlit: int) -> int:
+    """Convert a DIMACS literal (+/- 1-based) into packed form."""
+    if dlit == 0:
+        raise ValueError("DIMACS literal cannot be 0")
+    var = abs(dlit) - 1
+    return 2 * var + (0 if dlit > 0 else 1)
+
+
+def to_dimacs(packed: int) -> int:
+    """Convert a packed literal back to DIMACS (+/- 1-based)."""
+    var = (packed >> 1) + 1
+    return var if (packed & 1) == 0 else -var
+
+
+def neg(packed: int) -> int:
+    """Negate a packed literal."""
+    return packed ^ 1
+
+
+def var_of(packed: int) -> int:
+    """Variable index of a packed literal."""
+    return packed >> 1
+
+
+def sign_of(packed: int) -> bool:
+    """True when the packed literal is positive."""
+    return (packed & 1) == 0
+
+
+class Clause:
+    """A disjunction of packed literals.
+
+    The first two positions are the watched literals; the solver maintains
+    the invariant that they are the "most defined" literals in the clause.
+    """
+
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits: Iterable[int], learnt: bool = False) -> None:
+        self.lits: List[int] = list(lits)
+        self.learnt = learnt
+        self.activity = 0.0
+
+    def __len__(self) -> int:
+        return len(self.lits)
+
+    def __getitem__(self, i: int) -> int:
+        return self.lits[i]
+
+    def __setitem__(self, i: int, value: int) -> None:
+        self.lits[i] = value
+
+    def __iter__(self):
+        return iter(self.lits)
+
+    def __repr__(self) -> str:
+        body = " ".join(str(to_dimacs(l)) for l in self.lits)
+        kind = "learnt" if self.learnt else "input"
+        return f"Clause<{kind}>({body})"

@@ -1,0 +1,71 @@
+"""DIMACS CNF reading/writing for the SAT substrate.
+
+Primarily used by the test suite to cross-check the solver on standard
+formula formats, and for dumping hard synthesis queries for offline
+inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from .clause import lit_from_dimacs, to_dimacs
+from .solver import SatSolver
+
+
+def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
+    """Parse DIMACS CNF text into (num_vars, clauses-of-packed-literals)."""
+    num_vars = 0
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    declared = False
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            declared = True
+            continue
+        if line.startswith("%"):
+            break
+        for tok in line.split():
+            val = int(tok)
+            if val == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(lit_from_dimacs(val))
+                num_vars = max(num_vars, abs(val))
+    if current:
+        clauses.append(current)
+    if not declared and not clauses:
+        raise ValueError("no problem line and no clauses found")
+    return num_vars, clauses
+
+
+def load_dimacs(path: Union[str, Path]) -> SatSolver:
+    """Build a solver from a DIMACS file."""
+    text = Path(path).read_text()
+    return solver_from_dimacs(text)
+
+
+def solver_from_dimacs(text: str) -> SatSolver:
+    num_vars, clauses = parse_dimacs(text)
+    solver = SatSolver()
+    solver.ensure_vars(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver
+
+
+def write_dimacs(num_vars: int, clauses: List[List[int]]) -> str:
+    """Render packed-literal clauses as DIMACS CNF text."""
+    lines = [f"p cnf {num_vars} {len(clauses)}"]
+    for clause in clauses:
+        lines.append(" ".join(str(to_dimacs(l)) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,489 @@
+"""A CDCL SAT solver: two-watched literals, VSIDS, 1-UIP learning,
+Luby restarts, phase saving, learnt-clause reduction, and incremental
+solving under assumptions.
+
+The solver is deliberately self-contained (standard library only) because it
+is the combinatorial search substrate for the whole ParserHawk reproduction:
+the paper offloads its search to Z3; we offload ours to this module.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .clause import Clause, neg
+
+TRUE = 1
+FALSE = 0
+UNDEF = -1
+
+
+class Unsatisfiable(Exception):
+    """Raised internally when the formula is unsatisfiable at level 0."""
+
+
+class Budget:
+    """Resource budget for a single ``solve`` call."""
+
+    def __init__(
+        self,
+        max_conflicts: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ) -> None:
+        self.max_conflicts = max_conflicts
+        self.max_seconds = max_seconds
+        self._start = time.monotonic()
+        self._conflicts = 0
+
+    def note_conflict(self) -> None:
+        self._conflicts += 1
+
+    def exhausted(self) -> bool:
+        if self.max_conflicts is not None and self._conflicts >= self.max_conflicts:
+            return True
+        if self.max_seconds is not None:
+            return time.monotonic() - self._start >= self.max_seconds
+        return False
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence
+    (1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...)."""
+    while True:
+        if (i + 1) & i == 0:  # i+1 is a power of two
+            return (i + 1) >> 1
+        k = 1
+        while (1 << (k + 1)) - 1 < i:
+            k += 1
+        i -= (1 << k) - 1
+
+
+class SatSolver:
+    """CDCL solver over packed literals (see :mod:`repro.smt.sat.clause`)."""
+
+    def __init__(self) -> None:
+        self.clauses: List[Clause] = []
+        self.learnts: List[Clause] = []
+        self.watches: List[List[Clause]] = []
+        self.assign: List[int] = []          # per-var: TRUE/FALSE/UNDEF
+        self.level: List[int] = []           # per-var: decision level
+        self.reason: List[Optional[Clause]] = []
+        self.trail: List[int] = []           # assigned literals, in order
+        self.trail_lim: List[int] = []       # trail index per decision level
+        self.qhead = 0
+        self.activity: List[float] = []
+        self.polarity: List[bool] = []       # phase saving
+        self.order = None                    # lazy ActivityHeap
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.cla_inc = 1.0
+        self.cla_decay = 0.999
+        self.ok = True
+        self.num_conflicts = 0
+        self.num_decisions = 0
+        self.num_propagations = 0
+        self.num_restarts = 0
+
+    # ------------------------------------------------------------------
+    # Variable and clause management
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable, returning its 0-based index."""
+        v = len(self.assign)
+        self.assign.append(UNDEF)
+        self.level.append(-1)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.polarity.append(False)
+        self.watches.append([])
+        self.watches.append([])
+        if self.order is not None:
+            self.order.insert(v)
+        return v
+
+    @property
+    def num_vars(self) -> int:
+        return len(self.assign)
+
+    def ensure_vars(self, n: int) -> None:
+        while self.num_vars < n:
+            self.new_var()
+
+    def value_lit(self, literal: int) -> int:
+        a = self.assign[literal >> 1]
+        if a == UNDEF:
+            return UNDEF
+        return a ^ (literal & 1)
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add an input clause. Returns False if the formula became UNSAT."""
+        if not self.ok:
+            return False
+        if self.trail_lim:
+            # Incremental use: retract the previous solve's decisions.
+            self._cancel_until(0)
+        seen: Dict[int, bool] = {}
+        out: List[int] = []
+        for l in lits:
+            self.ensure_vars((l >> 1) + 1)
+            val = self.value_lit(l)
+            if val == TRUE:
+                return True  # clause already satisfied at level 0
+            if val == FALSE:
+                continue     # literal is dead
+            if l in seen:
+                continue
+            if (l ^ 1) in seen:
+                return True  # tautology
+            seen[l] = True
+            out.append(l)
+        if not out:
+            self.ok = False
+            return False
+        if len(out) == 1:
+            if not self._enqueue(out[0], None):
+                self.ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self.ok = False
+                return False
+            return True
+        clause = Clause(out)
+        self.clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def _watch(self, clause: Clause) -> None:
+        self.watches[neg(clause[0])].append(clause)
+        self.watches[neg(clause[1])].append(clause)
+
+    # ------------------------------------------------------------------
+    # Trail operations
+    # ------------------------------------------------------------------
+    def _enqueue(self, literal: int, from_clause: Optional[Clause]) -> bool:
+        val = self.value_lit(literal)
+        if val != UNDEF:
+            return val == TRUE
+        v = literal >> 1
+        self.assign[v] = TRUE if (literal & 1) == 0 else FALSE
+        self.level[v] = len(self.trail_lim)
+        self.reason[v] = from_clause
+        self.trail.append(literal)
+        return True
+
+    def _propagate(self) -> Optional[Clause]:
+        """Unit propagation. Returns a conflicting clause or None.
+
+        This is the solver's hot loop; it inlines literal valuation
+        (``assign[v] ^ (lit & 1)`` with -1 for unassigned) and enqueueing
+        to keep Python-level overhead down."""
+        trail = self.trail
+        watches = self.watches
+        assign = self.assign
+        level = self.level
+        reason = self.reason
+        props = 0
+        while self.qhead < len(trail):
+            p = trail[self.qhead]
+            self.qhead += 1
+            props += 1
+            watchers = watches[p]
+            watches[p] = kept = []
+            falsed = p ^ 1
+            i = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # Ensure the falsified literal is at position 1.
+                if lits[0] == falsed:
+                    lits[0] = lits[1]
+                    lits[1] = falsed
+                first = lits[0]
+                a0 = assign[first >> 1]
+                if a0 >= 0 and (a0 ^ (first & 1)) == 1:
+                    kept.append(clause)
+                    continue
+                # Search for a new literal to watch.
+                found = False
+                for k in range(2, len(lits)):
+                    lk = lits[k]
+                    ak = assign[lk >> 1]
+                    if ak < 0 or (ak ^ (lk & 1)) == 1:
+                        lits[1] = lk
+                        lits[k] = falsed
+                        watches[lk ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting on `first`.
+                kept.append(clause)
+                if a0 >= 0:
+                    # first is FALSE: conflict. Restore remaining watchers.
+                    kept.extend(watchers[i:])
+                    self.qhead = len(trail)
+                    self.num_propagations += props
+                    return clause
+                v = first >> 1
+                assign[v] = 1 - (first & 1)
+                level[v] = len(self.trail_lim)
+                reason[v] = clause
+                trail.append(first)
+        self.num_propagations += props
+        return None
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _new_decision_level(self) -> None:
+        self.trail_lim.append(len(self.trail))
+
+    def _cancel_until(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        bound = self.trail_lim[target_level]
+        for idx in range(len(self.trail) - 1, bound - 1, -1):
+            literal = self.trail[idx]
+            v = literal >> 1
+            self.polarity[v] = (literal & 1) == 0
+            self.assign[v] = UNDEF
+            self.reason[v] = None
+            if self.order is not None and v not in self.order:
+                self.order.insert(v)
+        del self.trail[bound:]
+        del self.trail_lim[target_level:]
+        self.qhead = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (1-UIP)
+    # ------------------------------------------------------------------
+    def _bump_var(self, v: int) -> None:
+        self.activity[v] += self.var_inc
+        if self.activity[v] > 1e100:
+            for i in range(len(self.activity)):
+                self.activity[i] *= 1e-100
+            self.var_inc *= 1e-100
+        if self.order is not None:
+            self.order.bumped(v)
+
+    def _bump_clause(self, clause: Clause) -> None:
+        clause.activity += self.cla_inc
+        if clause.activity > 1e20:
+            for c in self.learnts:
+                c.activity *= 1e-20
+            self.cla_inc *= 1e-20
+
+    def _analyze(self, conflict: Clause) -> tuple[List[int], int]:
+        """Derive a 1-UIP learnt clause and its backjump level."""
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * self.num_vars
+        counter = 0
+        p: Optional[int] = None
+        clause: Optional[Clause] = conflict
+        index = len(self.trail) - 1
+        cur_level = self._decision_level()
+        while True:
+            assert clause is not None
+            if clause.learnt:
+                self._bump_clause(clause)
+            start = 0 if p is None else 1
+            for k in range(start, len(clause.lits)):
+                q = clause.lits[k]
+                v = q >> 1
+                if not seen[v] and self.level[v] > 0:
+                    seen[v] = True
+                    self._bump_var(v)
+                    if self.level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # Select next literal on the trail to resolve on.
+            while not seen[self.trail[index] >> 1]:
+                index -= 1
+            p = self.trail[index]
+            index -= 1
+            v = p >> 1
+            seen[v] = False
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self.reason[v]
+        learnt[0] = p ^ 1
+        # Clause minimization: drop literals implied by the rest.
+        kept = [learnt[0]]
+        for q in learnt[1:]:
+            r = self.reason[q >> 1]
+            if r is None:
+                kept.append(q)
+                continue
+            redundant = all(
+                seen[other >> 1] or self.level[other >> 1] == 0
+                for other in r.lits
+                if other != (q ^ 1)
+            )
+            if not redundant:
+                kept.append(q)
+        for q in kept:
+            seen[q >> 1] = True
+        learnt = kept
+        if len(learnt) == 1:
+            bt_level = 0
+        else:
+            # Move the literal with the highest level to position 1.
+            max_i = 1
+            for k in range(2, len(learnt)):
+                if self.level[learnt[k] >> 1] > self.level[learnt[max_i] >> 1]:
+                    max_i = k
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            bt_level = self.level[learnt[1] >> 1]
+        return learnt, bt_level
+
+    # ------------------------------------------------------------------
+    # Learnt-clause DB reduction
+    # ------------------------------------------------------------------
+    def _reduce_db(self) -> None:
+        self.learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self.learnts) // 2
+        removed = set()
+        for clause in self.learnts[:keep_from]:
+            if len(clause) > 2 and not self._is_reason(clause):
+                removed.add(id(clause))
+        if not removed:
+            return
+        self.learnts = [c for c in self.learnts if id(c) not in removed]
+        for wl in range(len(self.watches)):
+            self.watches[wl] = [
+                c for c in self.watches[wl] if id(c) not in removed
+            ]
+
+    def _is_reason(self, clause: Clause) -> bool:
+        v = clause[0] >> 1
+        return self.reason[v] is clause and self.value_lit(clause[0]) == TRUE
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _pick_branch_var(self) -> int:
+        if self.order is None:
+            from .heap import ActivityHeap
+
+            self.order = ActivityHeap(self.activity)
+            for v in range(self.num_vars):
+                self.order.insert(v)
+        while len(self.order):
+            v = self.order.pop_max()
+            if self.assign[v] == UNDEF:
+                return v
+        return -1
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        budget: Optional[Budget] = None,
+    ) -> Optional[bool]:
+        """Solve the formula under assumptions.
+
+        Returns True (SAT), False (UNSAT), or None if the budget ran out.
+        """
+        if not self.ok:
+            return False
+        self._cancel_until(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self.ok = False
+            return False
+        self.conflict_assumptions: List[int] = []
+        restart_idx = 1
+        restart_limit = 32 * luby(restart_idx)
+        conflicts_this_restart = 0
+        max_learnts = max(1000, len(self.clauses) // 2)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.num_conflicts += 1
+                conflicts_this_restart += 1
+                if budget is not None:
+                    budget.note_conflict()
+                    if budget.exhausted():
+                        self._cancel_until(0)
+                        return None
+                if self._decision_level() == 0:
+                    self.ok = False
+                    return False
+                learnt, bt_level = self._analyze(conflict)
+                self._cancel_until(bt_level)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    clause = Clause(learnt, learnt=True)
+                    self.learnts.append(clause)
+                    self._watch(clause)
+                    self._bump_clause(clause)
+                    self._enqueue(learnt[0], clause)
+                self.var_inc /= self.var_decay
+                self.cla_inc /= self.cla_decay
+                if len(self.learnts) > max_learnts:
+                    self._reduce_db()
+                    max_learnts = int(max_learnts * 1.3)
+                continue
+            if conflicts_this_restart >= restart_limit:
+                self.num_restarts += 1
+                restart_idx += 1
+                restart_limit = 32 * luby(restart_idx)
+                conflicts_this_restart = 0
+                self._cancel_until(0)
+                continue
+            # Respect assumptions before free decisions.
+            next_lit = None
+            for a in assumptions:
+                val = self.value_lit(a)
+                if val == FALSE:
+                    self._record_assumption_conflict(a, assumptions)
+                    self._cancel_until(0)
+                    return False
+                if val == UNDEF:
+                    next_lit = a
+                    break
+            if next_lit is not None:
+                self.num_decisions += 1
+                self._new_decision_level()
+                self._enqueue(next_lit, None)
+                continue
+            v = self._pick_branch_var()
+            if v < 0:
+                return True  # all variables assigned: SAT
+            self.num_decisions += 1
+            self._new_decision_level()
+            literal = 2 * v + (0 if self.polarity[v] else 1)
+            self._enqueue(literal, None)
+
+    def _record_assumption_conflict(
+        self, failed: int, assumptions: Sequence[int]
+    ) -> None:
+        """Record a (coarse) subset of assumptions responsible for failure."""
+        self.conflict_assumptions = [failed]
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+    def model(self) -> List[bool]:
+        """The satisfying assignment after a True result (per variable)."""
+        return [a == TRUE for a in self.assign]
+
+    def model_value(self, literal: int) -> bool:
+        return self.value_lit(literal) == TRUE
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "vars": self.num_vars,
+            "clauses": len(self.clauses),
+            "learnts": len(self.learnts),
+            "conflicts": self.num_conflicts,
+            "decisions": self.num_decisions,
+            "propagations": self.num_propagations,
+            "restarts": self.num_restarts,
+        }

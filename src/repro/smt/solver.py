@@ -1,0 +1,150 @@
+"""z3py-style ``Solver`` facade over the term layer, bit-blaster and CDCL.
+
+Supports incremental use: ``add`` asserts terms, ``push``/``pop`` manage
+scopes via activation literals (popped scopes are permanently disabled,
+which is how assumption-based incremental SAT implements retraction), and
+``check``/``model`` mirror the z3 calling convention closely enough that
+ParserHawk's CEGIS loop reads like the paper's pseudo-code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .bitblast import BitBlaster
+from .sat.clause import neg
+from .sat.solver import Budget, SatSolver
+from .terms import BOOL, Term, collect_vars
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+class Model:
+    """A satisfying assignment; evaluate variables or whole terms."""
+
+    def __init__(self, blaster: BitBlaster, assertions_vars: Iterable[Term]):
+        self._blaster = blaster
+        self._values: Dict[Term, int] = {}
+        for var in assertions_vars:
+            if var.sort == BOOL:
+                self._values[var] = self._blaster.model_bool(var)
+            else:
+                self._values[var] = self._blaster.model_bv(var)
+
+    def __getitem__(self, var: Term):
+        if var in self._values:
+            return self._values[var]
+        # Variable never asserted: default value.
+        return False if var.sort == BOOL else 0
+
+    def __contains__(self, var: Term) -> bool:
+        return var in self._values
+
+    def eval(self, term: Term):
+        """Evaluate an arbitrary term under this model."""
+        from .terms import evaluate
+
+        env = dict(self._values)
+        for var in collect_vars(term):
+            if var not in env:
+                env[var] = False if var.sort == BOOL else 0
+        return evaluate(term, env)
+
+    def variables(self) -> List[Term]:
+        return list(self._values)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{v.extra[0]}={val}" for v, val in sorted(
+                self._values.items(), key=lambda kv: kv[0].extra[0]
+            )
+        )
+        return f"Model({parts})"
+
+
+class Solver:
+    """Incremental SMT solver for the Bool+BitVec fragment."""
+
+    def __init__(self) -> None:
+        self._sat = SatSolver()
+        self._blaster = BitBlaster(self._sat)
+        self._scope_lits: List[int] = []
+        self._vars: set[Term] = set()
+        self._model: Optional[Model] = None
+        self._last_result = UNKNOWN
+
+    # ------------------------------------------------------------------
+    def add(self, *terms: Term) -> None:
+        """Assert one or more Bool terms in the current scope."""
+        for term in terms:
+            if not isinstance(term, Term) or term.sort != BOOL:
+                raise TypeError(f"Solver.add expects Bool terms, got {term!r}")
+            collect_vars(term, self._vars)
+            guard = [self._scope_lits[-1]] if self._scope_lits else None
+            self._blaster.assert_term(term, guard_lits=guard)
+
+    def push(self) -> None:
+        """Open a retractable assertion scope."""
+        act = self._blaster.fresh_lit()
+        self._scope_lits.append(act)
+
+    def pop(self) -> None:
+        """Discard the most recent scope's assertions."""
+        if not self._scope_lits:
+            raise RuntimeError("pop without matching push")
+        act = self._scope_lits.pop()
+        self._sat.add_clause([neg(act)])
+
+    def check(
+        self,
+        *assumptions: Term,
+        max_conflicts: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ) -> str:
+        """Solve; returns "sat", "unsat", or "unknown" (budget exhausted)."""
+        assume_lits = list(self._scope_lits)
+        for term in assumptions:
+            if not isinstance(term, Term) or term.sort != BOOL:
+                raise TypeError(f"assumption must be Bool, got {term!r}")
+            collect_vars(term, self._vars)
+            assume_lits.append(self._blaster.bool_lit(term))
+        budget = None
+        if max_conflicts is not None or max_seconds is not None:
+            budget = Budget(max_conflicts=max_conflicts, max_seconds=max_seconds)
+        result = self._sat.solve(assume_lits, budget=budget)
+        if result is None:
+            self._last_result = UNKNOWN
+        elif result:
+            self._model = Model(self._blaster, self._vars)
+            self._last_result = SAT
+        else:
+            self._model = None
+            self._last_result = UNSAT
+        return self._last_result
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise RuntimeError("model() requires a prior sat check()")
+        return self._model
+
+    def stats(self) -> Dict[str, int]:
+        return self._sat.stats()
+
+    @property
+    def sat_solver(self) -> SatSolver:
+        return self._sat
+
+    @property
+    def blaster(self) -> BitBlaster:
+        return self._blaster
+
+
+def solve_terms(*terms: Term, **kwargs) -> Optional[Model]:
+    """One-shot convenience: returns a Model or None (unsat/unknown)."""
+    solver = Solver()
+    solver.add(*terms)
+    if solver.check(**kwargs) == SAT:
+        return solver.model()
+    return None

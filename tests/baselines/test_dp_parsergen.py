@@ -1,0 +1,175 @@
+"""DPParserGen baseline: correctness on supported inputs, documented
+restrictions, and the suboptimality ParserHawk exploits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BaselineRejected, dp_parsergen
+from repro.core import compile_spec
+from repro.hw import custom_profile, ipu_profile
+from repro.ir import parse_spec
+from tests.conftest import assert_program_matches_spec
+
+DEVICE = custom_profile(key_limit=8, tcam_limit=64, lookahead_limit=8)
+
+SUPPORTED = """
+header h { k : 4; x : 2; }
+parser P {
+    state start {
+        extract(h.k);
+        transition select(h.k) {
+            15 : n1; 11 : n1; 14 : n2; default : accept;
+        }
+    }
+    state n1 { extract(h.x); transition accept; }
+    state n2 { transition reject; }
+}
+"""
+
+
+class TestCorrectness:
+    def test_output_matches_spec(self, rng):
+        spec = parse_spec(SUPPORTED)
+        result = dp_parsergen.compile_spec(spec, DEVICE)
+        assert result.ok
+        assert_program_matches_spec(spec, result.program, rng)
+
+    def test_split_output_matches_spec(self, rng):
+        spec = parse_spec(SUPPORTED)
+        narrow = custom_profile(key_limit=2, tcam_limit=64, lookahead_limit=8)
+        result = dp_parsergen.compile_spec(spec, narrow)
+        assert result.ok
+        assert_program_matches_spec(spec, result.program, rng)
+
+    def test_clusters_unconditional_chains(self):
+        spec = parse_spec(
+            """
+            header h { a : 2; b : 2; c : 2; }
+            parser P {
+                state start { extract(h.a); transition s1; }
+                state s1 { extract(h.b); transition s2; }
+                state s2 { extract(h.c); transition accept; }
+            }
+            """
+        )
+        result = dp_parsergen.compile_spec(spec, DEVICE)
+        assert result.num_entries == 1  # the DP's clustering win
+
+
+class TestRestrictions:
+    def test_rejects_pipelined_target(self):
+        spec = parse_spec(SUPPORTED)
+        with pytest.raises(BaselineRejected) as exc:
+            dp_parsergen.compile_spec(spec, ipu_profile())
+        assert exc.value.reason == "Single-TCAM only"
+
+    def test_rejects_lookahead(self):
+        spec = parse_spec(
+            """
+            header h { a : 2; b : 2; }
+            parser P {
+                state start {
+                    extract(h.a);
+                    transition select(lookahead(2)) {
+                        1 : n; default : accept;
+                    }
+                }
+                state n { extract(h.b); transition accept; }
+            }
+            """
+        )
+        with pytest.raises(BaselineRejected) as exc:
+            dp_parsergen.compile_spec(spec, DEVICE)
+        assert exc.value.reason == "No lookahead"
+
+    def test_rejects_non_local_key(self):
+        spec = parse_spec(
+            """
+            header h { a : 2; b : 2; }
+            parser P {
+                state start { extract(h.a); transition next; }
+                state next {
+                    extract(h.b);
+                    transition select(h.a) { 1 : accept; default : reject; }
+                }
+            }
+            """
+        )
+        with pytest.raises(BaselineRejected) as exc:
+            dp_parsergen.compile_spec(spec, DEVICE)
+        assert exc.value.reason == "Key not local"
+
+    def test_rejects_mask_arms(self):
+        spec = parse_spec(
+            """
+            header h { a : 4; b : 2; }
+            parser P {
+                state start {
+                    extract(h.a);
+                    transition select(h.a) {
+                        0b1000 &&& 0b1100 : n; default : accept;
+                    }
+                }
+                state n { extract(h.b); transition accept; }
+            }
+            """
+        )
+        with pytest.raises(BaselineRejected) as exc:
+            dp_parsergen.compile_spec(spec, DEVICE)
+        assert exc.value.reason == "No wildcard match"
+
+    def test_rejects_accept_on_value(self):
+        spec = parse_spec(
+            """
+            header h { a : 4; }
+            parser P {
+                state start {
+                    extract(h.a);
+                    transition select(h.a) { 0 : accept; default : reject; }
+                }
+            }
+            """
+        )
+        with pytest.raises(BaselineRejected) as exc:
+            dp_parsergen.compile_spec(spec, DEVICE)
+        assert exc.value.reason == "No accept on value"
+
+    def test_rejects_on_tcam_overflow(self):
+        spec = parse_spec(SUPPORTED)
+        tiny = custom_profile(key_limit=8, tcam_limit=2, lookahead_limit=8)
+        with pytest.raises(BaselineRejected) as exc:
+            dp_parsergen.compile_spec(spec, tiny)
+        assert exc.value.reason == "Too many TCAM"
+
+
+class TestSuboptimality:
+    def test_parserhawk_never_worse(self):
+        spec = parse_spec(SUPPORTED)
+        dp = dp_parsergen.compile_spec(spec, DEVICE)
+        ph = compile_spec(spec, DEVICE)
+        assert ph.ok
+        assert ph.num_entries <= dp.num_entries
+
+    def test_first_fit_merging_misses_reorderings(self, rng):
+        # {15, 11, 7, 3} interleaved with an unmergeable value: first-fit
+        # scans in order and cannot recover the **11 cube cleanly.
+        spec = parse_spec(
+            """
+            header h { k : 4; x : 2; }
+            parser P {
+                state start {
+                    extract(h.k);
+                    transition select(h.k) {
+                        15 : n1; 11 : n1; 7 : n1; 3 : n1; default : accept;
+                    }
+                }
+                state n1 { extract(h.x); transition accept; }
+            }
+            """
+        )
+        dp = dp_parsergen.compile_spec(spec, DEVICE)
+        ph = compile_spec(spec, DEVICE)
+        assert ph.ok
+        assert ph.num_entries < dp.num_entries
+        assert_program_matches_spec(spec, dp.program, rng)

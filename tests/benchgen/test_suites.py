@@ -1,0 +1,78 @@
+"""Benchmark-suite integrity: every row parses, lints, and every mutation
+preserves the base program's semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen import (
+    BASE_PROGRAMS,
+    EXTRA_BENCHMARKS,
+    MUTATIONS,
+    TABLE3_ROWS,
+    benchmark_by_label,
+)
+from repro.benchgen.suites import Benchmark
+from repro.ir import parse_spec
+from repro.ir.analysis import check_extract_before_use, has_loops
+from tests.conftest import assert_specs_equivalent
+
+ALL_ROWS = TABLE3_ROWS + EXTRA_BENCHMARKS
+
+
+class TestSuiteIntegrity:
+    def test_row_count_matches_paper_scale(self):
+        # The paper evaluates 29 Table 3 rows.
+        assert len(TABLE3_ROWS) == 29
+
+    @pytest.mark.parametrize("name", sorted(BASE_PROGRAMS))
+    def test_base_program_parses_and_lints(self, name):
+        spec = parse_spec(BASE_PROGRAMS[name])
+        assert check_extract_before_use(spec) == []
+
+    @pytest.mark.parametrize(
+        "bench", ALL_ROWS, ids=[b.row_label for b in ALL_ROWS]
+    )
+    def test_mutated_spec_builds_and_lints(self, bench):
+        spec = bench.spec()
+        assert check_extract_before_use(spec) == []
+
+    @pytest.mark.parametrize(
+        "bench",
+        [b for b in ALL_ROWS if b.mutations],
+        ids=[b.row_label for b in ALL_ROWS if b.mutations],
+    )
+    def test_mutations_preserve_semantics(self, bench, rng):
+        base = parse_spec(BASE_PROGRAMS[bench.base])
+        mutated = bench.spec()
+        assert_specs_equivalent(base, mutated, rng, samples=120, max_len=48)
+
+    def test_mpls_is_the_loop_benchmark(self):
+        assert has_loops(parse_spec(BASE_PROGRAMS["parse_mpls"]))
+
+    def test_unroll_mutation_removes_loop(self):
+        bench = benchmark_by_label("Parse MPLS +unroll")
+        assert not has_loops(bench.spec())
+
+    def test_merge_mutation_collapses_pure_extraction(self):
+        bench = benchmark_by_label("Pure Extraction states +merge")
+        assert len(bench.spec().states) == 1
+
+    def test_lookup_by_label(self):
+        bench = benchmark_by_label("Sai V2 +R1 +R2")
+        assert bench.base == "sai_v2"
+        with pytest.raises(KeyError):
+            benchmark_by_label("nope")
+
+    def test_row_labels_unique(self):
+        labels = [b.row_label for b in ALL_ROWS]
+        assert len(labels) == len(set(labels))
+
+    def test_unknown_mutation_rejected(self):
+        bench = Benchmark("x", "parse_ethernet", ("+R99",))
+        with pytest.raises(KeyError):
+            bench.spec()
+
+    def test_all_mutations_registered(self):
+        used = {m for b in ALL_ROWS for m in b.mutations}
+        assert used <= set(MUTATIONS)

@@ -1,0 +1,94 @@
+"""Behavioural-model tests: parser feeding match-action tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bmv2 import DROP, BehavioralModel, MatchActionTable
+from repro.ir import Bits, parse_spec
+from repro.packets import Ether, IPv4, TCP
+
+SPEC = """
+header h { tag : 4; value : 4; }
+parser P {
+    state start {
+        extract(h.tag);
+        transition select(h.tag) {
+            0xA : payload;
+            default : reject;
+        }
+    }
+    state payload { extract(h.value); transition accept; }
+}
+"""
+
+
+@pytest.fixture
+def model():
+    return BehavioralModel(parse_spec(SPEC))
+
+
+class TestParsing:
+    def test_parse_from_bits(self, model):
+        result = model.parse(Bits.from_str("1010" "0110"))
+        assert result.accepted and result.od["h.value"] == 6
+
+    def test_parse_from_bytes(self, model):
+        result = model.parse(bytes([0xA6]))
+        assert result.accepted
+
+    def test_parse_from_header_object(self):
+        spec = parse_spec(
+            """
+            header ethernet { dst : 48; src : 48; etherType : 16; }
+            parser P { state start { extract(ethernet); transition accept; } }
+            """
+        )
+        model = BehavioralModel(spec)
+        result = model.parse(Ether(etherType=0x0800) / IPv4() / TCP())
+        assert result.od["ethernet.etherType"] == 0x0800
+
+
+class TestTables:
+    def test_exact_match_forwards(self, model):
+        table = model.add_table(MatchActionTable("t", "h.value", 4))
+        table.add_exact(6, port=2)
+        assert model.process(Bits.from_str("1010" "0110")).port == 2
+
+    def test_miss_uses_default(self, model):
+        table = model.add_table(MatchActionTable("t", "h.value", 4))
+        table.add_exact(6, port=2)
+        table.set_default(5)
+        assert model.process(Bits.from_str("1010" "0001")).port == 5
+
+    def test_miss_drops_by_default(self, model):
+        model.add_table(MatchActionTable("t", "h.value", 4))
+        assert model.process(Bits.from_str("1010" "0001")).port == DROP
+
+    def test_parser_reject_short_circuits(self, model):
+        table = model.add_table(MatchActionTable("t", "h.value", 4))
+        table.set_default(1)
+        result = model.process(Bits.from_str("0000" "0110"))
+        assert result.port == DROP
+        assert result.parse.outcome == "reject"
+
+    def test_chained_tables_all_must_pass(self, model):
+        t1 = model.add_table(MatchActionTable("t1", "h.tag", 4))
+        t1.add_exact(0xA, port=1)
+        t2 = model.add_table(MatchActionTable("t2", "h.value", 4))
+        t2.add_exact(6, port=9)
+        out = model.process(Bits.from_str("1010" "0110"))
+        assert out.port == 9
+        assert len(out.matched_rules) == 2
+
+    def test_missing_key_field_uses_default(self, model):
+        table = model.add_table(MatchActionTable("t", "h.ghost", 4))
+        table.set_default(4)
+        assert model.process(Bits.from_str("1010" "0110")).port == 4
+
+    def test_ternary_priority(self, model):
+        table = model.add_table(MatchActionTable("t", "h.value", 4))
+        table.add_ternary(0b0100, 0b0100, port=1, label="bit2")
+        table.add_exact(6, port=2)
+        # 6 = 0b0110 matches the ternary rule first.
+        assert model.process(Bits.from_str("1010" "0110")).port == 1

@@ -1,0 +1,90 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ir import Bits, parse_spec, simulate_spec
+from repro.ir.simulator import equivalent_behavior
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+def random_bits(rng: random.Random, max_len: int = 48) -> Bits:
+    length = rng.randint(0, max_len)
+    return Bits(rng.getrandbits(length) if length else 0, length)
+
+
+def assert_specs_equivalent(spec_a, spec_b, rng, samples=200, max_len=48):
+    """Differential testing helper: both specs agree on random inputs."""
+    for _ in range(samples):
+        bits = random_bits(rng, max_len)
+        ra = simulate_spec(spec_a, bits)
+        rb = simulate_spec(spec_b, bits)
+        assert ra.outcome == rb.outcome, (bits, ra.outcome, rb.outcome)
+        if ra.outcome == "accept":
+            assert ra.od == rb.od and ra.od_widths == rb.od_widths, (
+                bits,
+                ra.describe_difference(rb),
+            )
+
+
+def assert_program_matches_spec(spec, program, rng, samples=300, max_len=64):
+    """Differential testing helper: impl program agrees with the spec."""
+    for _ in range(samples):
+        bits = random_bits(rng, max_len)
+        expected = simulate_spec(spec, bits)
+        got = program.simulate(bits)
+        assert equivalent_behavior(expected, got), (
+            bits,
+            expected.outcome,
+            got.outcome,
+            expected.describe_difference(got),
+        )
+
+
+# Small specs reused across test modules -----------------------------------
+
+TWO_STATE = """
+header h { field0 : 4; field1 : 4; }
+parser Spec2 {
+    state start {
+        extract(h.field0);
+        transition select(h.field0[0:0]) { 0 : state1; default : accept; }
+    }
+    state state1 { extract(h.field1); transition accept; }
+}
+"""
+
+ETH_DISPATCH = """
+header eth  { dst : 4; src : 4; etherType : 4; }
+header ipv4 { ver : 2; proto : 4; }
+header vlan { vid : 4; }
+parser Dispatch {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            0x8 : parse_ipv4;
+            0x1 : parse_vlan;
+            default : accept;
+        }
+    }
+    state parse_ipv4 { extract(ipv4); transition accept; }
+    state parse_vlan { extract(vlan); transition accept; }
+}
+"""
+
+
+@pytest.fixture
+def two_state_spec():
+    return parse_spec(TWO_STATE)
+
+
+@pytest.fixture
+def dispatch_spec():
+    return parse_spec(ETH_DISPATCH)

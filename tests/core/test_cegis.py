@@ -1,0 +1,129 @@
+"""CEGIS machinery: directed test generation and per-budget synthesis."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import CompileOptions, build_skeleton, prepare_spec
+from repro.core.cegis import (
+    SynthesisTimeout,
+    initial_tests,
+    synthesize_for_budget,
+)
+from repro.core.skeleton import entry_lower_bound
+from repro.hw import tofino_profile
+from repro.ir import parse_spec, simulate_spec
+
+TOFINO = tofino_profile(
+    key_limit=8, tcam_limit=64, lookahead_limit=8, extract_limit=64
+)
+
+
+@pytest.fixture
+def dispatch():
+    return parse_spec(
+        """
+        header eth  { dst : 4; etherType : 4; }
+        header ipv4 { proto : 4; }
+        parser P {
+            state start {
+                extract(eth);
+                transition select(eth.etherType) {
+                    0x8 : parse_ipv4;
+                    default : accept;
+                }
+            }
+            state parse_ipv4 { extract(ipv4); transition accept; }
+        }
+        """
+    )
+
+
+class TestInitialTests:
+    def test_expectations_match_simulator(self, dispatch):
+        rng = random.Random(0)
+        for bits, expected in initial_tests(dispatch, rng):
+            assert simulate_spec(dispatch, bits).same_output(expected)
+
+    def test_covers_every_reachable_rule(self, dispatch):
+        rng = random.Random(0)
+        tests = initial_tests(dispatch, rng)
+        # Some test must reach parse_ipv4 and some must take the default.
+        paths = {tuple(expected.path) for _b, expected in tests}
+        assert ("start", "parse_ipv4") in paths
+        assert ("start",) in paths
+
+    def test_includes_truncated_input(self, dispatch):
+        rng = random.Random(0)
+        tests = initial_tests(dispatch, rng)
+        assert any(expected.outcome == "reject" for _b, expected in tests)
+
+    def test_deduplication(self, dispatch):
+        rng = random.Random(0)
+        tests = initial_tests(dispatch, rng)
+        inputs = [bits for bits, _e in tests]
+        assert len(inputs) == len(set(inputs))
+
+
+class TestEntryLowerBound:
+    def test_counts_distinct_destinations(self, dispatch):
+        # start -> {parse_ipv4, accept} = 2, parse_ipv4 -> {accept} = 1.
+        assert entry_lower_bound(dispatch, TOFINO) == 3
+
+    def test_reject_destinations_free(self):
+        spec = parse_spec(
+            """
+            header h { a : 4; }
+            parser P {
+                state start {
+                    extract(h.a);
+                    transition select(h.a) { 1 : accept; default : reject; }
+                }
+            }
+            """
+        )
+        assert entry_lower_bound(spec, TOFINO) == 1
+
+    def test_bound_is_sound(self, dispatch):
+        from repro.core import compile_spec
+
+        result = compile_spec(dispatch, TOFINO)
+        assert result.ok
+        assert result.num_entries >= entry_lower_bound(dispatch, TOFINO)
+
+
+class TestSynthesizeForBudget:
+    def test_success_at_adequate_budget(self, dispatch):
+        synth, _plan = prepare_spec(
+            dispatch, pipelined=False, minimize_widths=True, fix_varbits=True
+        )
+        skeleton = build_skeleton(
+            synth, TOFINO, CompileOptions(), num_entries=3, allow_loops=False
+        )
+        outcome = synthesize_for_budget(skeleton, random.Random(0))
+        assert outcome.feasible and outcome.program is not None
+        assert outcome.iterations >= 1
+
+    def test_unsat_below_lower_bound(self, dispatch):
+        synth, _plan = prepare_spec(
+            dispatch, pipelined=False, minimize_widths=True, fix_varbits=True
+        )
+        skeleton = build_skeleton(
+            synth, TOFINO, CompileOptions(), num_entries=2, allow_loops=False
+        )
+        outcome = synthesize_for_budget(skeleton, random.Random(0))
+        assert not outcome.feasible
+
+    def test_timeout_raises(self, dispatch):
+        synth, _plan = prepare_spec(
+            dispatch, pipelined=False, minimize_widths=True, fix_varbits=True
+        )
+        skeleton = build_skeleton(
+            synth, TOFINO, CompileOptions(), num_entries=3, allow_loops=False
+        )
+        with pytest.raises(SynthesisTimeout):
+            synthesize_for_budget(
+                skeleton, random.Random(0), max_seconds=0.0
+            )

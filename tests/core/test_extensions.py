@@ -1,0 +1,164 @@
+"""The Figure 23 future-work extension: common-suffix factoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compile_spec
+from repro.core.extensions import (
+    equivalent_modulo_renaming,
+    factor_common_suffixes,
+)
+from repro.hw import tofino_profile
+from repro.ir import parse_spec
+
+# The Figure 23 shape: F0 and F1 both end in a 'common' field with
+# identical select behaviour.
+FIG23 = """
+header f0 { f00 : 4; common : 4; }
+header f1 { f01 : 4; common : 4; }
+header n  { x : 2; }
+parser Fig23 {
+    state start {
+        extract(f0.f00);
+        transition select(lookahead(1)) {
+            1 : parse_f0_common;
+            default : parse_f1;
+        }
+    }
+    state parse_f0_common {
+        extract(f0.common);
+        transition select(f0.common) {
+            0x3 : nextv0; 0x7 : nextv0; 0xB : nextv1; default : accept;
+        }
+    }
+    state parse_f1 {
+        extract(f1.f01);
+        transition parse_f1_common;
+    }
+    state parse_f1_common {
+        extract(f1.common);
+        transition select(f1.common) {
+            0x3 : nextv0; 0x7 : nextv0; 0xB : nextv1; default : accept;
+        }
+    }
+    state nextv0 { extract(n.x); transition accept; }
+    state nextv1 { transition reject; }
+}
+"""
+
+DEVICE = tofino_profile(key_limit=8, tcam_limit=64, lookahead_limit=8)
+
+
+class TestFactoring:
+    def test_detects_the_common_pair(self):
+        spec = parse_spec(FIG23)
+        factored = factor_common_suffixes(spec)
+        assert factored.changed
+        assert factored.factored_groups == [
+            ["parse_f0_common", "parse_f1_common"]
+        ]
+
+    def test_factored_states_lose_their_rules(self):
+        spec = parse_spec(FIG23)
+        factored = factor_common_suffixes(spec)
+        for member in factored.factored_groups[0]:
+            state = factored.spec.states[member]
+            assert state.is_unconditional
+
+    def test_common_state_carries_the_select(self):
+        spec = parse_spec(FIG23)
+        factored = factor_common_suffixes(spec)
+        common = factored.spec.states["common1"]
+        assert len(common.rules) == 4
+        assert common.extracts == ("common1.f0",)
+
+    def test_equivalent_modulo_renaming(self):
+        spec = parse_spec(FIG23)
+        factored = factor_common_suffixes(spec)
+        assert equivalent_modulo_renaming(spec, factored, samples=250)
+
+    def test_renames_recorded(self):
+        spec = parse_spec(FIG23)
+        factored = factor_common_suffixes(spec)
+        assert factored.renames[("parse_f0_common", "f0.common")] == (
+            "common1.f0"
+        )
+        assert factored.renames[("parse_f1_common", "f1.common")] == (
+            "common1.f0"
+        )
+
+    def test_saves_tcam_entries(self):
+        spec = parse_spec(FIG23)
+        factored = factor_common_suffixes(spec)
+        before = compile_spec(spec, DEVICE)
+        after = compile_spec(factored.spec, DEVICE)
+        assert before.ok and after.ok
+        assert after.num_entries < before.num_entries
+
+
+class TestNonApplicability:
+    def test_single_candidate_not_factored(self, dispatch_spec):
+        factored = factor_common_suffixes(dispatch_spec)
+        assert not factored.changed
+        assert factored.spec is dispatch_spec
+
+    def test_different_rules_not_factored(self):
+        spec = parse_spec(
+            """
+            header a { c : 4; }
+            header b { c : 4; }
+            parser P {
+                state start {
+                    extract(a.c);
+                    transition select(a.c) { 1 : other; default : accept; }
+                }
+                state other {
+                    extract(b.c);
+                    transition select(b.c) { 2 : accept; default : reject; }
+                }
+            }
+            """
+        )
+        assert not factor_common_suffixes(spec).changed
+
+    def test_group_internal_destinations_not_factored(self):
+        # States whose shared rules point back into the group cannot share
+        # a common state (it could not tell which original it came from).
+        spec = parse_spec(
+            """
+            header a { c : 2; }
+            header b { c : 2; }
+            parser P {
+                state start {
+                    extract(a.c);
+                    transition select(a.c) { 1 : s2; default : accept; }
+                }
+                state s2 {
+                    extract(b.c);
+                    transition select(b.c) { 1 : s2; default : accept; }
+                }
+            }
+            """
+        )
+        factored = factor_common_suffixes(spec)
+        assert not factored.changed
+
+    def test_stack_fields_not_factored(self):
+        spec = parse_spec(
+            """
+            header m { v : 2 stack 2; }
+            header n { v : 2 stack 2; }
+            parser P {
+                state start {
+                    extract(m.v);
+                    transition select(m.v) { 1 : accept; default : reject; }
+                }
+                state s2 {
+                    extract(n.v);
+                    transition select(n.v) { 1 : accept; default : reject; }
+                }
+            }
+            """
+        )
+        assert not factor_common_suffixes(spec).changed

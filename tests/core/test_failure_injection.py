@@ -1,0 +1,154 @@
+"""Failure injection: corrupt a verified-correct TCAM program in every
+structural way and confirm the verification machinery (exact verifier and
+Figure 22 random check) catches each corruption.
+
+This is the negative-space test for §7.1: the checks must not only pass
+on good programs, they must FAIL on bad ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compile_spec, verify_equivalent
+from repro.core.validate import random_simulation_check
+from repro.hw import (
+    ACCEPT_SID,
+    ImplEntry,
+    REJECT_SID,
+    TcamProgram,
+    TernaryPattern,
+    tofino_profile,
+)
+from repro.ir import parse_spec
+
+DEVICE = tofino_profile(key_limit=8, tcam_limit=64, lookahead_limit=8)
+
+SPEC = parse_spec(
+    """
+    header eth  { dst : 4; etherType : 4; }
+    header ipv4 { proto : 4; }
+    header vlan { vid : 4; }
+    parser P {
+        state start {
+            extract(eth);
+            transition select(eth.etherType) {
+                0x8 : parse_ipv4;
+                0x1 : parse_vlan;
+                default : accept;
+            }
+        }
+        state parse_ipv4 { extract(ipv4); transition accept; }
+        state parse_vlan { extract(vlan); transition accept; }
+    }
+    """
+)
+
+
+@pytest.fixture(scope="module")
+def good_program():
+    result = compile_spec(SPEC, DEVICE)
+    assert result.ok
+    assert verify_equivalent(SPEC, result.program) is None
+    return result.program
+
+
+def rebuild(program: TcamProgram, entries) -> TcamProgram:
+    return TcamProgram(
+        dict(program.fields),
+        list(program.states),
+        entries,
+        program.start_sid,
+        program.source_name,
+    )
+
+
+def corruptions(program: TcamProgram):
+    """Yield (label, corrupted_program) variants."""
+    entries = list(program.entries)
+    # 1. Flip one pattern value bit of each keyed entry.
+    for i, entry in enumerate(entries):
+        if entry.pattern.width == 0 or entry.pattern.mask == 0:
+            continue
+        low_bit = entry.pattern.mask & -entry.pattern.mask
+        flipped = ImplEntry(
+            entry.sid,
+            TernaryPattern(
+                entry.pattern.value ^ low_bit,
+                entry.pattern.mask,
+                entry.pattern.width,
+            ),
+            entry.next_sid,
+        )
+        yield f"flip-value[{i}]", rebuild(
+            program, entries[:i] + [flipped] + entries[i + 1 :]
+        )
+    # 2. Redirect each entry's destination.
+    for i, entry in enumerate(entries):
+        new_dest = REJECT_SID if entry.next_sid != REJECT_SID else ACCEPT_SID
+        redirected = ImplEntry(entry.sid, entry.pattern, new_dest)
+        yield f"redirect[{i}]", rebuild(
+            program, entries[:i] + [redirected] + entries[i + 1 :]
+        )
+    # 3. Drop each entry.
+    for i in range(len(entries)):
+        yield f"drop[{i}]", rebuild(
+            program, entries[:i] + entries[i + 1 :]
+        )
+    # 4. Widen a specific entry's mask to catch-all (shadows later rules).
+    for i, entry in enumerate(entries):
+        if entry.pattern.mask == 0:
+            continue
+        widened = ImplEntry(
+            entry.sid,
+            TernaryPattern(0, 0, entry.pattern.width),
+            entry.next_sid,
+        )
+        yield f"widen[{i}]", rebuild(
+            program, entries[:i] + [widened] + entries[i + 1 :]
+        )
+
+
+def test_every_corruption_caught_by_exact_verifier(good_program):
+    count = 0
+    for label, corrupted in corruptions(good_program):
+        cex = verify_equivalent(SPEC, corrupted)
+        assert cex is not None, f"verifier missed corruption {label}"
+        count += 1
+    assert count >= 8  # the program is rich enough to corrupt many ways
+
+
+def test_most_corruptions_caught_by_random_check(good_program):
+    """The sampling check (Figure 22) is probabilistic; it must catch the
+    overwhelming majority of injected faults."""
+    total = 0
+    caught = 0
+    for label, corrupted in corruptions(good_program):
+        total += 1
+        report = random_simulation_check(SPEC, corrupted, samples=400)
+        if not report.passed:
+            caught += 1
+    assert caught / total >= 0.9, f"only {caught}/{total} faults caught"
+
+
+def test_swapped_entry_priority_within_state(good_program):
+    """Swapping two entries of one state changes priority; if their
+    patterns overlap the verifier must notice, and if it accepts the swap
+    the programs must truly be equivalent."""
+    entries = list(good_program.entries)
+    by_state = {}
+    for i, e in enumerate(entries):
+        by_state.setdefault(e.sid, []).append(i)
+    for sid, idxs in by_state.items():
+        if len(idxs) < 2:
+            continue
+        i, j = idxs[0], idxs[1]
+        swapped = list(entries)
+        swapped[i], swapped[j] = swapped[j], swapped[i]
+        candidate = rebuild(good_program, swapped)
+        cex = verify_equivalent(SPEC, candidate)
+        overlap = entries[i].pattern.overlaps(entries[j].pattern)
+        if cex is None:
+            # Accepting the swap is only sound for disjoint patterns.
+            assert not overlap or random_simulation_check(
+                SPEC, candidate, samples=500
+            ).passed

@@ -1,0 +1,87 @@
+"""The paper's worked examples as regression tests: Table 1 (Spec1/Spec2),
+the Figure 3/4 motivating example, and the §3 suboptimality stories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BaselineRejected, dp_parsergen
+from repro.core import compile_spec
+from repro.core.validate import random_simulation_check
+from repro.harness.figures import SPEC1, SPEC2
+from repro.harness.table4 import ME1, ME3
+from repro.hw import custom_profile, tofino_profile
+from repro.ir import parse_spec
+
+
+class TestTable1:
+    def test_spec1_collapses_to_one_row(self):
+        result = compile_spec(parse_spec(SPEC1), tofino_profile())
+        assert result.ok
+        # Unconditional extraction chain: a single catch-all row.
+        assert result.num_entries == 1
+
+    def test_spec2_needs_conditional_rows(self):
+        spec = parse_spec(SPEC2)
+        result = compile_spec(spec, tofino_profile())
+        assert result.ok
+        # Table 1's Impl2: the conditional pair plus the exit row.
+        assert result.num_entries == 3
+        assert random_simulation_check(spec, result.program, samples=300).passed
+
+    def test_spec2_keys_on_field0_bit0(self):
+        spec = parse_spec(SPEC2)
+        result = compile_spec(spec, tofino_profile())
+        start = result.program.states[0]
+        assert any("field0" in str(k) for k in start.key)
+
+
+class TestFigure4:
+    """Figure 4's two devices: the same program costs more on the
+    2-bit-window device, and ParserHawk always beats the DP baseline."""
+
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return parse_spec(ME1)
+
+    def test_device_b_merges_to_optimal(self, spec):
+        device = custom_profile(key_limit=4, tcam_limit=64, lookahead_limit=4)
+        result = compile_spec(spec, device)
+        assert result.ok
+        dp = dp_parsergen.compile_spec(spec, device)
+        assert result.num_entries < dp.num_entries
+
+    def test_merged_cube_found(self, spec):
+        # The {15,11,7,3} -> n1 merge must appear as a **11-style pattern.
+        device = custom_profile(key_limit=4, tcam_limit=64, lookahead_limit=4)
+        result = compile_spec(spec, device)
+        patterns = {
+            e.pattern.to_wildcard_string() for e in result.program.entries
+        }
+        assert "**11" in patterns
+
+    def test_device_a_key_split_still_beats_dp(self, spec):
+        device = custom_profile(key_limit=2, tcam_limit=64, lookahead_limit=4)
+        result = compile_spec(spec, device)
+        assert result.ok
+        assert all(
+            s.key_width <= 2 for s in result.program.states
+        )
+        dp = dp_parsergen.compile_spec(spec, device)
+        assert result.num_entries < dp.num_entries
+        assert random_simulation_check(spec, result.program, samples=400).passed
+
+
+class TestME3RedundantEntries:
+    def test_parserhawk_collapses_to_one(self):
+        spec = parse_spec(ME3)
+        device = custom_profile(key_limit=16, tcam_limit=64, lookahead_limit=2)
+        result = compile_spec(spec, device)
+        assert result.ok
+        assert result.num_entries == 1
+
+    def test_dp_keeps_all_entries(self):
+        spec = parse_spec(ME3)
+        device = custom_profile(key_limit=16, tcam_limit=64, lookahead_limit=2)
+        dp = dp_parsergen.compile_spec(spec, device)
+        assert dp.num_entries >= 9

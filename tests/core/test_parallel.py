@@ -1,0 +1,82 @@
+"""Opt7 parallel portfolio tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CompileOptions,
+    compile_spec,
+    derive_subproblems,
+    portfolio_compile,
+)
+from repro.hw import tofino_profile
+from repro.ir import parse_spec
+from tests.conftest import assert_program_matches_spec
+
+DEVICE = tofino_profile(key_limit=8, tcam_limit=64, lookahead_limit=8)
+
+
+class TestSubproblemDerivation:
+    def test_loop_free_arm_first_for_acyclic_spec(self, dispatch_spec):
+        subs = derive_subproblems(dispatch_spec, DEVICE, CompileOptions())
+        assert "loop-free" in subs[0].label
+
+    def test_key_levels_derived(self, dispatch_spec):
+        subs = derive_subproblems(dispatch_spec, DEVICE, CompileOptions())
+        levels = {s.device.key_limit for s in subs}
+        assert DEVICE.key_limit in levels
+        assert len(levels) >= 2  # at least one tighter level
+
+    def test_loopy_spec_single_loop_arm(self):
+        spec = parse_spec(
+            """
+            header m { v : 2 stack 2; b : 1 stack 2; }
+            parser P {
+                state start {
+                    extract(m);
+                    transition select(m.b) { 1 : accept; default : start; }
+                }
+            }
+            """
+        )
+        subs = derive_subproblems(spec, DEVICE, CompileOptions())
+        assert all("loop-free" not in s.label for s in subs)
+
+    def test_priorities_unique_and_ordered(self, dispatch_spec):
+        subs = derive_subproblems(dispatch_spec, DEVICE, CompileOptions())
+        priorities = [s.priority for s in subs]
+        assert priorities == sorted(priorities)
+        assert len(set(priorities)) == len(priorities)
+
+
+class TestPortfolioCompile:
+    def test_sequential_portfolio_matches_direct_compile(
+        self, dispatch_spec, rng
+    ):
+        direct = compile_spec(dispatch_spec, DEVICE)
+        portfolio = portfolio_compile(
+            dispatch_spec, DEVICE, CompileOptions(parallel_workers=1)
+        )
+        assert portfolio.ok
+        assert portfolio.num_entries == direct.num_entries
+        assert_program_matches_spec(dispatch_spec, portfolio.program, rng)
+
+    @pytest.mark.slow
+    def test_parallel_workers_produce_valid_result(self, dispatch_spec, rng):
+        result = portfolio_compile(
+            dispatch_spec,
+            DEVICE,
+            CompileOptions(parallel_workers=2, total_max_seconds=120),
+        )
+        assert result.ok
+        assert result.program.check_constraints(DEVICE) == []
+        assert_program_matches_spec(dispatch_spec, result.program, rng)
+
+    def test_result_respects_real_device(self, dispatch_spec):
+        # A winner from a tighter key arm must still satisfy the real
+        # device profile.
+        result = portfolio_compile(
+            dispatch_spec, DEVICE, CompileOptions(parallel_workers=1)
+        )
+        assert result.program.check_constraints(DEVICE) == []

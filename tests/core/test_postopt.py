@@ -1,0 +1,122 @@
+"""Post-synthesis optimizer (§5.3) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.postopt import (
+    merge_passthrough_states,
+    optimize,
+    prune_unreachable,
+    split_oversize_extractions,
+)
+from repro.hw import (
+    ACCEPT_SID,
+    ImplEntry,
+    ImplState,
+    TcamProgram,
+    TernaryPattern,
+    tofino_profile,
+)
+from repro.ir import Bits
+from repro.ir.spec import Field, FieldKey
+
+DEVICE = tofino_profile(extract_limit=8)
+
+
+def chain_program():
+    """S0 -(catch-all)-> S1 -(catch-all)-> accept."""
+    fields = {"h.a": Field("h.a", 4), "h.b": Field("h.b", 4)}
+    states = [
+        ImplState(0, "S0", ("h.a",), ()),
+        ImplState(1, "S1", ("h.b",), ()),
+    ]
+    entries = [
+        ImplEntry(0, TernaryPattern(0, 0, 0), 1),
+        ImplEntry(1, TernaryPattern(0, 0, 0), ACCEPT_SID),
+    ]
+    return TcamProgram(fields, states, entries)
+
+
+class TestPrune:
+    def test_unreachable_state_dropped(self):
+        prog = chain_program()
+        states = prog.states + [ImplState(7, "dead", ("h.b",), ())]
+        entries = prog.entries + [
+            ImplEntry(7, TernaryPattern(0, 0, 0), ACCEPT_SID)
+        ]
+        noisy = TcamProgram(prog.fields, states, entries)
+        pruned = prune_unreachable(noisy)
+        assert all(s.sid != 7 for s in pruned.states)
+        assert pruned.num_entries == 2
+
+
+class TestMergePassthrough:
+    def test_chain_collapses(self):
+        prog = chain_program()
+        merged = merge_passthrough_states(prog, DEVICE)
+        assert merged.num_entries == 1
+        assert len([s for s in merged.states]) == 1
+        assert merged.states[0].extracts == ("h.a", "h.b")
+
+    def test_behaviour_preserved(self):
+        prog = chain_program()
+        merged = merge_passthrough_states(prog, DEVICE)
+        for value in range(0, 256, 17):
+            bits = Bits(value, 8)
+            a = prog.simulate(bits)
+            b = merged.simulate(bits)
+            assert a.outcome == b.outcome and a.od == b.od
+
+    def test_respects_extract_limit(self):
+        prog = chain_program()
+        tight = tofino_profile(extract_limit=4)
+        merged = merge_passthrough_states(prog, tight)
+        assert merged.num_entries == 2  # merge would exceed the limit
+
+    def test_keyed_exit_not_merged_into_predecessor_with_shared_succ(self):
+        # A successor with two predecessors must not merge.
+        fields = {"h.a": Field("h.a", 2), "h.b": Field("h.b", 2)}
+        states = [
+            ImplState(0, "S0", ("h.a",), (FieldKey("h.a", 0, 0),)),
+            ImplState(1, "A", (), ()),
+            ImplState(2, "B", ("h.b",), ()),
+        ]
+        entries = [
+            ImplEntry(0, TernaryPattern(0, 1, 1), 1),
+            ImplEntry(0, TernaryPattern(1, 1, 1), 2),
+            ImplEntry(1, TernaryPattern(0, 0, 0), 2),
+            ImplEntry(2, TernaryPattern(0, 0, 0), ACCEPT_SID),
+        ]
+        prog = TcamProgram(fields, states, entries)
+        merged = merge_passthrough_states(prog, DEVICE)
+        # B kept separate (two predecessors); A->B merge allowed at most.
+        sims_before = prog.simulate(Bits.from_str("0011"))
+        sims_after = merged.simulate(Bits.from_str("0011"))
+        assert sims_before.od == sims_after.od
+
+
+class TestSplitOversize:
+    def test_oversize_extraction_split(self):
+        fields = {"h.big": Field("h.big", 12), "h.c": Field("h.c", 4)}
+        states = [ImplState(0, "S0", ("h.big", "h.c"), ())]
+        entries = [ImplEntry(0, TernaryPattern(0, 0, 0), ACCEPT_SID)]
+        prog = TcamProgram(fields, states, entries)
+        split = split_oversize_extractions(prog, DEVICE)  # limit 8
+        assert len(split.states) == 2
+        assert split.num_entries == 2
+        # behaviour preserved
+        bits = Bits(0xABC4, 16)
+        assert split.simulate(bits).od == prog.simulate(bits).od
+
+    def test_within_limit_untouched(self):
+        prog = chain_program()
+        assert split_oversize_extractions(prog, DEVICE) is prog
+
+
+class TestFullPipeline:
+    def test_optimize_composes(self):
+        prog = chain_program()
+        out = optimize(prog, DEVICE)
+        assert out.num_entries == 1
+        assert out.check_constraints(DEVICE) == []

@@ -1,0 +1,202 @@
+"""Skeleton construction: candidates, pattern pools, aux states, bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CompileOptions, build_skeleton, prepare_spec
+from repro.core.skeleton import (
+    FREE_PATTERN,
+    KeyCandidate,
+    _single_slice_separates,
+    accept_path_states,
+)
+from repro.hw import custom_profile, ipu_profile, tofino_profile
+from repro.ir import parse_spec
+from repro.ir.spec import FieldKey
+
+WIDE_KEY = """
+header h { k : 8; x : 2; }
+parser P {
+    state start {
+        extract(h.k);
+        transition select(h.k) {
+            0x1A : n1; 0x2B : n2; default : accept;
+        }
+    }
+    state n1 { extract(h.x); transition accept; }
+    state n2 { transition reject; }
+}
+"""
+
+
+class TestCandidates:
+    def test_natural_key_first_when_it_fits(self):
+        spec = parse_spec(WIDE_KEY)
+        sk = build_skeleton(
+            spec, tofino_profile(key_limit=8), CompileOptions(), num_entries=4
+        )
+        start = sk.states[0]
+        assert start.candidates[0].parts == (FieldKey("h.k", 7, 0),)
+
+    def test_keyless_candidate_always_present(self):
+        spec = parse_spec(WIDE_KEY)
+        sk = build_skeleton(
+            spec, tofino_profile(key_limit=8), CompileOptions(), num_entries=4
+        )
+        for st in sk.states:
+            if not st.is_aux:
+                assert any(not c.parts for c in st.candidates)
+
+    def test_narrow_device_excludes_wide_key(self):
+        spec = parse_spec(WIDE_KEY)
+        sk = build_skeleton(
+            spec,
+            custom_profile(key_limit=4, tcam_limit=32, lookahead_limit=4),
+            CompileOptions(),
+            num_entries=6,
+        )
+        start = sk.states[0]
+        assert all(c.width <= 4 for c in start.candidates)
+
+    def test_aux_states_created_for_wide_keys(self):
+        spec = parse_spec(WIDE_KEY)
+        sk = build_skeleton(
+            spec,
+            custom_profile(key_limit=4, tcam_limit=32, lookahead_limit=4),
+            CompileOptions(),
+            num_entries=6,
+        )
+        aux = [s for s in sk.states if s.is_aux]
+        assert aux
+        assert all(s.extracts == () for s in aux)
+        assert all(s.unit_sid == 0 for s in aux)
+
+    def test_no_aux_when_key_fits(self):
+        spec = parse_spec(WIDE_KEY)
+        sk = build_skeleton(
+            spec, tofino_profile(key_limit=8), CompileOptions(), num_entries=4
+        )
+        assert not any(s.is_aux for s in sk.states)
+
+    def test_opt5_off_gives_more_candidates(self):
+        spec = parse_spec(WIDE_KEY)
+        device = custom_profile(key_limit=4, tcam_limit=32, lookahead_limit=4)
+        with_opt5 = build_skeleton(
+            spec, device, CompileOptions(), num_entries=6
+        )
+        without = build_skeleton(
+            spec,
+            device,
+            CompileOptions(opt5_key_grouping=False),
+            num_entries=6,
+        )
+        assert len(without.states[0].candidates) > len(
+            with_opt5.states[0].candidates
+        )
+
+    def test_opt4_off_uses_free_patterns(self):
+        spec = parse_spec(WIDE_KEY)
+        sk = build_skeleton(
+            spec,
+            tofino_profile(key_limit=8),
+            CompileOptions(opt4_constant_synthesis=False),
+            num_entries=4,
+        )
+        start = sk.states[0]
+        keyed = [p for c, p in zip(start.candidates, start.patterns) if c.parts]
+        assert all(pool == [FREE_PATTERN] for pool in keyed)
+
+    def test_opt4_pool_contains_spec_constants(self):
+        spec = parse_spec(WIDE_KEY)
+        sk = build_skeleton(
+            spec, tofino_profile(key_limit=8), CompileOptions(), num_entries=4
+        )
+        start = sk.states[0]
+        pool = start.patterns[0]
+        values = {(p.value, p.mask) for p in pool}
+        assert (0x1A, 0xFF) in values
+        assert (0, 0) in values  # catch-all
+
+
+class TestAllowedNext:
+    def test_follows_spec_graph(self):
+        spec = parse_spec(WIDE_KEY)
+        sk = build_skeleton(
+            spec, tofino_profile(key_limit=8), CompileOptions(), num_entries=4
+        )
+        from repro.hw import ACCEPT_SID, REJECT_SID
+
+        allowed = sk.allowed_next()
+        start_targets = set(allowed[0])
+        assert ACCEPT_SID in start_targets
+        assert REJECT_SID in start_targets
+        assert 1 in start_targets and 2 in start_targets
+        # n1 can only accept/reject.
+        assert set(allowed[1]) == {ACCEPT_SID, REJECT_SID}
+
+    def test_aux_in_family_allowed(self):
+        spec = parse_spec(WIDE_KEY)
+        sk = build_skeleton(
+            spec,
+            custom_profile(key_limit=4, tcam_limit=32, lookahead_limit=4),
+            CompileOptions(),
+            num_entries=6,
+        )
+        allowed = sk.allowed_next()
+        aux_sids = [s.sid for s in sk.states if s.is_aux]
+        assert aux_sids
+        assert all(a in allowed[0] for a in aux_sids)
+        # Other units cannot jump into start's aux chain.
+        assert all(a not in allowed[1] for a in aux_sids)
+
+
+class TestBounds:
+    def test_accept_path_states(self):
+        spec = parse_spec(WIDE_KEY)
+        assert accept_path_states(spec) == {"start", "n1"}
+
+    def test_single_slice_separation_positive(self):
+        spec = parse_spec(
+            """
+            header h { k : 8; }
+            parser P {
+                state start {
+                    extract(h.k);
+                    transition select(h.k) {
+                        0x01 : accept; 0x02 : accept; default : reject;
+                    }
+                }
+            }
+            """
+        )
+        # Low nibble separates {1,2} from everything else? No: 0x11 shares
+        # the low nibble with 0x01.  But the full behaviour maps 0x11 to
+        # reject, so only wider slices separate — just exercise the call.
+        state = spec.states["start"]
+        assert _single_slice_separates(state, 8)  # the whole key trivially
+
+    def test_search_space_bits_grow_with_entries(self):
+        spec = parse_spec(WIDE_KEY)
+        small = build_skeleton(
+            spec, tofino_profile(key_limit=8), CompileOptions(), num_entries=3
+        )
+        large = build_skeleton(
+            spec, tofino_profile(key_limit=8), CompileOptions(), num_entries=8
+        )
+        assert large.search_space_bits() > small.search_space_bits()
+
+    def test_unroll_steps_cover_depth(self):
+        spec = parse_spec(WIDE_KEY)
+        sk = build_skeleton(
+            spec, tofino_profile(key_limit=8), CompileOptions(), num_entries=4
+        )
+        assert sk.unroll_steps >= 2
+
+    def test_describe_smoke(self):
+        spec = parse_spec(WIDE_KEY)
+        sk = build_skeleton(
+            spec, tofino_profile(key_limit=8), CompileOptions(), num_entries=4
+        )
+        text = sk.describe()
+        assert "Skeleton" in text and "start" in text

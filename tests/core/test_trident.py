@@ -1,0 +1,47 @@
+"""The third architecture of Figure 2: the interleaved (Trident-style)
+profile — modeled as a deeper pipeline — must be a pure retarget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compile_spec, verify_equivalent
+from repro.hw import trident_profile
+from repro.ir import parse_spec
+from tests.conftest import assert_program_matches_spec
+
+DEVICE = trident_profile(
+    key_limit=8, tcam_per_stage_limit=16, lookahead_limit=8, stage_limit=12
+)
+
+
+class TestTridentRetarget:
+    def test_dispatch_compiles(self, dispatch_spec, rng):
+        result = compile_spec(dispatch_spec, DEVICE)
+        assert result.ok, result.message
+        assert result.program.check_constraints(DEVICE) == []
+        assert_program_matches_spec(dispatch_spec, result.program, rng)
+
+    def test_loops_unrolled_like_ipu(self, rng):
+        spec = parse_spec(
+            """
+            header m { v : 2 stack 3; b : 1 stack 3; }
+            parser P {
+                state start {
+                    extract(m);
+                    transition select(m.b) { 1 : accept; default : start; }
+                }
+            }
+            """
+        )
+        result = compile_spec(spec, DEVICE)
+        assert result.ok, result.message
+        assert result.num_stages >= 3
+        assert verify_equivalent(spec, result.program) is None
+
+    def test_forward_only_enforced(self, dispatch_spec):
+        result = compile_spec(dispatch_spec, DEVICE)
+        stages = {s.sid: s.stage for s in result.program.states}
+        for entry in result.program.entries:
+            if entry.next_sid >= 0:
+                assert stages[entry.next_sid] > stages[entry.sid]

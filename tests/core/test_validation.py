@@ -1,0 +1,108 @@
+"""§7.1 validation flow: Figure 22 random-simulation check plus the
+bmv2-style packet delivery test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bmv2 import DROP, BehavioralModel, MatchActionTable
+from repro.core import compile_spec
+from repro.core.validate import random_simulation_check
+from repro.harness.figures import ETH_IP_PARSER, run_correctness_check
+from repro.hw import (
+    ACCEPT_SID,
+    ImplEntry,
+    ImplState,
+    TcamProgram,
+    TernaryPattern,
+    tofino_profile,
+)
+from repro.ir import parse_spec
+from repro.ir.spec import Field
+from repro.packets import Ether, IPv4, TCP, UDP
+
+
+class TestRandomSimulationCheck:
+    def test_correct_program_passes(self, dispatch_spec):
+        device = tofino_profile(key_limit=8, tcam_limit=64, lookahead_limit=8)
+        result = compile_spec(dispatch_spec, device)
+        report = random_simulation_check(
+            dispatch_spec, result.program, samples=300
+        )
+        assert report.passed
+        assert report.samples == 300
+        assert "passed" in str(report)
+
+    def test_wrong_program_caught(self, dispatch_spec):
+        # A program that accepts everything after one extraction.
+        fields = dict(dispatch_spec.fields)
+        states = [
+            ImplState(0, "S0", tuple(dispatch_spec.states["start"].extracts), ())
+        ]
+        entries = [ImplEntry(0, TernaryPattern(0, 0, 0), ACCEPT_SID)]
+        bogus = TcamProgram(fields, states, entries)
+        report = random_simulation_check(dispatch_spec, bogus, samples=300)
+        assert not report.passed
+        assert report.failures
+        assert "FAILED" in str(report)
+
+
+class TestBehavioralModel:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        spec = parse_spec(ETH_IP_PARSER)
+        device = tofino_profile(
+            key_limit=16, tcam_limit=64, lookahead_limit=16, extract_limit=256
+        )
+        result = compile_spec(spec, device)
+        assert result.ok
+        return result.program
+
+    def test_tcp_packet_delivered(self, compiled):
+        model = BehavioralModel(compiled)
+        table = model.add_table(MatchActionTable("route", "ipv4.dst", 32))
+        table.add_exact(0x0A000002, port=3)
+        packet = Ether() / IPv4(dst=0x0A000002) / TCP()
+        out = model.process(packet)
+        assert out.port == 3
+        assert out.parse.od["tcp.dport"] == 80
+
+    def test_wrong_destination_dropped(self, compiled):
+        model = BehavioralModel(compiled)
+        table = model.add_table(MatchActionTable("route", "ipv4.dst", 32))
+        table.add_exact(0x0A000002, port=3)
+        packet = Ether() / IPv4(dst=0x0A0000EE) / TCP()
+        assert model.process(packet).port == DROP
+
+    def test_non_ip_dropped_at_parser(self, compiled):
+        model = BehavioralModel(compiled)
+        packet = Ether(etherType=0x86DD)
+        out = model.process(packet)
+        assert out.port == DROP
+        assert out.parse.outcome == "reject"
+
+    def test_udp_accepted_without_tcp_fields(self, compiled):
+        model = BehavioralModel(compiled)
+        table = model.add_table(MatchActionTable("route", "ipv4.dst", 32))
+        table.add_exact(0x0A000002, port=1)
+        packet = Ether() / IPv4(dst=0x0A000002) / UDP()
+        out = model.process(packet)
+        assert out.port == 1
+        assert "tcp.dport" not in out.parse.od
+
+    def test_ternary_table_rule(self, compiled):
+        model = BehavioralModel(compiled)
+        table = model.add_table(MatchActionTable("subnet", "ipv4.dst", 32))
+        table.add_ternary(0x0A000000, 0xFF000000, port=9, label="10/8")
+        out = model.process(Ether() / IPv4(dst=0x0A123456) / TCP())
+        assert out.port == 9
+        assert out.matched_rules == ["subnet:10/8"]
+
+
+class TestEndToEndCorrectnessHarness:
+    def test_run_correctness_check(self):
+        report = run_correctness_check(samples=150)
+        assert report.random_check_passed
+        assert report.delivered_to_target
+        assert report.wrong_ip_dropped
+        assert report.non_ip_dropped

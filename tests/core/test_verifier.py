@@ -1,0 +1,246 @@
+"""Product-equivalence verifier: must find real counterexamples and accept
+genuinely equivalent implementations (the CEGIS verification phase)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.verifier import verify_equivalent
+from repro.hw import (
+    ACCEPT_SID,
+    ImplEntry,
+    ImplState,
+    REJECT_SID,
+    TcamProgram,
+    TernaryPattern,
+)
+from repro.ir import Bits, parse_spec, simulate_spec
+from repro.ir.simulator import equivalent_behavior
+from repro.ir.spec import Field, FieldKey
+
+SPEC = """
+header h { a : 4; b : 4; }
+parser P {
+    state start {
+        extract(h.a);
+        transition select(h.a[0:0]) { 0 : more; default : accept; }
+    }
+    state more { extract(h.b); transition accept; }
+}
+"""
+
+
+def make_program(entries):
+    fields = {"h.a": Field("h.a", 4), "h.b": Field("h.b", 4)}
+    states = [
+        ImplState(0, "S0", ("h.a",), (FieldKey("h.a", 0, 0),)),
+        ImplState(1, "S1", ("h.b",), ()),
+    ]
+    return TcamProgram(fields, states, entries)
+
+
+GOOD_ENTRIES = [
+    ImplEntry(0, TernaryPattern(0, 1, 1), 1),
+    ImplEntry(0, TernaryPattern(1, 1, 1), ACCEPT_SID),
+    ImplEntry(1, TernaryPattern(0, 0, 0), ACCEPT_SID),
+]
+
+
+class TestEquivalentAccepted:
+    def test_correct_program_verifies(self):
+        spec = parse_spec(SPEC)
+        assert verify_equivalent(spec, make_program(GOOD_ENTRIES)) is None
+
+    def test_reordered_disjoint_entries_verify(self):
+        spec = parse_spec(SPEC)
+        entries = [
+            ImplEntry(0, TernaryPattern(1, 1, 1), ACCEPT_SID),
+            ImplEntry(0, TernaryPattern(0, 1, 1), 1),
+            ImplEntry(1, TernaryPattern(0, 0, 0), ACCEPT_SID),
+        ]
+        assert verify_equivalent(spec, make_program(entries)) is None
+
+
+class TestCounterexamplesFound:
+    def _check_cex(self, spec, program, cex):
+        """A reported counterexample must actually distinguish the two."""
+        assert cex is not None
+        expected = simulate_spec(spec, cex.bits)
+        got = program.simulate(cex.bits)
+        assert not equivalent_behavior(expected, got), cex.reason
+
+    def test_wrong_branch_polarity(self):
+        spec = parse_spec(SPEC)
+        entries = [
+            ImplEntry(0, TernaryPattern(1, 1, 1), 1),          # inverted
+            ImplEntry(0, TernaryPattern(0, 1, 1), ACCEPT_SID),
+            ImplEntry(1, TernaryPattern(0, 0, 0), ACCEPT_SID),
+        ]
+        program = make_program(entries)
+        self._check_cex(spec, program, verify_equivalent(spec, program))
+
+    def test_missing_entry_rejects_where_spec_accepts(self):
+        spec = parse_spec(SPEC)
+        entries = [
+            ImplEntry(0, TernaryPattern(0, 1, 1), 1),
+            ImplEntry(1, TernaryPattern(0, 0, 0), ACCEPT_SID),
+        ]
+        program = make_program(entries)
+        self._check_cex(spec, program, verify_equivalent(spec, program))
+
+    def test_over_accepting_program(self):
+        spec = parse_spec(
+            """
+            header h { a : 4; }
+            parser P {
+                state start {
+                    extract(h.a);
+                    transition select(h.a) { 3 : accept; default : reject; }
+                }
+            }
+            """
+        )
+        fields = {"h.a": Field("h.a", 4)}
+        states = [ImplState(0, "S0", ("h.a",), (FieldKey("h.a", 3, 0),))]
+        entries = [ImplEntry(0, TernaryPattern(0, 0, 4), ACCEPT_SID)]
+        program = TcamProgram(fields, states, entries)
+        cex = verify_equivalent(spec, program)
+        self._check_cex(spec, program, cex)
+
+    def test_extraction_extent_mismatch(self):
+        # Impl extracts an extra field on the accept path: caught either as
+        # an OD difference or a truncation difference.
+        spec = parse_spec(
+            """
+            header h { a : 4; }
+            parser P { state start { extract(h.a); transition accept; } }
+            """
+        )
+        fields = {"h.a": Field("h.a", 4), "h.b": Field("h.b", 4)}
+        states = [ImplState(0, "S0", ("h.a", "h.b"), ())]
+        entries = [ImplEntry(0, TernaryPattern(0, 0, 0), ACCEPT_SID)]
+        program = TcamProgram(fields, states, entries)
+        cex = verify_equivalent(spec, program)
+        self._check_cex(spec, program, cex)
+
+    def test_truncation_only_difference(self):
+        # Same OD on long inputs, but the impl peeks one extra bit: only a
+        # short input distinguishes them.
+        spec = parse_spec(
+            """
+            header h { a : 2; }
+            parser P { state start { extract(h.a); transition accept; } }
+            """
+        )
+        from repro.ir.spec import LookaheadKey
+
+        fields = {"h.a": Field("h.a", 2)}
+        states = [ImplState(0, "S0", ("h.a",), (LookaheadKey(0, 1),))]
+        entries = [
+            ImplEntry(0, TernaryPattern(0, 0, 1), ACCEPT_SID),
+        ]
+        program = TcamProgram(fields, states, entries)
+        cex = verify_equivalent(spec, program)
+        assert cex is not None
+        assert len(cex.bits) == 2  # the truncated witness
+        self._check_cex(spec, program, cex)
+
+    def test_wrong_field_position(self):
+        # Impl extracts h.a and h.b swapped: values come from wrong offsets.
+        spec = parse_spec(
+            """
+            header h { a : 4; b : 4; }
+            parser P {
+                state start { extract(h.a); extract(h.b); transition accept; }
+            }
+            """
+        )
+        fields = {"h.a": Field("h.a", 4), "h.b": Field("h.b", 4)}
+        states = [ImplState(0, "S0", ("h.b", "h.a"), ())]
+        entries = [ImplEntry(0, TernaryPattern(0, 0, 0), ACCEPT_SID)]
+        program = TcamProgram(fields, states, entries)
+        cex = verify_equivalent(spec, program)
+        self._check_cex(spec, program, cex)
+
+    def test_nonterminating_program_flagged(self):
+        spec = parse_spec(
+            """
+            header h { a : 2; }
+            parser P { state start { extract(h.a); transition accept; } }
+            """
+        )
+        fields = {"h.a": Field("h.a", 2)}
+        states = [
+            ImplState(0, "S0", ("h.a",), ()),
+            ImplState(1, "L", (), ()),
+        ]
+        entries = [
+            ImplEntry(0, TernaryPattern(0, 0, 0), 1),
+            ImplEntry(1, TernaryPattern(0, 0, 0), 1),   # spin forever
+        ]
+        program = TcamProgram(fields, states, entries)
+        assert verify_equivalent(spec, program, max_steps=12) is not None
+
+
+class TestStacksAndVarbits:
+    def test_loop_program_verifies_against_loop_spec(self):
+        spec = parse_spec(
+            """
+            header m { v : 2 stack 3; b : 1 stack 3; }
+            parser P {
+                state start {
+                    extract(m);
+                    transition select(m.b) { 1 : accept; default : start; }
+                }
+            }
+            """
+        )
+        fields = dict(spec.fields)
+        states = [
+            ImplState(0, "S0", ("m.v", "m.b"), (FieldKey("m.b", 0, 0),))
+        ]
+        entries = [
+            ImplEntry(0, TernaryPattern(1, 1, 1), ACCEPT_SID),
+            ImplEntry(0, TernaryPattern(0, 1, 1), 0),
+        ]
+        program = TcamProgram(fields, states, entries)
+        assert verify_equivalent(spec, program) is None
+
+    def test_wrong_loop_bound_found(self):
+        spec = parse_spec(
+            """
+            header m { v : 2 stack 3; b : 1 stack 3; }
+            parser P {
+                state start {
+                    extract(m);
+                    transition select(m.b) { 1 : accept; default : start; }
+                }
+            }
+            """
+        )
+        # Program accepts unconditionally after ONE instance.
+        fields = dict(spec.fields)
+        states = [ImplState(0, "S0", ("m.v", "m.b"), ())]
+        entries = [ImplEntry(0, TernaryPattern(0, 0, 0), ACCEPT_SID)]
+        program = TcamProgram(fields, states, entries)
+        cex = verify_equivalent(spec, program)
+        assert cex is not None
+
+    def test_varbit_equivalence(self):
+        spec = parse_spec(
+            """
+            header h { n : 2; body : varbit 12; }
+            parser P {
+                state start {
+                    extract(h.n);
+                    extract_var(h.body, h.n, 4);
+                    transition accept;
+                }
+            }
+            """
+        )
+        fields = dict(spec.fields)
+        states = [ImplState(0, "S0", ("h.n", "h.body"), ())]
+        entries = [ImplEntry(0, TernaryPattern(0, 0, 0), ACCEPT_SID)]
+        program = TcamProgram(fields, states, entries)
+        assert verify_equivalent(spec, program) is None

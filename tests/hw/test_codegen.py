@@ -1,0 +1,88 @@
+"""Back-end emission tests (Tofino/IPU config text, JSON)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.hw import (
+    ACCEPT_SID,
+    ImplEntry,
+    ImplState,
+    TcamProgram,
+    TernaryPattern,
+    emit_for_device,
+    emit_ipu,
+    emit_json,
+    emit_tofino,
+    ipu_profile,
+    tofino_profile,
+)
+from repro.ir.spec import Field, FieldKey
+
+
+def sample_program():
+    fields = {"h.a": Field("h.a", 4), "h.b": Field("h.b", 4)}
+    states = [
+        ImplState(0, "start", ("h.a",), (FieldKey("h.a", 1, 0),), stage=0),
+        ImplState(1, "next", ("h.b",), (), stage=1),
+    ]
+    entries = [
+        ImplEntry(0, TernaryPattern(0b01, 0b11, 2), 1),
+        ImplEntry(0, TernaryPattern(0, 0, 2), ACCEPT_SID),
+        ImplEntry(1, TernaryPattern(0, 0, 0), ACCEPT_SID),
+    ]
+    return TcamProgram(fields, states, entries, source_name="sample")
+
+
+class TestTofinoEmission:
+    def test_row_per_entry(self):
+        text = emit_tofino(sample_program())
+        data_lines = [
+            l for l in text.splitlines() if l and not l.startswith("#")
+        ]
+        assert len(data_lines) == 3
+
+    def test_contains_match_and_shift(self):
+        text = emit_tofino(sample_program())
+        assert "01" in text
+        assert "| 4 |" in text  # the shift column
+
+    def test_destination_names(self):
+        text = emit_tofino(sample_program())
+        assert "ACCEPT" in text and "next" in text
+
+
+class TestIpuEmission:
+    def test_stage_sections(self):
+        text = emit_ipu(sample_program())
+        assert "[stage 0]" in text and "[stage 1]" in text
+
+    def test_stage_count_header(self):
+        assert "# stages: 2" in emit_ipu(sample_program())
+
+
+class TestJsonEmission:
+    def test_round_trips_through_json(self):
+        doc = json.loads(emit_json(sample_program()))
+        assert doc["num_entries"] == 3
+        assert doc["num_stages"] == 2
+        assert len(doc["states"]) == 2
+        assert doc["entries"][0]["next"] == 1
+        assert doc["fields"]["h.a"]["width"] == 4
+
+    def test_key_kinds(self):
+        doc = json.loads(emit_json(sample_program()))
+        key = doc["states"][0]["key"][0]
+        assert key == {"kind": "field", "field": "h.a", "hi": 1, "lo": 0}
+
+
+class TestDispatch:
+    def test_emit_for_device(self):
+        prog = sample_program()
+        assert emit_for_device(prog, tofino_profile()).startswith("# tofino")
+        assert emit_for_device(prog, ipu_profile()).startswith("# ipu")
+
+    def test_emission_is_deterministic(self):
+        prog = sample_program()
+        assert emit_tofino(prog) == emit_tofino(prog)
+        assert emit_json(prog) == emit_json(prog)

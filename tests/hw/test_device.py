@@ -1,0 +1,70 @@
+"""Device-profile tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import (
+    DeviceProfile,
+    PIPELINED,
+    SINGLE_TCAM,
+    custom_profile,
+    ipu_profile,
+    tofino_profile,
+    trident_profile,
+)
+
+
+class TestProfiles:
+    def test_tofino_shape(self):
+        d = tofino_profile()
+        assert d.architecture == SINGLE_TCAM
+        assert d.allows_loops
+        assert not d.is_pipelined
+        assert not d.tcam_per_stage
+
+    def test_ipu_shape(self):
+        d = ipu_profile()
+        assert d.architecture == PIPELINED
+        assert not d.allows_loops
+        assert d.is_pipelined
+        assert d.tcam_per_stage
+
+    def test_trident_is_pipelined(self):
+        assert trident_profile().is_pipelined
+
+    def test_custom_profile(self):
+        d = custom_profile(key_limit=4, tcam_limit=8, lookahead_limit=2)
+        assert d.key_limit == 4 and d.tcam_limit == 8
+
+    def test_with_limits_override(self):
+        d = tofino_profile().with_limits(key_limit=2)
+        assert d.key_limit == 2
+        assert d.tcam_limit == tofino_profile().tcam_limit
+
+    def test_total_entry_budget(self):
+        assert ipu_profile(
+            tcam_per_stage_limit=4, stage_limit=3
+        ).total_entry_budget() == 12
+        assert tofino_profile(tcam_limit=7).total_entry_budget() == 7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"key_limit": 0},
+            {"tcam_limit": 0},
+            {"stage_limit": 0},
+            {"architecture": "quantum"},
+        ],
+    )
+    def test_invalid_profiles_rejected(self, kwargs):
+        base = dict(
+            name="x",
+            architecture=SINGLE_TCAM,
+            key_limit=4,
+            tcam_limit=4,
+            lookahead_limit=4,
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            DeviceProfile(**base)

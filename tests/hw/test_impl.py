@@ -1,0 +1,224 @@
+"""TcamProgram (Figure 6 implementation) tests: execution semantics,
+resource accounting and device-constraint checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import (
+    ACCEPT_SID,
+    ImplEntry,
+    ImplState,
+    REJECT_SID,
+    TcamProgram,
+    TernaryPattern,
+    ipu_profile,
+    tofino_profile,
+)
+from repro.ir import Bits
+from repro.ir.simulator import SimulationError
+from repro.ir.spec import Field, FieldKey, LookaheadKey
+
+
+def spec2_program():
+    """The Table 1 Impl2 program: conditional second extraction."""
+    fields = {
+        "h.field0": Field("h.field0", 4),
+        "h.field1": Field("h.field1", 4),
+    }
+    states = [
+        ImplState(0, "S0", ("h.field0",), (FieldKey("h.field0", 0, 0),)),
+        ImplState(1, "S1", ("h.field1",), (), stage=1),
+    ]
+    entries = [
+        ImplEntry(0, TernaryPattern(0, 1, 1), 1),
+        ImplEntry(0, TernaryPattern(1, 1, 1), ACCEPT_SID),
+        ImplEntry(1, TernaryPattern(0, 0, 0), ACCEPT_SID),
+    ]
+    return TcamProgram(fields, states, entries, source_name="spec2")
+
+
+class TestSimulation:
+    def test_conditional_extraction_taken(self):
+        prog = spec2_program()
+        r = prog.simulate(Bits.from_str("0110" "1011"))
+        assert r.accepted
+        assert r.od == {"h.field0": 0b0110, "h.field1": 0b1011}
+
+    def test_conditional_extraction_skipped(self):
+        prog = spec2_program()
+        r = prog.simulate(Bits.from_str("0001" "1011"))
+        assert r.accepted and r.od == {"h.field0": 1}
+
+    def test_truncated_input_rejects(self):
+        prog = spec2_program()
+        assert prog.simulate(Bits.from_str("011")).outcome == "reject"
+
+    def test_no_match_rejects(self):
+        fields = {"h.a": Field("h.a", 2)}
+        states = [ImplState(0, "S0", ("h.a",), (FieldKey("h.a", 1, 0),))]
+        entries = [ImplEntry(0, TernaryPattern(3, 3, 2), ACCEPT_SID)]
+        prog = TcamProgram(fields, states, entries)
+        assert prog.simulate(Bits.from_str("11")).accepted
+        assert prog.simulate(Bits.from_str("01")).outcome == "reject"
+
+    def test_explicit_reject_entry(self):
+        fields = {"h.a": Field("h.a", 2)}
+        states = [ImplState(0, "S0", ("h.a",), (FieldKey("h.a", 1, 0),))]
+        entries = [
+            ImplEntry(0, TernaryPattern(1, 3, 2), REJECT_SID),
+            ImplEntry(0, TernaryPattern(0, 0, 2), ACCEPT_SID),
+        ]
+        prog = TcamProgram(fields, states, entries)
+        assert prog.simulate(Bits.from_str("01")).outcome == "reject"
+        assert prog.simulate(Bits.from_str("10")).accepted
+
+    def test_priority_order(self):
+        fields = {"h.a": Field("h.a", 2)}
+        states = [ImplState(0, "S0", ("h.a",), (FieldKey("h.a", 1, 0),))]
+        entries = [
+            ImplEntry(0, TernaryPattern(0, 0, 2), ACCEPT_SID),   # catch-all
+            ImplEntry(0, TernaryPattern(1, 3, 2), REJECT_SID),   # shadowed
+        ]
+        prog = TcamProgram(fields, states, entries)
+        assert prog.simulate(Bits.from_str("01")).accepted
+
+    def test_lookahead_key(self):
+        fields = {"h.a": Field("h.a", 2), "h.b": Field("h.b", 2)}
+        states = [
+            ImplState(0, "S0", ("h.a",), (LookaheadKey(0, 2),)),
+            ImplState(1, "S1", ("h.b",), ()),
+        ]
+        entries = [
+            ImplEntry(0, TernaryPattern(0b11, 0b11, 2), 1),
+            ImplEntry(0, TernaryPattern(0, 0, 2), ACCEPT_SID),
+            ImplEntry(1, TernaryPattern(0, 0, 0), ACCEPT_SID),
+        ]
+        prog = TcamProgram(fields, states, entries)
+        r = prog.simulate(Bits.from_str("00" "11"))
+        assert r.od == {"h.a": 0, "h.b": 3}
+        r = prog.simulate(Bits.from_str("00" "01"))
+        assert r.od == {"h.a": 0}
+
+    def test_loop_entry_reuse(self):
+        # Single state loops over 2-bit chunks until a 1 appears (stack).
+        fields = {"m.v": Field("m.v", 2, stack_depth=3)}
+        states = [ImplState(0, "S0", ("m.v",), (FieldKey("m.v", 0, 0),))]
+        entries = [
+            ImplEntry(0, TernaryPattern(1, 1, 1), ACCEPT_SID),
+            ImplEntry(0, TernaryPattern(0, 1, 1), 0),
+        ]
+        prog = TcamProgram(fields, states, entries)
+        r = prog.simulate(Bits.from_str("10" "11"))
+        assert r.od == {"m.v[0]": 0b10, "m.v[1]": 0b11}
+
+    def test_stack_overflow_rejects(self):
+        fields = {"m.v": Field("m.v", 2, stack_depth=2)}
+        states = [ImplState(0, "S0", ("m.v",), (FieldKey("m.v", 0, 0),))]
+        entries = [
+            ImplEntry(0, TernaryPattern(1, 1, 1), ACCEPT_SID),
+            ImplEntry(0, TernaryPattern(0, 1, 1), 0),
+        ]
+        prog = TcamProgram(fields, states, entries)
+        assert prog.simulate(Bits.from_str("00" "10" "10")).outcome == "reject"
+
+    def test_overrun_guard(self):
+        fields = {}
+        states = [ImplState(0, "S0", (), ())]
+        entries = [ImplEntry(0, TernaryPattern(0, 0, 0), 0)]
+        prog = TcamProgram(fields, states, entries)
+        assert prog.simulate(Bits.zeros(4), max_steps=4).outcome == "overrun"
+
+    def test_key_on_unextracted_field_raises(self):
+        fields = {"h.a": Field("h.a", 2)}
+        states = [ImplState(0, "S0", (), (FieldKey("h.a", 1, 0),))]
+        entries = [ImplEntry(0, TernaryPattern(0, 0, 2), ACCEPT_SID)]
+        prog = TcamProgram(fields, states, entries)
+        with pytest.raises(SimulationError):
+            prog.simulate(Bits.zeros(4))
+
+
+class TestAccounting:
+    def test_num_entries(self):
+        assert spec2_program().num_entries == 3
+
+    def test_num_stages(self):
+        assert spec2_program().num_stages == 2
+
+    def test_used_sids(self):
+        prog = spec2_program()
+        assert prog.used_sids() == [0, 1]
+
+    def test_unused_state_not_in_used_sids(self):
+        prog = spec2_program()
+        states = prog.states + [ImplState(9, "dead", (), ())]
+        prog2 = TcamProgram(prog.fields, states, prog.entries)
+        assert 9 not in prog2.used_sids()
+
+
+class TestConstraints:
+    def test_valid_on_both_profiles(self):
+        prog = spec2_program()
+        assert prog.check_constraints(tofino_profile()) == []
+        assert prog.check_constraints(ipu_profile()) == []
+
+    def test_stage_limit_violation(self):
+        prog = spec2_program()
+        problems = prog.check_constraints(ipu_profile(stage_limit=1))
+        assert any("stage" in p for p in problems)
+
+    def test_key_width_violation(self):
+        fields = {"h.a": Field("h.a", 8)}
+        states = [ImplState(0, "S0", ("h.a",), (FieldKey("h.a", 7, 0),))]
+        entries = [ImplEntry(0, TernaryPattern(0, 0, 8), ACCEPT_SID)]
+        prog = TcamProgram(fields, states, entries)
+        problems = prog.check_constraints(
+            tofino_profile(key_limit=4)
+        )
+        assert any("key width" in p for p in problems)
+
+    def test_entry_budget_violation(self):
+        prog = spec2_program()
+        problems = prog.check_constraints(tofino_profile(tcam_limit=2))
+        assert any("TCAM limit" in p for p in problems)
+
+    def test_loop_forbidden_on_pipeline(self):
+        fields = {"m.v": Field("m.v", 2, stack_depth=3)}
+        states = [ImplState(0, "S0", ("m.v",), (FieldKey("m.v", 0, 0),))]
+        entries = [
+            ImplEntry(0, TernaryPattern(1, 1, 1), ACCEPT_SID),
+            ImplEntry(0, TernaryPattern(0, 1, 1), 0),
+        ]
+        prog = TcamProgram(fields, states, entries)
+        problems = prog.check_constraints(ipu_profile())
+        assert problems  # loop + non-monotonic stage
+
+    def test_backward_stage_violation(self):
+        fields = {"h.a": Field("h.a", 2), "h.b": Field("h.b", 2)}
+        states = [
+            ImplState(0, "S0", ("h.a",), (), stage=1),
+            ImplState(1, "S1", ("h.b",), (), stage=0),
+        ]
+        entries = [
+            ImplEntry(0, TernaryPattern(0, 0, 0), 1),
+            ImplEntry(1, TernaryPattern(0, 0, 0), ACCEPT_SID),
+        ]
+        prog = TcamProgram(fields, states, entries, start_sid=0)
+        problems = prog.check_constraints(ipu_profile())
+        assert any("forward-only" in p for p in problems)
+
+    def test_extract_limit_violation(self):
+        fields = {"h.big": Field("h.big", 64)}
+        states = [ImplState(0, "S0", ("h.big",), ())]
+        entries = [ImplEntry(0, TernaryPattern(0, 0, 0), ACCEPT_SID)]
+        prog = TcamProgram(fields, states, entries)
+        problems = prog.check_constraints(
+            tofino_profile(extract_limit=32)
+        )
+        assert any("extracts" in p for p in problems)
+
+
+class TestDescribe:
+    def test_describe_lists_entries(self):
+        text = spec2_program().describe()
+        assert "S0" in text and "accept" in text

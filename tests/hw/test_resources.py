@@ -1,0 +1,86 @@
+"""Resource-report tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compile_spec
+from repro.hw import ipu_profile, tofino_profile
+from repro.hw.resources import resource_report
+from repro.ir import parse_spec
+
+SPEC = parse_spec(
+    """
+    header eth  { dst : 4; etherType : 4; }
+    header ipv4 { proto : 4; }
+    parser P {
+        state start {
+            extract(eth);
+            transition select(eth.etherType) {
+                0x8 : parse_ipv4;
+                default : accept;
+            }
+        }
+        state parse_ipv4 { extract(ipv4); transition accept; }
+    }
+    """
+)
+
+TOFINO = tofino_profile(key_limit=8, tcam_limit=64, lookahead_limit=8)
+IPU = ipu_profile(key_limit=8, tcam_per_stage_limit=16, stage_limit=10)
+
+
+@pytest.fixture(scope="module")
+def tofino_program():
+    result = compile_spec(SPEC, TOFINO)
+    assert result.ok
+    return result.program
+
+
+class TestReport:
+    def test_totals(self, tofino_program):
+        report = resource_report(tofino_program, TOFINO)
+        assert report.total_entries == tofino_program.num_entries
+        assert report.entry_budget == 64
+        assert 0 < report.entry_utilization < 1
+
+    def test_headroom(self, tofino_program):
+        report = resource_report(tofino_program, TOFINO)
+        assert report.headroom_entries == 64 - tofino_program.num_entries
+
+    def test_per_state_accounting(self, tofino_program):
+        report = resource_report(tofino_program, TOFINO)
+        assert sum(u.entries for u in report.states) == report.total_entries
+        start = next(u for u in report.states if u.name == "start")
+        assert start.extracted_bits == 8
+        assert start.key_bits == 4
+
+    def test_widest_key_within_limit(self, tofino_program):
+        report = resource_report(tofino_program, TOFINO)
+        assert report.widest_key <= report.key_limit
+
+    def test_ipu_stage_accounting(self):
+        result = compile_spec(SPEC, IPU)
+        assert result.ok
+        report = resource_report(result.program, IPU)
+        assert report.stages_used == result.num_stages
+        assert report.stage_budget == 10
+        assert len(report.per_stage_entries) == report.stages_used
+
+    def test_render(self, tofino_program):
+        text = resource_report(tofino_program, TOFINO).render()
+        assert "resource report" in text
+        assert "headroom" in text
+        assert "start" in text
+
+    def test_unused_states_excluded(self, tofino_program):
+        from repro.hw import ImplState, TcamProgram
+
+        padded = TcamProgram(
+            tofino_program.fields,
+            list(tofino_program.states) + [ImplState(99, "dead", (), ())],
+            list(tofino_program.entries),
+            tofino_program.start_sid,
+        )
+        report = resource_report(padded, TOFINO)
+        assert all(u.sid != 99 for u in report.states)

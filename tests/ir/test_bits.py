@@ -1,0 +1,121 @@
+"""Bits: wire-order bit-string semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import Bits
+
+
+class TestConstruction:
+    def test_from_str(self):
+        b = Bits.from_str("1010")
+        assert len(b) == 4 and b.uint() == 0b1010
+
+    def test_from_str_with_separators(self):
+        assert Bits.from_str("10_10 01") == Bits.from_str("101001")
+
+    def test_from_str_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            Bits.from_str("10x0")
+
+    def test_from_bytes(self):
+        b = Bits.from_bytes(b"\xAB\xCD")
+        assert len(b) == 16 and b.uint() == 0xABCD
+
+    def test_from_int_width_check(self):
+        with pytest.raises(ValueError):
+            Bits.from_int(16, 4)
+        assert Bits.from_int(15, 4).uint() == 15
+
+    def test_zeros_ones(self):
+        assert Bits.zeros(5).uint() == 0
+        assert Bits.ones(5).uint() == 31
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            Bits(0, -1)
+
+    def test_value_masked_to_length(self):
+        assert Bits(0xFF, 4).uint() == 0xF
+
+
+class TestIndexing:
+    def test_bit_zero_is_first_on_wire(self):
+        b = Bits.from_str("1000")
+        assert b[0] == 1 and b[3] == 0
+
+    def test_negative_index(self):
+        b = Bits.from_str("1001")
+        assert b[-1] == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            Bits.from_str("10")[2]
+
+    def test_slice_wire_order(self):
+        b = Bits.from_str("11010010")
+        assert b.slice(2, 3) == Bits.from_str("010")
+
+    def test_slice_syntax(self):
+        b = Bits.from_str("11010010")
+        assert b[2:5] == Bits.from_str("010")
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(IndexError):
+            Bits.from_str("10").slice(1, 5)
+
+    def test_iter(self):
+        assert list(Bits.from_str("101")) == [1, 0, 1]
+
+
+class TestComposition:
+    def test_concat(self):
+        assert Bits.from_str("10") + Bits.from_str("01") == Bits.from_str("1001")
+
+    def test_concat_classmethod(self):
+        parts = [Bits.from_str("1"), Bits.from_str("00"), Bits.from_str("1")]
+        assert Bits.concat(parts) == Bits.from_str("1001")
+
+    def test_to_bytes(self):
+        assert Bits.from_str("10101011" "11001101").to_bytes() == b"\xAB\xCD"
+
+    def test_to_bytes_requires_alignment(self):
+        with pytest.raises(ValueError):
+            Bits.from_str("101").to_bytes()
+
+    def test_to01(self):
+        assert Bits.from_str("0101").to01() == "0101"
+        assert Bits().to01() == ""
+
+
+@given(st.binary(min_size=0, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_bytes_round_trip(data):
+    assert Bits.from_bytes(data).to_bytes() == data
+
+
+@given(st.text(alphabet="01", min_size=0, max_size=48))
+@settings(max_examples=80, deadline=None)
+def test_str_round_trip(text):
+    assert Bits.from_str(text).to01() == text
+
+
+@given(
+    st.text(alphabet="01", min_size=1, max_size=32),
+    st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_slice_matches_string_slice(text, data):
+    b = Bits.from_str(text)
+    start = data.draw(st.integers(0, len(text)))
+    length = data.draw(st.integers(0, len(text) - start))
+    assert b.slice(start, length).to01() == text[start : start + length]
+
+
+@given(st.text(alphabet="01", max_size=24), st.text(alphabet="01", max_size=24))
+@settings(max_examples=80, deadline=None)
+def test_concat_matches_string_concat(a, b):
+    assert (Bits.from_str(a) + Bits.from_str(b)).to01() == a + b

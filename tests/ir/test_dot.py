@@ -1,0 +1,82 @@
+"""DOT export tests for spec and program graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compile_spec
+from repro.hw import tofino_profile
+from repro.ir import parse_spec
+from repro.ir.dot import program_to_dot, spec_to_dot
+
+SPEC = parse_spec(
+    """
+    header h { k : 4; x : 2; }
+    parser Dotty {
+        state start {
+            extract(h.k);
+            transition select(h.k) {
+                0xA : n1;
+                0x2 &&& 0x3 : n1;
+                default : accept;
+            }
+        }
+        state n1 { extract(h.x); transition reject; }
+    }
+    """
+)
+
+
+class TestSpecDot:
+    def test_valid_digraph(self):
+        dot = spec_to_dot(SPEC)
+        assert dot.startswith('digraph "Dotty" {')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_all_states_present(self):
+        dot = spec_to_dot(SPEC)
+        assert '"start"' in dot and '"n1"' in dot
+        assert "accept" in dot and "reject" in dot
+
+    def test_edges_labelled_with_patterns(self):
+        dot = spec_to_dot(SPEC)
+        assert "1010" in dot            # the exact arm
+        assert "default" in dot
+        assert "**10" in dot            # the masked arm
+
+    def test_extraction_in_node_label(self):
+        dot = spec_to_dot(SPEC)
+        assert "h.k" in dot
+
+    def test_custom_name(self):
+        assert spec_to_dot(SPEC, name="other").startswith('digraph "other"')
+
+    def test_deterministic(self):
+        assert spec_to_dot(SPEC) == spec_to_dot(SPEC)
+
+
+class TestProgramDot:
+    @pytest.fixture(scope="class")
+    def program(self):
+        device = tofino_profile(key_limit=8, tcam_limit=64, lookahead_limit=8)
+        result = compile_spec(SPEC, device)
+        assert result.ok
+        return result.program
+
+    def test_valid_digraph(self, program):
+        dot = program_to_dot(program)
+        assert dot.startswith("digraph")
+        assert dot.count("{") == dot.count("}")
+
+    def test_one_edge_per_entry(self, program):
+        dot = program_to_dot(program)
+        edges = [l for l in dot.splitlines() if "->" in l]
+        assert len(edges) == program.num_entries
+
+    def test_priorities_in_labels(self, program):
+        dot = program_to_dot(program)
+        assert '"0: ' in dot  # priority prefix
+
+    def test_stage_in_node_label(self, program):
+        assert "stage 0" in program_to_dot(program)

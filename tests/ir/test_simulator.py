@@ -1,0 +1,264 @@
+"""Reference-simulator semantics: the documented behaviour contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import Bits, parse_spec, simulate_spec
+from repro.ir.simulator import (
+    OUTCOME_ACCEPT,
+    OUTCOME_OVERRUN,
+    OUTCOME_REJECT,
+    SimulationError,
+    equivalent_behavior,
+    simulate_spec as sim,
+    spec_input_bound,
+    trace_spec,
+)
+
+BASIC = """
+header h { a : 4; b : 4; }
+parser P {
+    state start {
+        extract(h.a);
+        transition select(h.a) {
+            0xF : parse_b;
+            0x1 : reject;
+            default : accept;
+        }
+    }
+    state parse_b { extract(h.b); transition accept; }
+}
+"""
+
+
+class TestBasicSemantics:
+    def test_accept_with_fields(self):
+        spec = parse_spec(BASIC)
+        r = sim(spec, Bits.from_str("1111" "1010"))
+        assert r.outcome == OUTCOME_ACCEPT
+        assert r.od == {"h.a": 0xF, "h.b": 0xA}
+        assert r.od_widths == {"h.a": 4, "h.b": 4}
+
+    def test_default_arm(self):
+        spec = parse_spec(BASIC)
+        r = sim(spec, Bits.from_str("0011"))
+        assert r.outcome == OUTCOME_ACCEPT
+        assert r.od == {"h.a": 3}
+
+    def test_explicit_reject(self):
+        spec = parse_spec(BASIC)
+        assert sim(spec, Bits.from_str("0001")).outcome == OUTCOME_REJECT
+
+    def test_truncated_extraction_rejects(self):
+        spec = parse_spec(BASIC)
+        assert sim(spec, Bits.from_str("111")).outcome == OUTCOME_REJECT
+
+    def test_truncated_second_field_rejects(self):
+        spec = parse_spec(BASIC)
+        assert sim(spec, Bits.from_str("1111" "10")).outcome == OUTCOME_REJECT
+
+    def test_path_recorded(self):
+        spec = parse_spec(BASIC)
+        r = sim(spec, Bits.from_str("1111" "0000"))
+        assert r.path == ["start", "parse_b"]
+
+    def test_consumed_bits(self):
+        spec = parse_spec(BASIC)
+        assert sim(spec, Bits.from_str("0011" "1111")).consumed == 4
+
+
+class TestNoMatchRejects:
+    def test_no_default_no_match(self):
+        spec = parse_spec(
+            """
+            header h { a : 2; }
+            parser P {
+                state start {
+                    extract(h.a);
+                    transition select(h.a) { 1 : accept; }
+                }
+            }
+            """
+        )
+        assert sim(spec, Bits.from_str("01")).outcome == OUTCOME_ACCEPT
+        assert sim(spec, Bits.from_str("10")).outcome == OUTCOME_REJECT
+
+
+class TestLookahead:
+    SPEC = """
+    header h { a : 2; b : 4; }
+    parser P {
+        state start {
+            extract(h.a);
+            transition select(lookahead(2)) {
+                0b11 : parse_b;
+                default : accept;
+            }
+        }
+        state parse_b { extract(h.b); transition accept; }
+    }
+    """
+
+    def test_lookahead_does_not_consume(self):
+        spec = parse_spec(self.SPEC)
+        r = sim(spec, Bits.from_str("01" "1101"))
+        assert r.od == {"h.a": 1, "h.b": 0b1101}
+
+    def test_lookahead_past_end_rejects(self):
+        spec = parse_spec(self.SPEC)
+        assert sim(spec, Bits.from_str("01" "1")).outcome == OUTCOME_REJECT
+
+    def test_lookahead_offset(self):
+        spec = parse_spec(
+            """
+            header h { a : 2; b : 2; }
+            parser P {
+                state start {
+                    extract(h.a);
+                    transition select(lookahead(2, 2)) {
+                        0b10 : t; default : accept;
+                    }
+                }
+                state t { extract(h.b); transition accept; }
+            }
+            """
+        )
+        # lookahead skips 2 bits: key = bits [4:6)
+        r = sim(spec, Bits.from_str("00" "11" "10"))
+        assert r.path == ["start", "t"]
+
+
+class TestVarbit:
+    SPEC = """
+    header h { count : 2; body : varbit 12; tail : 2; }
+    parser P {
+        state start {
+            extract(h.count);
+            extract_var(h.body, h.count, 4);
+            extract(h.tail);
+            transition accept;
+        }
+    }
+    """
+
+    def test_zero_length(self):
+        spec = parse_spec(self.SPEC)
+        r = sim(spec, Bits.from_str("00" "11"))
+        assert r.accepted
+        assert r.od == {"h.count": 0, "h.body": 0, "h.tail": 3}
+        assert r.od_widths["h.body"] == 0
+
+    def test_two_units(self):
+        spec = parse_spec(self.SPEC)
+        r = sim(spec, Bits.from_str("10" "10101100" "01"))
+        assert r.od["h.body"] == 0b10101100
+        assert r.od_widths["h.body"] == 8
+        assert r.od["h.tail"] == 1
+
+    def test_oversize_rejects(self):
+        # count=3 -> 12 bits fits exactly; craft overflow via max width 12
+        spec = parse_spec(self.SPEC.replace("varbit 12", "varbit 8"))
+        r = sim(spec, Bits.from_str("11" + "0" * 14))
+        assert r.outcome == OUTCOME_REJECT
+
+
+class TestStacks:
+    SPEC = """
+    header mpls { label : 3 stack 2; bos : 1 stack 2; }
+    parser P {
+        state start {
+            extract(mpls);
+            transition select(mpls.bos) { 1 : accept; default : start; }
+        }
+    }
+    """
+
+    def test_single_instance(self):
+        spec = parse_spec(self.SPEC)
+        r = sim(spec, Bits.from_str("101" "1"))
+        assert r.od == {"mpls.label[0]": 0b101, "mpls.bos[0]": 1}
+
+    def test_two_instances(self):
+        spec = parse_spec(self.SPEC)
+        r = sim(spec, Bits.from_str("001" "0" "010" "1"))
+        assert r.od["mpls.label[0]"] == 1
+        assert r.od["mpls.label[1]"] == 2
+
+    def test_overflow_rejects(self):
+        spec = parse_spec(self.SPEC)
+        r = sim(spec, Bits.from_str(("000" "0") * 3))
+        assert r.outcome == OUTCOME_REJECT
+
+    def test_key_reads_top_of_stack(self):
+        spec = parse_spec(self.SPEC)
+        # First bos=0 continues; second bos=1 accepts.
+        r = sim(spec, Bits.from_str("111" "0" "000" "1"))
+        assert r.accepted and r.path == ["start", "start"]
+
+
+class TestErrors:
+    def test_key_on_unextracted_field_raises(self):
+        spec = parse_spec(
+            """
+            header h { a : 2; b : 2; }
+            parser P {
+                state start {
+                    extract(h.a);
+                    transition select(h.b) { default : accept; }
+                }
+            }
+            """
+        )
+        with pytest.raises(SimulationError):
+            sim(spec, Bits.from_str("0000"))
+
+    def test_overrun_on_unbounded_loop(self):
+        spec = parse_spec(
+            "parser P { state start { transition start; } }"
+        )
+        assert sim(spec, Bits.zeros(8), max_steps=5).outcome == OUTCOME_OVERRUN
+
+
+class TestEquivalence:
+    def test_reject_ods_not_compared(self):
+        from repro.ir.simulator import ParseResult
+
+        a = ParseResult(OUTCOME_REJECT, {"x": 1}, {"x": 4})
+        b = ParseResult(OUTCOME_REJECT, {}, {})
+        assert equivalent_behavior(a, b)
+
+    def test_accept_requires_same_od(self):
+        from repro.ir.simulator import ParseResult
+
+        a = ParseResult(OUTCOME_ACCEPT, {"x": 1}, {"x": 4})
+        b = ParseResult(OUTCOME_ACCEPT, {"x": 2}, {"x": 4})
+        assert not equivalent_behavior(a, b)
+
+    def test_width_mismatch_detected(self):
+        from repro.ir.simulator import ParseResult
+
+        a = ParseResult(OUTCOME_ACCEPT, {"x": 1}, {"x": 4})
+        b = ParseResult(OUTCOME_ACCEPT, {"x": 1}, {"x": 8})
+        assert not equivalent_behavior(a, b)
+
+
+class TestTrace:
+    def test_trace_matches_simulation(self):
+        spec = parse_spec(BASIC)
+        bits = Bits.from_str("1111" "0110")
+        result, steps = trace_spec(spec, bits)
+        assert result.same_output(sim(spec, bits))
+        assert [s.state for s in steps] == ["start", "parse_b"]
+
+    def test_trace_key_positions(self):
+        spec = parse_spec(BASIC)
+        _result, steps = trace_spec(spec, Bits.from_str("0011"))
+        # h.a occupies wire bits 0..3, key is a[3:0] MSB-first.
+        assert steps[0].key_positions == [0, 1, 2, 3]
+        assert steps[0].key_value == 3
+        assert steps[0].rule_index == 2  # default arm
+
+    def test_input_bound_covers_runs(self):
+        spec = parse_spec(BASIC)
+        assert spec_input_bound(spec) >= 8

@@ -1,0 +1,139 @@
+"""IR lowering and rendering tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ir import (
+    ACCEPT,
+    FieldKey,
+    LookaheadKey,
+    REJECT,
+    parse_spec,
+)
+from tests.conftest import assert_specs_equivalent
+
+SOURCE = """
+header eth { dst : 8; src : 8; etherType : 4; }
+header opts { count : 2; body : varbit 8; }
+header mpls { label : 4 stack 3; }
+parser Demo {
+    state start {
+        extract(eth);
+        transition select(eth.etherType, lookahead(2)) {
+            (0x8, 1) : more;
+            default : accept;
+        }
+    }
+    state more {
+        extract(opts.count);
+        extract_var(opts.body, opts.count, 4);
+        extract(mpls);
+        transition accept;
+    }
+}
+"""
+
+
+class TestLowering:
+    def test_fields_flattened_and_qualified(self):
+        spec = parse_spec(SOURCE)
+        assert set(spec.fields) == {
+            "eth.dst",
+            "eth.src",
+            "eth.etherType",
+            "opts.count",
+            "opts.body",
+            "mpls.label",
+        }
+
+    def test_varbit_binding(self):
+        spec = parse_spec(SOURCE)
+        body = spec.fields["opts.body"]
+        assert body.is_varbit
+        assert body.length_field == "opts.count"
+        assert body.length_multiplier == 4
+
+    def test_stack_field(self):
+        spec = parse_spec(SOURCE)
+        label = spec.fields["mpls.label"]
+        assert label.is_stack and label.stack_depth == 3
+        assert label.instance_key(1) == "mpls.label[1]"
+
+    def test_scalar_instance_key(self):
+        spec = parse_spec(SOURCE)
+        assert spec.fields["eth.dst"].instance_key(0) == "eth.dst"
+
+    def test_extraction_order_preserved(self):
+        spec = parse_spec(SOURCE)
+        assert spec.states["start"].extracts == (
+            "eth.dst",
+            "eth.src",
+            "eth.etherType",
+        )
+        assert spec.states["more"].extracts == (
+            "opts.count",
+            "opts.body",
+            "mpls.label",
+        )
+
+    def test_key_parts(self):
+        spec = parse_spec(SOURCE)
+        key = spec.states["start"].key
+        assert key[0] == FieldKey("eth.etherType", 3, 0)
+        assert key[1] == LookaheadKey(0, 2)
+        assert spec.states["start"].key_width == 6
+
+    def test_rule_folding(self):
+        spec = parse_spec(SOURCE)
+        rule = spec.states["start"].rules[0]
+        value, mask = rule.combined_value_mask([4, 2])
+        assert value == (0x8 << 2) | 1
+        assert mask == 0b111111
+
+    def test_default_rule_folding(self):
+        spec = parse_spec(SOURCE)
+        rule = spec.states["start"].rules[1]
+        assert rule.is_default
+        assert rule.combined_value_mask([4, 2]) == (0, 0)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(Exception):
+            parse_spec(
+                "parser P { state start { transition ghost; } }"
+            )
+
+
+class TestRendering:
+    def test_round_trip_preserves_semantics(self, rng):
+        spec = parse_spec(SOURCE)
+        rendered = spec.to_source()
+        reparsed = parse_spec(rendered)
+        assert_specs_equivalent(spec, reparsed, rng, samples=150, max_len=64)
+
+    def test_round_trip_is_stable(self):
+        spec = parse_spec(SOURCE)
+        once = spec.to_source()
+        twice = parse_spec(once).to_source()
+        assert once == twice
+
+    def test_renders_stack_and_varbit(self):
+        text = parse_spec(SOURCE).to_source()
+        assert "stack 3" in text
+        assert "varbit 8" in text
+        assert "extract_var(opts.body, opts.count, 4);" in text
+
+
+class TestSpecHelpers:
+    def test_replace_state(self):
+        spec = parse_spec(SOURCE)
+        state = spec.states["more"]
+        replaced = spec.replace_state(state)
+        assert replaced.states["more"].extracts == state.extracts
+        assert replaced is not spec
+
+    def test_extraction_width(self):
+        spec = parse_spec(SOURCE)
+        assert spec.extraction_width("start") == 20

@@ -1,0 +1,72 @@
+"""Lexer tests for the P4-subset frontend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import ParseError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        toks = kinds("header parser state myname extract")
+        assert toks == [
+            ("keyword", "header"),
+            ("keyword", "parser"),
+            ("keyword", "state"),
+            ("ident", "myname"),
+            ("keyword", "extract"),
+        ]
+
+    def test_dotted_identifier_single_token(self):
+        toks = kinds("eth.etherType")
+        assert toks == [("ident", "eth.etherType")]
+
+    def test_decimal_hex_binary_literals(self):
+        toks = tokenize("10 0x1F 0b1010 1_000")
+        assert [t.value for t in toks[:-1]] == [10, 31, 10, 1000]
+
+    def test_ternary_mask_operator(self):
+        toks = kinds("1 &&& 2")
+        assert toks[1] == ("punct", "&&&")
+
+    def test_punctuation(self):
+        toks = kinds("{ } ( ) [ ] : ; , *")
+        assert all(k == "punct" for k, _ in toks)
+
+    def test_line_comment(self):
+        assert kinds("a // comment here\nb") == [
+            ("ident", "a"),
+            ("ident", "b"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("a /* multi\nline */ b") == [
+            ("ident", "a"),
+            ("ident", "b"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("a /* never closed")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+    def test_locations_track_lines(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].location.line == 1
+        assert toks[1].location.line == 2
+        assert toks[1].location.column == 3
+
+    def test_stack_keyword(self):
+        assert kinds("stack 4")[0] == ("keyword", "stack")
+
+    def test_eof_token_present(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "eof"

@@ -1,0 +1,204 @@
+"""Parser and semantic-validation tests for the P4-subset frontend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import (
+    ACCEPT,
+    Extract,
+    ExtractVar,
+    Lookahead,
+    ParseError,
+    REJECT,
+    SemanticError,
+    parse_program,
+)
+
+GOOD = """
+header eth { dst : 8; etherType : 4; }
+header opts { count : 2; body : varbit 8; }
+header mpls { label : 4 stack 3; }
+parser Demo {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) {
+            0x8 : next;
+            0x2 &&& 0x3 : next;
+            default : accept;
+        }
+    }
+    state next {
+        extract(opts.count);
+        extract_var(opts.body, opts.count, 4);
+        transition select(lookahead(2), eth.etherType[3:2]) {
+            (1, 0) : stacked;
+            (_, _) : reject;
+        }
+    }
+    state stacked {
+        extract(mpls);
+        transition accept;
+    }
+}
+"""
+
+
+class TestParsing:
+    def test_full_program(self):
+        program = parse_program(GOOD)
+        assert [h.name for h in program.headers] == ["eth", "opts", "mpls"]
+        assert program.parser.name == "Demo"
+        assert len(program.parser.states) == 3
+
+    def test_header_fields(self):
+        program = parse_program(GOOD)
+        opts = program.header("opts")
+        assert opts.field("body").is_varbit
+        assert opts.field("body").width == 8
+        mpls = program.header("mpls")
+        assert mpls.field("label").stack_depth == 3
+
+    def test_mask_arm(self):
+        program = parse_program(GOOD)
+        start = program.parser.state("start")
+        case = start.transition.cases[1]
+        assert case.patterns[0].value == 0x2
+        assert case.patterns[0].mask == 0x3
+
+    def test_default_arm_flag(self):
+        program = parse_program(GOOD)
+        start = program.parser.state("start")
+        assert start.transition.cases[2].is_default
+
+    def test_lookahead_key(self):
+        program = parse_program(GOOD)
+        nxt = program.parser.state("next")
+        key = nxt.transition.keys[0]
+        assert isinstance(key, Lookahead) and key.width == 2
+
+    def test_field_slice_key(self):
+        program = parse_program(GOOD)
+        nxt = program.parser.state("next")
+        key = nxt.transition.keys[1]
+        assert (key.hi, key.lo) == (3, 2)
+
+    def test_extract_var_statement(self):
+        program = parse_program(GOOD)
+        nxt = program.parser.state("next")
+        stmt = nxt.statements[1]
+        assert isinstance(stmt, ExtractVar)
+        assert stmt.multiplier == 4
+        assert stmt.length_ref.field == "count"
+
+    def test_single_field_extract(self):
+        program = parse_program(
+            "header h { a : 4; b : 4; }\n"
+            "parser P { state start { extract(h.a); transition accept; } }"
+        )
+        stmt = program.parser.state("start").statements[0]
+        assert isinstance(stmt, Extract) and stmt.field == "a"
+
+    def test_unconditional_transition(self):
+        program = parse_program(
+            "header h { a : 4; }\n"
+            "parser P { state start { extract(h); transition reject; } }"
+        )
+        t = program.parser.state("start").transition
+        assert t.is_unconditional
+        assert t.cases[0].next_state == REJECT
+
+    def test_tuple_patterns_match_key_count(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "header h { a : 4; b : 4; }\n"
+                "parser P { state start { extract(h);\n"
+                "transition select(h.a, h.b) { 1 : accept; default : reject; } } }"
+            )
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "header h { a : 4; }",                        # no parser
+            "parser P { }",                               # no start state
+            "parser P { state start { transition accept } }",  # missing ;
+            "parser P { state start { } }",               # no transition
+            "header h { a : 4 } parser P { state start { transition accept; } }",
+            "parser P { state start { transition select() { } } }",
+        ],
+    )
+    def test_malformed(self, source):
+        with pytest.raises((ParseError, SemanticError)):
+            parse_program(source)
+
+    def test_double_transition(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "parser P { state start { transition accept; transition reject; } }"
+            )
+
+    def test_multiple_parsers(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                "parser P { state start { transition accept; } }\n"
+                "parser Q { state start { transition accept; } }"
+            )
+
+
+class TestSemanticErrors:
+    def test_unknown_header(self):
+        with pytest.raises(SemanticError):
+            parse_program(
+                "parser P { state start { extract(ghost); transition accept; } }"
+            )
+
+    def test_unknown_transition_target(self):
+        with pytest.raises(SemanticError):
+            parse_program(
+                "parser P { state start { transition nowhere; } }"
+            )
+
+    def test_missing_start_state(self):
+        with pytest.raises(SemanticError):
+            parse_program(
+                "parser P { state other { transition accept; } }"
+            )
+
+    def test_zero_width_field(self):
+        with pytest.raises(SemanticError):
+            parse_program(
+                "header h { a : 0; }\n"
+                "parser P { state start { transition accept; } }"
+            )
+
+    def test_duplicate_fields(self):
+        with pytest.raises(SemanticError):
+            parse_program(
+                "header h { a : 4; a : 4; }\n"
+                "parser P { state start { transition accept; } }"
+            )
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(SemanticError):
+            parse_program(
+                "header h { a : 4; }\n"
+                "parser P { state start { extract(h);\n"
+                "transition select(h.a[7:0]) { default : accept; } } }"
+            )
+
+    def test_extract_var_on_fixed_field(self):
+        with pytest.raises(SemanticError):
+            parse_program(
+                "header h { a : 4; n : 2; }\n"
+                "parser P { state start {\n"
+                "extract_var(h.a, h.n, 4); transition accept; } }"
+            )
+
+    def test_duplicate_states(self):
+        with pytest.raises(SemanticError):
+            parse_program(
+                "parser P { state start { transition accept; }\n"
+                "state start { transition accept; } }"
+            )

@@ -1,0 +1,177 @@
+"""Packet-crafting tests: layouts, auto-fields, checksums, layering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import Bits
+from repro.packets import (
+    Dot1Q,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    ETHERTYPE_MPLS,
+    Ether,
+    Geneve,
+    ICMP,
+    IPv4,
+    IPv6,
+    MPLS,
+    PROTO_TCP,
+    PROTO_UDP,
+    Raw,
+    TCP,
+    UDP,
+    UDP_PORT_GENEVE,
+    UDP_PORT_VXLAN,
+    VXLAN,
+    internet_checksum,
+    ones_complement_sum,
+)
+
+
+class TestSizes:
+    @pytest.mark.parametrize(
+        "header,bits",
+        [
+            (Ether(), 112),
+            (Dot1Q(), 32),
+            (MPLS(), 32),
+            (IPv4(), 160),
+            (IPv6(), 320),
+            (TCP(), 160),
+            (UDP(), 64),
+            (ICMP(), 64),
+            (VXLAN(), 64),
+            (Geneve(), 64),
+        ],
+    )
+    def test_header_bit_lengths(self, header, bits):
+        assert len(header.header_bits()) == bits
+
+
+class TestAutoFields:
+    def test_ethertype_from_payload(self):
+        assert (Ether() / IPv4()).layer(Ether).values["etherType"] is None
+        pkt = Ether() / IPv4()
+        raw = pkt.to_bytes()
+        assert raw[12:14] == ETHERTYPE_IPV4.to_bytes(2, "big")
+        assert (Ether() / IPv6()).to_bytes()[12:14] == ETHERTYPE_IPV6.to_bytes(2, "big")
+        assert (Ether() / MPLS()).to_bytes()[12:14] == ETHERTYPE_MPLS.to_bytes(2, "big")
+
+    def test_explicit_ethertype_wins(self):
+        pkt = Ether(etherType=0x1234) / IPv4()
+        assert pkt.to_bytes()[12:14] == b"\x12\x34"
+
+    def test_ip_protocol_from_payload(self):
+        assert (Ether() / IPv4() / TCP()).to_bytes()[14 + 9] == PROTO_TCP
+        assert (Ether() / IPv4() / UDP()).to_bytes()[14 + 9] == PROTO_UDP
+
+    def test_ipv4_total_length(self):
+        pkt = IPv4() / Raw(b"x" * 10)
+        total = int.from_bytes(pkt.to_bytes()[2:4], "big")
+        assert total == 30
+
+    def test_ipv4_ihl_with_options(self):
+        pkt = IPv4(options=b"\x01\x02\x03\x04")
+        raw = pkt.to_bytes()
+        assert raw[0] & 0xF == 6  # 5 + 1 option word
+        assert len(raw) == 24
+
+    def test_udp_length_auto(self):
+        # UDP layout: sport [0:2], dport [2:4], length [4:6].
+        raw = (UDP() / VXLAN()).to_bytes()
+        assert int.from_bytes(raw[4:6], "big") == 8 + 8
+        raw = (UDP() / Geneve()).to_bytes()
+        assert int.from_bytes(raw[4:6], "big") == 8 + 8
+
+    def test_udp_dport_auto_for_tunnels(self):
+        raw = (UDP() / VXLAN()).to_bytes()
+        assert int.from_bytes(raw[2:4], "big") == UDP_PORT_VXLAN
+        raw = (UDP() / Geneve()).to_bytes()
+        assert int.from_bytes(raw[2:4], "big") == UDP_PORT_GENEVE
+        # Explicit dport wins over the auto value.
+        raw = (UDP(dport=53) / VXLAN()).to_bytes()
+        assert int.from_bytes(raw[2:4], "big") == 53
+
+    def test_mpls_bottom_of_stack(self):
+        stack = MPLS(label=1) / MPLS(label=2)
+        raw = stack.to_bytes()
+        assert raw[2] & 1 == 0      # first label: bos=0
+        assert raw[6] & 1 == 1      # last label: bos=1
+
+    def test_ipv6_payload_len(self):
+        pkt = IPv6() / UDP()
+        raw = pkt.to_bytes()
+        assert int.from_bytes(raw[4:6], "big") == 8
+
+    def test_geneve_opt_len(self):
+        pkt = Geneve(options=b"\xAA" * 8)
+        raw = pkt.to_bytes()
+        assert (raw[0] & 0x3F) == 2
+        assert len(raw) == 8 + 8
+
+
+class TestChecksums:
+    def test_ones_complement_known_vector(self):
+        # RFC 1071 example.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert ones_complement_sum(data) == 0xDDF2
+
+    def test_ipv4_checksum_validates(self):
+        raw = IPv4().header_bits().to_bytes()
+        # Re-summing a correct header yields 0xFFFF.
+        assert ones_complement_sum(raw) == 0xFFFF
+
+    def test_icmp_checksum_validates(self):
+        raw = ICMP(identifier=0x1234).header_bits().to_bytes()
+        assert ones_complement_sum(raw) == 0xFFFF
+
+    def test_pinned_checksum_respected(self):
+        raw = IPv4(checksum=0xDEAD).header_bits().to_bytes()
+        assert raw[10:12] == b"\xDE\xAD"
+
+    def test_internet_checksum_of_zero(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+
+class TestLayering:
+    def test_div_returns_outermost(self):
+        pkt = Ether() / IPv4() / TCP()
+        assert isinstance(pkt, Ether)
+        assert [type(l).__name__ for l in pkt.layers()] == [
+            "Ether",
+            "IPv4",
+            "TCP",
+        ]
+
+    def test_layer_lookup(self):
+        pkt = Ether() / IPv4() / TCP()
+        assert pkt.layer(TCP) is not None
+        assert pkt.layer(UDP) is None
+
+    def test_deep_stacking(self):
+        pkt = Ether() / IPv4() / UDP() / VXLAN() / Ether() / IPv4()
+        assert len(pkt.layers()) == 6
+        assert len(pkt.bits()) == 112 + 160 + 64 + 64 + 112 + 160
+
+    def test_bits_round_trip_bytes(self):
+        pkt = Ether() / IPv4() / TCP()
+        assert Bits.from_bytes(pkt.to_bytes()) == pkt.bits()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            Ether(bogus=1)
+
+    def test_field_range_checked(self):
+        with pytest.raises(ValueError):
+            MPLS(label=1 << 20).header_bits()
+
+    def test_raw_payload(self):
+        pkt = Ether() / Raw(b"\x01\x02")
+        assert pkt.to_bytes()[-2:] == b"\x01\x02"
+
+    def test_options_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            IPv4(options=b"\x01")
+        with pytest.raises(ValueError):
+            Geneve(options=b"\x01\x02")

@@ -1,0 +1,215 @@
+"""Bit-blasting correctness: solver models must satisfy the original terms
+under the Python evaluator, and unsatisfiability must agree with brute
+force on small widths."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    And,
+    BitVec,
+    BitVecVal,
+    Bool,
+    BvAdd,
+    BvAnd,
+    BvNot,
+    BvOr,
+    BvSub,
+    BvXor,
+    Concat,
+    Eq,
+    Extract,
+    If,
+    Implies,
+    Not,
+    Or,
+    SAT,
+    Solver,
+    ULE,
+    ULT,
+    UNSAT,
+    evaluate,
+    solve_terms,
+)
+
+
+class TestSolverFacade:
+    def test_trivial_sat(self):
+        s = Solver()
+        s.add(Bool("p"))
+        assert s.check() == SAT
+        assert s.model()[Bool("p")] is True
+
+    def test_trivial_unsat(self):
+        s = Solver()
+        p = Bool("p")
+        s.add(p)
+        s.add(Not(p))
+        assert s.check() == UNSAT
+
+    def test_model_before_check_raises(self):
+        with pytest.raises(RuntimeError):
+            Solver().model()
+
+    def test_non_bool_assertion_rejected(self):
+        with pytest.raises(TypeError):
+            Solver().add(BitVec("x", 4))
+
+    def test_model_eval_whole_term(self):
+        x = BitVec("mx", 8)
+        s = Solver()
+        s.add(Eq(BvAdd(x, BitVecVal(1, 8)), BitVecVal(0, 8)))
+        assert s.check() == SAT
+        m = s.model()
+        assert m[x] == 255
+        assert m.eval(BvAdd(x, BitVecVal(2, 8))) == 1
+
+    def test_push_pop(self):
+        x = BitVec("ppx", 4)
+        s = Solver()
+        s.add(ULT(x, BitVecVal(5, 4)))
+        s.push()
+        s.add(ULT(BitVecVal(10, 4), x))
+        assert s.check() == UNSAT
+        s.pop()
+        assert s.check() == SAT
+        assert s.model()[x] < 5
+
+    def test_nested_push_pop(self):
+        p, q = Bool("np"), Bool("nq")
+        s = Solver()
+        s.add(Or(p, q))
+        s.push()
+        s.add(Not(p))
+        s.push()
+        s.add(Not(q))
+        assert s.check() == UNSAT
+        s.pop()
+        assert s.check() == SAT
+        assert s.model()[q] is True
+        s.pop()
+        assert s.check() == SAT
+
+    def test_check_with_assumptions(self):
+        p, q = Bool("ap"), Bool("aq")
+        s = Solver()
+        s.add(Or(p, q))
+        assert s.check(Not(p), Not(q)) == UNSAT
+        assert s.check(Not(p)) == SAT
+        assert s.model()[q] is True
+
+    def test_solve_terms_helper(self):
+        x = BitVec("hx", 4)
+        model = solve_terms(Eq(x, BitVecVal(9, 4)))
+        assert model is not None and model[x] == 9
+        assert solve_terms(And(Bool("hp"), Not(Bool("hp")))) is None
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("width", [1, 3, 8])
+    def test_addition_inverse(self, width):
+        x = BitVec(f"ax{width}", width)
+        y = BitVec(f"ay{width}", width)
+        s = Solver()
+        s.add(Eq(BvAdd(x, y), BitVecVal(0, width)))
+        s.add(Not(Eq(x, BitVecVal(0, width))))
+        assert s.check() == SAT
+        m = s.model()
+        assert (m[x] + m[y]) % (1 << width) == 0
+
+    def test_subtraction_is_add_inverse(self):
+        x = BitVec("sx", 8)
+        s = Solver()
+        s.add(Eq(BvSub(x, BitVecVal(10, 8)), BitVecVal(250, 8)))
+        assert s.check() == SAT
+        assert (s.model()[x] - 10) & 0xFF == 250
+
+    def test_ult_total_order_unsat(self):
+        x, y = BitVec("ox", 6), BitVec("oy", 6)
+        s = Solver()
+        s.add(ULT(x, y))
+        s.add(ULT(y, x))
+        assert s.check() == UNSAT
+
+    def test_ule_antisymmetric(self):
+        x, y = BitVec("ux", 6), BitVec("uy", 6)
+        s = Solver()
+        s.add(ULE(x, y))
+        s.add(ULE(y, x))
+        s.add(Not(Eq(x, y)))
+        assert s.check() == UNSAT
+
+
+# ---------------------------------------------------------------------------
+# Property: random formulas, model correctness and brute-force agreement
+# ---------------------------------------------------------------------------
+
+def _random_term(rng, variables, depth, width):
+    if depth == 0 or rng.random() < 0.3:
+        if rng.random() < 0.5:
+            return rng.choice(variables)
+        return BitVecVal(rng.getrandbits(width), width)
+    op = rng.choice(["and", "or", "xor", "add", "sub", "not", "ite"])
+    if op == "not":
+        return BvNot(_random_term(rng, variables, depth - 1, width))
+    if op == "ite":
+        cond = Eq(
+            _random_term(rng, variables, depth - 1, width),
+            _random_term(rng, variables, depth - 1, width),
+        )
+        return If(
+            cond,
+            _random_term(rng, variables, depth - 1, width),
+            _random_term(rng, variables, depth - 1, width),
+        )
+    a = _random_term(rng, variables, depth - 1, width)
+    b = _random_term(rng, variables, depth - 1, width)
+    return {"and": BvAnd, "or": BvOr, "xor": BvXor, "add": BvAdd, "sub": BvSub}[
+        op
+    ](a, b)
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_equation_solver_vs_brute_force(seed, width):
+    rng = random.Random(seed)
+    variables = [BitVec(f"f{seed}_{i}", width) for i in range(2)]
+    term = _random_term(rng, variables, 3, width)
+    target = rng.getrandbits(width)
+    s = Solver()
+    s.add(Eq(term, BitVecVal(target, width)))
+    result = s.check()
+    brute = None
+    for combo in itertools.product(range(1 << width), repeat=2):
+        env = dict(zip(variables, combo))
+        if evaluate(term, env) == target:
+            brute = env
+            break
+    if result == SAT:
+        m = s.model()
+        env = {v: m[v] for v in variables}
+        assert evaluate(term, env) == target
+        assert brute is not None
+    else:
+        assert brute is None
+
+
+@given(st.integers(min_value=0, max_value=255), st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_concat_extract_round_trip_symbolic(value, width):
+    value &= (1 << width) - 1
+    x = BitVec(f"rc{width}", width)
+    s = Solver()
+    padded = Concat(BitVecVal(0, 4), x)
+    s.add(Eq(Extract(width - 1, 0, padded), BitVecVal(value, width)))
+    assert s.check() == SAT
+    assert s.model()[x] == value

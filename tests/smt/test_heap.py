@@ -1,0 +1,102 @@
+"""ActivityHeap (VSIDS priority queue) unit and property tests."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.sat.heap import ActivityHeap
+
+
+class TestBasics:
+    def test_insert_and_pop_max(self):
+        activity = [1.0, 5.0, 3.0]
+        heap = ActivityHeap(activity)
+        for v in range(3):
+            heap.insert(v)
+        assert heap.pop_max() == 1
+        assert heap.pop_max() == 2
+        assert heap.pop_max() == 0
+
+    def test_duplicate_insert_ignored(self):
+        heap = ActivityHeap([1.0])
+        heap.insert(0)
+        heap.insert(0)
+        assert len(heap) == 1
+
+    def test_contains(self):
+        heap = ActivityHeap([1.0, 2.0])
+        heap.insert(1)
+        assert 1 in heap
+        assert 0 not in heap
+        heap.pop_max()
+        assert 1 not in heap
+
+    def test_reinsert_after_pop(self):
+        activity = [1.0, 2.0]
+        heap = ActivityHeap(activity)
+        heap.insert(0)
+        heap.insert(1)
+        assert heap.pop_max() == 1
+        heap.insert(1)
+        assert heap.pop_max() == 1
+
+    def test_bumped_reorders(self):
+        activity = [1.0, 2.0, 3.0]
+        heap = ActivityHeap(activity)
+        for v in range(3):
+            heap.insert(v)
+        activity[0] = 10.0
+        heap.bumped(0)
+        assert heap.pop_max() == 0
+
+    def test_bumped_absent_var_noop(self):
+        heap = ActivityHeap([1.0])
+        heap.bumped(0)  # not inserted: must not crash
+        assert len(heap) == 0
+
+    def test_grow_to(self):
+        heap = ActivityHeap([0.0] * 10)
+        heap.grow_to(10)
+        heap.insert(9)
+        assert heap.pop_max() == 9
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_pop_order_is_descending_activity(activities):
+    heap = ActivityHeap(list(activities))
+    for v in range(len(activities)):
+        heap.insert(v)
+    popped = [heap.pop_max() for _ in range(len(activities))]
+    values = [activities[v] for v in popped]
+    assert values == sorted(values, reverse=True)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_interleaved_operations_model(seed):
+    """Random interleaving of insert/pop/bump against a reference model."""
+    rng = random.Random(seed)
+    n = 12
+    activity = [float(rng.randint(0, 50)) for _ in range(n)]
+    heap = ActivityHeap(activity)
+    model = set()
+    for _ in range(60):
+        op = rng.random()
+        if op < 0.45:
+            v = rng.randrange(n)
+            heap.insert(v)
+            model.add(v)
+        elif op < 0.75 and model:
+            got = heap.pop_max()
+            expected_best = max(model, key=lambda v: (activity[v],))
+            assert activity[got] == activity[expected_best]
+            model.discard(got)
+        else:
+            v = rng.randrange(n)
+            activity[v] += rng.randint(1, 10)
+            heap.bumped(v)
+    assert len(heap) == len(model)

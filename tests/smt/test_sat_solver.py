@@ -1,0 +1,342 @@
+"""Unit and property tests for the CDCL SAT solver."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.sat import (
+    Budget,
+    SatSolver,
+    lit,
+    lit_from_dimacs,
+    luby,
+    neg,
+    parse_dimacs,
+    solver_from_dimacs,
+    to_dimacs,
+    write_dimacs,
+)
+
+
+def brute_force_sat(num_vars: int, clauses) -> bool:
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[l >> 1] ^ bool(l & 1) for l in c) for c in clauses):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Literal encoding
+# ---------------------------------------------------------------------------
+
+class TestLiterals:
+    def test_positive_literal(self):
+        assert lit(0) == 0
+        assert lit(3) == 6
+
+    def test_negative_literal(self):
+        assert lit(0, False) == 1
+        assert lit(3, False) == 7
+
+    def test_negation_is_involution(self):
+        for l in range(20):
+            assert neg(neg(l)) == l
+
+    def test_dimacs_round_trip(self):
+        for d in (1, -1, 5, -17):
+            assert to_dimacs(lit_from_dimacs(d)) == d
+
+    def test_dimacs_zero_rejected(self):
+        with pytest.raises(ValueError):
+            lit_from_dimacs(0)
+
+
+# ---------------------------------------------------------------------------
+# Luby sequence
+# ---------------------------------------------------------------------------
+
+def test_luby_prefix():
+    expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+    assert [luby(i) for i in range(1, 16)] == expected
+
+
+def test_luby_large_index_terminates():
+    assert luby(10_000) >= 1
+
+
+# ---------------------------------------------------------------------------
+# Basic solving
+# ---------------------------------------------------------------------------
+
+class TestBasicSolving:
+    def test_empty_formula_is_sat(self):
+        assert SatSolver().solve() is True
+
+    def test_unit_clause(self):
+        s = SatSolver()
+        s.add_clause([lit(0)])
+        assert s.solve() is True
+        assert s.model()[0] is True
+
+    def test_contradictory_units(self):
+        s = SatSolver()
+        s.add_clause([lit(0)])
+        assert s.add_clause([lit(0, False)]) is False
+        assert s.solve() is False
+
+    def test_simple_implication_chain(self):
+        s = SatSolver()
+        n = 20
+        s.ensure_vars(n)
+        for i in range(n - 1):
+            s.add_clause([lit(i, False), lit(i + 1)])  # x_i -> x_{i+1}
+        s.add_clause([lit(0)])
+        assert s.solve() is True
+        assert all(s.model())
+
+    def test_xor_chain_unsat(self):
+        # x0 xor x1, x1 xor x2, x0 xor x2 with odd parity is unsat.
+        s = SatSolver()
+        s.ensure_vars(3)
+        for a, b in ((0, 1), (1, 2), (0, 2)):
+            s.add_clause([lit(a), lit(b)])
+            s.add_clause([lit(a, False), lit(b, False)])
+        assert s.solve() is False
+
+    def test_tautological_clause_ignored(self):
+        s = SatSolver()
+        s.add_clause([lit(0), lit(0, False)])
+        assert s.solve() is True
+
+    def test_duplicate_literals_collapse(self):
+        s = SatSolver()
+        s.add_clause([lit(0), lit(0), lit(0)])
+        assert s.solve() is True
+        assert s.model()[0] is True
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_php_unsat(self, n):
+        s = SatSolver()
+
+        def var(p, h):
+            return p * n + h
+
+        for p in range(n + 1):
+            s.add_clause([lit(var(p, h)) for h in range(n)])
+        for h in range(n):
+            for p1 in range(n + 1):
+                for p2 in range(p1 + 1, n + 1):
+                    s.add_clause(
+                        [lit(var(p1, h), False), lit(var(p2, h), False)]
+                    )
+        assert s.solve() is False
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        s = SatSolver()
+        s.ensure_vars(2)
+        s.add_clause([lit(0), lit(1)])
+        assert s.solve([lit(0, False)]) is True
+        assert s.model()[1] is True
+
+    def test_conflicting_assumptions_unsat_without_poisoning(self):
+        s = SatSolver()
+        s.ensure_vars(2)
+        s.add_clause([lit(0), lit(1)])
+        assert s.solve([lit(0, False), lit(1, False)]) is False
+        # The solver must remain usable: same formula is sat without them.
+        assert s.solve() is True
+
+    def test_incremental_clause_addition_after_sat(self):
+        s = SatSolver()
+        s.ensure_vars(2)
+        s.add_clause([lit(0), lit(1)])
+        assert s.solve() is True
+        s.add_clause([lit(0, False)])
+        s.add_clause([lit(1, False)])
+        assert s.solve() is False
+
+
+class TestBudget:
+    def test_budget_conflicts_exhausts(self):
+        # A hard PHP instance under a tiny conflict budget returns None.
+        n = 7
+        s = SatSolver()
+
+        def var(p, h):
+            return p * n + h
+
+        for p in range(n + 1):
+            s.add_clause([lit(var(p, h)) for h in range(n)])
+        for h in range(n):
+            for p1 in range(n + 1):
+                for p2 in range(p1 + 1, n + 1):
+                    s.add_clause(
+                        [lit(var(p1, h), False), lit(var(p2, h), False)]
+                    )
+        assert s.solve(budget=Budget(max_conflicts=5)) is None
+
+    def test_budget_zero_seconds(self):
+        s = SatSolver()
+        s.ensure_vars(2)
+        s.add_clause([lit(0), lit(1)])
+        s.add_clause([lit(0, False), lit(1)])
+        s.add_clause([lit(0), lit(1, False)])
+        s.add_clause([lit(0, False), lit(1, False)])
+        result = s.solve(budget=Budget(max_seconds=0.0))
+        assert result in (None, False)
+
+
+# ---------------------------------------------------------------------------
+# Property tests vs. brute force
+# ---------------------------------------------------------------------------
+
+@st.composite
+def cnf_instances(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=8))
+    num_clauses = draw(st.integers(min_value=1, max_value=30))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = [
+            2 * draw(st.integers(min_value=0, max_value=num_vars - 1))
+            + draw(st.integers(min_value=0, max_value=1))
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return num_vars, clauses
+
+
+@given(cnf_instances())
+@settings(max_examples=120, deadline=None)
+def test_solver_agrees_with_brute_force(instance):
+    num_vars, clauses = instance
+    s = SatSolver()
+    s.ensure_vars(num_vars)
+    for c in clauses:
+        s.add_clause(c)
+    result = s.solve() if s.ok else False
+    assert result == brute_force_sat(num_vars, clauses)
+    if result:
+        model = s.model()
+        for c in clauses:
+            assert any(model[l >> 1] ^ bool(l & 1) for l in c)
+
+
+@given(cnf_instances(), st.integers(min_value=0, max_value=255))
+@settings(max_examples=60, deadline=None)
+def test_solver_respects_assumptions(instance, seed):
+    num_vars, clauses = instance
+    rng = random.Random(seed)
+    assumptions = [
+        2 * rng.randrange(num_vars) + rng.randint(0, 1)
+        for _ in range(rng.randint(0, 2))
+    ]
+    s = SatSolver()
+    s.ensure_vars(num_vars)
+    ok = True
+    for c in clauses:
+        ok = s.add_clause(c) and ok
+    result = s.solve(assumptions) if ok else False
+    expected = brute_force_sat(
+        num_vars, clauses + [[a] for a in assumptions]
+    )
+    assert result == expected
+
+
+# ---------------------------------------------------------------------------
+# DIMACS I/O
+# ---------------------------------------------------------------------------
+
+class TestDimacs:
+    def test_parse_simple(self):
+        text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n"
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 3
+        assert clauses == [[lit(0), lit(1, False)], [lit(1), lit(2)]]
+
+    def test_round_trip(self):
+        clauses = [[lit(0), lit(2, False)], [lit(1)]]
+        text = write_dimacs(3, clauses)
+        num_vars, parsed = parse_dimacs(text)
+        assert num_vars == 3
+        assert parsed == clauses
+
+    def test_solver_from_dimacs(self):
+        s = solver_from_dimacs("p cnf 2 2\n1 2 0\n-1 0\n")
+        assert s.solve() is True
+        assert s.model()[1] is True
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p qbf 1 1\n1 0\n")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("c nothing here\n")
+
+
+class TestSolverInternals:
+    def test_learnt_clause_reduction_preserves_correctness(self):
+        # A formula large enough to trigger clause-DB reduction repeatedly,
+        # still solved correctly.
+        rng = random.Random(42)
+        nv, clauses = 40, []
+        for _ in range(400):
+            clauses.append(
+                [2 * rng.randrange(nv) + rng.randint(0, 1) for _ in range(3)]
+            )
+        s = SatSolver()
+        s.ensure_vars(nv)
+        ok = True
+        for c in clauses:
+            ok = s.add_clause(c) and ok
+        result = s.solve() if ok else False
+        if result:
+            model = s.model()
+            for c in clauses:
+                assert any(model[l >> 1] ^ bool(l & 1) for l in c)
+
+    def test_restarts_happen_on_hard_instances(self):
+        n = 6
+        s = SatSolver()
+
+        def var(p, h):
+            return p * n + h
+
+        for p in range(n + 1):
+            s.add_clause([lit(var(p, h)) for h in range(n)])
+        for h in range(n):
+            for p1 in range(n + 1):
+                for p2 in range(p1 + 1, n + 1):
+                    s.add_clause(
+                        [lit(var(p1, h), False), lit(var(p2, h), False)]
+                    )
+        assert s.solve() is False
+        assert s.stats()["restarts"] >= 1
+        assert s.stats()["conflicts"] > 100
+
+    def test_stats_keys(self):
+        s = SatSolver()
+        s.add_clause([lit(0)])
+        s.solve()
+        stats = s.stats()
+        for key in ("vars", "clauses", "learnts", "conflicts",
+                    "decisions", "propagations", "restarts"):
+            assert key in stats
+
+    def test_solver_reusable_after_unsat_formula(self):
+        s = SatSolver()
+        s.add_clause([lit(0)])
+        assert s.add_clause([lit(0, False)]) is False
+        assert s.solve() is False
+        # Permanently unsat: further solves stay False, no exceptions.
+        assert s.solve() is False

@@ -1,0 +1,271 @@
+"""Tests for the term layer: construction, folding, evaluation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    And,
+    AtMostOne,
+    BitVec,
+    BitVecVal,
+    Bool,
+    BoolVal,
+    BvAdd,
+    BvAnd,
+    BvNot,
+    BvOr,
+    BvSub,
+    BvXor,
+    Concat,
+    Eq,
+    ExactlyOne,
+    Extract,
+    FALSE,
+    If,
+    Iff,
+    Implies,
+    Lshr,
+    Not,
+    Or,
+    Shl,
+    TRUE,
+    ULE,
+    ULT,
+    Xor,
+    ZeroExt,
+    collect_vars,
+    evaluate,
+)
+
+
+class TestInterning:
+    def test_identical_terms_are_same_object(self):
+        assert BitVec("x", 4) is BitVec("x", 4)
+        assert Bool("p") is Bool("p")
+        a, b = BitVec("a", 4), BitVec("b", 4)
+        assert BvAnd(a, b) is BvAnd(a, b)
+
+    def test_different_widths_distinct(self):
+        assert BitVec("x", 4) is not BitVec("x", 8)
+
+
+class TestBoolFolding:
+    def test_not_constant(self):
+        assert Not(TRUE) is FALSE
+        assert Not(FALSE) is TRUE
+
+    def test_double_negation(self):
+        p = Bool("p")
+        assert Not(Not(p)) is p
+
+    def test_and_identity_absorption(self):
+        p = Bool("p")
+        assert And(p, TRUE) is p
+        assert And(p, FALSE) is FALSE
+        assert And() is TRUE
+
+    def test_or_identity_absorption(self):
+        p = Bool("p")
+        assert Or(p, FALSE) is p
+        assert Or(p, TRUE) is TRUE
+        assert Or() is FALSE
+
+    def test_and_contradiction(self):
+        p = Bool("p")
+        assert And(p, Not(p)) is FALSE
+
+    def test_or_excluded_middle(self):
+        p = Bool("p")
+        assert Or(p, Not(p)) is TRUE
+
+    def test_nested_flattening(self):
+        p, q, r = Bool("p"), Bool("q"), Bool("r")
+        assert And(And(p, q), r) is And(p, q, r)
+
+    def test_dedupe(self):
+        p, q = Bool("p"), Bool("q")
+        assert And(p, p, q) is And(p, q)
+
+    def test_xor_folding(self):
+        p = Bool("p")
+        assert Xor(p, FALSE) is p
+        assert Xor(p, TRUE) is Not(p)
+        assert Xor(p, p) is FALSE
+
+    def test_implies_definition(self):
+        p, q = Bool("p"), Bool("q")
+        assert Implies(p, q) is Or(Not(p), q)
+        assert Implies(TRUE, q) is q
+        assert Implies(FALSE, q) is TRUE
+
+    def test_iff(self):
+        p = Bool("p")
+        assert Iff(p, p) is TRUE
+
+
+class TestBitVecFolding:
+    def test_constant_masking(self):
+        assert BitVecVal(0x1F, 4).value == 0xF
+
+    def test_and_with_zero_and_ones(self):
+        x = BitVec("x", 4)
+        assert BvAnd(x, BitVecVal(0, 4)).value == 0
+        assert BvAnd(x, BitVecVal(0xF, 4)) is x
+
+    def test_or_xor_identities(self):
+        x = BitVec("x", 4)
+        assert BvOr(x, BitVecVal(0, 4)) is x
+        assert BvXor(x, x).value == 0
+
+    def test_add_sub(self):
+        assert BvAdd(BitVecVal(7, 4), BitVecVal(12, 4)).value == 3
+        assert BvSub(BitVecVal(2, 4), BitVecVal(5, 4)).value == 13
+
+    def test_not_involution(self):
+        x = BitVec("x", 4)
+        assert BvNot(BvNot(x)) is x
+
+    def test_shifts(self):
+        assert Shl(BitVecVal(0b0011, 4), 2).value == 0b1100
+        assert Lshr(BitVecVal(0b1100, 4), 2).value == 0b0011
+        x = BitVec("x", 4)
+        assert Shl(x, 0) is x
+        assert Shl(x, 4).value == 0
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            BvAdd(BitVec("x", 4), BitVec("y", 8))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitVec("x", 0)
+
+
+class TestConcatExtract:
+    def test_concat_msb_first(self):
+        # Concat(0b10, 0b1) == 0b101 (z3 convention).
+        v = Concat(BitVecVal(0b10, 2), BitVecVal(0b1, 1))
+        assert v.value == 0b101 and v.width == 3
+
+    def test_extract_inclusive_bounds(self):
+        e = Extract(2, 1, BitVecVal(0b110, 3))
+        assert e.value == 0b11 and e.width == 2
+
+    def test_extract_whole_is_identity(self):
+        x = BitVec("x", 4)
+        assert Extract(3, 0, x) is x
+
+    def test_extract_of_extract_composes(self):
+        x = BitVec("x", 8)
+        assert Extract(1, 0, Extract(5, 2, x)) is Extract(3, 2, x)
+
+    def test_extract_through_concat(self):
+        a, b = BitVec("a", 4), BitVec("b", 4)
+        assert Extract(3, 0, Concat(a, b)) is b
+        assert Extract(7, 4, Concat(a, b)) is a
+
+    def test_extract_out_of_range(self):
+        with pytest.raises(ValueError):
+            Extract(4, 0, BitVec("x", 4))
+
+    def test_zero_ext(self):
+        x = BitVec("x", 4)
+        z = ZeroExt(4, x)
+        assert z.width == 8
+        assert ZeroExt(0, x) is x
+
+
+class TestRelations:
+    def test_eq_reflexive(self):
+        x = BitVec("x", 4)
+        assert Eq(x, x) is TRUE
+
+    def test_eq_constants(self):
+        assert Eq(BitVecVal(3, 4), BitVecVal(3, 4)) is TRUE
+        assert Eq(BitVecVal(3, 4), BitVecVal(4, 4)) is FALSE
+
+    def test_eq_coerces_ints(self):
+        x = BitVec("x", 4)
+        t = Eq(x, 3)
+        assert t.op == "eq"
+
+    def test_ult_constants(self):
+        assert ULT(BitVecVal(2, 4), BitVecVal(3, 4)) is TRUE
+        assert ULT(BitVecVal(3, 4), BitVecVal(3, 4)) is FALSE
+
+    def test_ult_nothing_below_zero(self):
+        x = BitVec("x", 4)
+        assert ULT(x, BitVecVal(0, 4)) is FALSE
+
+    def test_ule_zero_below_everything(self):
+        x = BitVec("x", 4)
+        assert ULE(BitVecVal(0, 4), x) is TRUE
+
+
+class TestIf:
+    def test_constant_condition(self):
+        x, y = BitVec("x", 4), BitVec("y", 4)
+        assert If(TRUE, x, y) is x
+        assert If(FALSE, x, y) is y
+
+    def test_same_branches(self):
+        p = Bool("p")
+        x = BitVec("x", 4)
+        assert If(p, x, x) is x
+
+    def test_bool_ite_expands(self):
+        p, q, r = Bool("p"), Bool("q"), Bool("r")
+        t = If(p, q, r)
+        assert t.sort == "Bool"
+
+
+class TestCardinality:
+    def test_exactly_one_single(self):
+        p = Bool("p")
+        assert ExactlyOne([p]) is p
+
+    def test_exactly_one_empty(self):
+        assert ExactlyOne([]) is FALSE
+
+    def test_at_most_one_small_semantics(self):
+        ps = [Bool(f"c{i}") for i in range(4)]
+        t = AtMostOne(ps)
+        for combo in range(16):
+            env = {p: bool((combo >> i) & 1) for i, p in enumerate(ps)}
+            expected = bin(combo).count("1") <= 1
+            assert evaluate(t, env) == expected
+
+
+class TestEvaluate:
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(BitVec("unbound", 4), {})
+
+    def test_collect_vars(self):
+        x, y = BitVec("x", 4), BitVec("y", 4)
+        p = Bool("p")
+        t = If(p, BvAdd(x, y), x)
+        assert collect_vars(t) == {x, y, p}
+
+
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=60, deadline=None)
+def test_evaluate_matches_python_semantics(a, b):
+    x, y = BitVec("ex", 8), BitVec("ey", 8)
+    env = {x: a, y: b}
+    assert evaluate(BvAdd(x, y), env) == (a + b) & 0xFF
+    assert evaluate(BvSub(x, y), env) == (a - b) & 0xFF
+    assert evaluate(BvAnd(x, y), env) == a & b
+    assert evaluate(BvOr(x, y), env) == a | b
+    assert evaluate(BvXor(x, y), env) == a ^ b
+    assert evaluate(BvNot(x), env) == (~a) & 0xFF
+    assert evaluate(ULT(x, y), env) == (a < b)
+    assert evaluate(Eq(x, y), env) == (a == b)
+    assert evaluate(Extract(5, 2, x), env) == (a >> 2) & 0xF
+    assert evaluate(Concat(x, y), env) == (a << 8) | b

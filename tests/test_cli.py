@@ -1,0 +1,128 @@
+"""Command-line interface tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+header eth { dst : 8; etherType : 4; }
+header ip  { proto : 4; }
+parser Demo {
+    state start {
+        extract(eth);
+        transition select(eth.etherType) { 0x8 : parse_ip; default : accept; }
+    }
+    state parse_ip { extract(ip); transition accept; }
+}
+"""
+
+
+@pytest.fixture
+def source(tmp_path):
+    path = tmp_path / "demo.p4sub"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestCompile:
+    def test_text_emission(self, source, capsys):
+        assert main(["compile", source, "--key-limit", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "TcamProgram(Demo)" in out
+        assert "parse_ip" in out
+
+    def test_config_emission(self, source, capsys):
+        code = main(
+            ["compile", source, "--key-limit", "8", "--emit", "config"]
+        )
+        assert code == 0
+        assert "# tofino parser config" in capsys.readouterr().out
+
+    def test_json_emission(self, source, capsys):
+        code = main(["compile", source, "--key-limit", "8", "--emit", "json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["num_entries"] >= 1
+
+    def test_ipu_target(self, source, capsys):
+        code = main(
+            [
+                "compile", source, "--target", "ipu", "--key-limit", "8",
+                "--emit", "config",
+            ]
+        )
+        assert code == 0
+        assert "[stage" in capsys.readouterr().out
+
+    def test_infeasible_device_fails(self, source, capsys):
+        code = main(
+            ["compile", source, "--key-limit", "8", "--tcam-limit", "1"]
+        )
+        assert code == 1
+        assert "failed" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_binary_input(self, source, capsys):
+        code = main(["simulate", source, "0b0000000110000110"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outcome: accept" in out
+        assert "ip.proto = 0x6" in out
+
+    def test_hex_input(self, source, capsys):
+        code = main(["simulate", source, "0x0186"])
+        assert code == 0
+        assert "accept" in capsys.readouterr().out
+
+    def test_truncated_input_rejects(self, source, capsys):
+        code = main(["simulate", source, "0b0101"])
+        assert code == 0
+        assert "outcome: reject" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_validate_passes(self, source, capsys):
+        code = main(
+            ["validate", source, "--key-limit", "8", "--samples", "100"]
+        )
+        assert code == 0
+        assert "passed" in capsys.readouterr().out
+
+
+class TestArgParsing:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_target_exits(self, source):
+        with pytest.raises(SystemExit):
+            main(["compile", source, "--target", "fpga"])
+
+
+class TestBench:
+    @pytest.mark.slow
+    def test_bench_table4(self, capsys):
+        assert main(["bench", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "DPParserGen" in out and "ME-3" in out
+
+
+class TestDotAndReport:
+    def test_dot_emission(self, source, capsys):
+        code = main(["compile", source, "--key-limit", "8", "--emit", "dot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "->" in out
+
+    def test_resource_report(self, source, capsys):
+        code = main(["compile", source, "--key-limit", "8", "--report"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "resource report" in err
+        assert "headroom" in err
