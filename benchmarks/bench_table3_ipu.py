@@ -33,6 +33,12 @@ def test_table3_ipu_report(benchmark, report):
     assert len(_ROWS_CACHE) == len(TABLE3_ROWS)
     text = format_table3(_ROWS_CACHE)
     report("table3_ipu", text)
+    report(
+        "table3_ipu_profile",
+        "\n\n".join(
+            f"== {row.label} ==\n{row.profile}" for row in _ROWS_CACHE
+        ),
+    )
     print()
     print(text)
     # The paper's headline rejections must reproduce: the vendor IPU

@@ -40,6 +40,12 @@ def test_table3_tofino_report(benchmark, report):
     assert len(_ROWS_CACHE) == len(TABLE3_ROWS)
     text = format_table3(_ROWS_CACHE)
     report("table3_tofino", text)
+    report(
+        "table3_tofino_profile",
+        "\n\n".join(
+            f"== {row.label} ==\n{row.profile}" for row in _ROWS_CACHE
+        ),
+    )
     print()
     print(text)
     # Resource invariance across semantically-equivalent mutations: rows of

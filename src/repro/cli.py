@@ -18,6 +18,7 @@ from typing import Optional
 
 from .core import CompileOptions, compile_spec, portfolio_compile
 from .core.validate import random_simulation_check
+from .obs import Tracer, format_profile, use_tracer
 from .hw import (
     custom_profile,
     emit_ipu,
@@ -74,6 +75,26 @@ def _add_device_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--extract-limit", type=int, default=256)
 
 
+def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    if getattr(args, "trace", None) or getattr(args, "profile", False):
+        return Tracer()
+    return None
+
+
+def _emit_trace(tracer: Optional[Tracer], args: argparse.Namespace) -> None:
+    if tracer is None:
+        return
+    tracer.finish()
+    if getattr(args, "trace", None):
+        try:
+            Path(args.trace).write_text(tracer.export_json() + "\n")
+        except OSError as exc:
+            print(f"could not write trace to {args.trace}: {exc}",
+                  file=sys.stderr)
+    if getattr(args, "profile", False):
+        print(format_profile(tracer), file=sys.stderr)
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     spec = parse_spec(Path(args.source).read_text())
     device = make_device(args)
@@ -82,10 +103,13 @@ def cmd_compile(args: argparse.Namespace) -> int:
         parallel_workers=args.jobs,
         seed=args.seed,
     )
-    if args.jobs > 1:
-        result = portfolio_compile(spec, device, options)
-    else:
-        result = compile_spec(spec, device, options)
+    tracer = _make_tracer(args)
+    with use_tracer(tracer):
+        if args.jobs > 1:
+            result = portfolio_compile(spec, device, options)
+        else:
+            result = compile_spec(spec, device, options)
+    _emit_trace(tracer, args)
     if not result.ok:
         print(f"compilation failed: {result.status}: {result.message}",
               file=sys.stderr)
@@ -133,7 +157,10 @@ def cmd_validate(args: argparse.Namespace) -> int:
     spec = parse_spec(Path(args.source).read_text())
     device = make_device(args)
     options = CompileOptions(total_max_seconds=args.timeout, seed=args.seed)
-    result = compile_spec(spec, device, options)
+    tracer = _make_tracer(args)
+    with use_tracer(tracer):
+        result = compile_spec(spec, device, options)
+    _emit_trace(tracer, args)
     if not result.ok:
         print(f"compilation failed: {result.message}", file=sys.stderr)
         return 1
@@ -189,6 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--timeout", type=float, default=None)
     p_compile.add_argument("--jobs", type=int, default=1)
     p_compile.add_argument("--seed", type=int, default=0)
+    p_compile.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write the structured span tree (JSON) to PATH",
+    )
+    p_compile.add_argument(
+        "--profile", action="store_true",
+        help="print a per-span-kind timing/counter summary to stderr",
+    )
     p_compile.set_defaults(func=cmd_compile)
 
     p_sim = sub.add_parser("simulate", help="run the reference simulator")
@@ -206,6 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--samples", type=int, default=500)
     p_val.add_argument("--timeout", type=float, default=None)
     p_val.add_argument("--seed", type=int, default=0)
+    p_val.add_argument("--trace", metavar="PATH", default=None)
+    p_val.add_argument("--profile", action="store_true")
     p_val.set_defaults(func=cmd_validate)
 
     p_bench = sub.add_parser("bench", help="regenerate a paper table")

@@ -24,6 +24,7 @@ from ..ir.simulator import (
     trace_spec,
 )
 from ..ir.spec import ParserSpec
+from ..obs import get_tracer
 from ..smt import SAT, Solver, UNKNOWN, UNSAT
 from .encoder import SymbolicProgram
 from .skeleton import Skeleton
@@ -35,7 +36,16 @@ from .verifier import (
 
 
 class SynthesisTimeout(Exception):
-    """The synthesis budget (time or conflicts) ran out."""
+    """The synthesis budget (time or conflicts) ran out.
+
+    ``outcome`` carries the partial :class:`CegisOutcome` accumulated
+    before the budget expired, so callers can fold the aborted attempt's
+    time and solver counters into their stats (keeping ``CompileStats``
+    consistent with the trace, which already saw those solves)."""
+
+    def __init__(self, message: str, outcome: "CegisOutcome" = None) -> None:
+        super().__init__(message)
+        self.outcome = outcome
 
 
 @dataclass
@@ -48,6 +58,9 @@ class CegisOutcome:
     counterexamples: List[Counterexample] = field(default_factory=list)
     sat_conflicts: int = 0
     sat_decisions: int = 0
+    sat_propagations: int = 0
+    sat_restarts: int = 0
+    sat_learnt_clauses: int = 0
 
 
 def initial_tests(
@@ -183,6 +196,7 @@ def synthesize_for_budget(
     outcome = CegisOutcome(program=None, feasible=True)
     sp = SymbolicProgram(skeleton)
     solver = Solver()
+    tracer = get_tracer()
     started = time.monotonic()
 
     def remaining() -> Optional[float]:
@@ -205,37 +219,51 @@ def synthesize_for_budget(
 
     for iteration in range(1, max_iterations + 1):
         outcome.iterations = iteration
+        tracer.count("cegis.iterations")
         budget_s = remaining()
         if budget_s is not None and budget_s <= 0:
-            raise SynthesisTimeout("CEGIS time budget exhausted")
-        t0 = time.monotonic()
-        status = solver.check(
-            max_seconds=budget_s, max_conflicts=max_conflicts_per_solve
-        )
-        outcome.synthesis_seconds += time.monotonic() - t0
-        stats = solver.stats()
-        outcome.sat_conflicts = stats["conflicts"]
-        outcome.sat_decisions = stats["decisions"]
-        if status == UNSAT:
-            outcome.feasible = False
-            return outcome
-        if status == UNKNOWN:
-            raise SynthesisTimeout("SAT solver budget exhausted")
-        candidate = sp.decode(solver.model())
-        t0 = time.monotonic()
-        try:
-            cex = verify_equivalent(
-                spec,
-                candidate,
-                max_steps=max_steps,
-                max_configs=verify_max_configs,
-            )
-        finally:
-            outcome.verification_seconds += time.monotonic() - t0
-        if cex is None:
-            outcome.program = candidate
-            return outcome
-        outcome.counterexamples.append(cex)
+            raise SynthesisTimeout("CEGIS time budget exhausted", outcome)
+        with tracer.span("cegis.iteration", index=iteration):
+            with tracer.span("sat.solve") as solve_span:
+                status = solver.check(
+                    max_seconds=budget_s,
+                    max_conflicts=max_conflicts_per_solve,
+                )
+            outcome.synthesis_seconds += solve_span.elapsed()
+            # Per-solve deltas (not lifetime totals): matches what the
+            # tracing layer records, so CompileStats and the span tree
+            # agree.  Propagations notably differ — clause insertion also
+            # propagates, outside any solve() call.
+            delta = solver.last_check_stats()
+            outcome.sat_conflicts += delta["conflicts"]
+            outcome.sat_decisions += delta["decisions"]
+            outcome.sat_propagations += delta["propagations"]
+            outcome.sat_restarts += delta["restarts"]
+            outcome.sat_learnt_clauses += delta["learned"]
+            if status == UNSAT:
+                outcome.feasible = False
+                return outcome
+            if status == UNKNOWN:
+                raise SynthesisTimeout("SAT solver budget exhausted", outcome)
+            candidate = sp.decode(solver.model())
+            with tracer.span("verify") as verify_span:
+                try:
+                    cex = verify_equivalent(
+                        spec,
+                        candidate,
+                        max_steps=max_steps,
+                        max_configs=verify_max_configs,
+                    )
+                except VerificationBudgetExceeded as exc:
+                    exc.outcome = outcome
+                    raise
+                finally:
+                    outcome.verification_seconds += verify_span.elapsed()
+            if cex is None:
+                outcome.program = candidate
+                return outcome
+            outcome.counterexamples.append(cex)
+            tracer.count("cegis.counterexamples")
         expected = simulate_spec(spec, cex.bits, max_steps)
         if expected.outcome == OUTCOME_OVERRUN:
             raise RuntimeError(
@@ -245,5 +273,5 @@ def synthesize_for_budget(
         for constraint in sp.encode_test(cex.bits, expected):
             solver.add(constraint)
     raise SynthesisTimeout(
-        f"CEGIS did not converge within {max_iterations} iterations"
+        f"CEGIS did not converge within {max_iterations} iterations", outcome
     )

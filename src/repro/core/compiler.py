@@ -26,6 +26,7 @@ from typing import Iterable, List, Optional, Tuple
 from ..hw.device import DeviceProfile
 from ..ir.analysis import check_extract_before_use, has_loops, max_parse_depth
 from ..ir.spec import ParserSpec
+from ..obs import get_tracer
 from .cegis import SynthesisTimeout, synthesize_for_budget
 from .encoder import EncodingOverflow
 from .normalize import CompileError, prepare_spec
@@ -54,41 +55,44 @@ class ParserHawkCompiler:
     ) -> CompileResult:
         options = self.options
         stats = CompileStats()
-        started = time.monotonic()
-        deadline = (
-            started + options.total_max_seconds
-            if options.total_max_seconds
-            else None
-        )
-        problems = check_extract_before_use(spec)
-        if problems:
-            return CompileResult(
-                STATUS_INFEASIBLE,
-                device,
-                message="; ".join(problems),
-                options_summary=options.enabled_summary(),
+        tracer = get_tracer()
+        with tracer.span(
+            "compile", spec=spec.name, device=device.name
+        ) as compile_span:
+            deadline = (
+                compile_span.start + options.total_max_seconds
+                if options.total_max_seconds
+                else None
             )
-        try:
-            result = self._compile_scaled(
-                spec, device, options, stats, deadline
-            )
-        except CompileError as exc:
-            return CompileResult(
-                STATUS_INFEASIBLE,
-                device,
-                message=str(exc),
-                options_summary=options.enabled_summary(),
-            )
-        except SynthesisTimeout as exc:
-            stats.total_seconds = time.monotonic() - started
-            return CompileResult(
-                STATUS_TIMEOUT,
-                device,
-                stats=stats,
-                message=str(exc),
-                options_summary=options.enabled_summary(),
-            )
-        stats.total_seconds = time.monotonic() - started
+            problems = check_extract_before_use(spec)
+            if problems:
+                return CompileResult(
+                    STATUS_INFEASIBLE,
+                    device,
+                    message="; ".join(problems),
+                    options_summary=options.enabled_summary(),
+                )
+            try:
+                result = self._compile_scaled(
+                    spec, device, options, stats, deadline
+                )
+            except CompileError as exc:
+                return CompileResult(
+                    STATUS_INFEASIBLE,
+                    device,
+                    message=str(exc),
+                    options_summary=options.enabled_summary(),
+                )
+            except SynthesisTimeout as exc:
+                stats.total_seconds = compile_span.elapsed()
+                return CompileResult(
+                    STATUS_TIMEOUT,
+                    device,
+                    stats=stats,
+                    message=str(exc),
+                    options_summary=options.enabled_summary(),
+                )
+            stats.total_seconds = compile_span.elapsed()
         result.stats = stats
         result.options_summary = options.enabled_summary()
         return result
@@ -103,18 +107,22 @@ class ParserHawkCompiler:
         deadline: Optional[float],
     ) -> CompileResult:
         arms = self._portfolio_arms(spec, device, options)
+        tracer = get_tracer()
         last_failure = "no feasible budget found"
         for allow_loops in arms:
-            synth_spec, plan = prepare_spec(
-                spec,
-                pipelined=device.is_pipelined or not allow_loops,
-                minimize_widths=options.opt2_bitwidth_minimization,
-                fix_varbits=options.opt6_fixed_varbits,
-            )
-            result = self._search_budgets(
-                spec, synth_spec, plan, device, options, stats,
-                deadline, allow_loops,
-            )
+            with tracer.span(
+                "arm", mode="loop-aware" if allow_loops else "loop-free"
+            ):
+                synth_spec, plan = prepare_spec(
+                    spec,
+                    pipelined=device.is_pipelined or not allow_loops,
+                    minimize_widths=options.opt2_bitwidth_minimization,
+                    fix_varbits=options.opt6_fixed_varbits,
+                )
+                result = self._search_budgets(
+                    spec, synth_spec, plan, device, options, stats,
+                    deadline, allow_loops,
+                )
             if result.ok:
                 return result
             last_failure = result.message or last_failure
@@ -174,72 +182,100 @@ class ParserHawkCompiler:
             for num_entries in range(entry_lb, entry_ub + 1):
                 budgets.append((stage_budget, num_entries))
         retired: set = set()
+        attempted: set = set()
+        tracer = get_tracer()
         saw_unknown = False
         slice_seconds = options.budget_time_slice
         while budgets and slice_seconds <= options.max_time_slice:
             remaining: List[Tuple[Optional[int], int]] = []
             for stage_budget, num_entries in budgets:
-                if (stage_budget, num_entries) in retired:
+                budget_key = (stage_budget, num_entries)
+                if budget_key in retired:
                     continue
                 if deadline is not None and time.monotonic() > deadline:
                     raise SynthesisTimeout("compiler deadline exceeded")
-                stats.budgets_tried += 1
-                skeleton = build_skeleton(
-                    synth_spec,
-                    device,
-                    options,
-                    num_entries=num_entries,
-                    stage_budget=stage_budget,
-                    allow_loops=allow_loops,
-                )
-                stats.search_space_bits = max(
-                    stats.search_space_bits, skeleton.search_space_bits()
-                )
-                slice_cap = slice_seconds
-                if options.synthesis_max_seconds is not None:
-                    slice_cap = min(slice_cap, options.synthesis_max_seconds)
-                try:
-                    outcome = synthesize_for_budget(
-                        skeleton,
-                        rng,
-                        max_iterations=options.max_cegis_iterations,
-                        max_seconds=slice_cap,
-                        max_conflicts_per_solve=options.synthesis_max_conflicts,
-                        deadline=deadline,
-                        directed_tests=options.directed_seed_tests,
+                if budget_key in attempted:
+                    # A later escalation round re-attempting a budget whose
+                    # earlier time slice expired is a retry, not a new
+                    # budget (the old code inflated budgets_tried here).
+                    stats.budget_retries += 1
+                    tracer.count("budget.retries")
+                else:
+                    attempted.add(budget_key)
+                    stats.budgets_tried += 1
+                    tracer.count("budget.attempts")
+                with tracer.span(
+                    "budget",
+                    stages=stage_budget,
+                    entries=num_entries,
+                    slice=slice_seconds,
+                ):
+                    skeleton = build_skeleton(
+                        synth_spec,
+                        device,
+                        options,
+                        num_entries=num_entries,
+                        stage_budget=stage_budget,
+                        allow_loops=allow_loops,
                     )
-                except SynthesisTimeout:
-                    saw_unknown = True
-                    remaining.append((stage_budget, num_entries))
-                    continue
-                except (EncodingOverflow, VerificationBudgetExceeded) as exc:
-                    return CompileResult(
-                        STATUS_INFEASIBLE, device, message=str(exc)
+                    stats.search_space_bits = max(
+                        stats.search_space_bits, skeleton.search_space_bits()
                     )
-                stats.cegis_iterations += outcome.iterations
-                stats.synthesis_seconds += outcome.synthesis_seconds
-                stats.verification_seconds += outcome.verification_seconds
-                stats.counterexamples += len(outcome.counterexamples)
-                stats.sat_conflicts += outcome.sat_conflicts
-                stats.sat_decisions += outcome.sat_decisions
-                if not outcome.feasible:
-                    retired.add((stage_budget, num_entries))
-                    continue  # proved UNSAT at this budget; grow it
-                assert outcome.program is not None
-                program = post_optimize(outcome.program, device)
-                program = self._restore_scaling(program, plan)
-                final = self._finalize(original_spec, program, device, options)
-                if final is not None:
-                    return final
-                # Restoration failed validation (rare: scaling interacted
-                # with semantics): retry this budget without scaling.
-                final = self._retry_unscaled(
-                    original_spec, device, options, stats, deadline,
-                    allow_loops, num_entries, stage_budget, rng, slice_cap,
-                )
-                if final is not None:
-                    return final
-                remaining.append((stage_budget, num_entries))
+                    slice_cap = slice_seconds
+                    if options.synthesis_max_seconds is not None:
+                        slice_cap = min(
+                            slice_cap, options.synthesis_max_seconds
+                        )
+                    try:
+                        outcome = synthesize_for_budget(
+                            skeleton,
+                            rng,
+                            max_iterations=options.max_cegis_iterations,
+                            max_seconds=slice_cap,
+                            max_conflicts_per_solve=options.synthesis_max_conflicts,
+                            deadline=deadline,
+                            directed_tests=options.directed_seed_tests,
+                        )
+                    except SynthesisTimeout as exc:
+                        if exc.outcome is not None:
+                            self._merge_outcome(stats, exc.outcome)
+                        saw_unknown = True
+                        remaining.append(budget_key)
+                        continue
+                    except (
+                        EncodingOverflow, VerificationBudgetExceeded
+                    ) as exc:
+                        partial = getattr(exc, "outcome", None)
+                        if partial is not None:
+                            self._merge_outcome(stats, partial)
+                        return CompileResult(
+                            STATUS_INFEASIBLE, device, message=str(exc)
+                        )
+                    self._merge_outcome(stats, outcome)
+                    if not outcome.feasible:
+                        retired.add(budget_key)
+                        stats.budgets_retired += 1
+                        tracer.count("budget.retired")
+                        continue  # proved UNSAT at this budget; grow it
+                    assert outcome.program is not None
+                    program = post_optimize(outcome.program, device)
+                    program = self._restore_scaling(program, plan)
+                    final = self._finalize(
+                        original_spec, program, device, options
+                    )
+                    if final is not None:
+                        return final
+                    # Restoration failed validation (rare: scaling
+                    # interacted with semantics): retry this budget
+                    # without scaling.
+                    final = self._retry_unscaled(
+                        original_spec, device, options, stats, deadline,
+                        allow_loops, num_entries, stage_budget, rng,
+                        slice_cap,
+                    )
+                    if final is not None:
+                        return final
+                    remaining.append(budget_key)
             budgets = remaining
             slice_seconds *= options.time_slice_growth
         if saw_unknown or budgets:
@@ -290,15 +326,33 @@ class ParserHawkCompiler:
                 deadline=deadline,
                 directed_tests=options.directed_seed_tests,
             )
-        except (SynthesisTimeout, EncodingOverflow, VerificationBudgetExceeded):
+        except (
+            SynthesisTimeout, EncodingOverflow, VerificationBudgetExceeded
+        ) as exc:
+            partial = getattr(exc, "outcome", None)
+            if partial is not None:
+                self._merge_outcome(stats, partial)
             return None
-        stats.cegis_iterations += outcome.iterations
+        self._merge_outcome(stats, outcome)
         if outcome.feasible and outcome.program is not None:
             program = post_optimize(outcome.program, device)
             return self._finalize(original_spec, program, device, options)
         return None
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_outcome(stats: CompileStats, outcome) -> None:
+        """Fold one CEGIS attempt's measurements into the compile stats."""
+        stats.cegis_iterations += outcome.iterations
+        stats.synthesis_seconds += outcome.synthesis_seconds
+        stats.verification_seconds += outcome.verification_seconds
+        stats.counterexamples += len(outcome.counterexamples)
+        stats.sat_conflicts += outcome.sat_conflicts
+        stats.sat_decisions += outcome.sat_decisions
+        stats.sat_propagations += outcome.sat_propagations
+        stats.sat_restarts += outcome.sat_restarts
+        stats.sat_learnt_clauses += outcome.sat_learnt_clauses
+
     @staticmethod
     def _restore_scaling(program, plan):
         from ..hw.impl import TcamProgram

@@ -10,19 +10,30 @@ worker runs a full sequential compile of one subproblem, and the first
 success (in subproblem priority order) wins.  With
 ``options.parallel_workers <= 1`` the portfolio degenerates to the
 deterministic sequential iteration the rest of the repo uses by default.
+
+Tracing: each arm runs under a ``portfolio.arm`` span.  Worker processes
+cannot share the parent's tracer, so when tracing is enabled each worker
+builds its own :class:`~repro.obs.Tracer`, and ships the finished span
+tree plus a counter-registry snapshot back with its result; the parent
+grafts the spans under its own trace and merges the counters.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..hw.device import DeviceProfile
 from ..ir.analysis import has_loops
 from ..ir.spec import ParserSpec
+from ..obs import Tracer, get_tracer, use_tracer
 from .options import CompileOptions
 from .result import STATUS_INFEASIBLE, CompileResult
+
+# (priority, result, span-tree dict or None, counter snapshot or None)
+ArmOutcome = Tuple[int, CompileResult, Optional[Dict[str, Any]],
+                   Optional[Dict[str, float]]]
 
 
 @dataclass(frozen=True)
@@ -84,13 +95,85 @@ def derive_subproblems(
 
 
 def _run_subproblem(
-    spec: ParserSpec, subproblem: Subproblem
-) -> Tuple[int, CompileResult]:
+    spec: ParserSpec, subproblem: Subproblem, trace: bool = False
+) -> ArmOutcome:
     # Imported here so worker processes resolve it after fork/spawn.
     from .compiler import ParserHawkCompiler
 
     compiler = ParserHawkCompiler(subproblem.options)
-    return subproblem.priority, compiler.compile(spec, subproblem.device)
+    if not trace:
+        return subproblem.priority, compiler.compile(
+            spec, subproblem.device
+        ), None, None
+    # Worker-side tracer: serialized back for the parent to merge.
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span(
+            "portfolio.arm",
+            label=subproblem.label,
+            priority=subproblem.priority,
+        ) as arm_span:
+            result = compiler.compile(spec, subproblem.device)
+    return (
+        subproblem.priority,
+        result,
+        arm_span.to_dict(),
+        tracer.registry.snapshot(),
+    )
+
+
+def _valid_winner(result: CompileResult, device: DeviceProfile) -> bool:
+    """Successful AND satisfying the real device profile.
+
+    The race only halts on a valid winner: a tighter-key arm whose program
+    somehow violates the real device must not stop arms that could still
+    produce a usable result."""
+    return (
+        result.ok
+        and result.program is not None
+        and not result.program.check_constraints(device)
+    )
+
+
+def select_result(
+    subproblems: List[Subproblem],
+    results: List[Tuple[int, CompileResult]],
+    device: DeviceProfile,
+) -> CompileResult:
+    """Pick the portfolio's overall result from per-arm outcomes.
+
+    ``results`` holds ``(priority, result)`` pairs in *any* order
+    (completion order for the process pool) — arms are identified by
+    priority, never by position.  Winners are considered best-first; a
+    winner whose program violates the real device profile is skipped in
+    favour of the next-best winner, and only when no winner survives the
+    constraint check does the portfolio report infeasibility.
+    """
+    label_of = {sub.priority: sub.label for sub in subproblems}
+    winners = sorted(
+        (pr for pr in results if pr[1].ok), key=lambda pr: pr[0]
+    )
+    failures: List[str] = []
+    for priority, result in winners:
+        assert result.program is not None
+        violations = result.program.check_constraints(device)
+        if not violations:
+            return result
+        failures.append(
+            f"{label_of.get(priority, f'arm#{priority}')}: winner violates "
+            f"device constraints ({'; '.join(violations)})"
+        )
+    for priority, result in sorted(results, key=lambda pr: pr[0]):
+        if result.ok:
+            continue
+        failures.append(
+            f"{label_of.get(priority, f'arm#{priority}')}: {result.status}"
+        )
+    return CompileResult(
+        STATUS_INFEASIBLE,
+        device,
+        message=f"no portfolio arm succeeded ({'; '.join(failures)})",
+    )
 
 
 def portfolio_compile(
@@ -102,55 +185,51 @@ def portfolio_compile(
 
     Results from tighter-key arms are re-validated against the REAL device
     profile before being returned (they always fit — a narrower key is a
-    subset of a wider one — but the constraint check keeps us honest)."""
+    subset of a wider one — but the constraint check keeps us honest; a
+    winner that fails it is skipped in favour of the next-best winner)."""
     options = options or CompileOptions()
     subproblems = derive_subproblems(spec, device, options)
     workers = max(1, options.parallel_workers)
+    tracer = get_tracer()
 
     results: List[Tuple[int, CompileResult]] = []
-    if workers == 1:
-        for sub in subproblems:
-            priority, result = _run_subproblem(spec, sub)
-            if result.ok:
+    with tracer.span("portfolio", arms=len(subproblems), workers=workers):
+        if workers == 1:
+            for sub in subproblems:
+                with tracer.span(
+                    "portfolio.arm", label=sub.label, priority=sub.priority
+                ):
+                    priority, result, _spans, _counters = _run_subproblem(
+                        spec, sub
+                    )
                 results.append((priority, result))
-                break
-            results.append((priority, result))
-    else:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers
-        ) as pool:
-            futures = {
-                pool.submit(_run_subproblem, spec, sub): sub
-                for sub in subproblems
-            }
-            pending = set(futures)
-            try:
-                for future in concurrent.futures.as_completed(pending):
-                    priority, result = future.result()
-                    results.append((priority, result))
-                    if result.ok:
-                        # First success wins; cancel the stragglers.
-                        for other in pending:
-                            other.cancel()
-                        break
-            finally:
-                pool.shutdown(wait=False, cancel_futures=True)
+                if _valid_winner(result, device):
+                    break
+        else:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _run_subproblem, spec, sub, tracer.enabled
+                    ): sub
+                    for sub in subproblems
+                }
+                pending = set(futures)
+                try:
+                    for future in concurrent.futures.as_completed(pending):
+                        priority, result, spans, counters = future.result()
+                        if spans is not None:
+                            tracer.attach(spans)
+                        if counters is not None and tracer.enabled:
+                            tracer.registry.merge(counters)
+                        results.append((priority, result))
+                        if _valid_winner(result, device):
+                            # First valid success wins; cancel stragglers.
+                            for other in pending:
+                                other.cancel()
+                            break
+                finally:
+                    pool.shutdown(wait=False, cancel_futures=True)
 
-    winners = [
-        (priority, result) for priority, result in results if result.ok
-    ]
-    if winners:
-        _priority, best = min(winners, key=lambda pr: pr[0])
-        assert best.program is not None
-        violations = best.program.check_constraints(device)
-        if not violations:
-            return best
-    failures = "; ".join(
-        f"{sub.label}: {result.status}"
-        for sub, (_p, result) in zip(subproblems, results)
-    )
-    return CompileResult(
-        STATUS_INFEASIBLE,
-        device,
-        message=f"no portfolio arm succeeded ({failures})",
-    )
+    return select_result(subproblems, results, device)

@@ -15,7 +15,15 @@ STATUS_TIMEOUT = "timeout"
 
 @dataclass
 class CompileStats:
-    """Where the compile time went."""
+    """Where the compile time went.
+
+    Timing fields derive from the tracing layer's spans
+    (:mod:`repro.obs`): ``total_seconds`` is the ``compile`` span,
+    ``synthesis_seconds``/``verification_seconds`` sum the ``sat.solve``
+    and ``verify`` spans.  ``budgets_tried`` counts *unique*
+    ``(stage, entries)`` budgets; re-attempts of the same budget under a
+    larger time slice are ``budget_retries``.
+    """
 
     synthesis_seconds: float = 0.0
     verification_seconds: float = 0.0
@@ -23,7 +31,12 @@ class CompileStats:
     cegis_iterations: int = 0
     sat_conflicts: int = 0
     sat_decisions: int = 0
+    sat_propagations: int = 0
+    sat_restarts: int = 0
+    sat_learnt_clauses: int = 0
     budgets_tried: int = 0
+    budget_retries: int = 0
+    budgets_retired: int = 0
     counterexamples: int = 0
     search_space_bits: int = 0
 

@@ -41,6 +41,7 @@ from ..ir.spec import (
     ParserSpec,
     Rule,
 )
+from ..obs import get_tracer
 from ..smt.sat import SatSolver, lit
 
 _DONE_ACCEPT = "#accept"
@@ -152,7 +153,18 @@ class ProductVerifier:
         spec_m = _Machine(self.spec.start, 0)
         impl_m = _Machine(self.program.start_sid, 0)
         self._configs = 0
-        return self._explore(spec_m, impl_m, _Path())
+        tracer = get_tracer()
+        try:
+            cex = self._explore(spec_m, impl_m, _Path())
+        finally:
+            # Reported once per verification, not per configuration, so the
+            # product-execution hot loop stays tracer-free.
+            if tracer.enabled:
+                tracer.count("verify.runs")
+                tracer.count("verify.configs", self._configs)
+        if cex is not None and tracer.enabled:
+            tracer.count("verify.counterexamples")
+        return cex
 
     # -- core ------------------------------------------------------------
     def _explore(

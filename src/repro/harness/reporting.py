@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Sequence, Tuple, Union
+from typing import Any, Iterable, Optional, Sequence, Tuple, Union
+
+from ..obs import format_profile, format_span_tree
 
 TimeValue = Union[float, Tuple[float, bool]]   # seconds, (seconds, capped?)
 
@@ -70,3 +72,15 @@ def format_table(
             " | ".join(str(c).ljust(widths[i]) for i, c in enumerate(row))
         )
     return "\n".join(lines)
+
+
+def format_span_breakdown(
+    trace: Any, max_depth: int = 4, min_seconds: float = 0.005
+) -> str:
+    """Benchmark-report rendering of a trace (a :class:`repro.obs.Tracer`,
+    :class:`repro.obs.Span`, or an exported span-tree dict): the per-span
+    profile table followed by a depth-limited span tree."""
+    profile = format_profile(trace)
+    tree = format_span_tree(trace, max_depth=max_depth,
+                            min_seconds=min_seconds)
+    return f"{profile}\n\nspan tree (depth<={max_depth}):\n{tree}"

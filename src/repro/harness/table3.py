@@ -17,7 +17,13 @@ from ..core import CompileOptions, ParserHawkCompiler
 from ..core.validate import random_simulation_check
 from ..hw.device import DeviceProfile
 from ..hw import ipu_profile, tofino_profile
-from .reporting import fmt_speedup, fmt_time, format_table
+from ..obs import Tracer, use_tracer
+from .reporting import (
+    fmt_speedup,
+    fmt_time,
+    format_span_breakdown,
+    format_table,
+)
 
 # Scaled device profiles for the whole table (DESIGN.md scaling note).
 TOFINO = tofino_profile(
@@ -45,6 +51,7 @@ class Table3Row:
     baseline_stages: int
     baseline_rejected: str                       # empty when it compiled
     validated: bool
+    profile: str = ""                            # span breakdown of OPT compile
 
     @property
     def ph_resource(self) -> int:
@@ -73,9 +80,10 @@ def run_row(
     spec = bench.spec()
     opts = options or CompileOptions()
     compiler = ParserHawkCompiler(opts)
-    t0 = time.monotonic()
-    result = compiler.compile(spec, device)
-    opt_seconds = time.monotonic() - t0
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = compiler.compile(spec, device)
+    opt_seconds = result.stats.total_seconds or tracer.finish().elapsed()
     if not result.ok:
         raise RuntimeError(
             f"ParserHawk failed on {bench.row_label} ({device_kind}): "
@@ -113,6 +121,7 @@ def run_row(
         baseline_stages=baseline_stages,
         baseline_rejected=rejected,
         validated=validated,
+        profile=format_span_breakdown(tracer),
     )
 
 

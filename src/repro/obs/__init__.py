@@ -1,0 +1,40 @@
+"""Observability: structured tracing + metrics for the compile pipeline.
+
+Quick start::
+
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = compile_spec(spec, device)
+    print(tracer.render_profile())
+    open("trace.json", "w").write(tracer.export_json())
+
+The default ambient tracer is a no-op (:class:`NullTracer`); instrumented
+code calls :func:`get_tracer` and pays near-zero cost when tracing is off.
+"""
+
+from .export import aggregate, format_profile, format_span_tree, to_json
+from .registry import CounterRegistry
+from .tracer import (
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "CounterRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "aggregate",
+    "format_profile",
+    "format_span_tree",
+    "get_tracer",
+    "set_tracer",
+    "to_json",
+    "use_tracer",
+]

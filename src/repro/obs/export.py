@@ -1,0 +1,133 @@
+"""Exporters for traces: JSON span trees and pretty-text summaries."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Union
+
+from .tracer import Span, Tracer
+
+Traceable = Union[Tracer, Span, Dict[str, Any]]
+
+
+def _root_span(trace: Traceable) -> Span:
+    if isinstance(trace, Tracer):
+        return trace.finish()
+    if isinstance(trace, dict):
+        return Span.from_dict(trace)
+    return trace
+
+
+def to_dict(trace: Traceable) -> Dict[str, Any]:
+    return _root_span(trace).to_dict()
+
+
+def to_json(trace: Traceable, indent: int = 2) -> str:
+    return json.dumps(to_dict(trace), indent=indent)
+
+
+def aggregate(trace: Traceable) -> Dict[str, Dict[str, Any]]:
+    """Per-span-name totals: call count, wall seconds, summed counters.
+
+    ``seconds`` is inclusive (a span's children are inside its interval),
+    so rows don't sum to the root's time — they answer "how long was this
+    kind of work on the stack".
+    """
+    rows: Dict[str, Dict[str, Any]] = {}
+
+    def visit(span: Span) -> None:
+        row = rows.setdefault(
+            span.name, {"calls": 0, "seconds": 0.0, "counters": {}}
+        )
+        row["calls"] += 1
+        row["seconds"] += span.elapsed()
+        for key, value in span.counters.items():
+            row["counters"][key] = row["counters"].get(key, 0) + value
+        for child in span.children:
+            visit(child)
+
+    visit(_root_span(trace))
+    return rows
+
+
+def _render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = [" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(str(c).ljust(widths[i]) for i, c in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _fmt_counters(counters: Dict[str, Any]) -> str:
+    parts = []
+    for key in sorted(counters):
+        value = counters[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def format_profile(trace: Traceable) -> str:
+    """A per-span-name summary table (the ``--profile`` output)."""
+    root = _root_span(trace)
+    rows = aggregate(root)
+    total = root.elapsed() or 1e-9
+    body: List[List[str]] = []
+    for name, row in sorted(
+        rows.items(), key=lambda kv: kv[1]["seconds"], reverse=True
+    ):
+        body.append([
+            name,
+            str(row["calls"]),
+            f"{row['seconds']:.3f}",
+            f"{100.0 * row['seconds'] / total:.1f}%",
+            _fmt_counters(row["counters"]),
+        ])
+    return _render_table(
+        ["span", "calls", "seconds", "% of total", "counters"], body
+    )
+
+
+def format_span_tree(
+    trace: Traceable, max_depth: int = 0, min_seconds: float = 0.0
+) -> str:
+    """An indented rendering of the span tree.
+
+    ``max_depth=0`` means unlimited; ``min_seconds`` prunes fast leaves
+    (their parent gets a ``... (+N pruned)`` marker) so benchmark reports
+    stay readable."""
+    lines: List[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        extra = f"  [{_fmt_counters(span.counters)}]" if span.counters else ""
+        attrs = (
+            " ".join(f"{k}={v}" for k, v in span.attrs.items())
+        )
+        attrs = f" ({attrs})" if attrs else ""
+        lines.append(
+            f"{indent}{span.name}{attrs}: {span.elapsed():.3f}s{extra}"
+        )
+        if max_depth and depth + 1 >= max_depth:
+            if span.children:
+                lines.append(f"{indent}  ... (+{len(span.children)} pruned)")
+            return
+        pruned = 0
+        for child in span.children:
+            if child.elapsed() < min_seconds and not child.children:
+                pruned += 1
+                continue
+            visit(child, depth + 1)
+        if pruned:
+            lines.append(f"{indent}  ... (+{pruned} pruned)")
+
+    visit(_root_span(trace), 0)
+    return "\n".join(lines)

@@ -84,6 +84,10 @@ class SatSolver:
         self.num_decisions = 0
         self.num_propagations = 0
         self.num_restarts = 0
+        self.num_learned = 0
+        # Deltas accumulated by the most recent ``solve`` call (the
+        # lifetime totals above keep growing across incremental calls).
+        self.last_solve_stats: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Variable and clause management
@@ -388,7 +392,34 @@ class SatSolver:
         """Solve the formula under assumptions.
 
         Returns True (SAT), False (UNSAT), or None if the budget ran out.
+        ``last_solve_stats`` afterwards holds this call's deltas
+        (conflicts/decisions/propagations/restarts/learned) — the per-call
+        view the tracing layer records, as opposed to the lifetime totals
+        of :meth:`stats`.
         """
+        before = (
+            self.num_conflicts,
+            self.num_decisions,
+            self.num_propagations,
+            self.num_restarts,
+            self.num_learned,
+        )
+        try:
+            return self._solve(assumptions, budget)
+        finally:
+            self.last_solve_stats = {
+                "conflicts": self.num_conflicts - before[0],
+                "decisions": self.num_decisions - before[1],
+                "propagations": self.num_propagations - before[2],
+                "restarts": self.num_restarts - before[3],
+                "learned": self.num_learned - before[4],
+            }
+
+    def _solve(
+        self,
+        assumptions: Sequence[int] = (),
+        budget: Optional[Budget] = None,
+    ) -> Optional[bool]:
         if not self.ok:
             return False
         self._cancel_until(0)
@@ -415,6 +446,7 @@ class SatSolver:
                     self.ok = False
                     return False
                 learnt, bt_level = self._analyze(conflict)
+                self.num_learned += 1
                 self._cancel_until(bt_level)
                 if len(learnt) == 1:
                     self._enqueue(learnt[0], None)
@@ -486,4 +518,5 @@ class SatSolver:
             "decisions": self.num_decisions,
             "propagations": self.num_propagations,
             "restarts": self.num_restarts,
+            "learned": self.num_learned,
         }

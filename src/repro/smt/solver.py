@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from ..obs import get_tracer
 from .bitblast import BitBlaster
 from .sat.clause import neg
 from .sat.solver import Budget, SatSolver
@@ -114,6 +115,15 @@ class Solver:
         if max_conflicts is not None or max_seconds is not None:
             budget = Budget(max_conflicts=max_conflicts, max_seconds=max_seconds)
         result = self._sat.solve(assume_lits, budget=budget)
+        tracer = get_tracer()
+        if tracer.enabled:
+            delta = self._sat.last_solve_stats
+            tracer.count("sat.solves")
+            tracer.count("sat.conflicts", delta.get("conflicts", 0))
+            tracer.count("sat.decisions", delta.get("decisions", 0))
+            tracer.count("sat.propagations", delta.get("propagations", 0))
+            tracer.count("sat.restarts", delta.get("restarts", 0))
+            tracer.count("sat.learnt_clauses", delta.get("learned", 0))
         if result is None:
             self._last_result = UNKNOWN
         elif result:
@@ -131,6 +141,10 @@ class Solver:
 
     def stats(self) -> Dict[str, int]:
         return self._sat.stats()
+
+    def last_check_stats(self) -> Dict[str, int]:
+        """Per-call solver deltas for the most recent :meth:`check`."""
+        return dict(self._sat.last_solve_stats)
 
     @property
     def sat_solver(self) -> SatSolver:

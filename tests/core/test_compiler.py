@@ -8,6 +8,7 @@ from repro.core import (
     CompileOptions,
     ParserHawkCompiler,
     STATUS_INFEASIBLE,
+    STATUS_TIMEOUT,
     compile_spec,
     verify_equivalent,
 )
@@ -304,3 +305,30 @@ class TestStatsAndOptions:
         result = compile_spec(dispatch_spec, TOFINO)
         row = result.summary_row()
         assert "entries" in row and "CEGIS" in row
+
+
+class TestBudgetAccounting:
+    """Regression: retrying a budget in a later escalation round must not
+    inflate ``budgets_tried`` (the old code re-counted it every round)."""
+
+    def test_retried_budget_counted_once(self, dispatch_spec, monkeypatch):
+        from repro.core import SynthesisTimeout
+        from repro.core import compiler as compiler_mod
+
+        def always_times_out(*_args, **_kwargs):
+            raise SynthesisTimeout("synthetic slice expiry")
+
+        monkeypatch.setattr(
+            compiler_mod, "synthesize_for_budget", always_times_out
+        )
+        opts = CompileOptions(
+            max_extra_entries=0,       # exactly one budget
+            budget_time_slice=0.05,    # three escalation rounds:
+            time_slice_growth=2.0,     # 0.05, 0.1, 0.2
+            max_time_slice=0.2,
+        )
+        result = ParserHawkCompiler(opts).compile(dispatch_spec, TOFINO)
+        assert result.status == STATUS_TIMEOUT
+        # One unique budget attempted; the two re-attempts are retries.
+        assert result.stats.budgets_tried == 1
+        assert result.stats.budget_retries == 2

@@ -6,15 +6,40 @@ import pytest
 
 from repro.core import (
     CompileOptions,
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CompileResult,
+    Subproblem,
     compile_spec,
     derive_subproblems,
     portfolio_compile,
+    select_result,
 )
 from repro.hw import tofino_profile
 from repro.ir import parse_spec
+from repro.obs import Tracer, use_tracer
 from tests.conftest import assert_program_matches_spec
 
 DEVICE = tofino_profile(key_limit=8, tcam_limit=64, lookahead_limit=8)
+
+
+class _StubProgram:
+    """Stands in for a TcamProgram in result-selection tests."""
+
+    def __init__(self, violations=()):
+        self._violations = list(violations)
+
+    def check_constraints(self, _device):
+        return list(self._violations)
+
+
+def _sub(label: str, priority: int) -> Subproblem:
+    return Subproblem(label, DEVICE, CompileOptions(), priority)
+
+
+def _ok(violations=()) -> CompileResult:
+    return CompileResult(STATUS_OK, DEVICE, program=_StubProgram(violations))
 
 
 class TestSubproblemDerivation:
@@ -80,3 +105,110 @@ class TestPortfolioCompile:
             dispatch_spec, DEVICE, CompileOptions(parallel_workers=1)
         )
         assert result.program.check_constraints(DEVICE) == []
+
+    def test_sequential_portfolio_emits_arm_spans(self, dispatch_spec):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = portfolio_compile(
+                dispatch_spec, DEVICE, CompileOptions(parallel_workers=1)
+            )
+        assert result.ok
+        portfolio = tracer.finish().children[0]
+        assert portfolio.name == "portfolio"
+        arm_spans = [
+            c for c in portfolio.children if c.name == "portfolio.arm"
+        ]
+        assert arm_spans
+        assert "label" in arm_spans[0].attrs
+
+    @pytest.mark.slow
+    def test_parallel_workers_merge_worker_traces(self, dispatch_spec):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = portfolio_compile(
+                dispatch_spec,
+                DEVICE,
+                CompileOptions(parallel_workers=2, total_max_seconds=120),
+            )
+        assert result.ok
+        portfolio = tracer.finish().children[0]
+        arm_spans = [
+            c for c in portfolio.children if c.name == "portfolio.arm"
+        ]
+        # Worker span trees were grafted back into the parent trace …
+        assert arm_spans
+        assert any(c.name == "compile" for c in arm_spans[0].children)
+        # … and their counters merged into the parent registry.
+        assert tracer.registry.get("sat.solves") >= 1
+
+    def test_sequential_path_falls_back_past_violating_winner(
+        self, dispatch_spec, monkeypatch
+    ):
+        from repro.core import parallel as par
+
+        def fake_run(spec, sub, trace=False):
+            # The highest-priority arm "wins" with a program that violates
+            # the real device; the next arm wins cleanly.
+            violations = ["key too wide"] if sub.priority == 0 else []
+            return sub.priority, _ok(violations), None, None
+
+        monkeypatch.setattr(par, "_run_subproblem", fake_run)
+        result = par.portfolio_compile(
+            dispatch_spec, DEVICE, CompileOptions(parallel_workers=1)
+        )
+        assert result.ok
+        assert result.program.check_constraints(DEVICE) == []
+
+
+class TestSelectResult:
+    """Regression tests for the portfolio result/diagnostic bugs."""
+
+    def test_failures_name_the_arm_that_failed(self):
+        # Results arrive in completion order, NOT priority order — the old
+        # zip(subproblems, results) misattributed every failure.
+        subs = [_sub("arm-a", 0), _sub("arm-b", 1), _sub("arm-c", 2)]
+        results = [
+            (2, CompileResult(STATUS_TIMEOUT, DEVICE, message="slow")),
+            (0, CompileResult(STATUS_INFEASIBLE, DEVICE, message="no")),
+            (1, CompileResult(STATUS_TIMEOUT, DEVICE, message="slow")),
+        ]
+        out = select_result(subs, results, DEVICE)
+        assert out.status == STATUS_INFEASIBLE
+        assert "arm-a: infeasible" in out.message
+        assert "arm-b: timeout" in out.message
+        assert "arm-c: timeout" in out.message
+        assert "arm-a: timeout" not in out.message
+
+    def test_best_winner_wins_regardless_of_completion_order(self):
+        subs = [_sub("first", 0), _sub("second", 1)]
+        best, worst = _ok(), _ok()
+        out = select_result(subs, [(1, worst), (0, best)], DEVICE)
+        assert out is best
+
+    def test_violating_winner_falls_back_to_next_best(self):
+        # The old code reported STATUS_INFEASIBLE as soon as the single
+        # best winner failed check_constraints, even with a valid winner
+        # right behind it.
+        subs = [_sub("tight", 0), _sub("loose", 1)]
+        bad = _ok(violations=["entry 3 key exceeds device limit"])
+        good = _ok()
+        out = select_result(subs, [(0, bad), (1, good)], DEVICE)
+        assert out is good
+
+    def test_sole_violating_winner_reports_why(self):
+        subs = [_sub("tight", 0)]
+        bad = _ok(violations=["entry 3 key exceeds device limit"])
+        out = select_result(subs, [(0, bad)], DEVICE)
+        assert out.status == STATUS_INFEASIBLE
+        assert "tight" in out.message
+        assert "violates device constraints" in out.message
+
+    def test_unknown_priority_does_not_crash(self):
+        # Defensive: a result for a priority not in the subproblem list
+        # still renders a label.
+        out = select_result(
+            [_sub("only", 0)],
+            [(7, CompileResult(STATUS_TIMEOUT, DEVICE, message="x"))],
+            DEVICE,
+        )
+        assert "arm#7: timeout" in out.message

@@ -66,6 +66,44 @@ class TestCompile:
         assert "failed" in capsys.readouterr().err
 
 
+class TestTraceFlags:
+    def test_trace_writes_span_tree_json(self, source, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "compile", source, "--key-limit", "8",
+                "--trace", str(out_path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["name"] == "trace"
+        compile_span = doc["children"][0]
+        assert compile_span["name"] == "compile"
+        assert compile_span["seconds"] > 0
+        names = {c["name"] for c in compile_span["children"]}
+        assert "arm" in names
+
+    def test_profile_prints_table(self, source, capsys):
+        code = main(["compile", source, "--key-limit", "8", "--profile"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "span" in err
+        assert "sat.solve" in err
+
+    def test_validate_accepts_trace(self, source, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        code = main(
+            [
+                "validate", source, "--key-limit", "8", "--samples", "50",
+                "--trace", str(out_path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["children"][0]["name"] == "compile"
+
+
 class TestSimulate:
     def test_binary_input(self, source, capsys):
         code = main(["simulate", source, "0b0000000110000110"])
