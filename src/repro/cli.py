@@ -16,7 +16,13 @@ import sys
 from pathlib import Path
 from typing import Optional
 
-from .core import CompileOptions, compile_spec, portfolio_compile
+from .core import (
+    CompileOptions,
+    STATUS_FAULT,
+    STATUS_TIMEOUT,
+    compile_spec,
+    portfolio_compile,
+)
 from .core.validate import random_simulation_check
 from .obs import Tracer, format_profile, use_tracer
 from .hw import (
@@ -95,6 +101,25 @@ def _emit_trace(tracer: Optional[Tracer], args: argparse.Namespace) -> None:
         print(format_profile(tracer), file=sys.stderr)
 
 
+def _print_failure(result, args: argparse.Namespace) -> None:
+    """Human-readable failure line, with timeout/fault outcomes called
+    out explicitly (they are operational conditions, not spec problems)."""
+    if result.status == STATUS_TIMEOUT:
+        budget = (
+            f" (wall-clock budget {args.timeout:g}s)"
+            if getattr(args, "timeout", None)
+            else ""
+        )
+        print(f"compilation timed out{budget}: {result.message}",
+              file=sys.stderr)
+    elif result.status == STATUS_FAULT:
+        print(f"compilation failed on a fault: {result.message}",
+              file=sys.stderr)
+    else:
+        print(f"compilation failed: {result.status}: {result.message}",
+              file=sys.stderr)
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     spec = parse_spec(Path(args.source).read_text())
     device = make_device(args)
@@ -111,8 +136,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
             result = compile_spec(spec, device, options)
     _emit_trace(tracer, args)
     if not result.ok:
-        print(f"compilation failed: {result.status}: {result.message}",
-              file=sys.stderr)
+        _print_failure(result, args)
         return 1
     assert result.program is not None
     if args.emit == "text":
@@ -162,7 +186,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
         result = compile_spec(spec, device, options)
     _emit_trace(tracer, args)
     if not result.ok:
-        print(f"compilation failed: {result.message}", file=sys.stderr)
+        _print_failure(result, args)
         return 1
     report = random_simulation_check(
         spec, result.program, samples=args.samples, seed=args.seed
@@ -213,7 +237,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print a resource-utilization report to stderr",
     )
-    p_compile.add_argument("--timeout", type=float, default=None)
+    p_compile.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget (CompileOptions.total_max_seconds); the "
+        "portfolio returns its best result so far or a timeout naming "
+        "the arms still running",
+    )
     p_compile.add_argument("--jobs", type=int, default=1)
     p_compile.add_argument("--seed", type=int, default=0)
     p_compile.add_argument(
@@ -239,7 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("source")
     _add_device_args(p_val)
     p_val.add_argument("--samples", type=int, default=500)
-    p_val.add_argument("--timeout", type=float, default=None)
+    p_val.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock compile budget (CompileOptions.total_max_seconds)",
+    )
     p_val.add_argument("--seed", type=int, default=0)
     p_val.add_argument("--trace", metavar="PATH", default=None)
     p_val.add_argument("--profile", action="store_true")

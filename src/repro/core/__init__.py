@@ -13,6 +13,7 @@ from .parallel import (
 )
 from .postopt import optimize as post_optimize
 from .result import (
+    STATUS_FAULT,
     STATUS_INFEASIBLE,
     STATUS_OK,
     STATUS_TIMEOUT,
@@ -32,6 +33,7 @@ __all__ = [
     "Counterexample",
     "EncodingOverflow",
     "ParserHawkCompiler",
+    "STATUS_FAULT",
     "STATUS_INFEASIBLE",
     "STATUS_OK",
     "STATUS_TIMEOUT",

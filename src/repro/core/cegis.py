@@ -25,6 +25,7 @@ from ..ir.simulator import (
 )
 from ..ir.spec import ParserSpec
 from ..obs import get_tracer
+from ..resilience import CompileFault
 from ..smt import SAT, Solver, UNKNOWN, UNSAT
 from .encoder import SymbolicProgram
 from .skeleton import Skeleton
@@ -225,11 +226,20 @@ def synthesize_for_budget(
             raise SynthesisTimeout("CEGIS time budget exhausted", outcome)
         with tracer.span("cegis.iteration", index=iteration):
             with tracer.span("sat.solve") as solve_span:
-                status = solver.check(
-                    max_seconds=budget_s,
-                    max_conflicts=max_conflicts_per_solve,
-                )
-            outcome.synthesis_seconds += solve_span.elapsed()
+                try:
+                    status = solver.check(
+                        max_seconds=budget_s,
+                        max_conflicts=max_conflicts_per_solve,
+                    )
+                except CompileFault as exc:
+                    # Attach the partial outcome so callers can fold this
+                    # attempt's measurements into their stats (mirrors
+                    # SynthesisTimeout / VerificationBudgetExceeded).
+                    if exc.outcome is None:
+                        exc.outcome = outcome
+                    raise
+                finally:
+                    outcome.synthesis_seconds += solve_span.elapsed()
             # Per-solve deltas (not lifetime totals): matches what the
             # tracing layer records, so CompileStats and the span tree
             # agree.  Propagations notably differ — clause insertion also

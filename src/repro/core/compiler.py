@@ -27,12 +27,14 @@ from ..hw.device import DeviceProfile
 from ..ir.analysis import check_extract_before_use, has_loops, max_parse_depth
 from ..ir.spec import ParserSpec
 from ..obs import get_tracer
+from ..resilience import CompileFault
 from .cegis import SynthesisTimeout, synthesize_for_budget
 from .encoder import EncodingOverflow
 from .normalize import CompileError, prepare_spec
 from .options import CompileOptions
 from .postopt import optimize as post_optimize
 from .result import (
+    STATUS_FAULT,
     STATUS_INFEASIBLE,
     STATUS_OK,
     STATUS_TIMEOUT,
@@ -90,6 +92,23 @@ class ParserHawkCompiler:
                     device,
                     stats=stats,
                     message=str(exc),
+                    options_summary=options.enabled_summary(),
+                )
+            except CompileFault as exc:
+                # An anticipated abnormal failure (solver resource
+                # exhaustion, injected fault): degrade to a typed result
+                # instead of unwinding the caller — the portfolio records
+                # it as a per-arm failure and keeps the other arms racing.
+                partial = getattr(exc, "outcome", None)
+                if partial is not None:
+                    self._merge_outcome(stats, partial)
+                stats.total_seconds = compile_span.elapsed()
+                tracer.count("compile.faults")
+                return CompileResult(
+                    STATUS_FAULT,
+                    device,
+                    stats=stats,
+                    message=exc.describe(),
                     options_summary=options.enabled_summary(),
                 )
             stats.total_seconds = compile_span.elapsed()

@@ -22,6 +22,7 @@ from ..hw.tcam import TernaryPattern
 from ..ir.bits import Bits
 from ..ir.simulator import OUTCOME_ACCEPT, OUTCOME_REJECT, ParseResult
 from ..ir.spec import FieldKey, LookaheadKey, ParserSpec
+from ..resilience.injection import fault_point
 from ..smt import (
     And,
     BitVec,
@@ -65,6 +66,7 @@ class SymbolicProgram:
     """All configuration variables for one skeleton, plus decode()."""
 
     def __init__(self, skeleton: Skeleton, tag: str = "") -> None:
+        fault_point("encoder")
         self.skeleton = skeleton
         self.tag = tag
         sk = skeleton

@@ -1,4 +1,4 @@
-"""Opt7: parallel synthesis portfolios (§6.7).
+"""Opt7: parallel synthesis portfolios (§6.7), with fault tolerance.
 
 The paper distributes subproblems over a server pool: loop-aware vs
 loop-free arms (§6.7.1) and per-hardware-constraint-level arms (§6.7.2,
@@ -11,6 +11,22 @@ success (in subproblem priority order) wins.  With
 ``options.parallel_workers <= 1`` the portfolio degenerates to the
 deterministic sequential iteration the rest of the repo uses by default.
 
+Resilience (see :mod:`repro.resilience`): the portfolio is the scaling
+path, so it must degrade instead of dying.
+
+* **Arm supervision** — an arm that raises (worker crash, pickling
+  error, injected fault) becomes a per-arm ``STATUS_FAULT`` result in
+  the failure list, counted as ``portfolio.arm_faults`` and marked on
+  the arm's span; the remaining arms keep racing.
+* **Pool recovery** — a ``BrokenProcessPool`` (or a pool that cannot be
+  created at all, e.g. in sandboxed environments) falls back to running
+  the not-yet-completed arms in-process, best priority first.
+* **Deadline enforcement** — ``options.total_max_seconds`` acts as a
+  wall-clock watchdog: it bounds the ``as_completed`` wait, is threaded
+  into every arm's own options, and on expiry the portfolio returns its
+  best valid winner so far, or a ``STATUS_TIMEOUT`` result naming the
+  arms that were still running.
+
 Tracing: each arm runs under a ``portfolio.arm`` span.  Worker processes
 cannot share the parent's tracer, so when tracing is enabled each worker
 builds its own :class:`~repro.obs.Tracer`, and ships the finished span
@@ -21,19 +37,35 @@ grafts the spans under its own trace and merges the counters.
 from __future__ import annotations
 
 import concurrent.futures
+import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..hw.device import DeviceProfile
 from ..ir.analysis import has_loops
 from ..ir.spec import ParserSpec
 from ..obs import Tracer, get_tracer, use_tracer
+from ..resilience import CompileFault, PoolBroken
+from ..resilience import injection as _injection
+from ..resilience.injection import fault_point
 from .options import CompileOptions
-from .result import STATUS_INFEASIBLE, CompileResult
+from .result import (
+    STATUS_FAULT,
+    STATUS_INFEASIBLE,
+    STATUS_TIMEOUT,
+    CompileResult,
+)
 
 # (priority, result, span-tree dict or None, counter snapshot or None)
 ArmOutcome = Tuple[int, CompileResult, Optional[Dict[str, Any]],
                    Optional[Dict[str, float]]]
+
+# Environments where a process pool cannot even be created (no /dev/shm,
+# seccomp'd fork, missing _multiprocessing) raise one of these.
+_POOL_UNAVAILABLE_ERRORS = (
+    OSError, PermissionError, NotImplementedError, ImportError, PoolBroken,
+)
 
 
 @dataclass(frozen=True)
@@ -95,11 +127,19 @@ def derive_subproblems(
 
 
 def _run_subproblem(
-    spec: ParserSpec, subproblem: Subproblem, trace: bool = False
+    spec: ParserSpec,
+    subproblem: Subproblem,
+    trace: bool = False,
+    faults: Optional[list] = None,
 ) -> ArmOutcome:
     # Imported here so worker processes resolve it after fork/spawn.
     from .compiler import ParserHawkCompiler
 
+    if faults is not None:
+        # Worker-process side of the fault-injection registry handoff
+        # (works under both fork and spawn start methods).
+        _injection.install(faults)
+    fault_point("portfolio.worker", label=subproblem.label)
     compiler = ParserHawkCompiler(subproblem.options)
     if not trace:
         return subproblem.priority, compiler.compile(
@@ -127,11 +167,41 @@ def _valid_winner(result: CompileResult, device: DeviceProfile) -> bool:
 
     The race only halts on a valid winner: a tighter-key arm whose program
     somehow violates the real device must not stop arms that could still
-    produce a usable result."""
-    return (
-        result.ok
-        and result.program is not None
-        and not result.program.check_constraints(device)
+    produce a usable result.  The constraint check is memoized on the
+    result, so ``select_result`` reuses it instead of re-checking."""
+    return result.ok and not result.constraint_violations(device)
+
+
+def _arm_failure(
+    sub: Subproblem, exc: BaseException, device: DeviceProfile
+) -> CompileResult:
+    """Convert an exception escaping one arm into that arm's result."""
+    if isinstance(exc, CompileFault):
+        detail = exc.describe()
+    else:
+        detail = f"{type(exc).__name__}: {exc}"
+    return CompileResult(STATUS_FAULT, device, message=detail)
+
+
+def _with_deadline(
+    sub: Subproblem, deadline: Optional[float]
+) -> Subproblem:
+    """Thread the portfolio's wall-clock deadline into an arm's options.
+
+    Each arm then enforces its share of the remaining time itself (the
+    compiler turns ``total_max_seconds`` into its internal deadline), so
+    a straggler arm self-terminates even if the parent has moved on."""
+    if deadline is None:
+        return sub
+    remaining = max(0.01, deadline - time.monotonic())
+    current = sub.options.total_max_seconds
+    if current is not None and current <= remaining:
+        return sub
+    return Subproblem(
+        sub.label,
+        sub.device,
+        sub.options.with_(total_max_seconds=remaining),
+        sub.priority,
     )
 
 
@@ -139,6 +209,7 @@ def select_result(
     subproblems: List[Subproblem],
     results: List[Tuple[int, CompileResult]],
     device: DeviceProfile,
+    pending: Optional[Sequence[str]] = None,
 ) -> CompileResult:
     """Pick the portfolio's overall result from per-arm outcomes.
 
@@ -146,8 +217,13 @@ def select_result(
     (completion order for the process pool) — arms are identified by
     priority, never by position.  Winners are considered best-first; a
     winner whose program violates the real device profile is skipped in
-    favour of the next-best winner, and only when no winner survives the
-    constraint check does the portfolio report infeasibility.
+    favour of the next-best winner.  When no winner survives:
+
+    * ``pending`` non-empty (the deadline expired with arms unfinished)
+      → a ``STATUS_TIMEOUT`` result naming the still-running arms;
+    * otherwise → ``STATUS_INFEASIBLE`` listing every arm's failure
+      (including supervised ``STATUS_FAULT`` arms with their fault
+      detail).
     """
     label_of = {sub.priority: sub.label for sub in subproblems}
     winners = sorted(
@@ -156,7 +232,7 @@ def select_result(
     failures: List[str] = []
     for priority, result in winners:
         assert result.program is not None
-        violations = result.program.check_constraints(device)
+        violations = result.constraint_violations(device)
         if not violations:
             return result
         failures.append(
@@ -166,14 +242,177 @@ def select_result(
     for priority, result in sorted(results, key=lambda pr: pr[0]):
         if result.ok:
             continue
-        failures.append(
-            f"{label_of.get(priority, f'arm#{priority}')}: {result.status}"
+        line = f"{label_of.get(priority, f'arm#{priority}')}: {result.status}"
+        if result.status == STATUS_FAULT and result.message:
+            line += f" ({result.message})"
+        failures.append(line)
+    if pending:
+        message = (
+            "portfolio deadline expired with arm(s) still running: "
+            + ", ".join(pending)
         )
+        if failures:
+            message += f"; finished arms: {'; '.join(failures)}"
+        return CompileResult(STATUS_TIMEOUT, device, message=message)
     return CompileResult(
         STATUS_INFEASIBLE,
         device,
         message=f"no portfolio arm succeeded ({'; '.join(failures)})",
     )
+
+
+def _run_arms_inline(
+    spec: ParserSpec,
+    subproblems: Sequence[Subproblem],
+    device: DeviceProfile,
+    tracer,
+    deadline: Optional[float],
+    results: List[Tuple[int, CompileResult]],
+) -> List[str]:
+    """Run arms in-process, best priority first, under supervision.
+
+    Appends each arm's ``(priority, result)`` to ``results`` and stops
+    early on a valid winner.  Returns the labels of arms *not run*
+    because the deadline expired first (empty otherwise)."""
+    ordered = sorted(subproblems, key=lambda s: s.priority)
+    for index, sub in enumerate(ordered):
+        if deadline is not None and time.monotonic() >= deadline:
+            tracer.count("portfolio.deadline_expired")
+            return [s.label for s in ordered[index:]]
+        with tracer.span(
+            "portfolio.arm", label=sub.label, priority=sub.priority
+        ) as arm_span:
+            try:
+                _priority, result, _spans, _counters = _run_subproblem(
+                    spec, _with_deadline(sub, deadline)
+                )
+            except Exception as exc:
+                result = _arm_failure(sub, exc, device)
+                arm_span.attrs["error"] = result.message
+                tracer.count("portfolio.arm_faults")
+        results.append((sub.priority, result))
+        if _valid_winner(result, device):
+            break
+    return []
+
+
+def _run_pooled(
+    spec: ParserSpec,
+    subproblems: Sequence[Subproblem],
+    device: DeviceProfile,
+    tracer,
+    deadline: Optional[float],
+    workers: int,
+    results: List[Tuple[int, CompileResult]],
+) -> List[str]:
+    """Race arms across a process pool; returns still-pending labels.
+
+    Supervision: a worker exception becomes that arm's ``STATUS_FAULT``
+    result; a broken pool re-runs the not-yet-completed arms in-process;
+    an unavailable pool degrades to the sequential path; a deadline expiry
+    returns the labels of unfinished arms for the partial result."""
+    try:
+        fault_point("portfolio.pool")
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+    except _POOL_UNAVAILABLE_ERRORS as exc:
+        tracer.count("portfolio.pool_unavailable")
+        with tracer.span(
+            "portfolio.degraded",
+            reason=f"{type(exc).__name__}: {exc}",
+        ):
+            return _run_arms_inline(
+                spec, subproblems, device, tracer, deadline, results
+            )
+
+    faults = _injection.snapshot() or None
+    futures: Dict[concurrent.futures.Future, Subproblem] = {}
+    completed: Set[int] = set()
+    broken: Optional[BaseException] = None
+    try:
+        try:
+            for sub in subproblems:
+                futures[pool.submit(
+                    _run_subproblem,
+                    spec,
+                    _with_deadline(sub, deadline),
+                    tracer.enabled,
+                    faults,
+                )] = sub
+        except (BrokenProcessPool,) + _POOL_UNAVAILABLE_ERRORS as exc:
+            broken = exc
+        if broken is None:
+            timeout = (
+                None if deadline is None
+                else max(0.01, deadline - time.monotonic())
+            )
+            try:
+                for future in concurrent.futures.as_completed(
+                    futures, timeout=timeout
+                ):
+                    sub = futures[future]
+                    try:
+                        priority, result, spans, counters = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = exc
+                        break
+                    except Exception as exc:
+                        # Supervision: the arm failed (worker raised, or
+                        # its outcome could not be pickled back) — record
+                        # a per-arm failure, keep racing the rest.
+                        priority = sub.priority
+                        result = _arm_failure(sub, exc, device)
+                        spans = counters = None
+                        with tracer.span(
+                            "portfolio.arm.fault",
+                            label=sub.label,
+                            priority=sub.priority,
+                            error=result.message,
+                        ):
+                            pass
+                        tracer.count("portfolio.arm_faults")
+                    completed.add(sub.priority)
+                    if spans is not None:
+                        tracer.attach(spans)
+                    if counters is not None and tracer.enabled:
+                        tracer.registry.merge(counters)
+                    results.append((priority, result))
+                    if _valid_winner(result, device):
+                        # First valid success wins; cancel stragglers.
+                        for other in futures:
+                            other.cancel()
+                        return []
+            except concurrent.futures.TimeoutError:
+                tracer.count("portfolio.deadline_expired")
+                for other in futures:
+                    other.cancel()
+                return [
+                    s.label
+                    for s in sorted(
+                        subproblems, key=lambda s: s.priority
+                    )
+                    if s.priority not in completed
+                ]
+        if broken is not None:
+            # The pool died under us (a worker was killed, fork failed
+            # mid-run, a result was unpicklable at the pool layer).
+            # Re-run every arm that never completed in-process, best
+            # priority first; the injection registry's "subprocess"
+            # scope keeps worker-killing test faults from re-firing here.
+            tracer.count("portfolio.pool_broken")
+            remaining = [
+                s for s in subproblems if s.priority not in completed
+            ]
+            with tracer.span(
+                "portfolio.recovery",
+                reason=f"{type(broken).__name__}: {broken}",
+                arms=len(remaining),
+            ):
+                return _run_arms_inline(
+                    spec, remaining, device, tracer, deadline, results
+                )
+        return []
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def portfolio_compile(
@@ -186,50 +425,34 @@ def portfolio_compile(
     Results from tighter-key arms are re-validated against the REAL device
     profile before being returned (they always fit — a narrower key is a
     subset of a wider one — but the constraint check keeps us honest; a
-    winner that fails it is skipped in favour of the next-best winner)."""
+    winner that fails it is skipped in favour of the next-best winner).
+
+    Fault tolerance: arms are supervised (an arm that raises becomes a
+    per-arm failure), a broken or unavailable process pool degrades to
+    in-process execution, and ``options.total_max_seconds`` is enforced
+    as a portfolio-level wall-clock deadline with best-effort partial
+    results."""
     options = options or CompileOptions()
     subproblems = derive_subproblems(spec, device, options)
     workers = max(1, options.parallel_workers)
     tracer = get_tracer()
+    deadline = (
+        time.monotonic() + options.total_max_seconds
+        if options.total_max_seconds
+        else None
+    )
 
     results: List[Tuple[int, CompileResult]] = []
+    pending: List[str] = []
     with tracer.span("portfolio", arms=len(subproblems), workers=workers):
         if workers == 1:
-            for sub in subproblems:
-                with tracer.span(
-                    "portfolio.arm", label=sub.label, priority=sub.priority
-                ):
-                    priority, result, _spans, _counters = _run_subproblem(
-                        spec, sub
-                    )
-                results.append((priority, result))
-                if _valid_winner(result, device):
-                    break
+            pending = _run_arms_inline(
+                spec, subproblems, device, tracer, deadline, results
+            )
         else:
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers
-            ) as pool:
-                futures = {
-                    pool.submit(
-                        _run_subproblem, spec, sub, tracer.enabled
-                    ): sub
-                    for sub in subproblems
-                }
-                pending = set(futures)
-                try:
-                    for future in concurrent.futures.as_completed(pending):
-                        priority, result, spans, counters = future.result()
-                        if spans is not None:
-                            tracer.attach(spans)
-                        if counters is not None and tracer.enabled:
-                            tracer.registry.merge(counters)
-                        results.append((priority, result))
-                        if _valid_winner(result, device):
-                            # First valid success wins; cancel stragglers.
-                            for other in pending:
-                                other.cancel()
-                            break
-                finally:
-                    pool.shutdown(wait=False, cancel_futures=True)
+            pending = _run_pooled(
+                spec, subproblems, device, tracer, deadline, workers,
+                results,
+            )
 
-    return select_result(subproblems, results, device)
+    return select_result(subproblems, results, device, pending=pending)

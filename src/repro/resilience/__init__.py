@@ -1,0 +1,52 @@
+"""Resilience layer: fault taxonomy and deterministic fault injection.
+
+The compile pipeline — especially the §6.7 portfolio, which races many
+arms across a process pool — must degrade instead of dying: a crashing
+worker becomes a per-arm failure, a broken pool is recovered by
+re-running pending arms in-process, and a wall-clock deadline yields the
+best partial result rather than a hang.  This package holds the two
+pieces those behaviours share:
+
+* :mod:`repro.resilience.faults` — the :class:`CompileFault` exception
+  taxonomy supervision code catches and converts into results;
+* :mod:`repro.resilience.injection` — a deterministic fault-injection
+  registry (``inject(site, fault)``) so every recovery path is testable
+  without real crashes (see ``tests/resilience/``).
+
+Deliberately dependency-free (stdlib only): both ``repro.smt`` and
+``repro.core`` import it, so it must sit below everything.
+"""
+
+from .faults import (
+    ArmTimeout,
+    CompileFault,
+    PoolBroken,
+    SolverResourceExhausted,
+    WorkerCrash,
+)
+from .injection import (
+    SITES,
+    InjectedFault,
+    active,
+    clear,
+    fault_point,
+    inject,
+    install,
+    snapshot,
+)
+
+__all__ = [
+    "ArmTimeout",
+    "CompileFault",
+    "InjectedFault",
+    "PoolBroken",
+    "SITES",
+    "SolverResourceExhausted",
+    "WorkerCrash",
+    "active",
+    "clear",
+    "fault_point",
+    "inject",
+    "install",
+    "snapshot",
+]

@@ -1,0 +1,151 @@
+"""Deterministic fault injection for the compile pipeline.
+
+Every recovery path in the resilience layer must be testable without a
+real crash, hang, or out-of-memory condition.  This module provides a
+process-global registry of *injected faults* keyed by **site** — a
+stable string naming an instrumented pipeline location:
+
+================  ====================================================
+site              fired from
+================  ====================================================
+``sat.solve``     :meth:`repro.smt.solver.Solver.check`
+``bitblast``      :meth:`repro.smt.bitblast.BitBlaster.assert_term`
+``encoder``       ``repro.core.encoder.SymbolicProgram`` construction
+``portfolio.worker``  ``repro.core.parallel._run_subproblem`` (per arm)
+``portfolio.pool``    process-pool creation in ``portfolio_compile``
+================  ====================================================
+
+Production code calls :func:`fault_point` at each site; with an empty
+registry that is one module-global read, so the instrumentation is free
+in normal operation.  Tests arm the registry::
+
+    inject("portfolio.worker", WorkerCrash("boom"), match="key<=8")
+    try:
+        ...  # exercise the pipeline
+    finally:
+        clear()
+
+A fault may be an exception *instance* (raised as-is), an exception
+*class* (instantiated then raised), or a zero-argument *callable*
+(invoked; it may sleep to simulate a hang, call ``os._exit`` to
+simulate a worker crash, or raise).  ``times`` bounds how often it
+fires, ``match`` restricts it to sites whose label contains a substring
+(e.g. one portfolio arm), and ``scope="subprocess"`` restricts it to
+processes other than the one that registered it — which is how a test
+kills a pool worker without also killing the in-process recovery rerun.
+
+Worker processes receive the registry explicitly: ``portfolio_compile``
+ships :func:`snapshot` alongside each subproblem and the worker calls
+:func:`install`, so injection works under both ``fork`` and ``spawn``
+start methods.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from .faults import CompileFault
+
+SITES = (
+    "sat.solve",
+    "bitblast",
+    "encoder",
+    "portfolio.worker",
+    "portfolio.pool",
+)
+
+
+@dataclass
+class InjectedFault:
+    """One armed fault; mutable so firings can be counted."""
+
+    site: str
+    fault: Any                      # exception instance/class or callable
+    times: Optional[int] = 1        # None = fire on every visit
+    match: Optional[str] = None     # substring of the site label
+    scope: str = "any"              # "any" | "subprocess"
+    origin_pid: int = field(default_factory=os.getpid)
+    fired: int = 0
+
+    def applies(self, site: str, label: Optional[str]) -> bool:
+        if self.site != site:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.match is not None and self.match not in (label or ""):
+            return False
+        if self.scope == "subprocess" and os.getpid() == self.origin_pid:
+            return False
+        return True
+
+    def trigger(self, site: str) -> None:
+        self.fired += 1
+        fault = self.fault
+        if isinstance(fault, BaseException):
+            if isinstance(fault, CompileFault) and fault.site is None:
+                fault.site = site
+            raise fault
+        if isinstance(fault, type) and issubclass(fault, BaseException):
+            raise fault(f"injected fault at {site}")
+        # Callable action: may sleep (hang), os._exit (crash), or raise.
+        fault()
+
+
+_FAULTS: List[InjectedFault] = []
+
+
+def inject(
+    site: str,
+    fault: Any,
+    *,
+    times: Optional[int] = 1,
+    match: Optional[str] = None,
+    scope: str = "any",
+) -> InjectedFault:
+    """Arm ``fault`` at ``site``; returns the (mutable) registration."""
+    if site not in SITES:
+        raise ValueError(
+            f"unknown injection site {site!r}; known sites: {SITES}"
+        )
+    if scope not in ("any", "subprocess"):
+        raise ValueError(f"unknown scope {scope!r}")
+    entry = InjectedFault(
+        site=site, fault=fault, times=times, match=match, scope=scope
+    )
+    _FAULTS.append(entry)
+    return entry
+
+
+def clear() -> None:
+    """Disarm every injected fault (tests call this in teardown)."""
+    _FAULTS.clear()
+
+
+def active() -> bool:
+    return bool(_FAULTS)
+
+
+def snapshot() -> List[InjectedFault]:
+    """The current registrations, for shipping to worker processes."""
+    return list(_FAULTS)
+
+
+def install(faults: Optional[List[InjectedFault]]) -> None:
+    """Replace the registry (worker-process side of :func:`snapshot`)."""
+    _FAULTS.clear()
+    if faults:
+        _FAULTS.extend(faults)
+
+
+def fault_point(site: str, label: Optional[str] = None) -> None:
+    """Instrumentation hook: fire any armed fault matching ``site``.
+
+    Near-zero cost when nothing is armed (the common case).
+    """
+    if not _FAULTS:
+        return
+    for entry in _FAULTS:
+        if entry.applies(site, label):
+            entry.trigger(site)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..resilience.injection import fault_point
 from .sat.clause import neg
 from .sat.solver import SatSolver
 from .terms import BOOL, Term
@@ -223,6 +224,7 @@ class BitBlaster:
         literals — avoiding one Tseitin auxiliary variable per asserted
         constraint, which matters a great deal for the one-hot-heavy
         synthesis encodings."""
+        fault_point("bitblast")
         prefix = [neg(g) for g in guard_lits] if guard_lits else []
         if term.op == "and":
             for arg in term.args:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from ..obs import get_tracer
+from ..resilience import SolverResourceExhausted
+from ..resilience.injection import fault_point
 from .bitblast import BitBlaster
 from .sat.clause import neg
 from .sat.solver import Budget, SatSolver
@@ -114,7 +116,17 @@ class Solver:
         budget = None
         if max_conflicts is not None or max_seconds is not None:
             budget = Budget(max_conflicts=max_conflicts, max_seconds=max_seconds)
-        result = self._sat.solve(assume_lits, budget=budget)
+        fault_point("sat.solve")
+        try:
+            result = self._sat.solve(assume_lits, budget=budget)
+        except (MemoryError, RecursionError) as exc:
+            # Hard resource exhaustion (as opposed to a *planned* budget,
+            # which reports "unknown"): surface as a typed CompileFault so
+            # supervision layers can turn it into a per-arm failure.
+            raise SolverResourceExhausted(
+                f"SAT solver exhausted interpreter resources: "
+                f"{type(exc).__name__}", site="sat.solve",
+            ) from exc
         tracer = get_tracer()
         if tracer.enabled:
             delta = self._sat.last_solve_stats

@@ -29,8 +29,10 @@ class _StubProgram:
 
     def __init__(self, violations=()):
         self._violations = list(violations)
+        self.check_calls = 0
 
     def check_constraints(self, _device):
+        self.check_calls += 1
         return list(self._violations)
 
 
@@ -202,6 +204,37 @@ class TestSelectResult:
         assert out.status == STATUS_INFEASIBLE
         assert "tight" in out.message
         assert "violates device constraints" in out.message
+
+    def test_winner_constraint_check_runs_once(
+        self, dispatch_spec, monkeypatch
+    ):
+        # Cleanup regression: _valid_winner (race-time validation) and
+        # select_result (final selection) used to each run the full
+        # check_constraints on the winner; the memoized result means one
+        # check per winner total.
+        from repro.core import parallel as par
+
+        winner = _ok()
+        monkeypatch.setattr(
+            par,
+            "_run_subproblem",
+            lambda spec, sub, trace=False: (sub.priority, winner, None, None),
+        )
+        out = par.portfolio_compile(
+            dispatch_spec, DEVICE, CompileOptions(parallel_workers=1)
+        )
+        assert out is winner
+        assert winner.program.check_calls == 1
+
+    def test_violating_winner_checked_once_when_reported(self):
+        subs = [_sub("tight", 0)]
+        bad = _ok(violations=["entry 3 key exceeds device limit"])
+        # Race-time validation (what portfolio_compile does) …
+        assert bad.constraint_violations(DEVICE)
+        # … then final selection reuses the memoized violations.
+        out = select_result(subs, [(0, bad)], DEVICE)
+        assert out.status == STATUS_INFEASIBLE
+        assert bad.program.check_calls == 1
 
     def test_unknown_priority_does_not_crash(self):
         # Defensive: a result for a priority not in the subproblem list

@@ -1,0 +1,62 @@
+"""Faults injected inside the compile pipeline (SAT solve, bit-blast,
+encoder) must surface as a typed ``STATUS_FAULT`` result from
+``ParserHawkCompiler.compile`` — never as an unhandled traceback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import STATUS_FAULT, compile_spec
+from repro.obs import Tracer, use_tracer
+from repro.resilience import SolverResourceExhausted, WorkerCrash, injection
+from repro.smt.sat.solver import SatSolver
+
+
+@pytest.mark.parametrize("site", ["sat.solve", "bitblast", "encoder"])
+def test_injected_fault_becomes_fault_result(site, spec, device):
+    injection.inject(site, WorkerCrash("injected"), times=None)
+    result = compile_spec(spec, device)
+    assert result.status == STATUS_FAULT
+    assert "WorkerCrash" in result.message
+    assert site in result.message          # describe() names the site
+
+
+def test_fault_result_counts_in_obs(spec, device):
+    injection.inject("sat.solve", WorkerCrash("injected"), times=None)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = compile_spec(spec, device)
+    assert result.status == STATUS_FAULT
+    assert tracer.registry.get("compile.faults") == 1
+
+
+def test_sat_memory_error_maps_to_resource_exhaustion(
+    spec, device, monkeypatch
+):
+    def boom(self, assumptions=None, budget=None):
+        raise MemoryError("simulated allocation failure")
+
+    monkeypatch.setattr(SatSolver, "solve", boom)
+    result = compile_spec(spec, device)
+    assert result.status == STATUS_FAULT
+    assert "SolverResourceExhausted" in result.message
+
+
+def test_solver_check_raises_typed_fault(monkeypatch):
+    from repro.smt import Bool, Solver
+
+    def boom(self, assumptions=None, budget=None):
+        raise MemoryError("simulated")
+
+    monkeypatch.setattr(SatSolver, "solve", boom)
+    solver = Solver()
+    solver.add(Bool("x"))
+    with pytest.raises(SolverResourceExhausted) as info:
+        solver.check()
+    assert info.value.site == "sat.solve"
+
+
+def test_compile_without_injection_unaffected(spec, device):
+    # The instrumented sites are free when the registry is empty.
+    result = compile_spec(spec, device)
+    assert result.ok

@@ -1,0 +1,134 @@
+"""Portfolio-level deadline enforcement (``total_max_seconds``).
+
+A stuck worker must not hang the compile: the portfolio bounds its
+``as_completed`` wait, threads the remaining wall clock into every arm's
+own options, and on expiry returns a best-effort result — the best valid
+winner so far, or ``STATUS_TIMEOUT`` naming the arms still running.
+
+All injected hangs sleep ≤ 2 s; every deadline here is well under that.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import (
+    CompileOptions,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    CompileResult,
+    Subproblem,
+    portfolio_compile,
+    select_result,
+)
+from repro.core.parallel import _with_deadline
+from repro.hw import tofino_profile
+from repro.resilience import WorkerCrash, injection
+
+DEVICE = tofino_profile(key_limit=8, tcam_limit=64, lookahead_limit=8)
+
+
+def _hang_2s():
+    time.sleep(2.0)
+
+
+def _slow_crash():
+    time.sleep(0.4)
+    raise WorkerCrash("slow then dead")
+
+
+class TestDeadlineThreading:
+    def test_deadline_threaded_into_arm_options(self):
+        sub = Subproblem("arm", DEVICE, CompileOptions(), priority=0)
+        bounded = _with_deadline(sub, time.monotonic() + 5.0)
+        assert bounded.options.total_max_seconds is not None
+        assert 0 < bounded.options.total_max_seconds <= 5.0
+        assert bounded.label == sub.label
+        assert bounded.priority == sub.priority
+
+    def test_tighter_existing_budget_kept(self):
+        sub = Subproblem(
+            "arm", DEVICE, CompileOptions(total_max_seconds=1.0), priority=0
+        )
+        bounded = _with_deadline(sub, time.monotonic() + 30.0)
+        assert bounded.options.total_max_seconds == 1.0
+
+    def test_no_deadline_is_identity(self):
+        sub = Subproblem("arm", DEVICE, CompileOptions(), priority=0)
+        assert _with_deadline(sub, None) is sub
+
+
+class TestPooledDeadline:
+    def test_hung_workers_yield_timeout_naming_arms(self, spec, device):
+        # Every worker hangs (in the subprocess only); the portfolio must
+        # come back within ~total_max_seconds with a STATUS_TIMEOUT
+        # partial result instead of blocking on a stuck future.
+        injection.inject(
+            "portfolio.worker",
+            _hang_2s,
+            times=None,
+            scope="subprocess",
+        )
+        started = time.monotonic()
+        result = portfolio_compile(
+            spec,
+            device,
+            CompileOptions(parallel_workers=2, total_max_seconds=0.75),
+        )
+        elapsed = time.monotonic() - started
+        assert result.status == STATUS_TIMEOUT
+        assert "still running" in result.message
+        assert "key<=8,loop-free" in result.message
+        # Came back promptly: the deadline, not the hang, set the pace.
+        assert elapsed < 5.0
+
+
+class TestSequentialDeadline:
+    def test_deadline_expiry_reports_unrun_arms(self, spec, device):
+        # Arm 0 burns the whole budget then faults; the loop must stop
+        # before arm 1 and report the remaining arms as still pending.
+        injection.inject(
+            "portfolio.worker", _slow_crash, match="key<=8,loop-free"
+        )
+        result = portfolio_compile(
+            spec,
+            device,
+            CompileOptions(parallel_workers=1, total_max_seconds=0.25),
+        )
+        assert result.status == STATUS_TIMEOUT
+        assert "still running" in result.message
+        assert "key<=8,loop-aware" in result.message
+        # The arm that did run is reported with its fault.
+        assert "WorkerCrash" in result.message
+
+
+class _StubProgram:
+    def __init__(self, violations=()):
+        self._violations = list(violations)
+
+    def check_constraints(self, _device):
+        return list(self._violations)
+
+
+class TestPartialSelection:
+    def test_valid_winner_beats_pending_arms(self):
+        # Deadline expired but a valid winner already completed: the
+        # portfolio returns it (best-effort partial result).
+        subs = [
+            Subproblem("fast", DEVICE, CompileOptions(), 0),
+            Subproblem("stuck", DEVICE, CompileOptions(), 1),
+        ]
+        winner = CompileResult(STATUS_OK, DEVICE, program=_StubProgram())
+        out = select_result(
+            subs, [(0, winner)], DEVICE, pending=["stuck"]
+        )
+        assert out is winner
+
+    def test_no_winner_with_pending_is_timeout(self):
+        subs = [
+            Subproblem("a", DEVICE, CompileOptions(), 0),
+            Subproblem("b", DEVICE, CompileOptions(), 1),
+        ]
+        out = select_result(subs, [], DEVICE, pending=["a", "b"])
+        assert out.status == STATUS_TIMEOUT
+        assert "a, b" in out.message

@@ -1,0 +1,105 @@
+"""Unit tests for the deterministic fault-injection registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    CompileFault,
+    WorkerCrash,
+    injection,
+)
+from repro.resilience.injection import fault_point
+
+
+class TestRegistry:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection site"):
+            injection.inject("nonsense.site", WorkerCrash("x"))
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError, match="unknown scope"):
+            injection.inject(
+                "sat.solve", WorkerCrash("x"), scope="thread"
+            )
+
+    def test_fault_point_noop_when_empty(self):
+        fault_point("sat.solve")  # must not raise
+
+    def test_exception_instance_raised_with_site(self):
+        injection.inject("sat.solve", WorkerCrash("boom"))
+        with pytest.raises(WorkerCrash) as info:
+            fault_point("sat.solve")
+        assert info.value.site == "sat.solve"
+        assert "sat.solve" in info.value.describe()
+
+    def test_exception_class_instantiated(self):
+        injection.inject("encoder", WorkerCrash)
+        with pytest.raises(WorkerCrash, match="injected fault at encoder"):
+            fault_point("encoder")
+
+    def test_callable_invoked(self):
+        hits = []
+        injection.inject("bitblast", lambda: hits.append(1))
+        fault_point("bitblast")
+        fault_point("bitblast")  # times=1: second visit is a no-op
+        assert hits == [1]
+
+    def test_times_bounds_firing(self):
+        injection.inject("sat.solve", WorkerCrash("boom"), times=2)
+        for _ in range(2):
+            with pytest.raises(WorkerCrash):
+                fault_point("sat.solve")
+        fault_point("sat.solve")  # exhausted
+
+    def test_times_none_fires_every_visit(self):
+        injection.inject("sat.solve", WorkerCrash("boom"), times=None)
+        for _ in range(5):
+            with pytest.raises(WorkerCrash):
+                fault_point("sat.solve")
+
+    def test_match_restricts_to_label(self):
+        injection.inject(
+            "portfolio.worker", WorkerCrash("boom"), match="loop-free"
+        )
+        fault_point("portfolio.worker", label="key<=8,loop-aware")
+        fault_point("portfolio.worker", label=None)
+        with pytest.raises(WorkerCrash):
+            fault_point("portfolio.worker", label="key<=8,loop-free")
+
+    def test_subprocess_scope_silent_in_origin_process(self):
+        injection.inject(
+            "portfolio.worker", WorkerCrash("boom"), scope="subprocess"
+        )
+        fault_point("portfolio.worker", label="anything")  # same pid
+
+    def test_snapshot_install_roundtrip(self):
+        injection.inject("sat.solve", WorkerCrash("boom"))
+        shipped = injection.snapshot()
+        injection.clear()
+        fault_point("sat.solve")  # disarmed
+        injection.install(shipped)
+        with pytest.raises(WorkerCrash):
+            fault_point("sat.solve")
+
+    def test_clear_disarms(self):
+        injection.inject("sat.solve", WorkerCrash("boom"))
+        injection.clear()
+        assert not injection.active()
+        fault_point("sat.solve")
+
+
+class TestTaxonomy:
+    def test_all_faults_are_compile_faults(self):
+        from repro.resilience import (
+            ArmTimeout,
+            PoolBroken,
+            SolverResourceExhausted,
+        )
+
+        for cls in (
+            WorkerCrash, PoolBroken, ArmTimeout, SolverResourceExhausted
+        ):
+            exc = cls("x")
+            assert isinstance(exc, CompileFault)
+            assert cls.__name__ in exc.describe()
