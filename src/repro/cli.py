@@ -6,7 +6,12 @@ Commands:
   the synthesized program (human-readable, vendor config, or JSON);
 * ``simulate`` — run the reference simulator on an input bitstream;
 * ``validate`` — compile then run the Figure 22 random-simulation check;
-* ``bench``    — regenerate one of the paper's tables from the harness.
+* ``bench``    — regenerate one of the paper's tables from the harness;
+* ``cache``    — inspect/clear/verify a persistent compile cache directory.
+
+Interrupting a checkpointed compile (Ctrl-C) flushes a final checkpoint
+and prints the ``--resume`` invocation hint before exiting with the
+conventional SIGINT status (130).
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from .core import (
 )
 from .core.validate import random_simulation_check
 from .obs import Tracer, format_profile, use_tracer
+from .persist import CompileCache, flush_active
 from .hw import (
     custom_profile,
     emit_ipu,
@@ -118,6 +124,12 @@ def _print_failure(result, args: argparse.Namespace) -> None:
     else:
         print(f"compilation failed: {result.status}: {result.message}",
               file=sys.stderr)
+    if getattr(result, "checkpoint_path", ""):
+        print(
+            f"progress saved to {result.checkpoint_path}; "
+            "re-run with --resume to continue from it",
+            file=sys.stderr,
+        )
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -127,6 +139,10 @@ def cmd_compile(args: argparse.Namespace) -> int:
         total_max_seconds=args.timeout,
         parallel_workers=args.jobs,
         seed=args.seed,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        checkpoint_interval_seconds=args.checkpoint_interval,
+        cache_dir=args.cache_dir,
     )
     tracer = _make_tracer(args)
     with use_tracer(tracer):
@@ -211,6 +227,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             include_orig=args.orig,
             orig_cap_seconds=args.orig_cap,
             progress=lambda line: print(line, file=sys.stderr),
+            cache_dir=args.cache_dir,
         )
         print(format_table3(rows))
     elif args.table == "table4":
@@ -218,6 +235,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
     elif args.table == "table5":
         print(format_table5(run_table5(args.device)))
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = CompileCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache directory: {args.cache_dir}")
+        print(f"entries: {stats['entries']}")
+        print(f"bytes: {stats['bytes']}")
+        print(f"quarantined: {stats['quarantined']}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    # verify: re-read every entry through the integrity-checking loader;
+    # corrupt entries are quarantined as a side effect.
+    report = cache.verify()
+    print(
+        f"verified {report['ok']} entr{'y' if report['ok'] == 1 else 'ies'}"
+        f", {report['invalid']} corrupt (quarantined)"
+    )
+    return 0 if report["invalid"] == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,6 +285,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compile.add_argument("--jobs", type=int, default=1)
     p_compile.add_argument("--seed", type=int, default=0)
+    p_compile.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="persist durable CEGIS/budget-search checkpoints under DIR "
+        "(atomic, checksummed); timeouts, faults, and Ctrl-C then print "
+        "a --resume hint",
+    )
+    p_compile.add_argument(
+        "--resume", action="store_true",
+        help="reload a matching checkpoint from --checkpoint-dir: prior "
+        "counterexamples are replayed and budgets proved UNSAT are "
+        "skipped",
+    )
+    p_compile.add_argument(
+        "--checkpoint-interval", type=float, default=0.0, metavar="SECONDS",
+        help="minimum seconds between checkpoint flushes (0 = every event)",
+    )
+    p_compile.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="content-addressed compile cache: identical "
+        "(spec, device, solver options) compiles are served from DIR "
+        "instead of re-synthesized",
+    )
     p_compile.add_argument(
         "--trace", metavar="PATH", default=None,
         help="write the structured span tree (JSON) to PATH",
@@ -286,7 +348,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--orig", action="store_true")
     p_bench.add_argument("--orig-cap", type=float, default=20.0)
+    p_bench.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="serve previously compiled benchmark rows from a persistent "
+        "compile cache at DIR (and populate it)",
+    )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect a persistent compile cache"
+    )
+    p_cache.add_argument("action", choices=["stats", "clear", "verify"])
+    p_cache.add_argument("cache_dir", metavar="DIR")
+    p_cache.set_defaults(func=cmd_cache)
 
     return parser
 
@@ -294,7 +368,26 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if getattr(args, "resume", False) and not getattr(
+        args, "checkpoint_dir", None
+    ):
+        parser.error("--resume requires --checkpoint-dir")
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Make Ctrl-C durable: flush every live checkpoint manager so the
+        # interrupted compile can be continued, then exit with the
+        # conventional 128+SIGINT status.
+        flush_active()
+        if getattr(args, "checkpoint_dir", None):
+            print(
+                f"interrupted; progress saved under {args.checkpoint_dir} "
+                "— re-run with --resume to continue",
+                file=sys.stderr,
+            )
+        else:
+            print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

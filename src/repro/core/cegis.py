@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..hw.impl import TcamProgram
 from ..ir.bits import Bits
@@ -54,6 +54,9 @@ class CegisOutcome:
     program: Optional[TcamProgram]
     feasible: bool
     iterations: int = 0
+    # Counterexamples re-applied from a checkpoint (repro.persist) before
+    # live iterations started; they skip candidate decode + verification.
+    replayed: int = 0
     synthesis_seconds: float = 0.0
     verification_seconds: float = 0.0
     counterexamples: List[Counterexample] = field(default_factory=list)
@@ -188,10 +191,23 @@ def synthesize_for_budget(
     deadline: Optional[float] = None,
     verify_max_configs: int = 60000,
     directed_tests: bool = True,
+    replay: Optional[Sequence[Bits]] = None,
+    on_counterexample: Optional[Callable[[Bits], None]] = None,
 ) -> CegisOutcome:
     """Run CEGIS for one skeleton.  ``feasible=False`` reports a proved
     UNSAT (no program in this budget); a timeout raises
-    :class:`SynthesisTimeout`."""
+    :class:`SynthesisTimeout`.
+
+    ``replay`` seeds the run with counterexamples recorded by an earlier
+    (interrupted) attempt at the *same* budget.  Replay is faithful: each
+    replayed counterexample is preceded by the same ``solver.check`` call
+    the original iteration made, so the CDCL solver passes through the
+    identical state sequence and the resumed run converges to the same
+    program an uninterrupted run would — while skipping the replayed
+    iterations' candidate decoding and equivalence verification (the
+    expensive half of a CEGIS round).  ``on_counterexample`` is invoked
+    with each *newly* discovered counterexample's input, which is how the
+    checkpoint layer records them."""
     spec = skeleton.spec
     max_steps = max(skeleton.unroll_steps, 16)
     outcome = CegisOutcome(program=None, feasible=True)
@@ -210,6 +226,40 @@ def synthesize_for_budget(
             return None
         return min(limits)
 
+    def solve_once() -> str:
+        """One budgeted ``solver.check`` with stat accumulation (shared
+        by replayed and live iterations, so both stay comparable in the
+        trace and in ``CompileStats``)."""
+        budget_s = remaining()
+        if budget_s is not None and budget_s <= 0:
+            raise SynthesisTimeout("CEGIS time budget exhausted", outcome)
+        with tracer.span("sat.solve") as solve_span:
+            try:
+                status = solver.check(
+                    max_seconds=budget_s,
+                    max_conflicts=max_conflicts_per_solve,
+                )
+            except CompileFault as exc:
+                # Attach the partial outcome so callers can fold this
+                # attempt's measurements into their stats (mirrors
+                # SynthesisTimeout / VerificationBudgetExceeded).
+                if exc.outcome is None:
+                    exc.outcome = outcome
+                raise
+            finally:
+                outcome.synthesis_seconds += solve_span.elapsed()
+        # Per-solve deltas (not lifetime totals): matches what the
+        # tracing layer records, so CompileStats and the span tree
+        # agree.  Propagations notably differ — clause insertion also
+        # propagates, outside any solve() call.
+        delta = solver.last_check_stats()
+        outcome.sat_conflicts += delta["conflicts"]
+        outcome.sat_decisions += delta["decisions"]
+        outcome.sat_propagations += delta["propagations"]
+        outcome.sat_restarts += delta["restarts"]
+        outcome.sat_learnt_clauses += delta["learned"]
+        return status
+
     for constraint in sp.structural_constraints():
         solver.add(constraint)
     for bits, expected in initial_tests(
@@ -218,38 +268,31 @@ def synthesize_for_budget(
         for constraint in sp.encode_test(bits, expected):
             solver.add(constraint)
 
+    # Checkpoint replay: re-apply previously discovered counterexamples,
+    # preceding each with the solve its original iteration made (keeping
+    # the CDCL state identical to the interrupted run's) but skipping the
+    # decode + verification work — that is where resume saves time.
+    for bits in replay or ():
+        expected = simulate_spec(spec, bits, max_steps)
+        if expected.outcome == OUTCOME_OVERRUN:
+            continue
+        with tracer.span("cegis.replay", index=outcome.replayed + 1):
+            status = solve_once()
+        if status == UNSAT:
+            outcome.feasible = False
+            return outcome
+        if status == UNKNOWN:
+            raise SynthesisTimeout("SAT solver budget exhausted", outcome)
+        for constraint in sp.encode_test(bits, expected):
+            solver.add(constraint)
+        outcome.replayed += 1
+        tracer.count("cegis.replayed")
+
     for iteration in range(1, max_iterations + 1):
         outcome.iterations = iteration
         tracer.count("cegis.iterations")
-        budget_s = remaining()
-        if budget_s is not None and budget_s <= 0:
-            raise SynthesisTimeout("CEGIS time budget exhausted", outcome)
         with tracer.span("cegis.iteration", index=iteration):
-            with tracer.span("sat.solve") as solve_span:
-                try:
-                    status = solver.check(
-                        max_seconds=budget_s,
-                        max_conflicts=max_conflicts_per_solve,
-                    )
-                except CompileFault as exc:
-                    # Attach the partial outcome so callers can fold this
-                    # attempt's measurements into their stats (mirrors
-                    # SynthesisTimeout / VerificationBudgetExceeded).
-                    if exc.outcome is None:
-                        exc.outcome = outcome
-                    raise
-                finally:
-                    outcome.synthesis_seconds += solve_span.elapsed()
-            # Per-solve deltas (not lifetime totals): matches what the
-            # tracing layer records, so CompileStats and the span tree
-            # agree.  Propagations notably differ — clause insertion also
-            # propagates, outside any solve() call.
-            delta = solver.last_check_stats()
-            outcome.sat_conflicts += delta["conflicts"]
-            outcome.sat_decisions += delta["decisions"]
-            outcome.sat_propagations += delta["propagations"]
-            outcome.sat_restarts += delta["restarts"]
-            outcome.sat_learnt_clauses += delta["learned"]
+            status = solve_once()
             if status == UNSAT:
                 outcome.feasible = False
                 return outcome
@@ -274,6 +317,8 @@ def synthesize_for_budget(
                 return outcome
             outcome.counterexamples.append(cex)
             tracer.count("cegis.counterexamples")
+            if on_counterexample is not None:
+                on_counterexample(cex.bits)
         expected = simulate_spec(spec, cex.bits, max_steps)
         if expected.outcome == OUTCOME_OVERRUN:
             raise RuntimeError(

@@ -19,6 +19,7 @@ pool when ``options.parallel_workers > 1``.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import time
 from typing import Iterable, List, Optional, Tuple
@@ -27,6 +28,13 @@ from ..hw.device import DeviceProfile
 from ..ir.analysis import check_extract_before_use, has_loops, max_parse_depth
 from ..ir.spec import ParserSpec
 from ..obs import get_tracer
+from ..persist import (
+    CheckpointManager,
+    cache_for_options,
+    compile_key,
+    program_fingerprint,
+    spec_fingerprint,
+)
 from ..resilience import CompileFault
 from .cegis import SynthesisTimeout, synthesize_for_budget
 from .encoder import EncodingOverflow
@@ -45,6 +53,22 @@ from .skeleton import build_skeleton, entry_lower_bound
 from .verifier import VerificationBudgetExceeded, verify_equivalent
 
 
+def _budget_rng(
+    seed: int,
+    allow_loops: bool,
+    stage_budget: Optional[int],
+    num_entries: int,
+    tag: str = "",
+) -> random.Random:
+    """Per-budget RNG, derived (not shared) so each budget's CEGIS run is
+    independent of which budgets were visited before it.  Resume skips
+    retired budgets entirely; a shared stream would make the surviving
+    budgets see different randomness than the uninterrupted run did."""
+    material = f"{seed}:{int(allow_loops)}:{stage_budget}:{num_entries}:{tag}"
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
 class ParserHawkCompiler:
     """Program-synthesis-based parser compiler."""
 
@@ -53,11 +77,57 @@ class ParserHawkCompiler:
 
     # ------------------------------------------------------------------
     def compile(
-        self, spec: ParserSpec, device: DeviceProfile
+        self,
+        spec: ParserSpec,
+        device: DeviceProfile,
+        *,
+        checkpoint_dir: Optional[str] = None,
+        resume: Optional[bool] = None,
     ) -> CompileResult:
+        """Compile ``spec`` for ``device``.
+
+        Persistence (both optional, see :mod:`repro.persist`):
+
+        * a compile cache (``options.cache_dir``) is consulted before any
+          synthesis and fed on success;
+        * a checkpoint directory (``checkpoint_dir`` argument or
+          ``options.checkpoint_dir``) makes CEGIS progress durable;
+          ``resume`` (argument or ``options.resume``) reloads a matching
+          checkpoint so an interrupted compile restarts seeded with all
+          previously discovered counterexamples and skips budgets proved
+          UNSAT.  Timeout/fault results then carry ``checkpoint_path``
+          naming the file that continues them.
+        """
         options = self.options
+        ckpt_dir = checkpoint_dir or options.checkpoint_dir
+        do_resume = options.resume if resume is None else resume
         stats = CompileStats()
         tracer = get_tracer()
+
+        cache = cache_for_options(options)
+        key = ""
+        if cache is not None or ckpt_dir:
+            key = compile_key(spec, device, options)
+        if cache is not None:
+            hit = cache.lookup(key, device)
+            if hit is not None:
+                return hit
+        manager: Optional[CheckpointManager] = None
+        if ckpt_dir:
+            manager = CheckpointManager(
+                ckpt_dir,
+                key,
+                interval_seconds=options.checkpoint_interval_seconds,
+                resume=do_resume,
+            )
+
+        def resumable(result: CompileResult) -> CompileResult:
+            """Flush a final checkpoint and name it on the result."""
+            if manager is not None:
+                manager.flush(force=True)
+                result.checkpoint_path = str(manager.path)
+            return result
+
         with tracer.span(
             "compile", spec=spec.name, device=device.name
         ) as compile_span:
@@ -76,7 +146,7 @@ class ParserHawkCompiler:
                 )
             try:
                 result = self._compile_scaled(
-                    spec, device, options, stats, deadline
+                    spec, device, options, stats, deadline, manager
                 )
             except CompileError as exc:
                 return CompileResult(
@@ -87,13 +157,13 @@ class ParserHawkCompiler:
                 )
             except SynthesisTimeout as exc:
                 stats.total_seconds = compile_span.elapsed()
-                return CompileResult(
+                return resumable(CompileResult(
                     STATUS_TIMEOUT,
                     device,
                     stats=stats,
                     message=str(exc),
                     options_summary=options.enabled_summary(),
-                )
+                ))
             except CompileFault as exc:
                 # An anticipated abnormal failure (solver resource
                 # exhaustion, injected fault): degrade to a typed result
@@ -104,16 +174,25 @@ class ParserHawkCompiler:
                     self._merge_outcome(stats, partial)
                 stats.total_seconds = compile_span.elapsed()
                 tracer.count("compile.faults")
-                return CompileResult(
+                return resumable(CompileResult(
                     STATUS_FAULT,
                     device,
                     stats=stats,
                     message=exc.describe(),
                     options_summary=options.enabled_summary(),
-                )
+                ))
             stats.total_seconds = compile_span.elapsed()
         result.stats = stats
         result.options_summary = options.enabled_summary()
+        if result.ok:
+            if manager is not None:
+                manager.mark_completed(program_fingerprint(result.program))
+            if cache is not None:
+                cache.store(
+                    key,
+                    result,
+                    meta={"spec": spec.name, "device": device.name},
+                )
         return result
 
     # ------------------------------------------------------------------
@@ -124,6 +203,7 @@ class ParserHawkCompiler:
         options: CompileOptions,
         stats: CompileStats,
         deadline: Optional[float],
+        manager: Optional[CheckpointManager] = None,
     ) -> CompileResult:
         arms = self._portfolio_arms(spec, device, options)
         tracer = get_tracer()
@@ -140,7 +220,7 @@ class ParserHawkCompiler:
                 )
                 result = self._search_budgets(
                     spec, synth_spec, plan, device, options, stats,
-                    deadline, allow_loops,
+                    deadline, allow_loops, manager,
                 )
             if result.ok:
                 return result
@@ -175,8 +255,17 @@ class ParserHawkCompiler:
         stats: CompileStats,
         deadline: Optional[float],
         allow_loops: bool,
+        manager: Optional[CheckpointManager] = None,
     ) -> CompileResult:
-        rng = random.Random(options.seed)
+        # Checkpoint state is keyed per (loop mode, prepared spec): the
+        # counterexample inputs live in the *synthesis* spec's bit layout
+        # (Opt2/Opt6 scaling changes it), so pools must never cross arms.
+        arm_key = ""
+        if manager is not None:
+            arm_key = (
+                ("loop" if allow_loops else "fwd")
+                + ":" + spec_fingerprint(synth_spec)[:16]
+            )
         entry_lb = entry_lower_bound(synth_spec, device)
         entry_ub = min(
             device.total_entry_budget(),
@@ -205,6 +294,20 @@ class ParserHawkCompiler:
         tracer = get_tracer()
         saw_unknown = False
         slice_seconds = options.budget_time_slice
+        if manager is not None:
+            # Resume: budgets a previous run proved UNSAT stay retired,
+            # and the escalation schedule restarts at the slice the
+            # previous run had reached (smaller slices are already known
+            # to be insufficient for the surviving budgets).
+            preloaded = manager.retired_budgets(arm_key)
+            if preloaded:
+                retired |= preloaded
+                tracer.count("checkpoint.budgets_skipped", len(preloaded))
+            persisted_slice = manager.resume_slice(arm_key)
+            if persisted_slice:
+                slice_seconds = max(slice_seconds, min(
+                    persisted_slice, options.max_time_slice
+                ))
         while budgets and slice_seconds <= options.max_time_slice:
             remaining: List[Tuple[Optional[int], int]] = []
             for stage_budget, num_entries in budgets:
@@ -245,6 +348,16 @@ class ParserHawkCompiler:
                         slice_cap = min(
                             slice_cap, options.synthesis_max_seconds
                         )
+                    rng = _budget_rng(
+                        options.seed, allow_loops, stage_budget, num_entries
+                    )
+                    replay = on_cex = None
+                    if manager is not None:
+                        replay = manager.replay_for(arm_key, budget_key)
+                        on_cex = (
+                            lambda bits, _b=budget_key:
+                            manager.record_counterexample(arm_key, _b, bits)
+                        )
                     try:
                         outcome = synthesize_for_budget(
                             skeleton,
@@ -254,6 +367,8 @@ class ParserHawkCompiler:
                             max_conflicts_per_solve=options.synthesis_max_conflicts,
                             deadline=deadline,
                             directed_tests=options.directed_seed_tests,
+                            replay=replay,
+                            on_counterexample=on_cex,
                         )
                     except SynthesisTimeout as exc:
                         if exc.outcome is not None:
@@ -275,6 +390,8 @@ class ParserHawkCompiler:
                         retired.add(budget_key)
                         stats.budgets_retired += 1
                         tracer.count("budget.retired")
+                        if manager is not None:
+                            manager.record_retired(arm_key, budget_key)
                         continue  # proved UNSAT at this budget; grow it
                     assert outcome.program is not None
                     program = post_optimize(outcome.program, device)
@@ -289,14 +406,16 @@ class ParserHawkCompiler:
                     # without scaling.
                     final = self._retry_unscaled(
                         original_spec, device, options, stats, deadline,
-                        allow_loops, num_entries, stage_budget, rng,
-                        slice_cap,
+                        allow_loops, num_entries, stage_budget, slice_cap,
                     )
                     if final is not None:
                         return final
                     remaining.append(budget_key)
             budgets = remaining
             slice_seconds *= options.time_slice_growth
+            if manager is not None:
+                manager.record_slice(arm_key, slice_seconds)
+                manager.flush(force=True)
         if saw_unknown or budgets:
             raise SynthesisTimeout(
                 "budget search exhausted its time-slice schedule"
@@ -318,9 +437,12 @@ class ParserHawkCompiler:
         allow_loops: bool,
         num_entries: int,
         stage_budget: Optional[int],
-        rng: random.Random,
         slice_cap: float,
     ) -> Optional[CompileResult]:
+        rng = _budget_rng(
+            options.seed, allow_loops, stage_budget, num_entries,
+            tag="unscaled",
+        )
         unscaled, _plan = prepare_spec(
             original_spec,
             pipelined=device.is_pipelined or not allow_loops,
@@ -363,6 +485,7 @@ class ParserHawkCompiler:
     def _merge_outcome(stats: CompileStats, outcome) -> None:
         """Fold one CEGIS attempt's measurements into the compile stats."""
         stats.cegis_iterations += outcome.iterations
+        stats.cegis_replayed += getattr(outcome, "replayed", 0)
         stats.synthesis_seconds += outcome.synthesis_seconds
         stats.verification_seconds += outcome.verification_seconds
         stats.counterexamples += len(outcome.counterexamples)

@@ -61,6 +61,18 @@ class CompileOptions:
     # Reproducibility.
     seed: int = 0
 
+    # Persistence (see repro.persist).  ``checkpoint_dir`` enables durable
+    # CEGIS/budget-search checkpoints; ``resume`` additionally reloads an
+    # existing checkpoint with a matching compile key.  ``cache_dir``
+    # enables the content-addressed compile cache.  None disables each.
+    # These knobs change where state lives, never which program a
+    # successful compile produces, so fingerprint.NON_SEMANTIC_OPTIONS
+    # excludes them from cache keys.
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    checkpoint_interval_seconds: float = 0.0   # min seconds between flushes
+    cache_dir: Optional[str] = None
+
     def with_(self, **kwargs) -> "CompileOptions":
         return replace(self, **kwargs)
 

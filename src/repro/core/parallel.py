@@ -46,6 +46,12 @@ from ..hw.device import DeviceProfile
 from ..ir.analysis import has_loops
 from ..ir.spec import ParserSpec
 from ..obs import Tracer, get_tracer, use_tracer
+from ..persist import (
+    CheckpointManager,
+    arm_checkpoint_dir,
+    compile_key,
+    program_fingerprint,
+)
 from ..resilience import CompileFault, PoolBroken
 from ..resilience import injection as _injection
 from ..resilience.injection import fault_point
@@ -268,10 +274,13 @@ def _run_arms_inline(
     tracer,
     deadline: Optional[float],
     results: List[Tuple[int, CompileResult]],
+    on_result=None,
 ) -> List[str]:
     """Run arms in-process, best priority first, under supervision.
 
-    Appends each arm's ``(priority, result)`` to ``results`` and stops
+    Appends each arm's ``(priority, result)`` to ``results`` (invoking
+    ``on_result(priority, result)`` after each, which is how the
+    portfolio checkpoint records arm outcomes incrementally) and stops
     early on a valid winner.  Returns the labels of arms *not run*
     because the deadline expired first (empty otherwise)."""
     ordered = sorted(subproblems, key=lambda s: s.priority)
@@ -291,6 +300,8 @@ def _run_arms_inline(
                 arm_span.attrs["error"] = result.message
                 tracer.count("portfolio.arm_faults")
         results.append((sub.priority, result))
+        if on_result is not None:
+            on_result(sub.priority, result)
         if _valid_winner(result, device):
             break
     return []
@@ -304,6 +315,7 @@ def _run_pooled(
     deadline: Optional[float],
     workers: int,
     results: List[Tuple[int, CompileResult]],
+    on_result=None,
 ) -> List[str]:
     """Race arms across a process pool; returns still-pending labels.
 
@@ -321,7 +333,8 @@ def _run_pooled(
             reason=f"{type(exc).__name__}: {exc}",
         ):
             return _run_arms_inline(
-                spec, subproblems, device, tracer, deadline, results
+                spec, subproblems, device, tracer, deadline, results,
+                on_result,
             )
 
     faults = _injection.snapshot() or None
@@ -376,6 +389,8 @@ def _run_pooled(
                     if counters is not None and tracer.enabled:
                         tracer.registry.merge(counters)
                     results.append((priority, result))
+                    if on_result is not None:
+                        on_result(priority, result)
                     if _valid_winner(result, device):
                         # First valid success wins; cancel stragglers.
                         for other in futures:
@@ -408,7 +423,8 @@ def _run_pooled(
                 arms=len(remaining),
             ):
                 return _run_arms_inline(
-                    spec, remaining, device, tracer, deadline, results
+                    spec, remaining, device, tracer, deadline, results,
+                    on_result,
                 )
         return []
     finally:
@@ -431,7 +447,14 @@ def portfolio_compile(
     per-arm failure), a broken or unavailable process pool degrades to
     in-process execution, and ``options.total_max_seconds`` is enforced
     as a portfolio-level wall-clock deadline with best-effort partial
-    results."""
+    results.
+
+    Persistence (``options.checkpoint_dir``): the portfolio keeps a
+    supervisor checkpoint at the root directory recording each finished
+    arm's status, and redirects every arm's own compile checkpoint into
+    ``<root>/arms/<label>/`` — so a killed portfolio resumes with
+    definitively-failed (infeasible) arms skipped outright and every
+    other arm reloading its own CEGIS progress."""
     options = options or CompileOptions()
     subproblems = derive_subproblems(spec, device, options)
     workers = max(1, options.parallel_workers)
@@ -442,17 +465,80 @@ def portfolio_compile(
         else None
     )
 
+    manager: Optional[CheckpointManager] = None
+    if options.checkpoint_dir:
+        manager = CheckpointManager(
+            options.checkpoint_dir,
+            compile_key(spec, device, options),
+            interval_seconds=options.checkpoint_interval_seconds,
+            resume=options.resume,
+        )
+        # Each arm checkpoints independently under the supervisor's
+        # directory; the arm's own compile key (its variant device +
+        # options) guards each sub-checkpoint against spec changes.
+        subproblems = [
+            Subproblem(
+                sub.label,
+                sub.device,
+                sub.options.with_(
+                    checkpoint_dir=arm_checkpoint_dir(
+                        options.checkpoint_dir, sub.label
+                    ),
+                    resume=options.resume,
+                ),
+                sub.priority,
+            )
+            for sub in subproblems
+        ]
+
+    label_of = {sub.priority: sub.label for sub in subproblems}
     results: List[Tuple[int, CompileResult]] = []
+    to_run = subproblems
+    if manager is not None and options.resume:
+        # Arms a previous run proved infeasible stay failed: rebuild
+        # their recorded results instead of re-running them.  Faulted or
+        # timed-out arms re-run (their own checkpoints make that cheap).
+        finished = manager.finished_arms()
+        to_run = []
+        for sub in subproblems:
+            prior = finished.get(sub.label)
+            if prior and prior.get("status") == STATUS_INFEASIBLE:
+                results.append((sub.priority, CompileResult(
+                    STATUS_INFEASIBLE,
+                    sub.device,
+                    message=prior.get("message", ""),
+                )))
+                tracer.count("checkpoint.arms_skipped")
+            else:
+                to_run.append(sub)
+
+    def record_arm(priority: int, result: CompileResult) -> None:
+        if manager is not None:
+            manager.record_arm_result(
+                label_of.get(priority, f"arm#{priority}"),
+                result.status,
+                result.message,
+            )
+
     pending: List[str] = []
     with tracer.span("portfolio", arms=len(subproblems), workers=workers):
         if workers == 1:
             pending = _run_arms_inline(
-                spec, subproblems, device, tracer, deadline, results
+                spec, to_run, device, tracer, deadline, results,
+                record_arm,
             )
         else:
             pending = _run_pooled(
-                spec, subproblems, device, tracer, deadline, workers,
-                results,
+                spec, to_run, device, tracer, deadline, workers,
+                results, record_arm,
             )
 
-    return select_result(subproblems, results, device, pending=pending)
+    result = select_result(subproblems, results, device, pending=pending)
+    if manager is not None:
+        if result.ok:
+            manager.mark_completed(program_fingerprint(result.program))
+        else:
+            manager.flush(force=True)
+            if result.status in (STATUS_TIMEOUT, STATUS_FAULT):
+                result.checkpoint_path = str(manager.path)
+    return result

@@ -30,6 +30,9 @@ class CompileStats:
     verification_seconds: float = 0.0
     total_seconds: float = 0.0
     cegis_iterations: int = 0
+    # Counterexamples re-applied from a checkpoint on resume (each is one
+    # solver round without the decode/verify half of a live iteration).
+    cegis_replayed: int = 0
     sat_conflicts: int = 0
     sat_decisions: int = 0
     sat_propagations: int = 0
@@ -52,6 +55,12 @@ class CompileResult:
     stats: CompileStats = field(default_factory=CompileStats)
     message: str = ""
     options_summary: str = ""
+    # Served from the persistent compile cache (repro.persist.cache)
+    # instead of a fresh synthesis run.
+    cached: bool = False
+    # For resumable failures (timeout/fault with checkpointing enabled):
+    # the checkpoint file that continues this compile.
+    checkpoint_path: str = ""
     # Memoized check_constraints() output (portfolio winner validation);
     # keyed implicitly by the device of the *first* call — the portfolio
     # only ever validates against its one real device profile.
@@ -90,9 +99,10 @@ class CompileResult:
     def summary_row(self) -> str:
         if not self.ok:
             return f"{self.status}: {self.message}"
+        suffix = " (cached)" if self.cached else ""
         return (
             f"{self.num_entries} entries, {self.num_stages} stage(s), "
             f"{self.stats.total_seconds:.2f}s, "
             f"{self.stats.cegis_iterations} CEGIS iteration(s), "
-            f"search space {self.stats.search_space_bits} bits"
+            f"search space {self.stats.search_space_bits} bits{suffix}"
         )

@@ -24,13 +24,18 @@ def fmt_time(value: Optional[TimeValue]) -> str:
 
 
 def speedup_of(opt: Optional[TimeValue], orig: Optional[TimeValue]) -> Optional[float]:
-    """orig/opt; a capped orig yields a lower bound (still orig/opt)."""
+    """orig/opt; a capped orig yields a lower bound (still orig/opt).
+
+    Non-positive measurements (a cache-served compile reports ~0s; a
+    clock hiccup can even go negative) make the ratio meaningless, so
+    they return ``None`` — rendered as '-' — rather than a fabricated
+    number from a clamped denominator."""
     if opt is None or orig is None:
         return None
     opt_s = opt[0] if isinstance(opt, tuple) else opt
     orig_s = orig[0] if isinstance(orig, tuple) else orig
-    if opt_s <= 0:
-        opt_s = 1e-3
+    if opt_s <= 0 or orig_s <= 0:
+        return None
     return orig_s / opt_s
 
 

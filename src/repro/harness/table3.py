@@ -52,6 +52,7 @@ class Table3Row:
     baseline_rejected: str                       # empty when it compiled
     validated: bool
     profile: str = ""                            # span breakdown of OPT compile
+    cached: bool = False                         # OPT result came from cache_dir
 
     @property
     def ph_resource(self) -> int:
@@ -75,10 +76,13 @@ def run_row(
     orig_cap_seconds: float = 20.0,
     validate_samples: int = 200,
     options: Optional[CompileOptions] = None,
+    cache_dir: Optional[str] = None,
 ) -> Table3Row:
     device = TOFINO if device_kind == "tofino" else IPU
     spec = bench.spec()
     opts = options or CompileOptions()
+    if cache_dir:
+        opts = opts.with_(cache_dir=cache_dir)
     compiler = ParserHawkCompiler(opts)
     tracer = Tracer()
     with use_tracer(tracer):
@@ -122,6 +126,7 @@ def run_row(
         baseline_rejected=rejected,
         validated=validated,
         profile=format_span_breakdown(tracer),
+        cached=result.cached,
     )
 
 
@@ -152,6 +157,7 @@ def run_table3(
     orig_cap_seconds: float = 20.0,
     validate_samples: int = 200,
     progress: Optional[Callable[[str], None]] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[Table3Row]:
     out: List[Table3Row] = []
     for bench in rows if rows is not None else TABLE3_ROWS:
@@ -161,9 +167,11 @@ def run_table3(
             include_orig=include_orig,
             orig_cap_seconds=orig_cap_seconds,
             validate_samples=validate_samples,
+            cache_dir=cache_dir,
         )
         if progress:
-            progress(f"{row.label}: {row.ph_resource}")
+            suffix = " (cached)" if row.cached else ""
+            progress(f"{row.label}: {row.ph_resource}{suffix}")
         out.append(row)
     return out
 

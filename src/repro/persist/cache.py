@@ -1,0 +1,174 @@
+"""Content-addressed compile cache.
+
+Finished :class:`CompileResult`\\ s are memoized across processes under
+a canonical hash of ``(spec, device, solver-relevant options)`` (see
+:mod:`repro.persist.fingerprint`), so harness table regeneration and
+repeated ``bench``/``compile`` runs hit disk instead of re-running
+hours of synthesis.
+
+Only ``STATUS_OK`` results are stored: failures depend on wall-clock
+budgets and machine speed, so re-deriving them is both cheap to decide
+and the only correct choice.
+
+Every entry is an atomic, checksummed envelope
+(:mod:`repro.persist.atomic`): a torn or tampered entry is quarantined
+and counted as an invalidation, never served.  On every hit the stored
+program is additionally re-checked against the device profile — a
+defense-in-depth guard (the key already pins the device) that also
+catches entries written by a buggy build.
+
+Observability counters: ``cache.hit``, ``cache.miss``, ``cache.store``,
+``cache.invalidated``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..core.result import STATUS_OK, CompileResult
+from ..hw.device import DeviceProfile
+from ..ir.spec import ParserSpec
+from ..obs import get_tracer
+from .atomic import load_envelope, quarantine, write_atomic
+from .fingerprint import compile_key
+from .serialize import result_from_doc, result_to_doc
+
+CACHE_KIND = "compile-result"
+CACHE_VERSION = 1
+
+
+class CompileCache:
+    """A directory of enveloped compile results, sharded by key prefix."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    def entry_path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, key: str, device: DeviceProfile
+    ) -> Optional[CompileResult]:
+        """The cached result for ``key``, or None (counted as a miss)."""
+        tracer = get_tracer()
+        path = self.entry_path(key)
+        payload = load_envelope(path, CACHE_KIND, CACHE_VERSION)
+        if payload is None:
+            if path.exists() or any(
+                p.name.startswith(f"{key}.json.corrupt")
+                for p in (
+                    path.parent.iterdir() if path.parent.is_dir() else []
+                )
+            ):
+                tracer.count("cache.invalidated")
+            tracer.count("cache.miss")
+            return None
+        result = result_from_doc(payload.get("result", {}), device)
+        if (
+            result is None
+            or not result.ok
+            or result.constraint_violations(device)
+        ):
+            quarantine(path)
+            tracer.count("cache.invalidated")
+            tracer.count("cache.miss")
+            return None
+        result.cached = True
+        tracer.count("cache.hit")
+        return result
+
+    def store(
+        self,
+        key: str,
+        result: CompileResult,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Persist a successful result; best-effort (False on failure)."""
+        if result.status != STATUS_OK or result.program is None:
+            return False
+        payload = {"key": key, "result": result_to_doc(result)}
+        if meta:
+            payload["meta"] = meta
+        try:
+            write_atomic(self.entry_path(key), CACHE_KIND, CACHE_VERSION,
+                         payload)
+        except Exception:
+            get_tracer().count("persist.write_failures")
+            return False
+        get_tracer().count("cache.store")
+        return True
+
+    # ------------------------------------------------------------------
+    def _entries(self):
+        if not self.directory.is_dir():
+            return
+        for shard in sorted(self.directory.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.iterdir()):
+                if path.suffix == ".json" and ".corrupt" not in path.name:
+                    yield path
+
+    def stats(self) -> Dict[str, Any]:
+        entries = 0
+        total_bytes = 0
+        corrupt = 0
+        if self.directory.is_dir():
+            for shard in sorted(self.directory.iterdir()):
+                if not shard.is_dir():
+                    continue
+                for path in shard.iterdir():
+                    if ".corrupt" in path.name:
+                        corrupt += 1
+                        continue
+                    if path.suffix == ".json":
+                        entries += 1
+                        try:
+                            total_bytes += path.stat().st_size
+                        except OSError:
+                            pass
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "bytes": total_bytes,
+            "quarantined": corrupt,
+        }
+
+    def clear(self) -> int:
+        """Delete every (non-quarantined) entry; returns how many."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def verify(self) -> Dict[str, int]:
+        """Re-validate every entry's envelope; corrupt ones are
+        quarantined by the load path.  Returns {'ok': n, 'invalid': m}."""
+        ok = invalid = 0
+        for path in list(self._entries()):
+            payload = load_envelope(path, CACHE_KIND, CACHE_VERSION)
+            if payload is None:
+                invalid += 1
+            else:
+                ok += 1
+        return {"ok": ok, "invalid": invalid}
+
+
+def cache_for_options(options) -> Optional[CompileCache]:
+    """The cache configured on ``options``, if any."""
+    if getattr(options, "cache_dir", None):
+        return CompileCache(options.cache_dir)
+    return None
+
+
+def result_cache_key(
+    spec: ParserSpec, device: DeviceProfile, options
+) -> str:
+    return compile_key(spec, device, options)

@@ -1,0 +1,240 @@
+"""Durable CEGIS / budget-search checkpoints.
+
+A :class:`CheckpointManager` owns one checkpoint file
+(``<dir>/checkpoint.json``) holding everything a killed compile needs to
+restart cheaply:
+
+* per-arm **counterexample sequences**, keyed by ``(arm, budget)`` — a
+  budget's CEGIS run is deterministic (per-budget RNG, deterministic
+  CDCL), so the recorded list is exactly the prefix of the iteration
+  sequence an uninterrupted run would produce, and the resumed run
+  *replays* it (solve → add, skipping candidate decode and the expensive
+  equivalence verification) to land in the identical solver state before
+  continuing live;
+* per-arm **budget-search position**: budgets proved UNSAT (``retired``,
+  skipped forever on resume) and the escalation schedule's current time
+  slice;
+* the **portfolio manifest**: finished arms and their statuses, so a
+  resumed portfolio skips arms that already exhausted their search.
+
+Durability contract: every write goes through
+:mod:`repro.persist.atomic` (write-temp + fsync + rename, checksummed
+envelope); a write failure is counted (``persist.write_failures``) and
+after a few consecutive failures checkpointing turns itself off rather
+than slow the compile down — persistence is best-effort, the compile
+result is not allowed to depend on it.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..ir.bits import Bits
+from ..obs import get_tracer
+from .atomic import load_envelope, write_atomic
+
+CHECKPOINT_KIND = "checkpoint"
+CHECKPOINT_VERSION = 1
+CHECKPOINT_FILENAME = "checkpoint.json"
+
+# Consecutive write failures after which a manager stops trying.
+_MAX_WRITE_FAILURES = 3
+
+BudgetKey = Tuple[Optional[int], int]        # (stage budget or None, entries)
+
+# Managers with possibly-unflushed state, so a KeyboardInterrupt handler
+# (see cli.main) can flush whatever compile was in flight.
+_ACTIVE: "weakref.WeakSet[CheckpointManager]" = weakref.WeakSet()
+
+
+def flush_active() -> int:
+    """Force-flush every live manager; returns how many flushed."""
+    flushed = 0
+    for manager in list(_ACTIVE):
+        if manager.flush(force=True):
+            flushed += 1
+    return flushed
+
+
+def _budget_id(budget: BudgetKey) -> str:
+    stage, entries = budget
+    return f"{'-' if stage is None else stage}:{entries}"
+
+
+def _budget_from_id(budget_id: str) -> BudgetKey:
+    stage_s, entries_s = budget_id.split(":")
+    return (None if stage_s == "-" else int(stage_s), int(entries_s))
+
+
+class CheckpointManager:
+    """One compile's durable state, bound to a ``compile_key``.
+
+    ``resume=False`` ignores any existing file (it is overwritten by the
+    first flush); ``resume=True`` adopts it *only* if its ``compile_key``
+    matches — a checkpoint for a different (spec, device, options) is
+    never mixed in (counted as ``persist.key_mismatch``).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        compile_key: str,
+        interval_seconds: float = 0.0,
+        resume: bool = False,
+    ) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / CHECKPOINT_FILENAME
+        self.compile_key = compile_key
+        self.interval_seconds = interval_seconds
+        self.resumed = False
+        self._dirty = False
+        self._disabled = False
+        self._write_failures = 0
+        self._last_flush = 0.0
+        self.state: Dict[str, Any] = {
+            "compile_key": compile_key,
+            "completed": False,
+            "arms": {},
+            "portfolio": {},
+        }
+        if resume:
+            self._load()
+        # Materialize the file up front: a crash before the first
+        # counterexample still leaves a resumable (if empty) checkpoint,
+        # and failure results can name an existing path.
+        self.flush(force=True)
+        _ACTIVE.add(self)
+
+    # -- loading -----------------------------------------------------------
+    def _load(self) -> None:
+        payload = load_envelope(
+            self.path, CHECKPOINT_KIND, CHECKPOINT_VERSION
+        )
+        if payload is None:
+            return
+        if payload.get("compile_key") != self.compile_key:
+            get_tracer().count("persist.key_mismatch")
+            return
+        self.state = payload
+        self.state.setdefault("arms", {})
+        self.state.setdefault("portfolio", {})
+        self.resumed = True
+        get_tracer().count("checkpoint.resumed")
+
+    # -- arm / budget state ------------------------------------------------
+    def _arm(self, arm_key: str) -> Dict[str, Any]:
+        return self.state["arms"].setdefault(
+            arm_key, {"slice_seconds": None, "retired": [], "budgets": {}}
+        )
+
+    def record_counterexample(
+        self, arm_key: str, budget: BudgetKey, bits: Bits
+    ) -> None:
+        budget_doc = self._arm(arm_key)["budgets"].setdefault(
+            _budget_id(budget), {"cex": []}
+        )
+        budget_doc["cex"].append([bits.uint(), len(bits)])
+        self._dirty = True
+        get_tracer().count("checkpoint.counterexamples")
+        self.flush()
+
+    def replay_for(self, arm_key: str, budget: BudgetKey) -> List[Bits]:
+        arm = self.state["arms"].get(arm_key)
+        if not arm:
+            return []
+        doc = arm["budgets"].get(_budget_id(budget))
+        if not doc:
+            return []
+        return [Bits(value, length) for value, length in doc["cex"]]
+
+    def record_retired(self, arm_key: str, budget: BudgetKey) -> None:
+        arm = self._arm(arm_key)
+        entry = [budget[0], budget[1]]
+        if entry not in arm["retired"]:
+            arm["retired"].append(entry)
+            self._dirty = True
+
+    def retired_budgets(self, arm_key: str) -> Set[BudgetKey]:
+        arm = self.state["arms"].get(arm_key)
+        if not arm:
+            return set()
+        return {(stage, entries) for stage, entries in arm["retired"]}
+
+    def record_slice(self, arm_key: str, slice_seconds: float) -> None:
+        arm = self._arm(arm_key)
+        if arm["slice_seconds"] != slice_seconds:
+            arm["slice_seconds"] = slice_seconds
+            self._dirty = True
+
+    def resume_slice(self, arm_key: str) -> Optional[float]:
+        arm = self.state["arms"].get(arm_key)
+        if not arm:
+            return None
+        return arm["slice_seconds"]
+
+    # -- portfolio manifest ------------------------------------------------
+    def record_arm_result(
+        self, label: str, status: str, message: str = ""
+    ) -> None:
+        self.state["portfolio"][label] = {
+            "status": status, "message": message,
+        }
+        self._dirty = True
+        self.flush()
+
+    def finished_arms(self) -> Dict[str, Dict[str, str]]:
+        return dict(self.state["portfolio"])
+
+    # -- completion --------------------------------------------------------
+    def mark_completed(self, program_fingerprint: str = "") -> None:
+        self.state["completed"] = True
+        if program_fingerprint:
+            self.state["program_fingerprint"] = program_fingerprint
+        self._dirty = True
+        self.flush(force=True)
+
+    # -- flushing ----------------------------------------------------------
+    def flush(self, force: bool = False) -> bool:
+        """Write the state out if dirty (or forced); True when written.
+
+        Failures degrade: counted, and checkpointing disables itself
+        after ``_MAX_WRITE_FAILURES`` consecutive errors."""
+        if self._disabled:
+            return False
+        if not force:
+            if not self._dirty:
+                return False
+            if (
+                self.interval_seconds > 0
+                and time.monotonic() - self._last_flush
+                < self.interval_seconds
+            ):
+                return False
+        try:
+            write_atomic(
+                self.path, CHECKPOINT_KIND, CHECKPOINT_VERSION, self.state
+            )
+        except Exception:
+            tracer = get_tracer()
+            tracer.count("persist.write_failures")
+            self._write_failures += 1
+            if self._write_failures >= _MAX_WRITE_FAILURES:
+                self._disabled = True
+                tracer.count("checkpoint.disabled")
+            return False
+        self._write_failures = 0
+        self._dirty = False
+        self._last_flush = time.monotonic()
+        get_tracer().count("checkpoint.flushes")
+        return True
+
+
+def arm_checkpoint_dir(root: Union[str, Path], label: str) -> Path:
+    """A stable per-portfolio-arm checkpoint directory under ``root``."""
+    slug = "".join(
+        ch if ch.isalnum() or ch in "-_" else "_" for ch in label
+    )
+    return Path(root) / "arms" / slug

@@ -1,0 +1,156 @@
+"""Round-trip serialization of compile artifacts.
+
+``hw.codegen.emit_json`` is a one-way dump for humans and downstream
+tools; the persistence layer needs exact reconstruction, so this module
+owns the bidirectional mapping: :class:`TcamProgram` (with its key
+parts, ternary patterns and field records), :class:`CompileStats`, and
+whole :class:`CompileResult` records for the compile cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, Optional
+
+from ..core.result import CompileResult, CompileStats
+from ..hw.device import DeviceProfile
+from ..hw.impl import ImplEntry, ImplState, TcamProgram
+from ..hw.tcam import TernaryPattern
+from ..ir.spec import Field, FieldKey, LookaheadKey
+
+
+def _key_part_to_doc(part) -> Dict[str, Any]:
+    if isinstance(part, LookaheadKey):
+        return {"kind": "lookahead", "offset": part.offset,
+                "width": part.width}
+    assert isinstance(part, FieldKey)
+    return {"kind": "field", "field": part.field, "hi": part.hi,
+            "lo": part.lo}
+
+
+def _key_part_from_doc(doc: Dict[str, Any]):
+    if doc["kind"] == "lookahead":
+        return LookaheadKey(doc["offset"], doc["width"])
+    return FieldKey(doc["field"], doc["hi"], doc["lo"])
+
+
+def program_to_doc(program: TcamProgram) -> Dict[str, Any]:
+    return {
+        "source_name": program.source_name,
+        "start_sid": program.start_sid,
+        "fields": {
+            name: {
+                "width": f.width,
+                "is_varbit": f.is_varbit,
+                "length_field": f.length_field,
+                "length_multiplier": f.length_multiplier,
+                "stack_depth": f.stack_depth,
+            }
+            for name, f in program.fields.items()
+        },
+        "states": [
+            {
+                "sid": s.sid,
+                "name": s.name,
+                "stage": s.stage,
+                "extracts": list(s.extracts),
+                "key": [_key_part_to_doc(k) for k in s.key],
+            }
+            for s in program.states
+        ],
+        "entries": [
+            {
+                "sid": e.sid,
+                "value": e.pattern.value,
+                "mask": e.pattern.mask,
+                "width": e.pattern.width,
+                "next_sid": e.next_sid,
+            }
+            for e in program.entries
+        ],
+    }
+
+
+def program_from_doc(doc: Dict[str, Any]) -> TcamProgram:
+    fields = {
+        name: Field(
+            name,
+            f["width"],
+            is_varbit=f["is_varbit"],
+            length_field=f["length_field"],
+            length_multiplier=f["length_multiplier"],
+            stack_depth=f["stack_depth"],
+        )
+        for name, f in doc["fields"].items()
+    }
+    states = [
+        ImplState(
+            sid=s["sid"],
+            name=s["name"],
+            extracts=tuple(s["extracts"]),
+            key=tuple(_key_part_from_doc(k) for k in s["key"]),
+            stage=s["stage"],
+        )
+        for s in doc["states"]
+    ]
+    entries = [
+        ImplEntry(
+            sid=e["sid"],
+            pattern=TernaryPattern(e["value"], e["mask"], e["width"]),
+            next_sid=e["next_sid"],
+        )
+        for e in doc["entries"]
+    ]
+    return TcamProgram(
+        fields, states, entries, doc["start_sid"], doc["source_name"]
+    )
+
+
+def stats_to_doc(stats: CompileStats) -> Dict[str, Any]:
+    return asdict(stats)
+
+
+def stats_from_doc(doc: Dict[str, Any]) -> CompileStats:
+    known = {
+        k: v for k, v in doc.items() if k in CompileStats.__dataclass_fields__
+    }
+    return CompileStats(**known)
+
+
+def result_to_doc(result: CompileResult) -> Dict[str, Any]:
+    return {
+        "status": result.status,
+        "message": result.message,
+        "options_summary": result.options_summary,
+        "stats": stats_to_doc(result.stats),
+        "program": (
+            program_to_doc(result.program)
+            if result.program is not None
+            else None
+        ),
+    }
+
+
+def result_from_doc(
+    doc: Dict[str, Any], device: DeviceProfile
+) -> Optional[CompileResult]:
+    """Rebuild a cached result; None if the document is malformed.
+
+    The device is supplied by the caller — the cache key already pins
+    it, so it is not stored redundantly."""
+    try:
+        program = (
+            program_from_doc(doc["program"])
+            if doc.get("program") is not None
+            else None
+        )
+        return CompileResult(
+            doc["status"],
+            device,
+            program=program,
+            stats=stats_from_doc(doc.get("stats", {})),
+            message=doc.get("message", ""),
+            options_summary=doc.get("options_summary", ""),
+        )
+    except Exception:
+        return None

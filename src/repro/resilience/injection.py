@@ -13,6 +13,8 @@ site              fired from
 ``encoder``       ``repro.core.encoder.SymbolicProgram`` construction
 ``portfolio.worker``  ``repro.core.parallel._run_subproblem`` (per arm)
 ``portfolio.pool``    process-pool creation in ``portfolio_compile``
+``persist.write``     :func:`repro.persist.atomic.write_atomic`
+``persist.read``      :func:`repro.persist.atomic.load_envelope`
 ================  ====================================================
 
 Production code calls :func:`fault_point` at each site; with an empty
@@ -54,6 +56,8 @@ SITES = (
     "encoder",
     "portfolio.worker",
     "portfolio.pool",
+    "persist.write",
+    "persist.read",
 )
 
 

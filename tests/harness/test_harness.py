@@ -39,6 +39,22 @@ class TestReporting:
         assert fmt_speedup(2.0, (20.0, True)) == ">10.00x"
         assert fmt_speedup(None, 1.0) == "-"
 
+    def test_speedup_nonpositive_measurements_are_undefined(self):
+        """A ~0s (cache-served) or negative (clock hiccup) measurement
+        must yield '-', not a number fabricated from a clamped value."""
+        assert speedup_of(0.0, 10.0) is None
+        assert speedup_of(-0.01, 10.0) is None
+        assert speedup_of(2.0, 0.0) is None
+        assert speedup_of(2.0, -1.0) is None
+        assert fmt_speedup(0.0, 10.0) == "-"
+        assert fmt_speedup(2.0, (0.0, True)) == "-"
+
+    def test_speedup_capped_tuple_inputs(self):
+        """Capped tuples unwrap on both sides of the ratio."""
+        assert speedup_of((2.0, False), (20.0, True)) == 10.0
+        assert speedup_of((0.0, False), (20.0, True)) is None
+        assert fmt_speedup((2.0, False), (20.0, True)) == ">10.00x"
+
     def test_geometric_mean(self):
         assert geometric_mean([1, 100]) == pytest.approx(10.0)
         assert geometric_mean([]) == 0.0
@@ -78,6 +94,20 @@ class TestTable3Row:
         row = run_row(bench, "tofino", validate_samples=0)
         text = format_table3([row])
         assert "Parse Ethernet" in text and "# TCAM" in text
+
+    def test_cache_dir_serves_second_run(self, tmp_path):
+        bench = benchmark_by_label("Parse Ethernet")
+        cache = str(tmp_path / "cache")
+        first = run_row(
+            bench, "tofino", validate_samples=0, cache_dir=cache
+        )
+        assert not first.cached
+        second = run_row(
+            bench, "tofino", validate_samples=0, cache_dir=cache
+        )
+        assert second.cached
+        assert second.ph_entries == first.ph_entries
+        assert second.ph_stages == first.ph_stages
 
 
 class TestTable4:

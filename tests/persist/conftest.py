@@ -1,0 +1,27 @@
+"""Shared fixtures for the persistence suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import tofino_profile
+from repro.ir import parse_spec
+from repro.resilience import injection
+from tests.conftest import ETH_DISPATCH
+
+
+@pytest.fixture(autouse=True)
+def clean_injection():
+    injection.clear()
+    yield
+    injection.clear()
+
+
+@pytest.fixture
+def device():
+    return tofino_profile(key_limit=8, tcam_limit=64, lookahead_limit=8)
+
+
+@pytest.fixture
+def spec():
+    return parse_spec(ETH_DISPATCH)

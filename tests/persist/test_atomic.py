@@ -1,0 +1,160 @@
+"""The durability substrate: atomic writes, envelopes, quarantine."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import Tracer, use_tracer
+from repro.persist.atomic import (
+    MAGIC,
+    canonical_json,
+    checksum_of,
+    envelope,
+    load_envelope,
+    quarantine,
+    write_atomic,
+)
+from repro.resilience import injection
+from repro.resilience.faults import CompileFault
+
+KIND = "test-kind"
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "state.json"
+        payload = {"b": [1, 2], "a": {"nested": True}}
+        write_atomic(path, KIND, 1, payload)
+        assert load_envelope(path, KIND, 1) == payload
+
+    def test_overwrites_atomically(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_atomic(path, KIND, 1, {"n": 1})
+        write_atomic(path, KIND, 1, {"n": 2})
+        assert load_envelope(path, KIND, 1) == {"n": 2}
+        # No temp files left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "state.json"
+        write_atomic(path, KIND, 1, {"deep": True})
+        assert load_envelope(path, KIND, 1) == {"deep": True}
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_envelope(tmp_path / "absent.json", KIND, 1) is None
+
+
+class TestCanonicalJson:
+    def test_key_order_invariant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json(
+            {"b": 2, "a": 1}
+        )
+
+    def test_checksum_binds_payload(self):
+        env = envelope(KIND, 1, {"x": 1})
+        assert env["magic"] == MAGIC
+        assert env["sha256"] == checksum_of(canonical_json({"x": 1}))
+        assert env["sha256"] != checksum_of(canonical_json({"x": 2}))
+
+
+class TestCorruption:
+    """Torn, truncated, or tampered files are quarantined, never trusted
+    and never crashed on."""
+
+    def _quarantined(self, tmp_path, name="state.json"):
+        return [
+            p.name for p in tmp_path.iterdir() if ".corrupt-" in p.name
+        ]
+
+    def test_torn_write_detected(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_atomic(path, KIND, 1, {"n": 1})
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])   # simulate a torn write
+        assert load_envelope(path, KIND, 1) is None
+        assert not path.exists()
+        assert self._quarantined(tmp_path) == ["state.json.corrupt-1"]
+
+    def test_tampered_payload_detected(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_atomic(path, KIND, 1, {"n": 1})
+        doc = json.loads(path.read_text())
+        doc["payload"]["n"] = 999          # tamper without fixing checksum
+        path.write_text(json.dumps(doc))
+        assert load_envelope(path, KIND, 1) is None
+        assert self._quarantined(tmp_path)
+
+    def test_wrong_kind_detected(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_atomic(path, "other-kind", 1, {"n": 1})
+        assert load_envelope(path, KIND, 1) is None
+        assert self._quarantined(tmp_path)
+
+    def test_bad_magic_detected(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text(json.dumps({"magic": "nope"}))
+        assert load_envelope(path, KIND, 1) is None
+        assert self._quarantined(tmp_path)
+
+    def test_quarantine_counter(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text("not json at all {")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert load_envelope(path, KIND, 1) is None
+        assert tracer.registry.get("persist.quarantined") == 1
+
+    def test_quarantine_numbering_avoids_collisions(self, tmp_path):
+        for n in (1, 2):
+            path = tmp_path / "state.json"
+            path.write_text("garbage")
+            assert load_envelope(path, KIND, 1) is None
+        names = sorted(self._quarantined(tmp_path))
+        assert names == ["state.json.corrupt-1", "state.json.corrupt-2"]
+
+
+class TestVersionSkew:
+    def test_unknown_version_left_in_place(self, tmp_path):
+        """A valid file of a future format version is treated as absent
+        but NOT quarantined — a newer build may still want it."""
+        path = tmp_path / "state.json"
+        write_atomic(path, KIND, 99, {"future": True})
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert load_envelope(path, KIND, 1) is None
+        assert path.exists()
+        assert tracer.registry.get("persist.version_skew") == 1
+        # And the newer reader still gets it.
+        assert load_envelope(path, KIND, 99) == {"future": True}
+
+
+class TestInjectedFaults:
+    def test_write_fault_raises_for_caller_to_degrade(self, tmp_path):
+        injection.inject("persist.write", CompileFault("disk full"))
+        with pytest.raises(CompileFault):
+            write_atomic(tmp_path / "state.json", KIND, 1, {})
+        assert not (tmp_path / "state.json").exists()
+
+    def test_read_fault_degrades_to_absent(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_atomic(path, KIND, 1, {"n": 1})
+        injection.inject("persist.read", CompileFault("io error"))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert load_envelope(path, KIND, 1) is None
+        assert tracer.registry.get("persist.read_failures") == 1
+        # The fault consumed its one firing; the file is intact.
+        assert load_envelope(path, KIND, 1) == {"n": 1}
+
+    def test_write_fault_match_by_path(self, tmp_path):
+        injection.inject("persist.write", CompileFault("boom"),
+                         match="other.json")
+        write_atomic(tmp_path / "state.json", KIND, 1, {"n": 1})
+        assert load_envelope(tmp_path / "state.json", KIND, 1) == {"n": 1}
+
+
+def test_quarantine_missing_file_is_harmless(tmp_path):
+    assert quarantine(tmp_path / "never-existed.json") is None

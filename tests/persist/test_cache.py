@@ -1,0 +1,136 @@
+"""The content-addressed compile cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import CompileOptions, compile_spec
+from repro.core.result import STATUS_TIMEOUT, CompileResult
+from repro.obs import Tracer, use_tracer
+from repro.persist import CompileCache, compile_key, program_fingerprint
+
+
+def _compile(spec, device, **opts):
+    return compile_spec(spec, device, CompileOptions(**opts))
+
+
+class TestStoreAndLookup:
+    def test_miss_then_hit(self, tmp_path, spec, device):
+        cache = CompileCache(tmp_path)
+        key = compile_key(spec, device, CompileOptions())
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert cache.lookup(key, device) is None
+            result = _compile(spec, device)
+            assert cache.store(key, result)
+            hit = cache.lookup(key, device)
+        assert hit is not None and hit.ok and hit.cached
+        assert program_fingerprint(hit.program) == program_fingerprint(
+            result.program
+        )
+        assert tracer.registry.get("cache.miss") == 1
+        assert tracer.registry.get("cache.store") == 1
+        assert tracer.registry.get("cache.hit") == 1
+
+    def test_only_ok_results_stored(self, tmp_path, device):
+        cache = CompileCache(tmp_path)
+        failure = CompileResult(STATUS_TIMEOUT, device, message="slow")
+        assert not cache.store("a" * 64, failure)
+        assert cache.stats()["entries"] == 0
+
+    def test_sharded_layout(self, tmp_path, spec, device):
+        cache = CompileCache(tmp_path)
+        key = compile_key(spec, device, CompileOptions())
+        cache.store(key, _compile(spec, device))
+        assert cache.entry_path(key).exists()
+        assert cache.entry_path(key).parent.name == key[:2]
+
+
+class TestCompileIntegration:
+    def test_second_compile_served_from_cache(self, tmp_path, spec, device):
+        first = _compile(spec, device, cache_dir=str(tmp_path))
+        assert first.ok and not first.cached
+        tracer = Tracer()
+        with use_tracer(tracer):
+            second = _compile(spec, device, cache_dir=str(tmp_path))
+        assert second.cached
+        assert "(cached)" in second.summary_row()
+        assert program_fingerprint(second.program) == program_fingerprint(
+            first.program
+        )
+        assert tracer.registry.get("cache.hit") == 1
+        # The cached path never entered synthesis.
+        assert tracer.registry.get("cegis.iterations", 0) == 0
+
+    def test_different_options_different_entry(self, tmp_path, spec, device):
+        _compile(spec, device, cache_dir=str(tmp_path))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            other = _compile(
+                spec, device, cache_dir=str(tmp_path), seed=99
+            )
+        assert not other.cached
+        assert tracer.registry.get("cache.miss") == 1
+
+    def test_timeout_knob_still_hits(self, tmp_path, spec, device):
+        """Wall-clock budget is non-semantic: it must not change the key."""
+        _compile(spec, device, cache_dir=str(tmp_path))
+        hit = _compile(
+            spec, device, cache_dir=str(tmp_path), total_max_seconds=60.0
+        )
+        assert hit.cached
+
+
+class TestCorruptEntries:
+    def test_corrupt_entry_quarantined_and_recompiled(
+        self, tmp_path, spec, device
+    ):
+        first = _compile(spec, device, cache_dir=str(tmp_path))
+        key = compile_key(spec, device, CompileOptions())
+        path = CompileCache(tmp_path).entry_path(key)
+        path.write_text(path.read_text()[:100])      # torn entry
+        tracer = Tracer()
+        with use_tracer(tracer):
+            again = _compile(spec, device, cache_dir=str(tmp_path))
+        assert again.ok and not again.cached
+        assert tracer.registry.get("cache.invalidated") == 1
+        assert any(".corrupt-" in p.name for p in path.parent.iterdir())
+        assert program_fingerprint(again.program) == program_fingerprint(
+            first.program
+        )
+
+    def test_entry_failing_device_check_not_served(
+        self, tmp_path, spec, device
+    ):
+        """Defense in depth: a stored program that violates the profile
+        (e.g. written by a buggy build) is quarantined on lookup."""
+        cache = CompileCache(tmp_path)
+        key = compile_key(spec, device, CompileOptions())
+        cache.store(key, _compile(spec, device))
+        tight = device.with_limits(tcam_limit=1)
+        assert cache.lookup(key, tight) is None
+
+
+class TestMaintenance:
+    def test_stats_clear_verify(self, tmp_path, spec, device):
+        cache = CompileCache(tmp_path)
+        key = compile_key(spec, device, CompileOptions())
+        cache.store(key, _compile(spec, device))
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["bytes"] > 0
+        assert cache.verify() == {"ok": 1, "invalid": 0}
+        # Corrupt it: verify flags and quarantines it.
+        path = cache.entry_path(key)
+        path.write_text("junk")
+        assert cache.verify() == {"ok": 0, "invalid": 1}
+        assert cache.stats()["quarantined"] == 1
+        # Repopulate then clear.
+        cache.store(key, _compile(spec, device))
+        assert cache.clear() == 1
+        assert cache.stats()["entries"] == 0
+
+    def test_stats_on_missing_directory(self, tmp_path):
+        cache = CompileCache(tmp_path / "never-created")
+        assert cache.stats()["entries"] == 0
+        assert cache.clear() == 0
+        assert cache.verify() == {"ok": 0, "invalid": 0}

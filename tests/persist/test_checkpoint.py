@@ -1,0 +1,138 @@
+"""CheckpointManager state tracking, durability, and degradation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.ir import Bits
+from repro.obs import Tracer, use_tracer
+from repro.persist import CheckpointManager, arm_checkpoint_dir, flush_active
+from repro.persist.checkpoint import CHECKPOINT_FILENAME
+from repro.resilience import injection
+from repro.resilience.faults import CompileFault
+
+KEY = "k" * 64
+ARM = "fwd:0123456789abcdef"
+BUDGET = (None, 5)
+STAGED = (3, 7)
+
+
+class TestStateRoundTrip:
+    def test_file_materialized_up_front(self, tmp_path):
+        manager = CheckpointManager(tmp_path, KEY)
+        assert manager.path.exists()
+        assert manager.path.name == CHECKPOINT_FILENAME
+
+    def test_counterexamples_replay_in_order(self, tmp_path):
+        manager = CheckpointManager(tmp_path, KEY)
+        inputs = [Bits(0b101, 3), Bits(0, 1), Bits(0xFF, 8)]
+        for bits in inputs:
+            manager.record_counterexample(ARM, BUDGET, bits)
+        resumed = CheckpointManager(tmp_path, KEY, resume=True)
+        assert resumed.resumed
+        assert resumed.replay_for(ARM, BUDGET) == inputs
+        # Budgets and arms are separate pools.
+        assert resumed.replay_for(ARM, STAGED) == []
+        assert resumed.replay_for("loop:other", BUDGET) == []
+
+    def test_retired_budgets_and_slice(self, tmp_path):
+        manager = CheckpointManager(tmp_path, KEY)
+        manager.record_retired(ARM, BUDGET)
+        manager.record_retired(ARM, STAGED)
+        manager.record_retired(ARM, STAGED)       # idempotent
+        manager.record_slice(ARM, 40.0)
+        manager.flush(force=True)
+        resumed = CheckpointManager(tmp_path, KEY, resume=True)
+        assert resumed.retired_budgets(ARM) == {BUDGET, STAGED}
+        assert resumed.resume_slice(ARM) == 40.0
+        assert resumed.retired_budgets("other") == set()
+        assert resumed.resume_slice("other") is None
+
+    def test_portfolio_manifest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, KEY)
+        manager.record_arm_result("key<=8,loop-free", "infeasible", "nope")
+        manager.record_arm_result("key<=8,loop-aware", "ok")
+        resumed = CheckpointManager(tmp_path, KEY, resume=True)
+        arms = resumed.finished_arms()
+        assert arms["key<=8,loop-free"] == {
+            "status": "infeasible", "message": "nope",
+        }
+        assert arms["key<=8,loop-aware"]["status"] == "ok"
+
+    def test_mark_completed(self, tmp_path):
+        manager = CheckpointManager(tmp_path, KEY)
+        manager.mark_completed("f" * 64)
+        doc = json.loads(manager.path.read_text())
+        assert doc["payload"]["completed"] is True
+        assert doc["payload"]["program_fingerprint"] == "f" * 64
+
+
+class TestResumeGuards:
+    def test_key_mismatch_not_adopted(self, tmp_path):
+        old = CheckpointManager(tmp_path, "a" * 64)
+        old.record_counterexample(ARM, BUDGET, Bits(1, 1))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            other = CheckpointManager(tmp_path, "b" * 64, resume=True)
+        assert not other.resumed
+        assert other.replay_for(ARM, BUDGET) == []
+        assert tracer.registry.get("persist.key_mismatch") == 1
+
+    def test_no_resume_flag_overwrites(self, tmp_path):
+        old = CheckpointManager(tmp_path, KEY)
+        old.record_counterexample(ARM, BUDGET, Bits(1, 1))
+        fresh = CheckpointManager(tmp_path, KEY, resume=False)
+        assert fresh.replay_for(ARM, BUDGET) == []
+
+    def test_corrupt_checkpoint_means_cold_start(self, tmp_path):
+        old = CheckpointManager(tmp_path, KEY)
+        old.record_counterexample(ARM, BUDGET, Bits(1, 1))
+        old.path.write_text(old.path.read_text()[:-40])
+        resumed = CheckpointManager(tmp_path, KEY, resume=True)
+        assert not resumed.resumed
+        assert resumed.replay_for(ARM, BUDGET) == []
+        assert any(
+            ".corrupt-" in p.name for p in tmp_path.iterdir()
+        )
+
+
+class TestDegradation:
+    def test_interval_throttles_flushes(self, tmp_path):
+        manager = CheckpointManager(
+            tmp_path, KEY, interval_seconds=3600.0
+        )
+        assert not manager.flush()                 # not dirty
+        manager.record_retired(ARM, BUDGET)
+        assert not manager.flush()                 # throttled
+        assert manager.flush(force=True)           # force bypasses
+
+    def test_write_failures_self_disable(self, tmp_path):
+        manager = CheckpointManager(tmp_path, KEY)
+        injection.inject(
+            "persist.write", CompileFault("disk full"), times=None
+        )
+        tracer = Tracer()
+        with use_tracer(tracer):
+            for _ in range(4):
+                manager.record_counterexample(ARM, BUDGET, Bits(1, 1))
+        injection.clear()
+        assert tracer.registry.get("persist.write_failures") == 3
+        assert tracer.registry.get("checkpoint.disabled") == 1
+        # Once disabled it stays off — even with the disk healthy again.
+        assert not manager.flush(force=True)
+
+    def test_flush_active_flushes_live_managers(self, tmp_path):
+        manager = CheckpointManager(tmp_path, KEY)
+        manager.record_retired(ARM, BUDGET)        # dirty
+        assert flush_active() >= 1
+        resumed = CheckpointManager(tmp_path, KEY, resume=True)
+        assert resumed.retired_budgets(ARM) == {BUDGET}
+
+
+def test_arm_checkpoint_dir_slug(tmp_path):
+    path = arm_checkpoint_dir(tmp_path, "key<=8,loop-free")
+    assert path.parent == tmp_path / "arms"
+    assert path.name == "key__8_loop-free"
+    # Distinct labels keep distinct directories.
+    other = arm_checkpoint_dir(tmp_path, "key<=8,loop-aware")
+    assert other != path

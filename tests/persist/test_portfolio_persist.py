@@ -1,0 +1,92 @@
+"""Portfolio-level persistence: per-arm checkpoints under a supervisor
+manifest, resume skipping definitively-failed arms, and resumable
+portfolio failures."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core import CompileOptions
+from repro.core.parallel import derive_subproblems, portfolio_compile
+from repro.core.result import STATUS_INFEASIBLE, STATUS_TIMEOUT
+from repro.obs import Tracer, use_tracer
+from repro.persist import CheckpointManager, compile_key
+
+
+def _options(**kw):
+    return CompileOptions(directed_seed_tests=False, seed=3, **kw)
+
+
+class TestPortfolioCheckpoint:
+    def test_manifest_records_arms_and_completion(
+        self, tmp_path, spec, device
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        result = portfolio_compile(
+            spec, device, _options(checkpoint_dir=ckpt)
+        )
+        assert result.ok
+        doc = json.loads(open(os.path.join(ckpt, "checkpoint.json")).read())
+        payload = doc["payload"]
+        assert payload["completed"] is True
+        assert payload["portfolio"]           # at least the winning arm
+        assert all(
+            entry["status"] == "ok" or entry["message"] is not None
+            for entry in payload["portfolio"].values()
+        )
+        # The winning arm checkpointed under its own slug directory.
+        assert os.path.isdir(os.path.join(ckpt, "arms"))
+        assert os.listdir(os.path.join(ckpt, "arms"))
+
+    def test_resume_skips_arms_proved_infeasible(
+        self, tmp_path, spec, device
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        options = _options(checkpoint_dir=ckpt)
+        subproblems = derive_subproblems(spec, device, options)
+        assert len(subproblems) >= 2
+        # A previous (killed) portfolio proved the best-priority arm
+        # infeasible; fabricate its manifest entry.
+        manager = CheckpointManager(
+            ckpt, compile_key(spec, device, options)
+        )
+        first = min(subproblems, key=lambda s: s.priority)
+        manager.record_arm_result(
+            first.label, STATUS_INFEASIBLE, "proved unsat earlier"
+        )
+        del manager
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            result = portfolio_compile(
+                spec, device, options.with_(resume=True)
+            )
+        assert result.ok                      # another arm still wins
+        assert tracer.registry.get("checkpoint.arms_skipped") == 1
+
+        # The skipped arm was never raced again.
+        def spans(node):
+            yield node
+            for child in node.children:
+                yield from spans(child)
+
+        arm_labels = [
+            s.attrs.get("label")
+            for s in spans(tracer.root)
+            if s.name == "portfolio.arm"
+        ]
+        assert first.label not in arm_labels
+
+    def test_portfolio_timeout_names_checkpoint(
+        self, tmp_path, spec, device
+    ):
+        ckpt = str(tmp_path / "ckpt")
+        result = portfolio_compile(
+            spec,
+            device,
+            _options(checkpoint_dir=ckpt, total_max_seconds=1e-9),
+        )
+        assert result.status == STATUS_TIMEOUT
+        assert result.checkpoint_path.endswith("checkpoint.json")
+        assert os.path.exists(result.checkpoint_path)

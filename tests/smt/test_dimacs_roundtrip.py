@@ -1,0 +1,93 @@
+"""Property test: DIMACS write -> parse is the identity on CNF formulas.
+
+No ``hypothesis`` in the environment, so this is a manual seeded
+random-formula loop — same idea, deterministic by construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.smt.sat.clause import lit_from_dimacs, to_dimacs
+from repro.smt.sat.dimacs import parse_dimacs, solver_from_dimacs, write_dimacs
+
+
+def random_cnf(rng: random.Random):
+    num_vars = rng.randint(1, 30)
+    num_clauses = rng.randint(0, 40)
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(1, 6)
+        clause = [
+            lit_from_dimacs(
+                rng.randint(1, num_vars)
+                * (1 if rng.random() < 0.5 else -1)
+            )
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return num_vars, clauses
+
+
+class TestRoundTripProperty:
+    def test_write_then_parse_is_identity(self):
+        rng = random.Random(0x5EED)
+        for trial in range(200):
+            num_vars, clauses = random_cnf(rng)
+            text = write_dimacs(num_vars, clauses)
+            parsed_vars, parsed_clauses = parse_dimacs(text)
+            assert parsed_vars == num_vars, f"trial {trial}"
+            assert parsed_clauses == clauses, f"trial {trial}"
+
+    def test_round_trip_preserves_satisfiability(self):
+        """write -> parse -> solve agrees with solving the original."""
+        from repro.smt.sat.solver import SatSolver
+
+        rng = random.Random(0xD1CE)
+        for trial in range(30):
+            num_vars, clauses = random_cnf(rng)
+            direct = SatSolver()
+            direct.ensure_vars(num_vars)
+            for clause in clauses:
+                direct.add_clause(list(clause))
+            rebuilt = solver_from_dimacs(write_dimacs(num_vars, clauses))
+            assert rebuilt.solve() == direct.solve(), f"trial {trial}"
+
+
+class TestLiteralPacking:
+    def test_packed_dimacs_inverse(self):
+        for dlit in list(range(-50, 0)) + list(range(1, 51)):
+            assert to_dimacs(lit_from_dimacs(dlit)) == dlit
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            lit_from_dimacs(0)
+
+
+class TestParserEdgeCases:
+    def test_comments_and_blank_lines_skipped(self):
+        text = "c a comment\n\np cnf 3 2\n1 -2 0\nc mid\n2 3 0\n"
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars == 3
+        assert clauses == [
+            [lit_from_dimacs(1), lit_from_dimacs(-2)],
+            [lit_from_dimacs(2), lit_from_dimacs(3)],
+        ]
+
+    def test_clause_spanning_lines(self):
+        num_vars, clauses = parse_dimacs("p cnf 2 1\n1\n-2\n0\n")
+        assert clauses == [[lit_from_dimacs(1), lit_from_dimacs(-2)]]
+
+    def test_trailing_unterminated_clause_kept(self):
+        _, clauses = parse_dimacs("p cnf 2 1\n1 -2\n")
+        assert clauses == [[lit_from_dimacs(1), lit_from_dimacs(-2)]]
+
+    def test_malformed_problem_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("p cnf x\n1 0\n")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            parse_dimacs("c nothing here\n")

@@ -164,3 +164,110 @@ class TestDotAndReport:
         err = capsys.readouterr().err
         assert "resource report" in err
         assert "headroom" in err
+
+
+class TestPersistenceFlags:
+    def test_checkpoint_dir_materializes_checkpoint(
+        self, source, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "ckpt"
+        code = main(
+            [
+                "compile", source, "--key-limit", "8",
+                "--checkpoint-dir", str(ckpt),
+            ]
+        )
+        assert code == 0
+        doc = json.loads((ckpt / "checkpoint.json").read_text())
+        assert doc["kind"] == "checkpoint"
+        assert doc["payload"]["completed"] is True
+
+    def test_cache_round_trip(self, source, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(
+            ["compile", source, "--key-limit", "8", "--cache-dir", cache]
+        ) == 0
+        first = capsys.readouterr()
+        assert "(cached)" not in first.err
+        assert main(
+            ["compile", source, "--key-limit", "8", "--cache-dir", cache]
+        ) == 0
+        second = capsys.readouterr()
+        assert "(cached)" in second.err
+        # Identical program emitted both times.
+        assert first.out == second.out
+
+    def test_resume_requires_checkpoint_dir(self, source):
+        with pytest.raises(SystemExit):
+            main(["compile", source, "--resume"])
+
+    def test_keyboard_interrupt_flushes_and_exits_130(
+        self, source, tmp_path, capsys
+    ):
+        from repro.resilience import injection
+
+        ckpt = tmp_path / "ckpt"
+        injection.inject("sat.solve", KeyboardInterrupt)
+        try:
+            code = main(
+                [
+                    "compile", source, "--key-limit", "8",
+                    "--checkpoint-dir", str(ckpt),
+                ]
+            )
+        finally:
+            injection.clear()
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" in err
+        # The interrupt flushed a loadable checkpoint.
+        doc = json.loads((ckpt / "checkpoint.json").read_text())
+        assert doc["payload"]["completed"] is False
+
+    def test_keyboard_interrupt_without_checkpoint(self, source, capsys):
+        from repro.resilience import injection
+
+        injection.inject("sat.solve", KeyboardInterrupt)
+        try:
+            code = main(["compile", source, "--key-limit", "8"])
+        finally:
+            injection.clear()
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def _populate(self, source, cache):
+        assert main(
+            ["compile", source, "--key-limit", "8", "--cache-dir", cache]
+        ) == 0
+
+    def test_stats_and_verify_and_clear(self, source, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        self._populate(source, cache)
+        capsys.readouterr()
+
+        assert main(["cache", "stats", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+
+        assert main(["cache", "verify", cache]) == 0
+        assert "verified 1 entry, 0 corrupt" in capsys.readouterr().out
+
+        assert main(["cache", "clear", cache]) == 0
+        assert "removed 1 cache entry" in capsys.readouterr().out
+        assert main(["cache", "stats", cache]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_verify_flags_corrupt_entries(self, source, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        self._populate(source, str(cache_dir))
+        capsys.readouterr()
+        entry = next(
+            p for shard in cache_dir.iterdir() if shard.is_dir()
+            for p in shard.iterdir() if p.suffix == ".json"
+        )
+        entry.write_text("garbage")
+        assert main(["cache", "verify", str(cache_dir)]) == 1
+        assert "1 corrupt" in capsys.readouterr().out
