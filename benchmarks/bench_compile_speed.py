@@ -1,0 +1,271 @@
+"""Incremental-synthesis perf baseline: test reuse ON vs OFF.
+
+Measures what the PR-4 incremental synthesis engine buys: each case
+compiles one benchmark spec twice — with ``test_reuse`` (shared
+:class:`~repro.core.testpool.TestPool` + warm :class:`CegisSession`
+continuation across time slices) and with ``--no-test-reuse`` semantics
+(cold re-run per slice, the pre-incremental baseline) — and records wall
+clock, CEGIS iterations, SAT conflicts and emitted clauses for both.
+
+The suite deliberately pins budgets (``max_extra_entries`` 0–2) and sets
+each case's time slice below its winner's solve time, so every case
+exercises the escalation schedule's retry path: the baseline repeats the
+expired attempt's solves and verifications from scratch, the incremental
+engine continues them.  Pinning also keeps the winning budget — and with
+it the resource counts — identical between modes, which ``--check``
+asserts.
+
+A second, independent A/B toggles the bit-blaster's constant folding
+(:data:`repro.smt.bitblast.FOLD_CONSTANTS`) on one mid-sized case and
+records the emitted-clause counts, statuses and resource counts for
+both, demonstrating folding shrinks the CNF without changing any answer.
+
+Usage::
+
+    python benchmarks/bench_compile_speed.py [--quick] [--check]
+        [--output BENCH_pr4.json] [--seed 0]
+
+``--quick`` runs one repetition per case (CI perf-smoke); the default is
+three repetitions with the median wall time reported.  ``--check`` exits
+non-zero unless reuse-on beats reuse-off by the expected margin (1.3x
+geomean full, no-regression quick), uses strictly fewer total CEGIS
+iterations, and matches resource counts case by case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.benchgen.suites import benchmark_by_label  # noqa: E402
+from repro.core.compiler import compile_spec  # noqa: E402
+from repro.core.options import CompileOptions  # noqa: E402
+from repro.hw.device import tofino_profile  # noqa: E402
+from repro.smt import bitblast  # noqa: E402
+
+# (label, key_limit, max_extra_entries, budget_time_slice).  Slices sit
+# below each case's measured winner time so the schedule retries; pinned
+# entry budgets keep the winner identical across modes.  The last case is
+# infeasible at its budget — it measures UNSAT *retirement* speed.
+SUITE = [
+    ("Sai V2", 8, 0, 0.25),
+    ("Finance feed", 5, 2, 0.5),
+    ("Large tran key", 8, 2, 0.25),
+    ("Multi-keys (diff pkt fields)", 4, 0, 0.1),
+    ("Dash V2", 4, 0, 0.05),
+    ("Sai V1", 8, 0, 0.05),
+    ("Multi-key (same pkt field)", 4, 0, 0.25),
+]
+
+# Constant folding at the *gate* level only matters where constants
+# reach the bit-blaster unfolded.  The default compile path (§6.4
+# constant synthesis) matches candidate constants concretely, so the A/B
+# runs the paper's ablation arm (opt4 off): its free value/mask encoding
+# floods the blaster with per-bit constant AND inputs.
+FOLD_CASE = ("Multi-keys (diff pkt fields)", 6)
+
+GEOMEAN_TARGET_FULL = 1.3
+GEOMEAN_TARGET_QUICK = 1.0
+
+
+def _options(reuse: bool, extra: int, tslice: float,
+             seed: int) -> CompileOptions:
+    return CompileOptions(
+        test_reuse=reuse,
+        seed=seed,
+        # Paper-fidelity seeding (one random test): counterexamples carry
+        # the run, which is the regime incremental reuse targets.
+        directed_seed_tests=False,
+        total_max_seconds=120,
+        budget_time_slice=tslice,
+        max_extra_entries=extra,
+    )
+
+
+def _run_case(label: str, kl: int, extra: int, tslice: float,
+              reuse: bool, reps: int, seed: int) -> Dict[str, Any]:
+    spec = benchmark_by_label(label).spec()
+    device = tofino_profile(key_limit=kl)
+    walls: List[float] = []
+    result = None
+    for _ in range(reps):
+        t0 = time.monotonic()
+        result = compile_spec(spec, device, _options(reuse, extra,
+                                                     tslice, seed))
+        walls.append(time.monotonic() - t0)
+    stats = result.stats
+    return {
+        "status": result.status,
+        "wall_seconds": statistics.median(walls),
+        "wall_all": [round(w, 4) for w in walls],
+        "cegis_iterations": stats.cegis_iterations,
+        "sat_conflicts": stats.sat_conflicts,
+        "sat_clauses_added": stats.sat_clauses_added,
+        "pool_tests_reused": stats.pool_tests_reused,
+        "warm_resumes": stats.warm_resumes,
+        "budget_retries": stats.budget_retries,
+        "entries": result.num_entries if result.program else None,
+        "stages": result.num_stages if result.program else None,
+    }
+
+
+def _run_fold_ab(seed: int) -> Dict[str, Any]:
+    """Constant-folding A/B on one case: clause counts with the gate
+    folding on vs off, same compile otherwise.  Toggles the module flag
+    so every solver the compile builds inherits the setting."""
+    label, kl = FOLD_CASE
+    spec = benchmark_by_label(label).spec()
+    device = tofino_profile(key_limit=kl)
+    out: Dict[str, Any] = {"case": label, "opt4_constant_synthesis": False}
+    saved = bitblast.FOLD_CONSTANTS
+    try:
+        for fold in (True, False):
+            bitblast.FOLD_CONSTANTS = fold
+            opts = CompileOptions(
+                test_reuse=True,
+                seed=seed,
+                directed_seed_tests=False,
+                total_max_seconds=120,
+                budget_time_slice=30.0,
+                opt4_constant_synthesis=False,
+            )
+            result = compile_spec(spec, device, opts)
+            out["fold_on" if fold else "fold_off"] = {
+                "status": result.status,
+                "sat_clauses_added": result.stats.sat_clauses_added,
+                "entries": result.num_entries if result.program else None,
+            }
+    finally:
+        bitblast.FOLD_CONSTANTS = saved
+    on, off = out["fold_on"], out["fold_off"]
+    out["clause_reduction"] = (
+        1.0 - on["sat_clauses_added"] / off["sat_clauses_added"]
+        if off["sat_clauses_added"] else 0.0
+    )
+    out["same_status"] = on["status"] == off["status"]
+    out["same_entries"] = on["entries"] == off["entries"]
+    return out
+
+
+def run_bench(quick: bool = False, seed: int = 0) -> Dict[str, Any]:
+    reps = 1 if quick else 3
+    cases = []
+    for label, kl, extra, tslice in SUITE:
+        row: Dict[str, Any] = {
+            "case": label, "key_limit": kl,
+            "max_extra_entries": extra, "time_slice": tslice,
+        }
+        row["reuse_on"] = _run_case(label, kl, extra, tslice, True,
+                                    reps, seed)
+        row["reuse_off"] = _run_case(label, kl, extra, tslice, False,
+                                     reps, seed)
+        on, off = row["reuse_on"], row["reuse_off"]
+        row["speedup"] = (
+            off["wall_seconds"] / on["wall_seconds"]
+            if on["wall_seconds"] else 0.0
+        )
+        cases.append(row)
+        print(
+            f"{label:30s} on={on['wall_seconds']:6.2f}s "
+            f"it={on['cegis_iterations']:3d} "
+            f"warm={on['warm_resumes']} | "
+            f"off={off['wall_seconds']:6.2f}s "
+            f"it={off['cegis_iterations']:3d} | "
+            f"x{row['speedup']:.2f}",
+            flush=True,
+        )
+    geomean = math.exp(
+        sum(math.log(max(c["speedup"], 1e-9)) for c in cases) / len(cases)
+    )
+    its_on = sum(c["reuse_on"]["cegis_iterations"] for c in cases)
+    its_off = sum(c["reuse_off"]["cegis_iterations"] for c in cases)
+    fold = _run_fold_ab(seed)
+    report = {
+        "bench": "bench_compile_speed",
+        "pr": 4,
+        "quick": quick,
+        "seed": seed,
+        "reps": reps,
+        "cases": cases,
+        "fold_constants_ab": fold,
+        "summary": {
+            "geomean_speedup": round(geomean, 4),
+            "total_iterations_reuse_on": its_on,
+            "total_iterations_reuse_off": its_off,
+            "resources_identical": all(
+                c["reuse_on"]["entries"] == c["reuse_off"]["entries"]
+                and c["reuse_on"]["stages"] == c["reuse_off"]["stages"]
+                and c["reuse_on"]["status"] == c["reuse_off"]["status"]
+                for c in cases
+            ),
+            "clause_reduction_fold": round(fold["clause_reduction"], 4),
+        },
+    }
+    return report
+
+
+def check_report(report: Dict[str, Any]) -> List[str]:
+    """Acceptance assertions; returns a list of failure strings."""
+    s = report["summary"]
+    target = GEOMEAN_TARGET_QUICK if report["quick"] else GEOMEAN_TARGET_FULL
+    failures = []
+    if s["geomean_speedup"] < target:
+        failures.append(
+            f"geomean speedup {s['geomean_speedup']:.3f} < {target}"
+        )
+    if s["total_iterations_reuse_on"] >= s["total_iterations_reuse_off"]:
+        failures.append(
+            f"reuse-on iterations {s['total_iterations_reuse_on']} not "
+            f"strictly fewer than {s['total_iterations_reuse_off']}"
+        )
+    if not s["resources_identical"]:
+        failures.append("resource counts differ between reuse modes")
+    fold = report["fold_constants_ab"]
+    if fold["clause_reduction"] <= 0:
+        failures.append("constant folding did not reduce emitted clauses")
+    if not (fold["same_status"] and fold["same_entries"]):
+        failures.append("constant folding changed a compile answer")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="single repetition per case (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless acceptance criteria hold")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_pr4.json"))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick, seed=args.seed)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    s = report["summary"]
+    print(
+        f"\ngeomean speedup {s['geomean_speedup']:.3f}  "
+        f"iterations {s['total_iterations_reuse_on']} vs "
+        f"{s['total_iterations_reuse_off']}  "
+        f"resources_identical={s['resources_identical']}  "
+        f"fold clause reduction "
+        f"{100 * s['clause_reduction_fold']:.1f}%"
+    )
+    print(f"wrote {args.output}")
+    if args.check:
+        failures = check_report(report)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

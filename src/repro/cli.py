@@ -143,6 +143,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
         resume=args.resume,
         checkpoint_interval_seconds=args.checkpoint_interval,
         cache_dir=args.cache_dir,
+        test_reuse=not args.no_test_reuse,
     )
     tracer = _make_tracer(args)
     with use_tracer(tracer):
@@ -306,6 +307,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed compile cache: identical "
         "(spec, device, solver options) compiles are served from DIR "
         "instead of re-synthesized",
+    )
+    p_compile.add_argument(
+        "--no-test-reuse", action="store_true",
+        help="disable the incremental-synthesis test pool (counterexamples "
+        "and seed tests are re-discovered at every budget instead of "
+        "being replayed); mainly for A/B perf measurement",
     )
     p_compile.add_argument(
         "--trace", metavar="PATH", default=None,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import random
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -29,11 +30,31 @@ from ..resilience import CompileFault
 from ..smt import SAT, Solver, UNKNOWN, UNSAT
 from .encoder import SymbolicProgram
 from .skeleton import Skeleton
+from .testpool import ORIGIN_SEED, TestPool
 from .verifier import (
     Counterexample,
     VerificationBudgetExceeded,
     verify_equivalent,
 )
+
+# Pool tests are replayed in chunks with a budgeted solve between chunks.
+# One solve per test (what live CEGIS does) wastes the per-solve fixed
+# cost — every check retracts to level 0 and re-propagates the whole
+# trail; one solve after ALL tests hands the CDCL search a cold, maximally
+# constrained instance with no learnt clauses or saved phases to steer it
+# (measurably slower than discovering the same tests incrementally).
+# Chunking keeps the solver warm while paying the fixed cost once per
+# chunk instead of once per test.
+POOL_REPLAY_CHUNK = 1
+
+# Conflict cap for the warm-up solves interleaved with pool replay.  A
+# warm-up solve's job is to keep the CDCL state (saved phases, learnt
+# clauses, activity) co-evolving with the constraints the way live CEGIS
+# iterations would — not to fully decide the instance.  Most repairs
+# converge in far fewer conflicts; when one doesn't, capping it and
+# moving on is cheaper than letting a single hard intermediate instance
+# burn the whole time slice.
+POOL_WARMUP_MAX_CONFLICTS = 400
 
 
 class SynthesisTimeout(Exception):
@@ -57,6 +78,13 @@ class CegisOutcome:
     # Counterexamples re-applied from a checkpoint (repro.persist) before
     # live iterations started; they skip candidate decode + verification.
     replayed: int = 0
+    # Tests seeded up front from the shared TestPool (cross-budget /
+    # cross-arm reuse); each one is a CEGIS round-trip (SAT solve +
+    # product-equivalence verification) this run did not have to make.
+    pool_reused: int = 0
+    # CNF clauses this run's solver received from the bit-blaster
+    # (constant folding shrinks this without changing satisfiability).
+    clauses_added: int = 0
     synthesis_seconds: float = 0.0
     verification_seconds: float = 0.0
     counterexamples: List[Counterexample] = field(default_factory=list)
@@ -92,20 +120,28 @@ def initial_tests(
         return [(bits, simulate_spec(spec, bits, max_steps))]
     tests: List[Tuple[Bits, ParseResult]] = []
     seen_sigs = set()
+    # Membership is checked (and recorded) at *enqueue* time: the queue
+    # never holds an input twice, so it cannot balloon with the duplicate
+    # mutants the splice loops produce, and popleft keeps dequeueing O(1)
+    # (the old list.pop(0) made the whole BFS O(n^2)).
     seen_inputs = set()
-    queue: List[Bits] = [Bits(0, bound)]
+    queue: deque = deque()
+
+    def enqueue(bits: Bits) -> None:
+        if bits not in seen_inputs:
+            seen_inputs.add(bits)
+            queue.append(bits)
+
+    enqueue(Bits(0, bound))
     for _ in range(3):
-        queue.append(Bits(rng.getrandbits(bound), bound))
+        enqueue(Bits(rng.getrandbits(bound), bound))
     # Short inputs exercise truncation behaviour.
-    queue.append(Bits(0, max(0, bound // 4)))
-    queue.append(Bits(0, 1))
+    enqueue(Bits(0, max(0, bound // 4)))
+    enqueue(Bits(0, 1))
     processed = 0
     while queue and len(tests) < max_tests and processed < 10 * max_tests:
-        bits = queue.pop(0)
+        bits = queue.popleft()
         processed += 1
-        if bits in seen_inputs:
-            continue
-        seen_inputs.add(bits)
         result, steps = trace_spec(spec, bits, max_steps)
         if result.outcome == OUTCOME_OVERRUN:
             continue
@@ -132,33 +168,25 @@ def initial_tests(
                 # state's complete transition behaviour up front, which
                 # usually makes the first synthesized candidate correct.
                 for value in range(1 << step.key_width):
-                    mutated = _splice(
+                    enqueue(_splice(
                         bits, step.key_positions, step.key_width, value, full
-                    )
-                    if mutated not in seen_inputs:
-                        queue.append(mutated)
+                    ))
                 continue
             for rule in state.rules:
                 value, mask = rule.combined_value_mask(widths)
-                mutated = _splice(bits, step.key_positions, step.key_width,
-                                  value, mask)
-                if mutated not in seen_inputs:
-                    queue.append(mutated)
+                enqueue(_splice(bits, step.key_positions, step.key_width,
+                                value, mask))
                 # Neighbourhood of each constant (flip one masked bit) plus
                 # a random probe, to hit default arms and near-misses.
                 for b in range(step.key_width):
                     if (mask >> b) & 1:
-                        mutated = _splice(
+                        enqueue(_splice(
                             bits, step.key_positions, step.key_width,
                             value ^ (1 << b), full,
-                        )
-                        if mutated not in seen_inputs:
-                            queue.append(mutated)
+                        ))
                 rnd = rng.getrandbits(step.key_width) if step.key_width else 0
-                mutated = _splice(bits, step.key_positions, step.key_width,
-                                  rnd, full)
-                if mutated not in seen_inputs:
-                    queue.append(mutated)
+                enqueue(_splice(bits, step.key_positions, step.key_width,
+                                rnd, full))
     return tests
 
 
@@ -182,6 +210,294 @@ def _splice(
     return Bits(raw, n)
 
 
+
+class CegisSession:
+    """One skeleton's CEGIS run, resumable across time slices.
+
+    The budget search retries a budget whose slice expired with a larger
+    slice.  A cold retry re-runs the whole deterministic iteration
+    sequence from scratch — every solve, decode and verification of the
+    expired attempt is repeated before any new ground is covered.  A
+    session instead keeps the *live* run between attempts: the CDCL
+    solver (learnt clauses, saved phases, activity), the constraints
+    already encoded, the RNG position, the replay/pool cursors and the
+    iteration counter.  :meth:`run` executes one attempt under its own
+    time budget; when it raises :class:`SynthesisTimeout` the caller can
+    simply call :meth:`run` again later and the session continues where
+    it stopped, skipping all duplicated work.
+
+    ``max_iterations`` caps the *total* live iterations across the
+    session's lifetime — the same ceiling a cold re-run enforces per
+    attempt, so a warm continuation can never converge on an iteration a
+    cold schedule would not also have reached.
+
+    Construction wiring (``replay``, ``pool``, ``pool_base``,
+    ``on_counterexample``) is documented on :func:`synthesize_for_budget`,
+    which is the single-attempt convenience wrapper around this class.
+    """
+
+    def __init__(
+        self,
+        skeleton: Skeleton,
+        rng: random.Random,
+        max_iterations: int = 40,
+        max_conflicts_per_solve: Optional[int] = None,
+        verify_max_configs: int = 60000,
+        directed_tests: bool = True,
+        replay: Optional[Sequence[Bits]] = None,
+        on_counterexample: Optional[Callable[[Bits], None]] = None,
+        pool: Optional[TestPool] = None,
+        pool_base: Optional[int] = None,
+    ) -> None:
+        self.skeleton = skeleton
+        self.spec = skeleton.spec
+        self.max_steps = max(skeleton.unroll_steps, 16)
+        self.rng = rng
+        self.max_iterations = max_iterations
+        self.max_conflicts_per_solve = max_conflicts_per_solve
+        self.verify_max_configs = verify_max_configs
+        self.directed_tests = directed_tests
+        self.on_counterexample = on_counterexample
+        self.pool = pool
+        self.pool_base = pool_base
+        self._sp = SymbolicProgram(skeleton)
+        self._solver = Solver()
+        # The pool prefix is materialized now: the session must seed
+        # exactly the prefix that existed when the attempt started, even
+        # if the shared pool keeps growing while this budget is parked
+        # between slices.
+        self._pool_tests = (
+            list(pool.tests(self.max_steps, size=pool_base))
+            if pool is not None else []
+        )
+        self._replay = list(replay or ())
+        # Resume cursors: each phase records how far it got, so a slice
+        # that expires mid-phase continues from the same position.
+        self._structural_done = False
+        self._pool_pos = 0
+        self._since_solve = 0
+        self._seeds_done = False
+        self._replay_pos = 0
+        self._iterations = 0
+        self._encoded_inputs: set = set()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_seconds: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> CegisOutcome:
+        """One attempt.  Returns the outcome (``feasible=False`` for a
+        proved UNSAT); raises :class:`SynthesisTimeout` when the attempt's
+        budget expires, leaving the session resumable.  The returned
+        outcome carries only *this attempt's* measurements (time, solver
+        deltas, clauses), so callers can sum attempts without double
+        counting."""
+        spec = self.spec
+        sp = self._sp
+        solver = self._solver
+        max_steps = self.max_steps
+        outcome = CegisOutcome(program=None, feasible=True)
+        tracer = get_tracer()
+        started = time.monotonic()
+        clauses_at_entry = solver.sat_solver.num_clauses_added
+
+        def remaining() -> Optional[float]:
+            limits = []
+            if max_seconds is not None:
+                limits.append(max_seconds - (time.monotonic() - started))
+            if deadline is not None:
+                limits.append(deadline - time.monotonic())
+            if not limits:
+                return None
+            return min(limits)
+
+        def solve_once(warmup_conflicts: Optional[int] = None) -> str:
+            """One budgeted ``solver.check`` with stat accumulation
+            (shared by replayed and live iterations, so both stay
+            comparable in the trace and in ``CompileStats``).
+            ``warmup_conflicts`` further caps the conflict budget for
+            pool-replay warm-up solves."""
+            budget_s = remaining()
+            if budget_s is not None and budget_s <= 0:
+                raise SynthesisTimeout("CEGIS time budget exhausted", outcome)
+            max_conflicts = self.max_conflicts_per_solve
+            if warmup_conflicts is not None:
+                max_conflicts = (
+                    warmup_conflicts if max_conflicts is None
+                    else min(max_conflicts, warmup_conflicts)
+                )
+            with tracer.span("sat.solve") as solve_span:
+                try:
+                    status = solver.check(
+                        max_seconds=budget_s,
+                        max_conflicts=max_conflicts,
+                    )
+                except CompileFault as exc:
+                    # Attach the partial outcome so callers can fold this
+                    # attempt's measurements into their stats (mirrors
+                    # SynthesisTimeout / VerificationBudgetExceeded).
+                    if exc.outcome is None:
+                        exc.outcome = outcome
+                    raise
+                finally:
+                    outcome.synthesis_seconds += solve_span.elapsed()
+            # Per-solve deltas (not lifetime totals): matches what the
+            # tracing layer records, so CompileStats and the span tree
+            # agree.  Propagations notably differ — clause insertion also
+            # propagates, outside any solve() call.
+            delta = solver.last_check_stats()
+            outcome.sat_conflicts += delta["conflicts"]
+            outcome.sat_decisions += delta["decisions"]
+            outcome.sat_propagations += delta["propagations"]
+            outcome.sat_restarts += delta["restarts"]
+            outcome.sat_learnt_clauses += delta["learned"]
+            return status
+
+        # Everything below adds clauses; the finally block snapshots the
+        # solver's insertion count so every exit path (success, UNSAT,
+        # timeout, fault) reports how many CNF clauses this attempt cost.
+        try:
+            if not self._structural_done:
+                for constraint in sp.structural_constraints():
+                    solver.add(constraint)
+                self._structural_done = True
+
+            # Up-front test constraints: the shared pool's prefix first
+            # (each entry is a solve+verify round-trip this run skips),
+            # then this budget's own directed seeds — unless the pool
+            # prefix already carries seed tests, in which case
+            # regenerating them would only duplicate near-identical
+            # coverage at full encoding cost.
+            while self._pool_pos < len(self._pool_tests):
+                bits, expected, origin = self._pool_tests[self._pool_pos]
+                if bits in self._encoded_inputs:
+                    self._pool_pos += 1
+                    continue
+                if self._since_solve >= POOL_REPLAY_CHUNK:
+                    # Warm-up solve between chunks: learnt clauses and
+                    # saved phases from it make the next chunk's
+                    # constraints cheap to absorb.  UNSAT here soundly
+                    # retires the budget — pool tests are valid for the
+                    # spec, so no correct program at this budget exists.
+                    # A conflict-capped UNKNOWN just stops warming: the
+                    # learnt clauses are kept and the live loop's
+                    # uncapped solves settle the instance.
+                    with tracer.span("cegis.pool_warmup"):
+                        status = solve_once(
+                            warmup_conflicts=POOL_WARMUP_MAX_CONFLICTS
+                        )
+                    if status == UNSAT:
+                        outcome.feasible = False
+                        return outcome
+                    self._since_solve = 0
+                self._encoded_inputs.add(bits)
+                for constraint in sp.encode_test(bits, expected):
+                    solver.add(constraint)
+                self._pool_pos += 1
+                self._since_solve += 1
+                outcome.pool_reused += 1
+                tracer.count("tests.pool_hits")
+                if origin != ORIGIN_SEED:
+                    tracer.count("cex.reused")
+
+            if not self._seeds_done:
+                self._seeds_done = True
+                pool = self.pool
+                if pool is None or not pool.has_seeds(self.pool_base):
+                    for bits, expected in initial_tests(
+                        spec, self.rng, max_steps=max_steps,
+                        directed=self.directed_tests,
+                    ):
+                        if pool is not None:
+                            pool.add(bits, ORIGIN_SEED)
+                        if bits in self._encoded_inputs:
+                            continue
+                        self._encoded_inputs.add(bits)
+                        for constraint in sp.encode_test(bits, expected):
+                            solver.add(constraint)
+
+            # Checkpoint replay: re-apply previously discovered
+            # counterexamples, preceding each with the solve its original
+            # iteration made (keeping the CDCL state identical to the
+            # interrupted run's) but skipping the decode + verification
+            # work — that is where resume saves time.
+            while self._replay_pos < len(self._replay):
+                bits = self._replay[self._replay_pos]
+                expected = simulate_spec(spec, bits, max_steps)
+                if expected.outcome == OUTCOME_OVERRUN:
+                    self._replay_pos += 1
+                    continue
+                with tracer.span("cegis.replay", index=outcome.replayed + 1):
+                    status = solve_once()
+                if status == UNSAT:
+                    outcome.feasible = False
+                    return outcome
+                if status == UNKNOWN:
+                    raise SynthesisTimeout(
+                        "SAT solver budget exhausted", outcome
+                    )
+                for constraint in sp.encode_test(bits, expected):
+                    solver.add(constraint)
+                self._replay_pos += 1
+                outcome.replayed += 1
+                tracer.count("cegis.replayed")
+
+            while self._iterations < self.max_iterations:
+                self._iterations += 1
+                outcome.iterations += 1
+                tracer.count("cegis.iterations")
+                with tracer.span("cegis.iteration", index=self._iterations):
+                    status = solve_once()
+                    if status == UNSAT:
+                        outcome.feasible = False
+                        return outcome
+                    if status == UNKNOWN:
+                        raise SynthesisTimeout(
+                            "SAT solver budget exhausted", outcome
+                        )
+                    candidate = sp.decode(solver.model())
+                    with tracer.span("verify") as verify_span:
+                        try:
+                            cex = verify_equivalent(
+                                spec,
+                                candidate,
+                                max_steps=max_steps,
+                                max_configs=self.verify_max_configs,
+                            )
+                        except VerificationBudgetExceeded as exc:
+                            exc.outcome = outcome
+                            raise
+                        finally:
+                            outcome.verification_seconds += (
+                                verify_span.elapsed()
+                            )
+                    if cex is None:
+                        outcome.program = candidate
+                        return outcome
+                    outcome.counterexamples.append(cex)
+                    tracer.count("cegis.counterexamples")
+                    if self.on_counterexample is not None:
+                        self.on_counterexample(cex.bits)
+                expected = simulate_spec(spec, cex.bits, max_steps)
+                if expected.outcome == OUTCOME_OVERRUN:
+                    raise RuntimeError(
+                        "specification overran its step bound on a "
+                        "counterexample; increase max_unroll_steps"
+                    )
+                for constraint in sp.encode_test(cex.bits, expected):
+                    solver.add(constraint)
+            raise SynthesisTimeout(
+                f"CEGIS did not converge within {self.max_iterations} "
+                "iterations", outcome
+            )
+        finally:
+            outcome.clauses_added = (
+                solver.sat_solver.num_clauses_added - clauses_at_entry
+            )
+            tracer.count("sat.clauses_added", outcome.clauses_added)
+
+
 def synthesize_for_budget(
     skeleton: Skeleton,
     rng: random.Random,
@@ -193,10 +509,14 @@ def synthesize_for_budget(
     directed_tests: bool = True,
     replay: Optional[Sequence[Bits]] = None,
     on_counterexample: Optional[Callable[[Bits], None]] = None,
+    pool: Optional[TestPool] = None,
+    pool_base: Optional[int] = None,
 ) -> CegisOutcome:
-    """Run CEGIS for one skeleton.  ``feasible=False`` reports a proved
-    UNSAT (no program in this budget); a timeout raises
-    :class:`SynthesisTimeout`.
+    """Run CEGIS for one skeleton as a single cold attempt.  ``feasible=
+    False`` reports a proved UNSAT (no program in this budget); a timeout
+    raises :class:`SynthesisTimeout`.  Callers that want to *continue*
+    an expired attempt instead of re-running it hold a
+    :class:`CegisSession` and call :meth:`CegisSession.run` per slice.
 
     ``replay`` seeds the run with counterexamples recorded by an earlier
     (interrupted) attempt at the *same* budget.  Replay is faithful: each
@@ -207,126 +527,27 @@ def synthesize_for_budget(
     iterations' candidate decoding and equivalence verification (the
     expensive half of a CEGIS round).  ``on_counterexample`` is invoked
     with each *newly* discovered counterexample's input, which is how the
-    checkpoint layer records them."""
-    spec = skeleton.spec
-    max_steps = max(skeleton.unroll_steps, 16)
-    outcome = CegisOutcome(program=None, feasible=True)
-    sp = SymbolicProgram(skeleton)
-    solver = Solver()
-    tracer = get_tracer()
-    started = time.monotonic()
+    checkpoint layer records them.
 
-    def remaining() -> Optional[float]:
-        limits = []
-        if max_seconds is not None:
-            limits.append(max_seconds - (time.monotonic() - started))
-        if deadline is not None:
-            limits.append(deadline - time.monotonic())
-        if not limits:
-            return None
-        return min(limits)
-
-    def solve_once() -> str:
-        """One budgeted ``solver.check`` with stat accumulation (shared
-        by replayed and live iterations, so both stay comparable in the
-        trace and in ``CompileStats``)."""
-        budget_s = remaining()
-        if budget_s is not None and budget_s <= 0:
-            raise SynthesisTimeout("CEGIS time budget exhausted", outcome)
-        with tracer.span("sat.solve") as solve_span:
-            try:
-                status = solver.check(
-                    max_seconds=budget_s,
-                    max_conflicts=max_conflicts_per_solve,
-                )
-            except CompileFault as exc:
-                # Attach the partial outcome so callers can fold this
-                # attempt's measurements into their stats (mirrors
-                # SynthesisTimeout / VerificationBudgetExceeded).
-                if exc.outcome is None:
-                    exc.outcome = outcome
-                raise
-            finally:
-                outcome.synthesis_seconds += solve_span.elapsed()
-        # Per-solve deltas (not lifetime totals): matches what the
-        # tracing layer records, so CompileStats and the span tree
-        # agree.  Propagations notably differ — clause insertion also
-        # propagates, outside any solve() call.
-        delta = solver.last_check_stats()
-        outcome.sat_conflicts += delta["conflicts"]
-        outcome.sat_decisions += delta["decisions"]
-        outcome.sat_propagations += delta["propagations"]
-        outcome.sat_restarts += delta["restarts"]
-        outcome.sat_learnt_clauses += delta["learned"]
-        return status
-
-    for constraint in sp.structural_constraints():
-        solver.add(constraint)
-    for bits, expected in initial_tests(
-        spec, rng, max_steps=max_steps, directed=directed_tests
-    ):
-        for constraint in sp.encode_test(bits, expected):
-            solver.add(constraint)
-
-    # Checkpoint replay: re-apply previously discovered counterexamples,
-    # preceding each with the solve its original iteration made (keeping
-    # the CDCL state identical to the interrupted run's) but skipping the
-    # decode + verification work — that is where resume saves time.
-    for bits in replay or ():
-        expected = simulate_spec(spec, bits, max_steps)
-        if expected.outcome == OUTCOME_OVERRUN:
-            continue
-        with tracer.span("cegis.replay", index=outcome.replayed + 1):
-            status = solve_once()
-        if status == UNSAT:
-            outcome.feasible = False
-            return outcome
-        if status == UNKNOWN:
-            raise SynthesisTimeout("SAT solver budget exhausted", outcome)
-        for constraint in sp.encode_test(bits, expected):
-            solver.add(constraint)
-        outcome.replayed += 1
-        tracer.count("cegis.replayed")
-
-    for iteration in range(1, max_iterations + 1):
-        outcome.iterations = iteration
-        tracer.count("cegis.iterations")
-        with tracer.span("cegis.iteration", index=iteration):
-            status = solve_once()
-            if status == UNSAT:
-                outcome.feasible = False
-                return outcome
-            if status == UNKNOWN:
-                raise SynthesisTimeout("SAT solver budget exhausted", outcome)
-            candidate = sp.decode(solver.model())
-            with tracer.span("verify") as verify_span:
-                try:
-                    cex = verify_equivalent(
-                        spec,
-                        candidate,
-                        max_steps=max_steps,
-                        max_configs=verify_max_configs,
-                    )
-                except VerificationBudgetExceeded as exc:
-                    exc.outcome = outcome
-                    raise
-                finally:
-                    outcome.verification_seconds += verify_span.elapsed()
-            if cex is None:
-                outcome.program = candidate
-                return outcome
-            outcome.counterexamples.append(cex)
-            tracer.count("cegis.counterexamples")
-            if on_counterexample is not None:
-                on_counterexample(cex.bits)
-        expected = simulate_spec(spec, cex.bits, max_steps)
-        if expected.outcome == OUTCOME_OVERRUN:
-            raise RuntimeError(
-                "specification overran its step bound on a counterexample; "
-                "increase max_unroll_steps"
-            )
-        for constraint in sp.encode_test(cex.bits, expected):
-            solver.add(constraint)
-    raise SynthesisTimeout(
-        f"CEGIS did not converge within {max_iterations} iterations", outcome
+    ``pool`` is the compile-wide :class:`TestPool`: its first
+    ``pool_base`` entries (all of it when None) are encoded as up-front
+    constraints — no solve, no verification — and any tests this run
+    generates or discovers are recorded back into it.  When the seeded
+    prefix already carries directed seed tests, this run reuses them
+    instead of regenerating its own (initial_tests depends on the spec,
+    not the budget).  ``pool_base`` exists for faithful crash-resume: a
+    resumed budget must see exactly the pool prefix the interrupted run
+    saw when it started, not entries recorded afterwards."""
+    session = CegisSession(
+        skeleton,
+        rng,
+        max_iterations=max_iterations,
+        max_conflicts_per_solve=max_conflicts_per_solve,
+        verify_max_configs=verify_max_configs,
+        directed_tests=directed_tests,
+        replay=replay,
+        on_counterexample=on_counterexample,
+        pool=pool,
+        pool_base=pool_base,
     )
+    return session.run(max_seconds=max_seconds, deadline=deadline)

@@ -26,6 +26,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from ..hw.device import DeviceProfile
 from ..ir.analysis import check_extract_before_use, has_loops, max_parse_depth
+from ..ir.bits import Bits
 from ..ir.spec import ParserSpec
 from ..obs import get_tracer
 from ..persist import (
@@ -36,7 +37,7 @@ from ..persist import (
     spec_fingerprint,
 )
 from ..resilience import CompileFault
-from .cegis import SynthesisTimeout, synthesize_for_budget
+from .cegis import CegisSession, SynthesisTimeout, synthesize_for_budget
 from .encoder import EncodingOverflow
 from .normalize import CompileError, prepare_spec
 from .options import CompileOptions
@@ -50,6 +51,7 @@ from .result import (
     CompileStats,
 )
 from .skeleton import build_skeleton, entry_lower_bound
+from .testpool import ORIGIN_CEX, TestChannel, TestPool
 from .verifier import VerificationBudgetExceeded, verify_equivalent
 
 
@@ -83,8 +85,15 @@ class ParserHawkCompiler:
         *,
         checkpoint_dir: Optional[str] = None,
         resume: Optional[bool] = None,
+        test_channel: Optional[TestChannel] = None,
     ) -> CompileResult:
         """Compile ``spec`` for ``device``.
+
+        ``test_channel`` (optional) is the portfolio's cross-arm test
+        exchange: counterexamples this compile discovers are published to
+        it and sibling arms' finds (for the same prepared-spec bit
+        layout) are adopted between budget attempts — see
+        :mod:`repro.core.testpool`.
 
         Persistence (both optional, see :mod:`repro.persist`):
 
@@ -146,7 +155,8 @@ class ParserHawkCompiler:
                 )
             try:
                 result = self._compile_scaled(
-                    spec, device, options, stats, deadline, manager
+                    spec, device, options, stats, deadline, manager,
+                    test_channel,
                 )
             except CompileError as exc:
                 return CompileResult(
@@ -204,6 +214,7 @@ class ParserHawkCompiler:
         stats: CompileStats,
         deadline: Optional[float],
         manager: Optional[CheckpointManager] = None,
+        channel: Optional[TestChannel] = None,
     ) -> CompileResult:
         arms = self._portfolio_arms(spec, device, options)
         tracer = get_tracer()
@@ -220,7 +231,7 @@ class ParserHawkCompiler:
                 )
                 result = self._search_budgets(
                     spec, synth_spec, plan, device, options, stats,
-                    deadline, allow_loops, manager,
+                    deadline, allow_loops, manager, channel,
                 )
             if result.ok:
                 return result
@@ -256,16 +267,36 @@ class ParserHawkCompiler:
         deadline: Optional[float],
         allow_loops: bool,
         manager: Optional[CheckpointManager] = None,
+        channel: Optional[TestChannel] = None,
     ) -> CompileResult:
-        # Checkpoint state is keyed per (loop mode, prepared spec): the
-        # counterexample inputs live in the *synthesis* spec's bit layout
-        # (Opt2/Opt6 scaling changes it), so pools must never cross arms.
-        arm_key = ""
-        if manager is not None:
-            arm_key = (
-                ("loop" if allow_loops else "fwd")
-                + ":" + spec_fingerprint(synth_spec)[:16]
-            )
+        # Checkpoint and pool state are keyed per (loop mode, prepared
+        # spec): the counterexample inputs live in the *synthesis* spec's
+        # bit layout (Opt2/Opt6 scaling changes it), so recorded tests
+        # must never cross layouts.  The layout fingerprint alone also
+        # tags cross-arm channel traffic: portfolio arms that prepare the
+        # same layout (e.g. §6.7.2 key-limit levels) exchange tests, arms
+        # with different layouts ignore each other's.
+        layout_key = spec_fingerprint(synth_spec)[:16]
+        arm_key = ("loop" if allow_loops else "fwd") + ":" + layout_key
+        pool: Optional[TestPool] = None
+        pool_bases: dict = {}
+        if options.test_reuse:
+            pool = TestPool(synth_spec, layout_key=layout_key)
+            if manager is not None:
+                # Resume: rebuild the pool exactly as recorded (content
+                # AND order — budget runs are seeded from its prefixes,
+                # so faithfulness depends on both).
+                for value, length, origin in manager.pool_entries(arm_key):
+                    pool.add(Bits(value, length), origin)
+                # From here on, every new entry becomes durable.
+                pool.on_add = (
+                    lambda entry: manager.record_pool_entry(
+                        arm_key,
+                        entry.bits.uint(),
+                        len(entry.bits),
+                        entry.origin,
+                    )
+                )
         entry_lb = entry_lower_bound(synth_spec, device)
         entry_ub = min(
             device.total_entry_budget(),
@@ -291,6 +322,12 @@ class ParserHawkCompiler:
                 budgets.append((stage_budget, num_entries))
         retired: set = set()
         attempted: set = set()
+        # Warm solver paths (incremental synthesis): budgets whose time
+        # slice expired park their live CegisSession here and the next
+        # escalation round *continues* it — no re-encoding, no repeated
+        # solves or verifications.  Gated on the pool (options.test_reuse)
+        # so --no-test-reuse measures the cold-retry baseline.
+        warm_sessions: dict = {}
         tracer = get_tracer()
         saw_unknown = False
         slice_seconds = options.budget_time_slice
@@ -332,49 +369,118 @@ class ParserHawkCompiler:
                     entries=num_entries,
                     slice=slice_seconds,
                 ):
-                    skeleton = build_skeleton(
-                        synth_spec,
-                        device,
-                        options,
-                        num_entries=num_entries,
-                        stage_budget=stage_budget,
-                        allow_loops=allow_loops,
-                    )
-                    stats.search_space_bits = max(
-                        stats.search_space_bits, skeleton.search_space_bits()
-                    )
                     slice_cap = slice_seconds
                     if options.synthesis_max_seconds is not None:
                         slice_cap = min(
                             slice_cap, options.synthesis_max_seconds
                         )
-                    rng = _budget_rng(
-                        options.seed, allow_loops, stage_budget, num_entries
-                    )
-                    replay = on_cex = None
-                    if manager is not None:
-                        replay = manager.replay_for(arm_key, budget_key)
-                        on_cex = (
-                            lambda bits, _b=budget_key:
-                            manager.record_counterexample(arm_key, _b, bits)
+                    if pool is not None:
+                        # Adopt sibling arms' finds between attempts —
+                        # never mid-run, so a budget's solver state stays
+                        # a pure function of the pool prefix it seeded.
+                        drained = pool.drain(channel)
+                        if drained:
+                            tracer.count("tests.pool_shared_in", drained)
+                    session = warm_sessions.get(budget_key)
+                    if session is not None:
+                        # Warm continuation: the expired attempt's solver,
+                        # constraints, RNG position and iteration counter
+                        # are all live — this slice picks up exactly where
+                        # the previous one stopped.
+                        stats.warm_resumes += 1
+                        tracer.count("budget.warm_resumes")
+                    else:
+                        skeleton = build_skeleton(
+                            synth_spec,
+                            device,
+                            options,
+                            num_entries=num_entries,
+                            stage_budget=stage_budget,
+                            allow_loops=allow_loops,
                         )
-                    try:
-                        outcome = synthesize_for_budget(
+                        stats.search_space_bits = max(
+                            stats.search_space_bits,
+                            skeleton.search_space_bits(),
+                        )
+                        rng = _budget_rng(
+                            options.seed, allow_loops, stage_budget,
+                            num_entries,
+                        )
+                        pool_base = None
+                        if pool is None:
+                            # No pool: keep the original replay behaviour
+                            # (re-apply everything ever recorded for this
+                            # budget).
+                            replay = None
+                            if manager is not None:
+                                replay = manager.replay_for(
+                                    arm_key, budget_key
+                                )
+                        else:
+                            # The checkpoint records each budget's LATEST
+                            # attempt (pool_base + its live
+                            # counterexamples).  Only the first in-process
+                            # touch of a budget can be a faithful
+                            # continuation of a persisted attempt; a cold
+                            # retry (rare — warm sessions cover slice
+                            # expiry) re-baselines to the full current
+                            # pool — earlier attempts' discoveries are in
+                            # it, which is exactly the cross-attempt reuse
+                            # that makes retries cheap — and resets the
+                            # budget's record to match.
+                            replay = None
+                            if (
+                                budget_key not in pool_bases
+                                and manager is not None
+                            ):
+                                pool_base = manager.pool_base(
+                                    arm_key, budget_key
+                                )
+                                if pool_base is not None:
+                                    replay = manager.replay_for(
+                                        arm_key, budget_key
+                                    )
+                            if pool_base is None:
+                                pool_base = len(pool)
+                                if manager is not None:
+                                    manager.begin_attempt(
+                                        arm_key, budget_key, pool_base
+                                    )
+                            pool_bases[budget_key] = pool_base
+
+                        def on_cex(bits, _b=budget_key):
+                            if manager is not None:
+                                manager.record_counterexample(
+                                    arm_key, _b, bits
+                                )
+                            if pool is not None:
+                                pool.add(bits, ORIGIN_CEX)
+                                pool.publish(channel, bits)
+
+                        session = CegisSession(
                             skeleton,
                             rng,
                             max_iterations=options.max_cegis_iterations,
-                            max_seconds=slice_cap,
-                            max_conflicts_per_solve=options.synthesis_max_conflicts,
-                            deadline=deadline,
+                            max_conflicts_per_solve=(
+                                options.synthesis_max_conflicts
+                            ),
                             directed_tests=options.directed_seed_tests,
                             replay=replay,
                             on_counterexample=on_cex,
+                            pool=pool,
+                            pool_base=pool_base,
+                        )
+                    try:
+                        outcome = session.run(
+                            max_seconds=slice_cap, deadline=deadline
                         )
                     except SynthesisTimeout as exc:
                         if exc.outcome is not None:
                             self._merge_outcome(stats, exc.outcome)
                         saw_unknown = True
                         remaining.append(budget_key)
+                        if pool is not None:
+                            warm_sessions[budget_key] = session
                         continue
                     except (
                         EncodingOverflow, VerificationBudgetExceeded
@@ -386,6 +492,9 @@ class ParserHawkCompiler:
                             STATUS_INFEASIBLE, device, message=str(exc)
                         )
                     self._merge_outcome(stats, outcome)
+                    # Terminal outcome (program or UNSAT proof): the
+                    # session's solver state has no further use.
+                    warm_sessions.pop(budget_key, None)
                     if not outcome.feasible:
                         retired.add(budget_key)
                         stats.budgets_retired += 1
@@ -416,7 +525,12 @@ class ParserHawkCompiler:
             if manager is not None:
                 manager.record_slice(arm_key, slice_seconds)
                 manager.flush(force=True)
-        if saw_unknown or budgets:
+        # Undecided budgets (slice schedule ran out first) mean the search
+        # timed out; if every budget was *retired* — each one individually
+        # proved UNSAT — infeasibility is proved even when some earlier
+        # slice expired along the way (saw_unknown only tracks transient
+        # expiries, which retirement supersedes).
+        if budgets or (saw_unknown and len(retired) < len(attempted)):
             raise SynthesisTimeout(
                 "budget search exhausted its time-slice schedule"
             )
@@ -486,6 +600,8 @@ class ParserHawkCompiler:
         """Fold one CEGIS attempt's measurements into the compile stats."""
         stats.cegis_iterations += outcome.iterations
         stats.cegis_replayed += getattr(outcome, "replayed", 0)
+        stats.pool_tests_reused += getattr(outcome, "pool_reused", 0)
+        stats.sat_clauses_added += getattr(outcome, "clauses_added", 0)
         stats.synthesis_seconds += outcome.synthesis_seconds
         stats.verification_seconds += outcome.verification_seconds
         stats.counterexamples += len(outcome.counterexamples)

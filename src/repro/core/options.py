@@ -40,6 +40,14 @@ class CompileOptions:
     # Directed seed tests for CEGIS (our addition; the paper seeds with a
     # single random input/output pair, which the "Orig" arm reproduces).
     directed_seed_tests: bool = True
+    # Incremental synthesis (repro.core.testpool): record every
+    # counterexample and directed seed test once and replay the pool as
+    # up-front constraints into every subsequent budget's CEGIS run (and
+    # across portfolio arms sharing a bit layout).  Valid tests only ever
+    # prune spec-inequivalent candidates, so per-budget feasibility — and
+    # the minimal budget found — is unchanged; the knob exists for A/B
+    # measurement (CLI --no-test-reuse, benchmarks/bench_compile_speed).
+    test_reuse: bool = True
 
     # CEGIS budgets.
     max_cegis_iterations: int = 40

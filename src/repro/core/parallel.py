@@ -37,6 +37,7 @@ grafts the spans under its own trace and merges the counters.
 from __future__ import annotations
 
 import concurrent.futures
+import multiprocessing
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -56,6 +57,7 @@ from ..resilience import CompileFault, PoolBroken
 from ..resilience import injection as _injection
 from ..resilience.injection import fault_point
 from .options import CompileOptions
+from .testpool import TestChannel
 from .result import (
     STATUS_FAULT,
     STATUS_INFEASIBLE,
@@ -137,6 +139,7 @@ def _run_subproblem(
     subproblem: Subproblem,
     trace: bool = False,
     faults: Optional[list] = None,
+    channel: Optional[TestChannel] = None,
 ) -> ArmOutcome:
     # Imported here so worker processes resolve it after fork/spawn.
     from .compiler import ParserHawkCompiler
@@ -149,7 +152,7 @@ def _run_subproblem(
     compiler = ParserHawkCompiler(subproblem.options)
     if not trace:
         return subproblem.priority, compiler.compile(
-            spec, subproblem.device
+            spec, subproblem.device, test_channel=channel
         ), None, None
     # Worker-side tracer: serialized back for the parent to merge.
     tracer = Tracer()
@@ -159,7 +162,9 @@ def _run_subproblem(
             label=subproblem.label,
             priority=subproblem.priority,
         ) as arm_span:
-            result = compiler.compile(spec, subproblem.device)
+            result = compiler.compile(
+                spec, subproblem.device, test_channel=channel
+            )
     return (
         subproblem.priority,
         result,
@@ -275,6 +280,7 @@ def _run_arms_inline(
     deadline: Optional[float],
     results: List[Tuple[int, CompileResult]],
     on_result=None,
+    channel: Optional[TestChannel] = None,
 ) -> List[str]:
     """Run arms in-process, best priority first, under supervision.
 
@@ -293,7 +299,8 @@ def _run_arms_inline(
         ) as arm_span:
             try:
                 _priority, result, _spans, _counters = _run_subproblem(
-                    spec, _with_deadline(sub, deadline)
+                    spec, _with_deadline(sub, deadline), False, None,
+                    channel,
                 )
             except Exception as exc:
                 result = _arm_failure(sub, exc, device)
@@ -316,6 +323,7 @@ def _run_pooled(
     workers: int,
     results: List[Tuple[int, CompileResult]],
     on_result=None,
+    channel: Optional[TestChannel] = None,
 ) -> List[str]:
     """Race arms across a process pool; returns still-pending labels.
 
@@ -334,7 +342,7 @@ def _run_pooled(
         ):
             return _run_arms_inline(
                 spec, subproblems, device, tracer, deadline, results,
-                on_result,
+                on_result, channel,
             )
 
     faults = _injection.snapshot() or None
@@ -350,6 +358,7 @@ def _run_pooled(
                     _with_deadline(sub, deadline),
                     tracer.enabled,
                     faults,
+                    channel,
                 )] = sub
         except (BrokenProcessPool,) + _POOL_UNAVAILABLE_ERRORS as exc:
             broken = exc
@@ -424,7 +433,7 @@ def _run_pooled(
             ):
                 return _run_arms_inline(
                     spec, remaining, device, tracer, deadline, results,
-                    on_result,
+                    on_result, channel,
                 )
         return []
     finally:
@@ -520,18 +529,46 @@ def portfolio_compile(
                 result.message,
             )
 
-    pending: List[str] = []
-    with tracer.span("portfolio", arms=len(subproblems), workers=workers):
+    # Cross-arm test exchange (see repro.core.testpool): arms sharing a
+    # spec layout adopt each other's counterexamples between budget
+    # attempts.  Inline arms share a plain list; pooled arms need a
+    # manager proxy (picklable into workers).  Best-effort throughout —
+    # environments that cannot start a manager just race without sharing.
+    channel: Optional[TestChannel] = None
+    mp_manager = None
+    if options.test_reuse and len(to_run) > 1:
         if workers == 1:
-            pending = _run_arms_inline(
-                spec, to_run, device, tracer, deadline, results,
-                record_arm,
-            )
+            channel = TestChannel()
         else:
-            pending = _run_pooled(
-                spec, to_run, device, tracer, deadline, workers,
-                results, record_arm,
-            )
+            try:
+                mp_manager = multiprocessing.Manager()
+                channel = TestChannel(mp_manager.list())
+            except Exception:
+                tracer.count("portfolio.channel_unavailable")
+                mp_manager = None
+                channel = None
+
+    pending: List[str] = []
+    try:
+        with tracer.span(
+            "portfolio", arms=len(subproblems), workers=workers
+        ):
+            if workers == 1:
+                pending = _run_arms_inline(
+                    spec, to_run, device, tracer, deadline, results,
+                    record_arm, channel,
+                )
+            else:
+                pending = _run_pooled(
+                    spec, to_run, device, tracer, deadline, workers,
+                    results, record_arm, channel,
+                )
+    finally:
+        if mp_manager is not None:
+            try:
+                mp_manager.shutdown()
+            except Exception:
+                pass
 
     result = select_result(subproblems, results, device, pending=pending)
     if manager is not None:

@@ -33,13 +33,24 @@ class CompileStats:
     # Counterexamples re-applied from a checkpoint on resume (each is one
     # solver round without the decode/verify half of a live iteration).
     cegis_replayed: int = 0
+    # Tests replayed from the shared TestPool as up-front constraints
+    # (cross-budget / cross-arm reuse); each one is a CEGIS round-trip
+    # (solve + equivalence verification) that never had to happen.
+    pool_tests_reused: int = 0
     sat_conflicts: int = 0
     sat_decisions: int = 0
     sat_propagations: int = 0
     sat_restarts: int = 0
     sat_learnt_clauses: int = 0
+    # CNF clauses the bit-blaster emitted into solvers (constant folding
+    # reduces this without changing any SAT/UNSAT answer).
+    sat_clauses_added: int = 0
     budgets_tried: int = 0
     budget_retries: int = 0
+    # Retries served by a parked warm CegisSession (solver state, encoded
+    # constraints and iteration position carried over) instead of a cold
+    # re-run from scratch.
+    warm_resumes: int = 0
     budgets_retired: int = 0
     counterexamples: int = 0
     search_space_bits: int = 0

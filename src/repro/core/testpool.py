@@ -1,0 +1,237 @@
+"""Shared test pool: cross-budget / cross-arm counterexample reuse.
+
+Counterexamples and directed seed tests are semantic properties of the
+*specification*, not of the resource budget that happened to discover
+them: any input/output pair valid for the spec must be satisfied by every
+correct implementation at every budget.  The budget search, however, used
+to throw everything away between budgets — each counterexample had to be
+re-discovered at every subsequent budget, and each re-discovery costs a
+full SAT solve plus a product-equivalence verification (the two expensive
+halves of a CEGIS round).
+
+A :class:`TestPool` records every test discovered anywhere in a compile
+exactly once (keyed by input bits, with the spec's expected
+:class:`~repro.ir.simulator.ParseResult` memoized) and replays the pool
+as *up-front constraints* into every subsequent budget's CEGIS run.
+Because the extra constraints are valid for the spec, they can only prune
+spec-inequivalent candidates: per-budget feasibility — and therefore the
+minimal budget found — is semantically unchanged, while most of the
+re-discovery round-trips disappear.
+
+Pools are strictly per bit **layout**: counterexample inputs live in the
+*synthesis* spec's bit positions, and Opt2/Opt6 scaling changes that
+layout per portfolio arm.  Arms that share a prepared-spec layout (e.g.
+the key-limit levels of §6.7.2, which differ only in device limits)
+exchange tests mid-race through a :class:`TestChannel`, whose backing
+list may be a ``multiprocessing`` manager proxy (process pool) or a plain
+list (inline arms).  Entries are tagged with the layout fingerprint so an
+arm only ever adopts tests that are meaningful in its own layout.
+
+Determinism contract (crash-resume): the pool's *content and insertion
+order* at the moment each budget's run starts is what that run's solver
+sees.  ``repro.persist`` therefore records every pool entry in order plus
+a per-budget ``pool_base`` (the pool size when the budget started), and a
+resumed run reconstructs exactly that prefix — see
+:meth:`TestPool.prefix` and ``CheckpointManager.record_pool_entry``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ir.bits import Bits
+from ..ir.simulator import OUTCOME_OVERRUN, ParseResult, simulate_spec
+from ..ir.spec import ParserSpec
+
+ORIGIN_SEED = "seed"     # directed seed test (initial_tests)
+ORIGIN_CEX = "cex"       # CEGIS counterexample (verifier)
+ORIGIN_SHARED = "shared"  # adopted from a sibling arm via the channel
+
+
+@dataclass
+class PoolEntry:
+    """One recorded test input with its memoized expectation."""
+
+    bits: Bits
+    origin: str
+    # Memoized simulate_spec output and the step count it actually used
+    # (len(result.path)).  A non-overrun result is valid at any step
+    # bound >= that count; anything else is re-simulated on demand.
+    result: Optional[ParseResult] = None
+    steps: int = 0
+
+
+@dataclass
+class PoolStats:
+    added: int = 0
+    duplicates: int = 0
+    seeds: int = 0
+    counterexamples: int = 0
+    shared_in: int = 0
+    replayed: int = 0        # entries handed out as up-front constraints
+
+
+class TestPool:
+    """Insertion-ordered, deduplicated set of tests for one spec layout."""
+
+    def __init__(self, spec: ParserSpec, layout_key: str = "") -> None:
+        self.spec = spec
+        self.layout_key = layout_key
+        self._entries: Dict[Tuple[int, int], PoolEntry] = {}
+        self.stats = PoolStats()
+        # Invoked with each genuinely new entry — the checkpoint layer's
+        # hook for making the pool durable in insertion order.
+        self.on_add: Optional[Callable[[PoolEntry], None]] = None
+        # Cursor into the cross-arm channel (entries before it were
+        # already drained).
+        self._channel_pos = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, bits: Bits) -> bool:
+        return (bits.uint(), len(bits)) in self._entries
+
+    def entries(self) -> List[PoolEntry]:
+        return list(self._entries.values())
+
+    def add(self, bits: Bits, origin: str = ORIGIN_CEX) -> bool:
+        """Record a test input; returns True if it was new."""
+        key = (bits.uint(), len(bits))
+        if key in self._entries:
+            self.stats.duplicates += 1
+            return False
+        entry = PoolEntry(bits, origin)
+        self._entries[key] = entry
+        self.stats.added += 1
+        if origin == ORIGIN_SEED:
+            self.stats.seeds += 1
+        elif origin == ORIGIN_SHARED:
+            self.stats.shared_in += 1
+        else:
+            self.stats.counterexamples += 1
+        if self.on_add is not None:
+            self.on_add(entry)
+        return True
+
+    # ------------------------------------------------------------------
+    def prefix(self, size: Optional[int] = None) -> List[PoolEntry]:
+        """The first ``size`` entries in insertion order (all if None)."""
+        entries = list(self._entries.values())
+        if size is None:
+            return entries
+        return entries[:size]
+
+    def expected(
+        self, entry: PoolEntry, max_steps: int
+    ) -> Optional[ParseResult]:
+        """The spec's output for ``entry`` under ``max_steps``, memoized.
+
+        Returns None when the spec overruns the bound on this input (the
+        entry is kept — a later budget with a larger unroll may still use
+        it) — callers must skip such entries."""
+        if (
+            entry.result is not None
+            and entry.result.outcome != OUTCOME_OVERRUN
+            and entry.steps <= max_steps
+        ):
+            return entry.result
+        result = simulate_spec(self.spec, entry.bits, max_steps)
+        entry.result = result
+        entry.steps = len(result.path)
+        if result.outcome == OUTCOME_OVERRUN:
+            return None
+        return result
+
+    def tests(
+        self, max_steps: int, size: Optional[int] = None
+    ) -> List[Tuple[Bits, ParseResult, str]]:
+        """Replayable ``(bits, expected, origin)`` triples, in pool order,
+        limited to the first ``size`` entries (the faithful-resume prefix)
+        and to inputs the spec resolves within ``max_steps``."""
+        out: List[Tuple[Bits, ParseResult, str]] = []
+        for entry in self.prefix(size):
+            expected = self.expected(entry, max_steps)
+            if expected is None:
+                continue
+            out.append((entry.bits, expected, entry.origin))
+        self.stats.replayed += len(out)
+        return out
+
+    def has_seeds(self, size: Optional[int] = None) -> bool:
+        """Whether the (prefix of the) pool already carries seed tests —
+        if so, a budget run can skip regenerating its own directed
+        seeds and reuse the recorded ones."""
+        return any(
+            e.origin == ORIGIN_SEED for e in self.prefix(size)
+        )
+
+    # -- cross-arm exchange --------------------------------------------
+    def drain(self, channel: Optional["TestChannel"]) -> int:
+        """Adopt new channel entries published for this pool's layout.
+
+        Returns how many genuinely new tests were adopted.  Never raises:
+        a broken channel (dead manager process) simply stops supplying."""
+        if channel is None or not self.layout_key:
+            return 0
+        self._channel_pos, items = channel.fetch(
+            self.layout_key, self._channel_pos
+        )
+        adopted = 0
+        for value, length in items:
+            if self.add(Bits(value, length), ORIGIN_SHARED):
+                adopted += 1
+        return adopted
+
+    def publish(
+        self, channel: Optional["TestChannel"], bits: Bits
+    ) -> None:
+        if channel is None or not self.layout_key:
+            return
+        channel.publish(self.layout_key, bits)
+
+
+class TestChannel:
+    """Append-only cross-arm test exchange.
+
+    ``backing`` is any list-like object supporting ``append`` and
+    slicing: a plain list for inline (same-process) arms, or a
+    ``multiprocessing.Manager().list()`` proxy for the process-pool
+    portfolio (the proxy pickles into workers; every operation is a
+    manager round-trip, so arms drain at budget granularity, not per
+    iteration).  All operations are best-effort: a dead manager makes
+    the channel silently inert rather than failing the compile.
+    """
+
+    def __init__(self, backing: Optional[Sequence] = None) -> None:
+        self._list = backing if backing is not None else []
+
+    def publish(self, layout_key: str, bits: Bits) -> None:
+        try:
+            self._list.append((layout_key, bits.uint(), len(bits)))
+        except Exception:
+            pass
+
+    def fetch(
+        self, layout_key: str, start: int
+    ) -> Tuple[int, List[Tuple[int, int]]]:
+        """Entries for ``layout_key`` appended at index >= ``start``;
+        returns the new cursor plus the matching (value, length) pairs."""
+        try:
+            items = list(self._list[start:])
+        except Exception:
+            return start, []
+        matched = [
+            (value, length)
+            for key, value, length in items
+            if key == layout_key
+        ]
+        return start + len(items), matched
+
+    def __len__(self) -> int:
+        try:
+            return len(self._list)
+        except Exception:
+            return 0

@@ -14,6 +14,11 @@ restart cheaply:
 * per-arm **budget-search position**: budgets proved UNSAT (``retired``,
   skipped forever on resume) and the escalation schedule's current time
   slice;
+* the per-arm **test pool** (see :mod:`repro.core.testpool`), in
+  insertion order, plus each budget's ``pool_base`` — the pool size when
+  that budget's run started.  A budget's solver state is a function of
+  the pool prefix it seeded, so faithful replay needs the exact prefix
+  reconstructed, including entries that arrived from sibling arms;
 * the **portfolio manifest**: finished arms and their statuses, so a
   resumed portfolio skips arms that already exhausted their search.
 
@@ -37,7 +42,11 @@ from ..obs import get_tracer
 from .atomic import load_envelope, write_atomic
 
 CHECKPOINT_KIND = "checkpoint"
-CHECKPOINT_VERSION = 1
+# v2 added the per-arm test pool and per-budget pool_base.  A v1 file
+# cannot be replayed faithfully by the incremental-synthesis engine (its
+# recorded counterexamples assume pool prefixes it never stored), so the
+# version gate treats it as absent (cold start) rather than migrating.
+CHECKPOINT_VERSION = 2
 CHECKPOINT_FILENAME = "checkpoint.json"
 
 # Consecutive write failures after which a manager stops trying.
@@ -127,7 +136,13 @@ class CheckpointManager:
     # -- arm / budget state ------------------------------------------------
     def _arm(self, arm_key: str) -> Dict[str, Any]:
         return self.state["arms"].setdefault(
-            arm_key, {"slice_seconds": None, "retired": [], "budgets": {}}
+            arm_key,
+            {
+                "slice_seconds": None,
+                "retired": [],
+                "budgets": {},
+                "pool": [],
+            },
         )
 
     def record_counterexample(
@@ -149,6 +164,64 @@ class CheckpointManager:
         if not doc:
             return []
         return [Bits(value, length) for value, length in doc["cex"]]
+
+    # -- test pool (repro.core.testpool) -----------------------------------
+    def record_pool_entry(
+        self, arm_key: str, value: int, length: int, origin: str
+    ) -> None:
+        """Append one pool entry (insertion order is part of the replay
+        contract — budget runs seed from pool *prefixes*)."""
+        self._arm(arm_key).setdefault("pool", []).append(
+            [value, length, origin]
+        )
+        self._dirty = True
+        get_tracer().count("checkpoint.pool_entries")
+        self.flush()
+
+    def pool_entries(self, arm_key: str) -> List[Tuple[int, int, str]]:
+        arm = self.state["arms"].get(arm_key)
+        if not arm:
+            return []
+        return [
+            (value, length, origin)
+            for value, length, origin in arm.get("pool", [])
+        ]
+
+    def record_pool_base(
+        self, arm_key: str, budget: BudgetKey, base: int
+    ) -> None:
+        budget_doc = self._arm(arm_key)["budgets"].setdefault(
+            _budget_id(budget), {"cex": []}
+        )
+        if budget_doc.get("pool_base") != base:
+            budget_doc["pool_base"] = base
+            self._dirty = True
+
+    def begin_attempt(
+        self, arm_key: str, budget: BudgetKey, base: int
+    ) -> None:
+        """Reset a budget's record for a fresh attempt.
+
+        The checkpoint describes the budget's *latest* attempt: its
+        ``pool_base`` (the full pool as of attempt start — earlier
+        attempts' discoveries are in the pool, so a retry reuses them)
+        and only the counterexamples that attempt discovers live.  A
+        resumed run then replays exactly that attempt: seed the pool
+        prefix, re-apply its recorded counterexamples."""
+        self._arm(arm_key)["budgets"][_budget_id(budget)] = {
+            "cex": [],
+            "pool_base": base,
+        }
+        self._dirty = True
+
+    def pool_base(self, arm_key: str, budget: BudgetKey) -> Optional[int]:
+        arm = self.state["arms"].get(arm_key)
+        if not arm:
+            return None
+        doc = arm["budgets"].get(_budget_id(budget))
+        if not doc:
+            return None
+        return doc.get("pool_base")
 
     def record_retired(self, arm_key: str, budget: BudgetKey) -> None:
         arm = self._arm(arm_key)

@@ -15,15 +15,35 @@ from .sat.clause import neg
 from .sat.solver import SatSolver
 from .terms import BOOL, Term
 
+# Default for constant-aware gate folding (see BitBlaster).  Folding is
+# semantics-preserving — it only short-circuits gates whose output is
+# already determined — so this stays True; the flag exists so benchmarks
+# can A/B the emitted-clause counts with folding disabled.
+FOLD_CONSTANTS = True
+
 
 class BitBlaster:
-    """Incrementally encodes terms into a :class:`SatSolver` instance."""
+    """Incrementally encodes terms into a :class:`SatSolver` instance.
 
-    def __init__(self, solver: SatSolver) -> None:
+    Gate encodings are **constant-aware**: once the constant literal
+    exists, gates fold known-true/known-false inputs (and equal or
+    complementary input pairs) before emitting Tseitin auxiliaries.
+    Constant inputs are common in the synthesis encodings — test
+    constraints substitute concrete input bits into the shared candidate
+    circuit — and every folded gate saves an auxiliary variable and its
+    defining clauses without changing any SAT/UNSAT answer.
+    """
+
+    def __init__(
+        self, solver: SatSolver, fold_constants: bool | None = None
+    ) -> None:
         self.solver = solver
         self._bool_cache: Dict[Term, int] = {}
         self._bv_cache: Dict[Term, List[int]] = {}
         self._true_lit: int | None = None
+        self._fold = (
+            FOLD_CONSTANTS if fold_constants is None else fold_constants
+        )
 
     # ------------------------------------------------------------------
     # Literal helpers
@@ -43,11 +63,37 @@ class BitBlaster:
     def const_lit(self, value: bool) -> int:
         return self.true_lit() if value else self.false_lit()
 
+    def _lit_const(self, l: int) -> bool | None:
+        """True/False when ``l`` is the constant literal (or its
+        negation); None otherwise.  Never allocates the constant — before
+        it exists, no literal can be it."""
+        t = self._true_lit
+        if t is None:
+            return None
+        if l == t:
+            return True
+        if l == (t ^ 1):
+            return False
+        return None
+
     # ------------------------------------------------------------------
     # Gate encodings
     # ------------------------------------------------------------------
     def _and_gate(self, inputs: List[int]) -> int:
-        inputs = [l for l in inputs]
+        if self._fold:
+            seen: set = set()
+            folded: List[int] = []
+            for l in inputs:
+                c = self._lit_const(l)
+                if c is False or (l ^ 1) in seen:
+                    return self.false_lit()
+                if c is True or l in seen:
+                    continue
+                seen.add(l)
+                folded.append(l)
+            inputs = folded
+        else:
+            inputs = [l for l in inputs]
         if not inputs:
             return self.true_lit()
         if len(inputs) == 1:
@@ -60,6 +106,19 @@ class BitBlaster:
         return out
 
     def _xor_gate(self, a: int, b: int) -> int:
+        if self._fold:
+            ca = self._lit_const(a)
+            cb = self._lit_const(b)
+            if ca is not None:
+                if cb is not None:
+                    return self.const_lit(ca != cb)
+                return neg(b) if ca else b
+            if cb is not None:
+                return neg(a) if cb else a
+            if a == b:
+                return self.false_lit()
+            if a == (b ^ 1):
+                return self.true_lit()
         out = self.fresh_lit()
         add = self.solver.add_clause
         add([neg(out), a, b])
@@ -69,6 +128,24 @@ class BitBlaster:
         return out
 
     def _ite_gate(self, c: int, t: int, e: int) -> int:
+        if self._fold:
+            cc = self._lit_const(c)
+            if cc is not None:
+                return t if cc else e
+            if t == e:
+                return t
+            ct = self._lit_const(t)
+            ce = self._lit_const(e)
+            if ct is True:
+                # (c ? 1 : e)  =  c ∨ e
+                return self._or_gate_list([c, e])
+            if ct is False:
+                # (c ? 0 : e)  =  ¬c ∧ e
+                return self._and_gate([neg(c), e])
+            if ce is True:
+                return self._or_gate_list([neg(c), t])
+            if ce is False:
+                return self._and_gate([c, t])
         out = self.fresh_lit()
         add = self.solver.add_clause
         add([neg(c), neg(t), out])
@@ -85,6 +162,18 @@ class BitBlaster:
         return s, carry
 
     def _or_gate_list(self, inputs: List[int]) -> int:
+        if self._fold:
+            seen: set = set()
+            folded: List[int] = []
+            for l in inputs:
+                c = self._lit_const(l)
+                if c is True or (l ^ 1) in seen:
+                    return self.true_lit()
+                if c is False or l in seen:
+                    continue
+                seen.add(l)
+                folded.append(l)
+            inputs = folded
         if not inputs:
             return self.false_lit()
         if len(inputs) == 1:

@@ -85,6 +85,10 @@ class SatSolver:
         self.num_propagations = 0
         self.num_restarts = 0
         self.num_learned = 0
+        # Input clauses handed to add_clause (before level-0 simplification
+        # drops satisfied/tautological ones).  The bit-blaster's constant
+        # folding shows up here: fewer emitted clauses for the same query.
+        self.num_clauses_added = 0
         # Deltas accumulated by the most recent ``solve`` call (the
         # lifetime totals above keep growing across incremental calls).
         self.last_solve_stats: Dict[str, int] = {}
@@ -124,6 +128,7 @@ class SatSolver:
         """Add an input clause. Returns False if the formula became UNSAT."""
         if not self.ok:
             return False
+        self.num_clauses_added += 1
         if self.trail_lim:
             # Incremental use: retract the previous solve's decisions.
             self._cancel_until(0)
@@ -188,15 +193,24 @@ class SatSolver:
         assign = self.assign
         level = self.level
         reason = self.reason
+        # Propagation never opens a decision level, so the level every
+        # implied variable lands on is fixed for the whole call; qhead
+        # lives in a local and is written back only at the exits.
+        cur_level = len(self.trail_lim)
+        qhead = self.qhead
         props = 0
-        while self.qhead < len(trail):
-            p = trail[self.qhead]
-            self.qhead += 1
+        while qhead < len(trail):
+            p = trail[qhead]
+            qhead += 1
             props += 1
+            # Compact the watcher list in place (write cursor j) instead
+            # of allocating a replacement list for every propagated
+            # literal.  Clauses that move to a new watch are simply not
+            # copied forward.
             watchers = watches[p]
-            watches[p] = kept = []
             falsed = p ^ 1
             i = 0
+            j = 0
             n = len(watchers)
             while i < n:
                 clause = watchers[i]
@@ -209,7 +223,8 @@ class SatSolver:
                 first = lits[0]
                 a0 = assign[first >> 1]
                 if a0 >= 0 and (a0 ^ (first & 1)) == 1:
-                    kept.append(clause)
+                    watchers[j] = clause
+                    j += 1
                     continue
                 # Search for a new literal to watch.
                 found = False
@@ -225,18 +240,21 @@ class SatSolver:
                 if found:
                     continue
                 # Clause is unit or conflicting on `first`.
-                kept.append(clause)
+                watchers[j] = clause
+                j += 1
                 if a0 >= 0:
                     # first is FALSE: conflict. Restore remaining watchers.
-                    kept.extend(watchers[i:])
+                    watchers[j:] = watchers[i:]
                     self.qhead = len(trail)
                     self.num_propagations += props
                     return clause
                 v = first >> 1
                 assign[v] = 1 - (first & 1)
-                level[v] = len(self.trail_lim)
+                level[v] = cur_level
                 reason[v] = clause
                 trail.append(first)
+            del watchers[j:]
+        self.qhead = qhead
         self.num_propagations += props
         return None
 
@@ -519,4 +537,5 @@ class SatSolver:
             "propagations": self.num_propagations,
             "restarts": self.num_restarts,
             "learned": self.num_learned,
+            "clauses_added": self.num_clauses_added,
         }

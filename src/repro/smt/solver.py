@@ -75,6 +75,12 @@ class Solver:
         self._blaster = BitBlaster(self._sat)
         self._scope_lits: List[int] = []
         self._vars: set[Term] = set()
+        # Terms whose sub-DAG was already scanned for variables.  Interned
+        # terms make this sound, and it turns per-assert variable
+        # collection incremental: CEGIS asserts thousands of constraints
+        # over one shared candidate circuit, and only the first walk pays
+        # for the shared structure.
+        self._scanned: set[Term] = set()
         self._model: Optional[Model] = None
         self._last_result = UNKNOWN
 
@@ -84,7 +90,7 @@ class Solver:
         for term in terms:
             if not isinstance(term, Term) or term.sort != BOOL:
                 raise TypeError(f"Solver.add expects Bool terms, got {term!r}")
-            collect_vars(term, self._vars)
+            collect_vars(term, self._vars, self._scanned)
             guard = [self._scope_lits[-1]] if self._scope_lits else None
             self._blaster.assert_term(term, guard_lits=guard)
 
@@ -111,7 +117,7 @@ class Solver:
         for term in assumptions:
             if not isinstance(term, Term) or term.sort != BOOL:
                 raise TypeError(f"assumption must be Bool, got {term!r}")
-            collect_vars(term, self._vars)
+            collect_vars(term, self._vars, self._scanned)
             assume_lits.append(self._blaster.bool_lit(term))
         budget = None
         if max_conflicts is not None or max_seconds is not None:

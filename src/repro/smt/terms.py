@@ -688,12 +688,21 @@ def evaluate(term: Term, env: Dict[Term, int], cache: Optional[dict] = None):
     return result
 
 
-def collect_vars(term: Term, into: Optional[set] = None) -> set:
-    """All variable terms appearing in ``term``."""
+def collect_vars(
+    term: Term, into: Optional[set] = None, seen: Optional[set] = None
+) -> set:
+    """All variable terms appearing in ``term``.
+
+    ``seen`` may be a caller-owned set that persists across calls: terms
+    are interned, so a term already in ``seen`` was fully scanned before
+    and contributes nothing new — an incremental caller (the Solver
+    facade, whose assertions share most of their sub-DAG) skips re-walking
+    the shared structure on every assert."""
     if into is None:
         into = set()
+    if seen is None:
+        seen = set()
     stack = [term]
-    seen = set()
     while stack:
         t = stack.pop()
         if t in seen:

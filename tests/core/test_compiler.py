@@ -315,12 +315,14 @@ class TestBudgetAccounting:
         from repro.core import SynthesisTimeout
         from repro.core import compiler as compiler_mod
 
-        def always_times_out(*_args, **_kwargs):
-            raise SynthesisTimeout("synthetic slice expiry")
+        class AlwaysTimesOut:
+            def __init__(self, *_args, **_kwargs):
+                pass
 
-        monkeypatch.setattr(
-            compiler_mod, "synthesize_for_budget", always_times_out
-        )
+            def run(self, *_args, **_kwargs):
+                raise SynthesisTimeout("synthetic slice expiry")
+
+        monkeypatch.setattr(compiler_mod, "CegisSession", AlwaysTimesOut)
         opts = CompileOptions(
             max_extra_entries=0,       # exactly one budget
             budget_time_slice=0.05,    # three escalation rounds:
@@ -332,3 +334,71 @@ class TestBudgetAccounting:
         # One unique budget attempted; the two re-attempts are retries.
         assert result.stats.budgets_tried == 1
         assert result.stats.budget_retries == 2
+
+
+class TestTestReuse:
+    """Cross-budget test reuse (the shared pool + warm sessions) must
+    never change an answer — only how much work finding it costs."""
+
+    def test_reuse_on_off_agree_on_resources(self, dispatch_spec, rng):
+        on = compile_spec(
+            dispatch_spec, TOFINO, CompileOptions(test_reuse=True)
+        )
+        off = compile_spec(
+            dispatch_spec, TOFINO, CompileOptions(test_reuse=False)
+        )
+        assert on.ok and off.ok
+        assert on.num_entries == off.num_entries
+        assert on.num_stages == off.num_stages
+        assert on.stats.cegis_iterations <= off.stats.cegis_iterations
+        assert_program_matches_spec(dispatch_spec, on.program, rng)
+
+    def test_forced_retries_resume_warm(self, dispatch_spec, rng):
+        """A microscopic first slice forces the escalation schedule to
+        retry: with reuse the parked session continues (warm_resumes),
+        without it every retry is a cold re-run.  Where exactly a slice
+        expires is wall-clock dependent, so the entry *patterns* may
+        legitimately differ between modes — the guarantee is the winning
+        budget (the resource counts) and correctness, which must be
+        identical."""
+        on = compile_spec(
+            dispatch_spec, TOFINO,
+            CompileOptions(test_reuse=True, budget_time_slice=1e-6),
+        )
+        off = compile_spec(
+            dispatch_spec, TOFINO,
+            CompileOptions(test_reuse=False, budget_time_slice=1e-6),
+        )
+        assert on.ok and off.ok
+        assert on.num_entries == off.num_entries
+        assert on.num_stages == off.num_stages
+        assert on.stats.warm_resumes >= 1
+        assert off.stats.warm_resumes == 0
+        assert off.stats.budget_retries >= 1
+        assert_program_matches_spec(dispatch_spec, on.program, rng)
+        assert_program_matches_spec(dispatch_spec, off.program, rng)
+
+    def test_pool_reuse_reported_in_stats(self):
+        """Budgets past the first see the pool: a proved-UNSAT first
+        budget's tests are replayed into the next one as constraints."""
+        # {1, 2} share a destination but no ternary cube, so start needs
+        # three entries while the destination-count lower bound claims
+        # two — the search must pass through an UNSAT budget first.
+        spec = parse_spec(
+            """
+            header h { a : 4; x : 2; }
+            parser P {
+                state start {
+                    extract(h.a);
+                    transition select(h.a) {
+                        1 : s1; 2 : s1; default : accept;
+                    }
+                }
+                state s1 { extract(h.x); transition accept; }
+            }
+            """
+        )
+        result = compile_spec(spec, TOFINO, CompileOptions(test_reuse=True))
+        assert result.ok
+        assert result.stats.budgets_retired >= 1
+        assert result.stats.pool_tests_reused >= 1

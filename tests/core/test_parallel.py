@@ -148,7 +148,7 @@ class TestPortfolioCompile:
     ):
         from repro.core import parallel as par
 
-        def fake_run(spec, sub, trace=False):
+        def fake_run(spec, sub, trace=False, faults=None, channel=None):
             # The highest-priority arm "wins" with a program that violates
             # the real device; the next arm wins cleanly.
             violations = ["key too wide"] if sub.priority == 0 else []
@@ -218,7 +218,9 @@ class TestSelectResult:
         monkeypatch.setattr(
             par,
             "_run_subproblem",
-            lambda spec, sub, trace=False: (sub.priority, winner, None, None),
+            lambda spec, sub, trace=False, faults=None, channel=None: (
+                sub.priority, winner, None, None
+            ),
         )
         out = par.portfolio_compile(
             dispatch_spec, DEVICE, CompileOptions(parallel_workers=1)

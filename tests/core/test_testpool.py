@@ -1,0 +1,173 @@
+"""TestPool / TestChannel: dedup, prefix semantics, memoized
+expectations, and the best-effort cross-arm exchange."""
+
+from __future__ import annotations
+
+import pytest
+
+# Aliased so pytest doesn't try to collect the production classes
+# (their names match its Test* pattern).
+from repro.core.testpool import ORIGIN_CEX, ORIGIN_SEED, ORIGIN_SHARED
+from repro.core.testpool import TestChannel as Channel
+from repro.core.testpool import TestPool as Pool
+from repro.ir import Bits, parse_spec, simulate_spec
+
+
+@pytest.fixture
+def spec():
+    return parse_spec(
+        """
+        header eth  { dst : 4; etherType : 4; }
+        header ipv4 { proto : 4; }
+        parser P {
+            state start {
+                extract(eth);
+                transition select(eth.etherType) {
+                    0x8 : parse_ipv4;
+                    default : accept;
+                }
+            }
+            state parse_ipv4 { extract(ipv4); transition accept; }
+        }
+        """
+    )
+
+
+class TestPoolBasics:
+    def test_add_and_dedup(self, spec):
+        pool = Pool(spec)
+        assert pool.add(Bits(0x08, 8), ORIGIN_CEX) is True
+        assert pool.add(Bits(0x08, 8), ORIGIN_SEED) is False  # same input
+        assert pool.add(Bits(0x08, 4), ORIGIN_CEX) is True    # length matters
+        assert len(pool) == 2
+        assert Bits(0x08, 8) in pool
+        assert Bits(0x09, 8) not in pool
+        assert pool.stats.added == 2
+        assert pool.stats.duplicates == 1
+
+    def test_origin_stats(self, spec):
+        pool = Pool(spec)
+        pool.add(Bits(1, 4), ORIGIN_SEED)
+        pool.add(Bits(2, 4), ORIGIN_CEX)
+        pool.add(Bits(3, 4), ORIGIN_SHARED)
+        assert pool.stats.seeds == 1
+        assert pool.stats.counterexamples == 1
+        assert pool.stats.shared_in == 1
+
+    def test_prefix_preserves_insertion_order(self, spec):
+        pool = Pool(spec)
+        inputs = [Bits(5, 4), Bits(0, 8), Bits(0xFF, 8)]
+        for bits in inputs:
+            pool.add(bits)
+        assert [e.bits for e in pool.prefix()] == inputs
+        assert [e.bits for e in pool.prefix(2)] == inputs[:2]
+        assert pool.prefix(0) == []
+
+    def test_on_add_hook_sees_only_new_entries(self, spec):
+        pool = Pool(spec)
+        recorded = []
+        pool.on_add = lambda entry: recorded.append(entry.bits)
+        pool.add(Bits(1, 4))
+        pool.add(Bits(1, 4))   # duplicate: hook must not fire
+        pool.add(Bits(2, 4))
+        assert recorded == [Bits(1, 4), Bits(2, 4)]
+
+    def test_has_seeds_respects_prefix(self, spec):
+        pool = Pool(spec)
+        pool.add(Bits(1, 4), ORIGIN_CEX)
+        pool.add(Bits(2, 4), ORIGIN_SEED)
+        assert pool.has_seeds()
+        assert not pool.has_seeds(1)   # seed sits past the prefix
+
+
+class TestPoolExpectations:
+    def test_tests_match_the_simulator(self, spec):
+        pool = Pool(spec)
+        pool.add(Bits(0x8F, 8))
+        pool.add(Bits(0x01, 8))
+        for bits, expected, _origin in pool.tests(max_steps=16):
+            assert simulate_spec(spec, bits, 16).same_output(expected)
+
+    def test_expectation_memoized(self, spec):
+        pool = Pool(spec)
+        pool.add(Bits(0x8F, 8))
+        (entry,) = pool.entries()
+        first = pool.expected(entry, 16)
+        assert first is not None
+        # Second lookup at an adequate bound returns the cached result.
+        assert pool.expected(entry, 16) is first
+        assert pool.expected(entry, 32) is first
+
+    def test_overrun_entries_skipped_but_kept(self, spec):
+        pool = Pool(spec)
+        pool.add(Bits(0x08F, 12))  # needs two steps (start, parse_ipv4)
+        (entry,) = pool.entries()
+        assert pool.expected(entry, 1) is None
+        assert pool.tests(max_steps=1) == []
+        assert len(pool) == 1      # a larger bound may still use it
+        assert pool.expected(entry, 16) is not None
+        assert len(pool.tests(max_steps=16)) == 1
+
+    def test_tests_limited_to_prefix(self, spec):
+        pool = Pool(spec)
+        pool.add(Bits(0x01, 8))
+        pool.add(Bits(0x02, 8))
+        replayed = pool.tests(max_steps=16, size=1)
+        assert [bits for bits, _e, _o in replayed] == [Bits(0x01, 8)]
+
+
+class TestCrossArmChannel:
+    def test_publish_and_drain(self, spec):
+        channel = Channel()
+        a = Pool(spec, layout_key="arm-a")
+        b = Pool(spec, layout_key="arm-a")
+        a.add(Bits(0x8F, 8))
+        a.publish(channel, Bits(0x8F, 8))
+        assert b.drain(channel) == 1
+        (entry,) = b.entries()
+        assert entry.bits == Bits(0x8F, 8)
+        assert entry.origin == ORIGIN_SHARED
+        # Cursor advanced: nothing new on a second drain.
+        assert b.drain(channel) == 0
+
+    def test_layout_mismatch_not_adopted(self, spec):
+        channel = Channel()
+        a = Pool(spec, layout_key="arm-a")
+        other = Pool(spec, layout_key="arm-b")
+        a.publish(channel, Bits(0x8F, 8))
+        assert other.drain(channel) == 0
+        assert len(other) == 0
+
+    def test_drain_dedups_against_local_pool(self, spec):
+        channel = Channel()
+        pool = Pool(spec, layout_key="arm-a")
+        pool.add(Bits(0x8F, 8), ORIGIN_CEX)
+        channel.publish("arm-a", Bits(0x8F, 8))
+        assert pool.drain(channel) == 0
+        (entry,) = pool.entries()
+        assert entry.origin == ORIGIN_CEX   # local discovery wins
+
+    def test_unkeyed_pool_ignores_channel(self, spec):
+        channel = Channel()
+        channel.publish("arm-a", Bits(1, 4))
+        pool = Pool(spec)   # no layout key: sharing disabled
+        assert pool.drain(channel) == 0
+        pool.publish(channel, Bits(2, 4))
+        assert len(channel) == 1
+
+    def test_broken_backing_is_silently_inert(self, spec):
+        class Broken:
+            def append(self, _item):
+                raise ConnectionResetError("manager died")
+
+            def __getitem__(self, _key):
+                raise ConnectionResetError("manager died")
+
+            def __len__(self):
+                raise ConnectionResetError("manager died")
+
+        channel = Channel(Broken())
+        pool = Pool(spec, layout_key="arm-a")
+        pool.publish(channel, Bits(1, 4))      # must not raise
+        assert pool.drain(channel) == 0
+        assert len(channel) == 0

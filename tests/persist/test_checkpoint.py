@@ -136,3 +136,45 @@ def test_arm_checkpoint_dir_slug(tmp_path):
     # Distinct labels keep distinct directories.
     other = arm_checkpoint_dir(tmp_path, "key<=8,loop-aware")
     assert other != path
+
+
+class TestPoolPersistence:
+    """The shared TestPool is part of the durable state: entries persist
+    in insertion order and each budget records the pool prefix its
+    latest attempt started from."""
+
+    def test_pool_entries_round_trip_in_order(self, tmp_path):
+        manager = CheckpointManager(tmp_path, KEY)
+        manager.record_pool_entry(ARM, 5, 3, "seed")
+        manager.record_pool_entry(ARM, 0, 1, "cex")
+        manager.record_pool_entry(ARM, 0xFF, 8, "shared")
+        resumed = CheckpointManager(tmp_path, KEY, resume=True)
+        assert resumed.pool_entries(ARM) == [
+            (5, 3, "seed"), (0, 1, "cex"), (0xFF, 8, "shared"),
+        ]
+        # Pools are per arm (per bit layout).
+        assert resumed.pool_entries("loop:other") == []
+
+    def test_begin_attempt_keeps_only_the_latest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, KEY)
+        manager.record_counterexample(ARM, BUDGET, Bits(1, 2))
+        # A retry starts a fresh attempt at a larger pool base: the old
+        # attempt's live counterexamples are superseded (they are in the
+        # pool by now), only the new attempt's are replayed.
+        manager.begin_attempt(ARM, BUDGET, 4)
+        manager.record_counterexample(ARM, BUDGET, Bits(3, 2))
+        manager.flush(force=True)
+        resumed = CheckpointManager(tmp_path, KEY, resume=True)
+        assert resumed.pool_base(ARM, BUDGET) == 4
+        assert resumed.replay_for(ARM, BUDGET) == [Bits(3, 2)]
+        assert resumed.pool_base(ARM, STAGED) is None
+        assert resumed.pool_base("loop:other", BUDGET) is None
+
+    def test_pool_base_recorded_without_attempt_reset(self, tmp_path):
+        manager = CheckpointManager(tmp_path, KEY)
+        manager.record_counterexample(ARM, BUDGET, Bits(1, 2))
+        manager.record_pool_base(ARM, BUDGET, 2)
+        manager.flush(force=True)
+        resumed = CheckpointManager(tmp_path, KEY, resume=True)
+        assert resumed.pool_base(ARM, BUDGET) == 2
+        assert resumed.replay_for(ARM, BUDGET) == [Bits(1, 2)]

@@ -280,3 +280,59 @@ class TestSigkillResume:
             resumed["iterations"] + resumed["replayed"]
             == cold["iterations"]
         )
+
+
+class TestResumeWithPool:
+    # The destination-count lower bound claims two entries for `start`
+    # but {1, 2} share no ternary cube, so the search retires an UNSAT
+    # budget before succeeding — the second budget therefore *begins*
+    # with a populated pool, which is the state a crash must preserve.
+    TWO_BUDGET = """
+    header h { a : 4; x : 2; }
+    parser P {
+        state start {
+            extract(h.a);
+            transition select(h.a) { 1 : s1; 2 : s1; default : accept; }
+        }
+        state s1 { extract(h.x); transition accept; }
+    }
+    """
+
+    def test_resume_seeds_the_recorded_pool(self, tmp_path, full_device):
+        """A resumed compile reconstructs the crashed run's TestPool,
+        seeds the crashed budget's recorded prefix as up-front
+        constraints — and still lands on the cold run's winner."""
+        from repro.ir import parse_spec
+
+        spec = parse_spec(self.TWO_BUDGET)
+        cold = compile_spec(spec, full_device, BASE)
+        assert cold.ok and cold.stats.budgets_retired >= 1
+        ckpt = str(tmp_path / "ckpt")
+        # Solve #4 lands inside the second (feasible) budget's run.
+        injection.inject("sat.solve", _fault_after_solves(4), times=None)
+        try:
+            crashed = compile_spec(
+                spec, full_device, BASE.with_(checkpoint_dir=ckpt)
+            )
+        finally:
+            injection.clear()
+        assert crashed.status == STATUS_FAULT
+        # The pool and the attempt's pool base made it to disk.
+        state = json.loads(open(crashed.checkpoint_path).read())["payload"]
+        (arm,) = state["arms"].values()
+        assert len(arm["pool"]) >= 1
+        assert any(
+            doc.get("pool_base") for doc in arm["budgets"].values()
+        )
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            resumed = compile_spec(
+                spec, full_device, BASE.with_(checkpoint_dir=ckpt, resume=True)
+            )
+        assert resumed.ok
+        assert program_fingerprint(resumed.program) == (
+            program_fingerprint(cold.program)
+        )
+        assert resumed.stats.pool_tests_reused >= 1
+        assert tracer.registry.get("tests.pool_hits") >= 1

@@ -213,3 +213,102 @@ def test_concat_extract_round_trip_symbolic(value, width):
     s.add(Eq(Extract(width - 1, 0, padded), BitVecVal(value, width)))
     assert s.check() == SAT
     assert s.model()[x] == value
+
+
+class TestConstantFolding:
+    """Constant-aware gate encodings: when constants reach the blaster
+    (the term layer only folds const-const nodes, so const-vs-variable
+    structures arrive intact) the gates short-circuit instead of
+    emitting Tseitin auxiliaries — fewer clauses, identical answers."""
+
+    def _clause_count(self, term, fold):
+        from repro.smt import BitBlaster, SatSolver
+
+        sat = SatSolver()
+        BitBlaster(sat, fold_constants=fold).assert_term(term)
+        return sat.num_clauses_added
+
+    def _masked_eq(self, width=8, const=0xA6, mask_var="m", val_var="v"):
+        # The §6.4-ablation encoder shape that floods the blaster with
+        # per-bit constant AND inputs: const & mask == value & mask.
+        m = BitVec(mask_var, width)
+        v = BitVec(val_var, width)
+        return Eq(BvAnd(BitVecVal(const, width), m), BvAnd(v, m))
+
+    def test_masked_eq_emits_fewer_clauses(self):
+        term = self._masked_eq()
+        folded = self._clause_count(term, True)
+        unfolded = self._clause_count(term, False)
+        assert folded < unfolded
+
+    def test_ult_against_constant_emits_fewer_clauses(self):
+        term = ULT(BitVec("u", 8), BitVecVal(100, 8))
+        assert self._clause_count(term, True) < (
+            self._clause_count(term, False)
+        )
+
+    def test_ite_with_constant_arms_emits_fewer_clauses(self):
+        c = Bool("c")
+        term = Eq(
+            If(c, BitVecVal(3, 4), BitVec("e", 4)),
+            BitVec("o", 4),
+        )
+        assert self._clause_count(term, True) < (
+            self._clause_count(term, False)
+        )
+
+    def _check_both(self, terms):
+        """Solve the same assertions with folding on and off; statuses
+        must agree, and a SAT model must satisfy every term."""
+        from repro.smt import bitblast as bitblast_mod
+
+        results = {}
+        saved = bitblast_mod.FOLD_CONSTANTS
+        try:
+            for fold in (True, False):
+                bitblast_mod.FOLD_CONSTANTS = fold
+                s = Solver()
+                for t in terms:
+                    s.add(t)
+                status = s.check()
+                model = s.model() if status == SAT else None
+                results[fold] = (status, model)
+        finally:
+            bitblast_mod.FOLD_CONSTANTS = saved
+        assert results[True][0] == results[False][0]
+        return results
+
+    def test_fold_preserves_sat_and_models(self):
+        term = self._masked_eq(const=0x5C)
+        extra = ULT(BitVecVal(0, 8), BitVec("m", 8))  # force mask != 0
+        results = self._check_both([term, extra])
+        assert results[True][0] == SAT
+        for _fold, (status, model) in results.items():
+            assert model.eval(term) is True
+
+    def test_fold_preserves_unsat(self):
+        x = BitVec("x", 4)
+        terms = [
+            Eq(BvAnd(BitVecVal(0b1010, 4), x), BitVecVal(0b0101, 4)),
+        ]
+        results = self._check_both(terms)
+        assert results[True][0] == UNSAT
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        const=st.integers(0, 255),
+        pattern=st.integers(0, 255),
+        op=st.sampled_from(["and", "or", "xor", "add", "sub"]),
+    )
+    def test_fold_agrees_with_brute_force(self, const, pattern, op):
+        build = {
+            "and": BvAnd, "or": BvOr, "xor": BvXor,
+            "add": BvAdd, "sub": BvSub,
+        }[op]
+        x = BitVec(f"bf_{op}", 8)
+        term = Eq(build(BitVecVal(const, 8), x), BitVecVal(pattern, 8))
+        expect_sat = any(
+            evaluate(term, {x: v}) for v in range(256)
+        )
+        results = self._check_both([term])
+        assert (results[True][0] == SAT) == expect_sat
