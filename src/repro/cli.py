@@ -7,7 +7,9 @@ Commands:
 * ``simulate`` — run the reference simulator on an input bitstream;
 * ``validate`` — compile then run the Figure 22 random-simulation check;
 * ``bench``    — regenerate one of the paper's tables from the harness;
-* ``cache``    — inspect/clear/verify a persistent compile cache directory.
+* ``cache``    — inspect/clear/verify a persistent compile cache directory;
+* ``sat``      — run the standalone CDCL solver on DIMACS input (profiling
+  and triage for the synthesis substrate).
 
 Interrupting a checkpointed compile (Ctrl-C) flushes a final checkpoint
 and prints the ``--resume`` invocation hint before exiting with the
@@ -261,6 +263,67 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0 if report["invalid"] == 0 else 1
 
 
+def cmd_sat(args: argparse.Namespace) -> int:
+    """Standalone SAT solving on DIMACS CNF, for profiling and triage.
+
+    Prints the conventional competition ``s`` line; exit status follows
+    the SAT-competition convention (10 SAT, 20 UNSAT, 0 unknown).
+    """
+    from .smt.sat import Budget, SatSolver, dump_solver, parse_dimacs
+
+    num_vars, clauses = parse_dimacs(Path(args.cnf).read_text())
+    solver = SatSolver()
+    solver.ensure_vars(num_vars)
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            break
+    simplify_stats = None
+    if args.simplify and solver.ok:
+        # Standalone solving is the one place nothing is incremental, so
+        # no variable needs freezing.
+        simplify_stats = solver.presimplify()
+    if args.dump and solver.ok:
+        Path(args.dump).write_text(dump_solver(solver))
+    budget = None
+    if args.max_conflicts is not None or args.max_seconds is not None:
+        budget = Budget(
+            max_conflicts=args.max_conflicts, max_seconds=args.max_seconds
+        )
+    result = solver.solve(budget=budget) if solver.ok else False
+    if result is None:
+        print("s UNKNOWN")
+        code = 0
+    elif result:
+        # Verify the model against the original clauses before claiming
+        # SAT — the simplifier's reconstruction must cover every input.
+        model = solver.model()
+        for clause in clauses:
+            if not any(model[l >> 1] ^ bool(l & 1) for l in clause):
+                print("s UNKNOWN")
+                print("c model failed verification", file=sys.stderr)
+                return 1
+        print("s SATISFIABLE")
+        print(
+            "v "
+            + " ".join(
+                str(v + 1) if model[v] else str(-(v + 1))
+                for v in range(num_vars)
+            )
+            + " 0"
+        )
+        code = 10
+    else:
+        print("s UNSATISFIABLE")
+        code = 20
+    if args.stats:
+        for key, value in solver.stats().items():
+            print(f"c {key} = {value}")
+        if simplify_stats is not None:
+            for key, value in simplify_stats.as_dict().items():
+                print(f"c simplify.{key} = {value}")
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -368,6 +431,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("action", choices=["stats", "clear", "verify"])
     p_cache.add_argument("cache_dir", metavar="DIR")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_sat = sub.add_parser(
+        "sat", help="run the standalone CDCL solver on a DIMACS file"
+    )
+    sat_sub = p_sat.add_subparsers(dest="sat_command", required=True)
+    p_sat_solve = sat_sub.add_parser(
+        "solve", help="solve a DIMACS CNF and print the s-line"
+    )
+    p_sat_solve.add_argument("cnf", help="path to a DIMACS .cnf file")
+    p_sat_solve.add_argument(
+        "--simplify",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run SatELite-style preprocessing (subsumption, "
+        "self-subsuming resolution, bounded variable elimination) "
+        "before search",
+    )
+    p_sat_solve.add_argument(
+        "--stats", action="store_true",
+        help="print solver and simplifier counters as 'c' comment lines",
+    )
+    p_sat_solve.add_argument(
+        "--max-conflicts", type=int, default=None, metavar="N",
+        help="budget: give up (s UNKNOWN) after N conflicts",
+    )
+    p_sat_solve.add_argument(
+        "--max-seconds", type=float, default=None, metavar="SECONDS",
+        help="budget: give up (s UNKNOWN) after this much wall clock",
+    )
+    p_sat_solve.add_argument(
+        "--dump", metavar="PATH", default=None,
+        help="write the (possibly preprocessed) formula the search "
+        "actually ran on back out as DIMACS",
+    )
+    p_sat_solve.set_defaults(func=cmd_sat)
 
     return parser
 

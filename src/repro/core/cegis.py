@@ -93,6 +93,9 @@ class CegisOutcome:
     sat_propagations: int = 0
     sat_restarts: int = 0
     sat_learnt_clauses: int = 0
+    # Gate-level CNF cache hits (hash-consed bit-blasting): each hit is a
+    # Tseitin gate a warm or repeated encoding did not have to re-emit.
+    gate_cache_hits: int = 0
 
 
 def initial_tests(
@@ -352,6 +355,7 @@ class CegisSession:
             outcome.sat_propagations += delta["propagations"]
             outcome.sat_restarts += delta["restarts"]
             outcome.sat_learnt_clauses += delta["learned"]
+            outcome.gate_cache_hits += delta.get("gate_cache_hits", 0)
             return status
 
         # Everything below adds clauses; the finally block snapshots the

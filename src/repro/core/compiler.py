@@ -610,6 +610,7 @@ class ParserHawkCompiler:
         stats.sat_propagations += outcome.sat_propagations
         stats.sat_restarts += outcome.sat_restarts
         stats.sat_learnt_clauses += outcome.sat_learnt_clauses
+        stats.sat_gate_cache_hits += getattr(outcome, "gate_cache_hits", 0)
 
     @staticmethod
     def _restore_scaling(program, plan):

@@ -45,6 +45,9 @@ class CompileStats:
     # CNF clauses the bit-blaster emitted into solvers (constant folding
     # reduces this without changing any SAT/UNSAT answer).
     sat_clauses_added: int = 0
+    # Tseitin gates served from the bit-blaster's structural CNF cache
+    # instead of being re-encoded (hash-consed bit-blasting).
+    sat_gate_cache_hits: int = 0
     budgets_tried: int = 0
     budget_retries: int = 0
     # Retries served by a parked warm CegisSession (solver state, encoded

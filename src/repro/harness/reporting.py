@@ -6,6 +6,7 @@ import math
 from typing import Any, Iterable, Optional, Sequence, Tuple, Union
 
 from ..obs import format_profile, format_span_tree
+from ..obs.export import aggregate
 
 TimeValue = Union[float, Tuple[float, bool]]   # seconds, (seconds, capped?)
 
@@ -79,13 +80,44 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_sat_phases(trace: Any) -> str:
+    """One-line SAT-engine phase summary from a trace's counters.
+
+    The solver accounts its own propagate/analyze/simplify wall time and
+    the bit-blaster its structural-cache hits (recorded per ``check`` by
+    the SMT facade); summing them across all spans gives the solver-level
+    profile without any external tooling.  Returns "" when the trace
+    recorded no SAT activity."""
+    totals: dict = {}
+    for row in aggregate(trace).values():
+        for key, value in row["counters"].items():
+            if key.startswith("sat."):
+                totals[key] = totals.get(key, 0) + value
+    if not totals:
+        return ""
+    parts = [
+        f"{label} {totals.get(key, 0.0):.3f}s"
+        for label, key in (
+            ("propagate", "sat.propagate_seconds"),
+            ("analyze", "sat.analyze_seconds"),
+            ("simplify", "sat.simplify_seconds"),
+        )
+    ]
+    parts.append(f"gate-cache hits {int(totals.get('sat.gate_cache_hits', 0))}")
+    return "SAT phases: " + " | ".join(parts)
+
+
 def format_span_breakdown(
     trace: Any, max_depth: int = 4, min_seconds: float = 0.005
 ) -> str:
     """Benchmark-report rendering of a trace (a :class:`repro.obs.Tracer`,
     :class:`repro.obs.Span`, or an exported span-tree dict): the per-span
-    profile table followed by a depth-limited span tree."""
+    profile table, a SAT-engine phase summary, and a depth-limited span
+    tree."""
     profile = format_profile(trace)
     tree = format_span_tree(trace, max_depth=max_depth,
                             min_seconds=min_seconds)
+    phases = format_sat_phases(trace)
+    if phases:
+        profile = f"{profile}\n\n{phases}"
     return f"{profile}\n\nspan tree (depth<={max_depth}):\n{tree}"

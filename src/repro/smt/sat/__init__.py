@@ -1,13 +1,26 @@
 """From-scratch CDCL SAT solver used as ParserHawk's search substrate."""
 
+from .arena import CREF_NONE, ClauseArena
 from .clause import Clause, lit, lit_from_dimacs, neg, sign_of, to_dimacs, var_of
-from .dimacs import load_dimacs, parse_dimacs, solver_from_dimacs, write_dimacs
+from .dimacs import (
+    dump_solver,
+    load_dimacs,
+    parse_dimacs,
+    solver_from_dimacs,
+    write_dimacs,
+)
+from .simplify import Simplifier, SimplifyStats
 from .solver import Budget, SatSolver, luby
 
 __all__ = [
     "Budget",
+    "CREF_NONE",
     "Clause",
+    "ClauseArena",
     "SatSolver",
+    "Simplifier",
+    "SimplifyStats",
+    "dump_solver",
     "lit",
     "lit_from_dimacs",
     "load_dimacs",

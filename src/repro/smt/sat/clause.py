@@ -46,10 +46,13 @@ def sign_of(packed: int) -> bool:
 
 
 class Clause:
-    """A disjunction of packed literals.
+    """A materialized view of a clause: packed literals + metadata.
 
-    The first two positions are the watched literals; the solver maintains
-    the invariant that they are the "most defined" literals in the clause.
+    The solver's hot path no longer stores these — clauses live packed in
+    a flat :class:`~repro.smt.sat.arena.ClauseArena` and are referred to
+    by integer cref.  ``Clause`` remains the convenient boxed form for
+    export, debugging, and tests; :meth:`from_arena` materializes one
+    from a cref.
     """
 
     __slots__ = ("lits", "learnt", "activity")
@@ -58,6 +61,13 @@ class Clause:
         self.lits: List[int] = list(lits)
         self.learnt = learnt
         self.activity = 0.0
+
+    @classmethod
+    def from_arena(cls, arena, cref: int) -> "Clause":
+        """Box the clause stored at ``cref`` (activity included)."""
+        clause = cls(arena.literals(cref), learnt=arena.is_learnt(cref))
+        clause.activity = arena.activity(cref)
+        return clause
 
     def __len__(self) -> int:
         return len(self.lits)

@@ -69,3 +69,22 @@ def write_dimacs(num_vars: int, clauses: List[List[int]]) -> str:
     for clause in clauses:
         lines.append(" ".join(str(to_dimacs(l)) for l in clause) + " 0")
     return "\n".join(lines) + "\n"
+
+
+def dump_solver(solver: SatSolver) -> str:
+    """Render a solver's *current* input formula as DIMACS: level-0 units
+    from the trail plus the live input clauses out of the arena.  Running
+    this after :meth:`SatSolver.presimplify` shows exactly what the
+    preprocessor left for search — the triage view the ``repro sat``
+    subcommand exists for.  Learnt clauses are deliberately excluded
+    (they are implied)."""
+    arena = solver.arena
+    clauses: List[List[int]] = []
+    root = solver.trail if not solver.trail_lim \
+        else solver.trail[: solver.trail_lim[0]]
+    for literal in root:
+        clauses.append([literal])
+    for cref in solver.clauses:
+        if not arena.is_deleted(cref):
+            clauses.append(arena.literals(cref))
+    return write_dimacs(solver.num_vars, clauses)

@@ -1,0 +1,417 @@
+"""SatELite-style preprocessing for the CDCL core.
+
+Three reductions, iterated to (bounded) fixpoint over the input clauses:
+
+* **Subsumption** — a clause ``C ⊆ D`` deletes ``D``.
+* **Self-subsuming resolution** — when ``C`` would subsume ``D`` except
+  for exactly one literal appearing with opposite polarity, ``D`` is
+  *strengthened*: that literal is removed from ``D`` (the resolvent of
+  ``C`` and ``D`` subsumes ``D``).
+* **Bounded variable elimination (BVE)** — a variable ``v`` whose
+  non-tautological resolvent count does not exceed the number of clauses
+  it appears in is resolved away: all clauses mentioning ``v`` are
+  replaced by the resolvents.  Pure literals fall out as the zero-
+  resolvent special case.
+
+Soundness of elimination rests on the *model reconstruction stack*: for
+each eliminated literal ``l`` we save the clauses that contained ``l``
+(the smaller side).  After solving, :meth:`SatSolver.model` walks the
+stack newest-first, defaults ``l`` to false (which satisfies every
+dropped ``¬l`` clause) and flips it to true exactly when one of the
+saved clauses is not otherwise satisfied — the classic SatELite argument
+shows the resolvents the solver *did* see guarantee no ``¬l`` clause
+breaks when that happens.
+
+Elimination is **unsound for incremental use**: a later ``add_clause``
+or assumption over an eliminated variable would bypass the resolvents.
+Callers therefore pass ``frozen`` variables that must survive (the
+CEGIS counterexample selectors and every variable of the SMT facade,
+which opts out of preprocessing entirely); the solver refuses
+post-elimination references with ``ValueError`` as a backstop.
+
+The simplifier works directly on the clause arena at decision level 0,
+maintains its own occurrence lists, and leaves the solver with rebuilt
+watcher lists (and a compacted arena when enough was deleted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from .arena import CREF_NONE
+
+TRUE = 1
+FALSE = 0
+
+# Skip BVE for variables occurring more often than this on both sides:
+# the resolvent check would be quadratic in the occurrence counts.
+ELIM_OCC_LIMIT = 10
+
+# Never produce resolvents longer than this; such eliminations are
+# skipped (long clauses hurt propagation more than one variable helps).
+MAX_RESOLVENT_SIZE = 30
+
+
+@dataclass
+class SimplifyStats:
+    """Counters for one ``presimplify`` run (also the CLI ``--stats`` rows)."""
+
+    rounds: int = 0
+    subsumed: int = 0
+    strengthened: int = 0
+    eliminated_vars: int = 0
+    resolvents_added: int = 0
+    units_found: int = 0
+    satisfied_removed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "rounds": self.rounds,
+            "subsumed": self.subsumed,
+            "strengthened": self.strengthened,
+            "eliminated_vars": self.eliminated_vars,
+            "resolvents_added": self.resolvents_added,
+            "units_found": self.units_found,
+            "satisfied_removed": self.satisfied_removed,
+        }
+
+
+class Simplifier:
+    """One preprocessing run over a solver's input clauses.
+
+    Use through :meth:`SatSolver.presimplify`, which drops learnt
+    clauses first and accounts the wall time.
+    """
+
+    def __init__(
+        self,
+        solver,
+        frozen: Optional[Iterable[int]] = None,
+        max_rounds: int = 3,
+    ) -> None:
+        self.solver = solver
+        self.arena = solver.arena
+        self.frozen: Set[int] = set(frozen or ())
+        self.max_rounds = max_rounds
+        self.stats = SimplifyStats()
+        # occ[lit] -> crefs of live clauses containing lit (may hold dead
+        # crefs transiently; filtered lazily against the deleted bit).
+        self.occ: List[List[int]] = []
+        self.sig: Dict[int, int] = {}  # cref -> variable signature
+
+    # ------------------------------------------------------------------
+    # Setup / bookkeeping
+    # ------------------------------------------------------------------
+    def _signature(self, lits: Iterable[int]) -> int:
+        s = 0
+        for l in lits:
+            s |= 1 << ((l >> 1) & 63)
+        return s
+
+    def _build_occurrences(self) -> bool:
+        """Strip level-0 falsified literals, drop satisfied clauses, and
+        index the survivors.  Returns False on derived UNSAT."""
+        solver = self.solver
+        arena = self.arena
+        self.occ = [[] for _ in range(2 * solver.num_vars)]
+        self.sig.clear()
+        live: List[int] = []
+        for cref in solver.clauses:
+            if arena.is_deleted(cref):
+                continue
+            lits = arena.literals(cref)
+            vals = [solver.value_lit(l) for l in lits]
+            if TRUE in vals:
+                arena.delete(cref)
+                self.stats.satisfied_removed += 1
+                continue
+            if FALSE in vals:
+                kept = [l for l, v in zip(lits, vals) if v != FALSE]
+                if not kept:
+                    return False
+                if len(kept) == 1:
+                    arena.delete(cref)
+                    if not self._assign_unit(kept[0]):
+                        return False
+                    continue
+                self._rewrite(cref, kept)
+                lits = kept
+            for l in lits:
+                self.occ[l].append(cref)
+            self.sig[cref] = self._signature(lits)
+            live.append(cref)
+        solver.clauses = live
+        return True
+
+    def _rewrite(self, cref: int, lits: List[int]) -> None:
+        """Shrink a clause in place to exactly ``lits`` (>= 2 literals)."""
+        data = self.arena.data
+        base = cref + 2
+        for i, l in enumerate(lits):
+            data[base + i] = l
+        self.arena.shrink(cref, len(lits))
+        self.sig[cref] = self._signature(lits)
+
+    def _live(self, crefs: List[int]) -> List[int]:
+        """Filter an occurrence list in place against the deleted bit."""
+        arena = self.arena
+        out = [c for c in crefs if not arena.is_deleted(c)]
+        crefs[:] = out
+        return out
+
+    def _assign_unit(self, literal: int) -> bool:
+        """Apply a derived unit at level 0 through the occurrence lists."""
+        solver = self.solver
+        val = solver.value_lit(literal)
+        if val == TRUE:
+            return True
+        if val == FALSE:
+            return False
+        solver._enqueue(literal, CREF_NONE)
+        solver.qhead = len(solver.trail)
+        self.stats.units_found += 1
+        if not self.occ:
+            return True
+        arena = self.arena
+        for cref in self._live(self.occ[literal]):
+            arena.delete(cref)
+            self.stats.satisfied_removed += 1
+        self.occ[literal] = []
+        for cref in self._live(self.occ[literal ^ 1]):
+            if arena.is_deleted(cref):
+                continue  # a recursive unit cascade got here first
+            lits = [l for l in arena.literals(cref) if l != (literal ^ 1)]
+            if not lits:
+                return False
+            if len(lits) == 1:
+                arena.delete(cref)
+                if not self._assign_unit(lits[0]):
+                    return False
+                continue
+            self._rewrite(cref, lits)
+        self.occ[literal ^ 1] = []
+        return True
+
+    # ------------------------------------------------------------------
+    # Subsumption and strengthening
+    # ------------------------------------------------------------------
+    def _subsumes(self, c_lits: List[int], d_lits: List[int]):
+        """Does C subsume D (return ``True``), subsume it but for one
+        flipped literal ``l`` of C (return ``l``), or neither (``None``)?"""
+        d_set = set(d_lits)
+        flipped = 0
+        for l in c_lits:
+            if l in d_set:
+                continue
+            if (l ^ 1) in d_set and not flipped:
+                flipped = l | 0x40000000  # tag: may be literal 0
+                continue
+            return None
+        if not flipped:
+            return True
+        return flipped & ~0x40000000
+
+    def _backward_subsume(self) -> bool:
+        """One pass of subsumption + self-subsuming resolution.
+        Returns False on derived UNSAT."""
+        solver = self.solver
+        arena = self.arena
+        # Ascending size: small clauses subsume, never get subsumed first.
+        order = sorted(
+            (c for c in solver.clauses if not arena.is_deleted(c)),
+            key=arena.size,
+        )
+        for cref in order:
+            if arena.is_deleted(cref):
+                continue
+            c_lits = arena.literals(cref)
+            c_sig = self.sig[cref]
+            # Scan the occurrence list of C's rarest literal.  Any D that
+            # C subsumes contains every C literal, so it is in occ[best];
+            # the one self-subsuming exception is when the *flipped*
+            # literal is best itself, in which case D is in occ[¬best].
+            best = min(c_lits, key=lambda l: len(self.occ[l]))
+            candidates = self._live(self.occ[best]) + self._live(
+                self.occ[best ^ 1]
+            )
+            seen_c: Set[int] = set()
+            for d in candidates:
+                if d == cref or d in seen_c or arena.is_deleted(d):
+                    continue
+                seen_c.add(d)
+                if c_sig & ~self.sig[d]:
+                    continue  # signature rules subsumption out
+                d_lits = arena.literals(d)
+                if len(d_lits) < len(c_lits):
+                    continue
+                verdict = self._subsumes(c_lits, d_lits)
+                if verdict is True:
+                    arena.delete(d)
+                    self.stats.subsumed += 1
+                elif verdict is not None:
+                    # Strengthen D: drop the flipped literal.  The
+                    # occurrence entry for the dropped literal must go
+                    # too — occ lists are the source of truth for "which
+                    # clauses contain l" in unit application and BVE.
+                    drop = verdict ^ 1
+                    kept = [l for l in d_lits if l != drop]
+                    self.stats.strengthened += 1
+                    if len(kept) == 1:
+                        arena.delete(d)
+                        if not self._assign_unit(kept[0]):
+                            return False
+                    else:
+                        self._rewrite(d, kept)
+                        try:
+                            self.occ[drop].remove(d)
+                        except ValueError:
+                            pass
+                if arena.is_deleted(cref):
+                    break  # a unit cascade consumed C itself
+        return True
+
+    # ------------------------------------------------------------------
+    # Bounded variable elimination
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, c_lits: List[int], d_lits: List[int], pivot: int
+    ) -> Optional[List[int]]:
+        """Resolvent of C (contains pivot) and D (contains ¬pivot), or
+        None when tautological."""
+        out: List[int] = []
+        seen: Set[int] = set()
+        for l in c_lits:
+            if l == pivot:
+                continue
+            seen.add(l)
+            out.append(l)
+        for l in d_lits:
+            if l == (pivot ^ 1) or l in seen:
+                continue
+            if (l ^ 1) in seen:
+                return None
+            out.append(l)
+        return out
+
+    def _try_eliminate(self, v: int) -> Optional[bool]:
+        """Attempt BVE on v. Returns True if eliminated, False if skipped,
+        None on derived UNSAT."""
+        solver = self.solver
+        arena = self.arena
+        pos_l, neg_l = 2 * v, 2 * v + 1
+        pos = self._live(self.occ[pos_l])
+        neg = self._live(self.occ[neg_l])
+        if not pos and not neg:
+            return False
+        if len(pos) > ELIM_OCC_LIMIT and len(neg) > ELIM_OCC_LIMIT:
+            return False
+        budget = len(pos) + len(neg)
+        resolvents: List[List[int]] = []
+        for c in pos:
+            c_lits = arena.literals(c)
+            for d in neg:
+                r = self._resolve(c_lits, arena.literals(d), pos_l)
+                if r is None:
+                    continue
+                if len(r) > MAX_RESOLVENT_SIZE:
+                    return False
+                resolvents.append(r)
+                if len(resolvents) > budget:
+                    return False
+        # Commit: save the smaller side for model reconstruction, drop
+        # every clause mentioning v, add the resolvents.
+        if len(pos) <= len(neg):
+            saved_lit, saved_refs = pos_l, pos
+        else:
+            saved_lit, saved_refs = neg_l, neg
+        solver.reconstruction.append(
+            (saved_lit, [arena.literals(c) for c in saved_refs])
+        )
+        for cref in pos + neg:
+            arena.delete(cref)
+        self.occ[pos_l] = []
+        self.occ[neg_l] = []
+        solver.eliminated[v] = 1
+        self.stats.eliminated_vars += 1
+        for r in resolvents:
+            if len(r) == 1:
+                if not self._assign_unit(r[0]):
+                    return None
+                continue
+            cref = arena.alloc(r)
+            solver.clauses.append(cref)
+            self.sig[cref] = self._signature(r)
+            for l in r:
+                self.occ[l].append(cref)
+            self.stats.resolvents_added += 1
+        return True
+
+    def _eliminate_round(self) -> Optional[int]:
+        """One BVE sweep; returns eliminated count or None on UNSAT."""
+        solver = self.solver
+        count = 0
+        # Fewest occurrences first: cheap eliminations enable later ones.
+        order = sorted(
+            (
+                v
+                for v in range(solver.num_vars)
+                if not solver.eliminated[v]
+                and solver.assign[v] == -1
+                and v not in self.frozen
+            ),
+            key=lambda v: len(self.occ[2 * v]) + len(self.occ[2 * v + 1]),
+        )
+        for v in order:
+            if solver.assign[v] != -1:
+                continue  # a unit cascade assigned it mid-round
+            outcome = self._try_eliminate(v)
+            if outcome is None:
+                return None
+            if outcome:
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def run(self) -> SimplifyStats:
+        solver = self.solver
+        ok = True
+        for _ in range(self.max_rounds):
+            self.stats.rounds += 1
+            before = (
+                self.stats.subsumed,
+                self.stats.strengthened,
+                self.stats.eliminated_vars,
+                self.stats.units_found,
+            )
+            if not self._build_occurrences():
+                ok = False
+                break
+            if not self._backward_subsume():
+                ok = False
+                break
+            eliminated = self._eliminate_round()
+            if eliminated is None:
+                ok = False
+                break
+            after = (
+                self.stats.subsumed,
+                self.stats.strengthened,
+                self.stats.eliminated_vars,
+                self.stats.units_found,
+            )
+            if after == before:
+                break  # fixpoint
+        arena = self.arena
+        solver.clauses = [
+            c for c in solver.clauses if not arena.is_deleted(c)
+        ]
+        if not ok:
+            solver.ok = False
+        if arena.should_collect():
+            solver._garbage_collect()
+        else:
+            solver._rebuild_watches()
+        return self.stats

@@ -5,14 +5,37 @@ solving under assumptions.
 The solver is deliberately self-contained (standard library only) because it
 is the combinatorial search substrate for the whole ParserHawk reproduction:
 the paper offloads its search to Z3; we offload ours to this module.
+
+Clause storage is a flat :class:`~repro.smt.sat.arena.ClauseArena`: all
+literals live in one flat list of ints and clauses are integer references
+(crefs) into it, so the propagation loop reads small ints out of a
+contiguous buffer instead of chasing per-clause Python objects.  Watcher
+lists hold crefs in the exact order the previous object-based solver
+held its clauses: propagation order — and therefore every model the
+solver returns — is bit-identical to the pre-arena implementation.
+(A dedicated inline watch list for binary clauses is measurably faster
+per propagation, but it reorders implications, which changes returned
+models, which changes every CEGIS counterexample downstream; keeping
+the search deterministic across representations is worth more than the
+constant factor.)  Deletion is lazy — ``_reduce_db`` only flips a header bit and
+watcher lists drop dead crefs the next time propagation walks them —
+which removes the full watcher rebuild (quadratic in the limit) the
+previous object-based representation needed.  A compacting GC runs when
+deleted clauses waste more than half the arena.
+
+SatELite-style preprocessing (:mod:`repro.smt.sat.simplify`) is available
+through :meth:`SatSolver.presimplify`; eliminated variables are restored
+in :meth:`SatSolver.model` via the reconstruction stack the simplifier
+leaves behind.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .clause import Clause, neg
+from .arena import CREF_NONE, ClauseArena
 
 TRUE = 1
 FALSE = 0
@@ -24,7 +47,17 @@ class Unsatisfiable(Exception):
 
 
 class Budget:
-    """Resource budget for a single ``solve`` call."""
+    """Resource budget for a single ``solve`` call.
+
+    Conflict-count limits are checked exactly on every conflict; the
+    wall-clock limit polls ``time.monotonic`` only on the first conflict
+    and then every :data:`CLOCK_CHECK_INTERVAL` conflicts — the clock
+    read was a measurable fraction of conflict handling when checked
+    every time, and a sub-interval overshoot is harmless for the budgets
+    the compile pipeline uses.
+    """
+
+    CLOCK_CHECK_INTERVAL = 64
 
     def __init__(
         self,
@@ -35,40 +68,73 @@ class Budget:
         self.max_seconds = max_seconds
         self._start = time.monotonic()
         self._conflicts = 0
+        self._out = False
 
     def note_conflict(self) -> None:
         self._conflicts += 1
 
     def exhausted(self) -> bool:
-        if self.max_conflicts is not None and self._conflicts >= self.max_conflicts:
+        if self._out:
             return True
-        if self.max_seconds is not None:
-            return time.monotonic() - self._start >= self.max_seconds
+        if (
+            self.max_conflicts is not None
+            and self._conflicts >= self.max_conflicts
+        ):
+            self._out = True
+            return True
+        if self.max_seconds is not None and (
+            self._conflicts % self.CLOCK_CHECK_INTERVAL <= 1
+        ):
+            if time.monotonic() - self._start >= self.max_seconds:
+                self._out = True
+                return True
         return False
+
+
+_LUBY_CACHE: Dict[int, int] = {}
 
 
 def luby(i: int) -> int:
     """The i-th element (1-based) of the Luby restart sequence
-    (1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...)."""
+    (1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...).
+
+    Memoized per index: the restart schedule queries successive indices
+    for the solver's whole lifetime and the naive recurrence walk is
+    re-done from scratch on every call otherwise."""
+    hit = _LUBY_CACHE.get(i)
+    if hit is not None:
+        return hit
+    j = i
     while True:
-        if (i + 1) & i == 0:  # i+1 is a power of two
-            return (i + 1) >> 1
+        if (j + 1) & j == 0:  # j+1 is a power of two
+            result = (j + 1) >> 1
+            break
         k = 1
-        while (1 << (k + 1)) - 1 < i:
+        while (1 << (k + 1)) - 1 < j:
             k += 1
-        i -= (1 << k) - 1
+        j -= (1 << k) - 1
+    _LUBY_CACHE[i] = result
+    return result
 
 
 class SatSolver:
-    """CDCL solver over packed literals (see :mod:`repro.smt.sat.clause`)."""
+    """CDCL solver over packed literals (see :mod:`repro.smt.sat.clause`)
+    with arena clause storage (see :mod:`repro.smt.sat.arena`)."""
 
     def __init__(self) -> None:
-        self.clauses: List[Clause] = []
-        self.learnts: List[Clause] = []
-        self.watches: List[List[Clause]] = []
+        self.arena = ClauseArena()
+        self.clauses: List[int] = []         # input clause crefs
+        self.learnts: List[int] = []         # learnt clause crefs
+        self.watches: List[List[int]] = []   # per-literal watching crefs
         self.assign: List[int] = []          # per-var: TRUE/FALSE/UNDEF
+        # Dual-rail mirror of `assign`, indexed by packed literal:
+        # vals[l] is 1/0/-1 for true/false/unassigned.  Propagation reads
+        # literal values millions of times; one subscript replaces the
+        # shift-mask-xor dance against `assign`.  Every assign write
+        # mirrors into vals (enqueue, the propagate fast path, cancel).
+        self.vals: List[int] = []            # per-lit: 1/0/-1
         self.level: List[int] = []           # per-var: decision level
-        self.reason: List[Optional[Clause]] = []
+        self.reason: List[int] = []          # per-var: cref or CREF_NONE
         self.trail: List[int] = []           # assigned literals, in order
         self.trail_lim: List[int] = []       # trail index per decision level
         self.qhead = 0
@@ -80,18 +146,30 @@ class SatSolver:
         self.cla_inc = 1.0
         self.cla_decay = 0.999
         self.ok = True
+        # Variables removed by bounded variable elimination; never decided
+        # or re-used, and re-valued in model() via the reconstruction
+        # stack (lit, clauses-that-contained-lit) the simplifier pushes.
+        self.eliminated = bytearray()
+        self.reconstruction: List[Tuple[int, List[List[int]]]] = []
+        self._seen = bytearray()             # scratch for _analyze
         self.num_conflicts = 0
         self.num_decisions = 0
         self.num_propagations = 0
         self.num_restarts = 0
         self.num_learned = 0
+        self.num_gcs = 0
         # Input clauses handed to add_clause (before level-0 simplification
         # drops satisfied/tautological ones).  The bit-blaster's constant
         # folding shows up here: fewer emitted clauses for the same query.
         self.num_clauses_added = 0
+        # Per-phase wall time (seconds): the solver's own breakdown, so
+        # profiling the hot path needs no external tooling.
+        self.propagate_seconds = 0.0
+        self.analyze_seconds = 0.0
+        self.simplify_seconds = 0.0
         # Deltas accumulated by the most recent ``solve`` call (the
         # lifetime totals above keep growing across incremental calls).
-        self.last_solve_stats: Dict[str, int] = {}
+        self.last_solve_stats: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Variable and clause management
@@ -100,10 +178,14 @@ class SatSolver:
         """Allocate a fresh variable, returning its 0-based index."""
         v = len(self.assign)
         self.assign.append(UNDEF)
+        self.vals.append(UNDEF)
+        self.vals.append(UNDEF)
         self.level.append(-1)
-        self.reason.append(None)
+        self.reason.append(CREF_NONE)
         self.activity.append(0.0)
         self.polarity.append(False)
+        self.eliminated.append(0)
+        self._seen.append(0)
         self.watches.append([])
         self.watches.append([])
         if self.order is not None:
@@ -125,74 +207,159 @@ class SatSolver:
         return a ^ (literal & 1)
 
     def add_clause(self, lits: Iterable[int]) -> bool:
-        """Add an input clause. Returns False if the formula became UNSAT."""
+        """Add an input clause. Returns False if the formula became UNSAT.
+
+        Raises ``ValueError`` when a literal names a variable removed by
+        :meth:`presimplify` — adding to an eliminated variable would
+        invalidate the elimination's model reconstruction, so callers
+        that keep asserting incrementally must freeze those variables.
+        """
         if not self.ok:
             return False
         self.num_clauses_added += 1
         if self.trail_lim:
             # Incremental use: retract the previous solve's decisions.
             self._cancel_until(0)
-        seen: Dict[int, bool] = {}
+        assign = self.assign
+        eliminated = self.eliminated
+        if type(lits) is list and len(lits) == 2:
+            # Fast path for binary clauses — the overwhelming majority of
+            # what gate encodings emit.  Skips the dedup set; semantics
+            # match the general loop below exactly.
+            l0, l1 = lits
+            v0 = l0 >> 1
+            v1 = l1 >> 1
+            if v0 < len(assign) and v1 < len(assign):
+                if eliminated[v0] or eliminated[v1]:
+                    raise ValueError(
+                        "variable was eliminated by presimplify(); "
+                        "freeze it to keep using it incrementally"
+                    )
+                a0 = assign[v0]
+                a1 = assign[v1]
+                if a0 < 0 and a1 < 0:
+                    if l0 == l1:
+                        lits = [l0]  # duplicate literal: unit
+                    elif l0 == l1 ^ 1:
+                        return True  # tautology
+                    else:
+                        cref = self.arena.alloc(lits)
+                        self.clauses.append(cref)
+                        self.watches[l0 ^ 1].append(cref)
+                        self.watches[l1 ^ 1].append(cref)
+                        return True
+        seen: set = set()
         out: List[int] = []
         for l in lits:
-            self.ensure_vars((l >> 1) + 1)
-            val = self.value_lit(l)
-            if val == TRUE:
-                return True  # clause already satisfied at level 0
-            if val == FALSE:
-                continue     # literal is dead
+            v = l >> 1
+            if v >= len(assign):
+                self.ensure_vars(v + 1)
+                assign = self.assign
+                eliminated = self.eliminated
+            elif eliminated[v]:
+                raise ValueError(
+                    f"variable {v} was eliminated by presimplify(); "
+                    "freeze it to keep using it incrementally"
+                )
+            a = assign[v]
+            if a >= 0:
+                if a ^ (l & 1):
+                    return True  # clause already satisfied at level 0
+                continue         # literal is dead
             if l in seen:
                 continue
             if (l ^ 1) in seen:
                 return True  # tautology
-            seen[l] = True
+            seen.add(l)
             out.append(l)
         if not out:
             self.ok = False
             return False
         if len(out) == 1:
-            if not self._enqueue(out[0], None):
+            if not self._enqueue(out[0], CREF_NONE):
                 self.ok = False
                 return False
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict != CREF_NONE:
                 self.ok = False
                 return False
             return True
-        clause = Clause(out)
-        self.clauses.append(clause)
-        self._watch(clause)
+        cref = self.arena.alloc(out)
+        self.clauses.append(cref)
+        self._watch(cref, len(out), out[0], out[1])
         return True
 
-    def _watch(self, clause: Clause) -> None:
-        self.watches[neg(clause[0])].append(clause)
-        self.watches[neg(clause[1])].append(clause)
+    def _watch(self, cref: int, size: int, l0: int, l1: int) -> None:
+        self.watches[l0 ^ 1].append(cref)
+        self.watches[l1 ^ 1].append(cref)
+
+    def _rebuild_watches(self) -> None:
+        """Re-derive every watcher list from the clause lists (used after
+        arena compaction and after preprocessing rewrites the clause set;
+        also drops any lazily-dead crefs still sitting in the lists)."""
+        for lst in self.watches:
+            del lst[:]
+        data = self.arena.data
+        for group in (self.clauses, self.learnts):
+            for cref in group:
+                size = data[cref] >> 2
+                l0 = data[cref + 2]
+                l1 = data[cref + 3]
+                self._watch(cref, size, l0, l1)
+
+    def _garbage_collect(self) -> None:
+        """Compact the arena and remap every held cref."""
+        mapping = self.arena.compact(self.clauses + self.learnts)
+        self.clauses = [mapping[c] for c in self.clauses]
+        self.learnts = [mapping[c] for c in self.learnts]
+        reason = self.reason
+        for v in range(len(reason)):
+            r = reason[v]
+            if r >= 0:
+                # Locked (reason) clauses are never deleted, so the get()
+                # default only covers level-0 reasons whose clause the
+                # simplifier removed; analysis never dereferences those.
+                reason[v] = mapping.get(r, CREF_NONE)
+        self._rebuild_watches()
+        self.num_gcs += 1
 
     # ------------------------------------------------------------------
     # Trail operations
     # ------------------------------------------------------------------
-    def _enqueue(self, literal: int, from_clause: Optional[Clause]) -> bool:
+    def _enqueue(self, literal: int, from_cref: int) -> bool:
         val = self.value_lit(literal)
         if val != UNDEF:
             return val == TRUE
         v = literal >> 1
         self.assign[v] = TRUE if (literal & 1) == 0 else FALSE
+        self.vals[literal] = TRUE
+        self.vals[literal ^ 1] = FALSE
         self.level[v] = len(self.trail_lim)
-        self.reason[v] = from_clause
+        self.reason[v] = from_cref
         self.trail.append(literal)
         return True
 
-    def _propagate(self) -> Optional[Clause]:
-        """Unit propagation. Returns a conflicting clause or None.
+    def _propagate(self) -> int:
+        """Unit propagation. Returns a conflicting cref or CREF_NONE.
 
         This is the solver's hot loop; it inlines literal valuation
-        (``assign[v] ^ (lit & 1)`` with -1 for unassigned) and enqueueing
-        to keep Python-level overhead down."""
+        (``assign[v] ^ (lit & 1)`` with -1 for unassigned) and enqueueing,
+        and reads clause literals straight out of the flat arena.  The
+        visit order matches the old object-based solver exactly (see the
+        module docstring: determinism across representations).  MiniSat's
+        blocker-literal trick was tried here and reverted: skipping a
+        visit whose blocker is satisfied also skips the position-0/1
+        normalization swap and the watch *move* the old solver performs
+        when position 0 is unassigned but position 1 is true, and both
+        leak into conflict-clause scan order — i.e. it changes models."""
+        t0 = perf_counter()
         trail = self.trail
         watches = self.watches
         assign = self.assign
+        vals = self.vals
         level = self.level
         reason = self.reason
+        data = self.arena.data
         # Propagation never opens a decision level, so the level every
         # implied variable lands on is fixed for the whole call; qhead
         # lives in a local and is written back only at the exits.
@@ -205,58 +372,62 @@ class SatSolver:
             props += 1
             # Compact the watcher list in place (write cursor j) instead
             # of allocating a replacement list for every propagated
-            # literal.  Clauses that move to a new watch are simply not
-            # copied forward.
+            # literal.  Clauses that move to a new watch — or that were
+            # lazily deleted — are simply not copied forward.
             watchers = watches[p]
             falsed = p ^ 1
-            i = 0
             j = 0
-            n = len(watchers)
-            while i < n:
-                clause = watchers[i]
-                i += 1
-                lits = clause.lits
+            for i in range(len(watchers)):
+                cref = watchers[i]
+                header = data[cref]
+                if header & 2:
+                    continue  # deleted: lazy watcher removal
+                base = cref + 2
+                first = data[base]
                 # Ensure the falsified literal is at position 1.
-                if lits[0] == falsed:
-                    lits[0] = lits[1]
-                    lits[1] = falsed
-                first = lits[0]
-                a0 = assign[first >> 1]
-                if a0 >= 0 and (a0 ^ (first & 1)) == 1:
-                    watchers[j] = clause
+                if first == falsed:
+                    first = data[base + 1]
+                    data[base] = first
+                    data[base + 1] = falsed
+                vf = vals[first]
+                if vf > 0:
+                    watchers[j] = cref
                     j += 1
                     continue
-                # Search for a new literal to watch.
+                # Search for a new literal to watch (any non-false one).
                 found = False
-                for k in range(2, len(lits)):
-                    lk = lits[k]
-                    ak = assign[lk >> 1]
-                    if ak < 0 or (ak ^ (lk & 1)) == 1:
-                        lits[1] = lk
-                        lits[k] = falsed
-                        watches[lk ^ 1].append(clause)
+                for k in range(base + 2, base + (header >> 2)):
+                    lk = data[k]
+                    if vals[lk] != 0:
+                        data[base + 1] = lk
+                        data[k] = falsed
+                        watches[lk ^ 1].append(cref)
                         found = True
                         break
                 if found:
                     continue
                 # Clause is unit or conflicting on `first`.
-                watchers[j] = clause
+                watchers[j] = cref
                 j += 1
-                if a0 >= 0:
+                if vf == 0:
                     # first is FALSE: conflict. Restore remaining watchers.
-                    watchers[j:] = watchers[i:]
+                    watchers[j:] = watchers[i + 1:]
                     self.qhead = len(trail)
                     self.num_propagations += props
-                    return clause
+                    self.propagate_seconds += perf_counter() - t0
+                    return cref
                 v = first >> 1
                 assign[v] = 1 - (first & 1)
+                vals[first] = 1
+                vals[first ^ 1] = 0
                 level[v] = cur_level
-                reason[v] = clause
+                reason[v] = cref
                 trail.append(first)
             del watchers[j:]
         self.qhead = qhead
         self.num_propagations += props
-        return None
+        self.propagate_seconds += perf_counter() - t0
+        return CREF_NONE
 
     def _decision_level(self) -> int:
         return len(self.trail_lim)
@@ -265,126 +436,211 @@ class SatSolver:
         self.trail_lim.append(len(self.trail))
 
     def _cancel_until(self, target_level: int) -> None:
-        if self._decision_level() <= target_level:
+        if len(self.trail_lim) <= target_level:
             return
+        trail = self.trail
+        assign = self.assign
+        vals = self.vals
+        reason = self.reason
+        polarity = self.polarity
+        order = self.order
+        # Direct position-table access (order._pos) skips a __contains__
+        # call per unwound variable; this loop undoes every assignment a
+        # restart or backjump retracts, so it runs millions of times.
+        pos = order._pos if order is not None else None
         bound = self.trail_lim[target_level]
-        for idx in range(len(self.trail) - 1, bound - 1, -1):
-            literal = self.trail[idx]
+        for idx in range(len(trail) - 1, bound - 1, -1):
+            literal = trail[idx]
             v = literal >> 1
-            self.polarity[v] = (literal & 1) == 0
-            self.assign[v] = UNDEF
-            self.reason[v] = None
-            if self.order is not None and v not in self.order:
-                self.order.insert(v)
-        del self.trail[bound:]
+            polarity[v] = (literal & 1) == 0
+            assign[v] = UNDEF
+            vals[literal] = UNDEF
+            vals[literal ^ 1] = UNDEF
+            reason[v] = CREF_NONE
+            if pos is not None and pos[v] < 0:
+                order.insert(v)
+        del trail[bound:]
         del self.trail_lim[target_level:]
-        self.qhead = len(self.trail)
+        self.qhead = len(trail)
 
     # ------------------------------------------------------------------
     # Conflict analysis (1-UIP)
     # ------------------------------------------------------------------
     def _bump_var(self, v: int) -> None:
-        self.activity[v] += self.var_inc
-        if self.activity[v] > 1e100:
-            for i in range(len(self.activity)):
-                self.activity[i] *= 1e-100
+        activity = self.activity
+        value = activity[v] + self.var_inc
+        activity[v] = value
+        if value > 1e100:
+            for i in range(len(activity)):
+                activity[i] *= 1e-100
             self.var_inc *= 1e-100
-        if self.order is not None:
-            self.order.bumped(v)
+        order = self.order
+        if order is not None:
+            # Inlined order.bumped(v): one bound-method call per bump is
+            # measurable at analyze rates.
+            i = order._pos[v]
+            if i >= 0:
+                order._sift_up(i)
 
-    def _bump_clause(self, clause: Clause) -> None:
-        clause.activity += self.cla_inc
-        if clause.activity > 1e20:
-            for c in self.learnts:
-                c.activity *= 1e-20
+    def _bump_clause(self, cref: int) -> None:
+        if self.arena.bump_activity(cref, self.cla_inc) > 1e20:
+            self.arena.rescale_activities(1e-20)
             self.cla_inc *= 1e-20
 
-    def _analyze(self, conflict: Clause) -> tuple[List[int], int]:
+    def _analyze(self, conflict: int) -> Tuple[List[int], int]:
         """Derive a 1-UIP learnt clause and its backjump level."""
-        learnt: List[int] = [0]  # placeholder for the asserting literal
-        seen = [False] * self.num_vars
+        t0 = perf_counter()
+        data = self.arena.data
+        level = self.level
+        trail = self.trail
+        reason = self.reason
+        seen = self._seen          # persistent scratch; cleared on exit
+        toclear: List[int] = []
+        learnt: List[int] = [0]    # placeholder for the asserting literal
         counter = 0
-        p: Optional[int] = None
-        clause: Optional[Clause] = conflict
-        index = len(self.trail) - 1
-        cur_level = self._decision_level()
+        p = -1                     # no asserting literal yet
+        cref = conflict
+        index = len(trail) - 1
+        cur_level = len(self.trail_lim)
         while True:
-            assert clause is not None
-            if clause.learnt:
-                self._bump_clause(clause)
-            start = 0 if p is None else 1
-            for k in range(start, len(clause.lits)):
-                q = clause.lits[k]
+            header = data[cref]
+            if header & 1:  # learnt
+                self._bump_clause(cref)
+            base = cref + 2
+            # For a reason clause, propagation left the implied literal
+            # (= p) at position 0; skip it.  The initial conflict clause
+            # (p == -1) is scanned in full.
+            start = base if p == -1 else base + 1
+            for k in range(start, base + (header >> 2)):
+                q = data[k]
                 v = q >> 1
-                if not seen[v] and self.level[v] > 0:
-                    seen[v] = True
+                if not seen[v] and level[v] > 0:
+                    seen[v] = 1
+                    toclear.append(v)
                     self._bump_var(v)
-                    if self.level[v] >= cur_level:
+                    if level[v] >= cur_level:
                         counter += 1
                     else:
                         learnt.append(q)
             # Select next literal on the trail to resolve on.
-            while not seen[self.trail[index] >> 1]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            p = self.trail[index]
+            p = trail[index]
             index -= 1
             v = p >> 1
-            seen[v] = False
+            seen[v] = 0
             counter -= 1
             if counter == 0:
                 break
-            clause = self.reason[v]
+            cref = reason[v]
         learnt[0] = p ^ 1
         # Clause minimization: drop literals implied by the rest.
         kept = [learnt[0]]
         for q in learnt[1:]:
-            r = self.reason[q >> 1]
-            if r is None:
+            r = reason[q >> 1]
+            if r < 0:
                 kept.append(q)
                 continue
-            redundant = all(
-                seen[other >> 1] or self.level[other >> 1] == 0
-                for other in r.lits
-                if other != (q ^ 1)
-            )
+            nq = q ^ 1
+            rbase = r + 2
+            redundant = True
+            for k in range(rbase, rbase + (data[r] >> 2)):
+                other = data[k]
+                if other == nq:
+                    continue
+                ov = other >> 1
+                if not seen[ov] and level[ov] != 0:
+                    redundant = False
+                    break
             if not redundant:
                 kept.append(q)
-        for q in kept:
-            seen[q >> 1] = True
         learnt = kept
+        for v in toclear:
+            seen[v] = 0
         if len(learnt) == 1:
             bt_level = 0
         else:
             # Move the literal with the highest level to position 1.
             max_i = 1
             for k in range(2, len(learnt)):
-                if self.level[learnt[k] >> 1] > self.level[learnt[max_i] >> 1]:
+                if level[learnt[k] >> 1] > level[learnt[max_i] >> 1]:
                     max_i = k
             learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
-            bt_level = self.level[learnt[1] >> 1]
+            bt_level = level[learnt[1] >> 1]
+        self.analyze_seconds += perf_counter() - t0
         return learnt, bt_level
 
     # ------------------------------------------------------------------
     # Learnt-clause DB reduction
     # ------------------------------------------------------------------
     def _reduce_db(self) -> None:
-        self.learnts.sort(key=lambda c: c.activity)
-        keep_from = len(self.learnts) // 2
-        removed = set()
-        for clause in self.learnts[:keep_from]:
-            if len(clause) > 2 and not self._is_reason(clause):
-                removed.add(id(clause))
-        if not removed:
-            return
-        self.learnts = [c for c in self.learnts if id(c) not in removed]
-        for wl in range(len(self.watches)):
-            self.watches[wl] = [
-                c for c in self.watches[wl] if id(c) not in removed
-            ]
+        """Drop the lazier half of the learnt DB.
 
-    def _is_reason(self, clause: Clause) -> bool:
-        v = clause[0] >> 1
-        return self.reason[v] is clause and self.value_lit(clause[0]) == TRUE
+        Deletion only flips the header bit (watchers clean themselves up
+        lazily during propagation); when enough of the arena is dead a
+        compacting GC runs.  There is no full watcher rebuild here — that
+        rebuild made the old representation's reduction quadratic on
+        clause-heavy instances."""
+        arena = self.arena
+        data = arena.data
+        acts = arena.activities
+        self.learnts.sort(key=lambda c: acts[data[c + 1]])
+        keep_from = len(self.learnts) // 2
+        removed = 0
+        for cref in self.learnts[:keep_from]:
+            if (data[cref] >> 2) > 2 and not self._is_reason(cref):
+                arena.delete(cref)
+                removed += 1
+        if removed:
+            deleted_bit = 2
+            self.learnts = [
+                c for c in self.learnts if not data[c] & deleted_bit
+            ]
+        if arena.should_collect():
+            self._garbage_collect()
+
+    def _is_reason(self, cref: int) -> bool:
+        first = self.arena.data[cref + 2]
+        v = first >> 1
+        return self.reason[v] == cref and self.value_lit(first) == TRUE
+
+    # ------------------------------------------------------------------
+    # Preprocessing
+    # ------------------------------------------------------------------
+    def presimplify(
+        self,
+        frozen: Optional[Iterable[int]] = None,
+        max_rounds: int = 3,
+    ):
+        """Run SatELite-style preprocessing (subsumption, self-subsuming
+        resolution, bounded variable elimination) on the input clauses.
+
+        ``frozen`` lists variable indices that must survive elimination —
+        anything the caller will still mention in assumptions or future
+        ``add_clause`` calls (the incremental SMT facade freezes
+        everything and therefore opts out entirely; the standalone DIMACS
+        path freezes nothing).  Learnt clauses are discarded first: after
+        elimination they could re-introduce removed variables.
+
+        Returns the :class:`~repro.smt.sat.simplify.SimplifyStats` for
+        the run, or ``None`` when the solver is already UNSAT.  Sets
+        ``ok=False`` when preprocessing derives unsatisfiability.
+        """
+        from .simplify import Simplifier
+
+        if not self.ok:
+            return None
+        self._cancel_until(0)
+        t0 = perf_counter()
+        try:
+            for cref in self.learnts:
+                self.arena.delete(cref)
+            self.learnts = []
+            simp = Simplifier(self, frozen=frozen, max_rounds=max_rounds)
+            stats = simp.run()
+        finally:
+            self.simplify_seconds += perf_counter() - t0
+        return stats
 
     # ------------------------------------------------------------------
     # Search
@@ -394,11 +650,13 @@ class SatSolver:
             from .heap import ActivityHeap
 
             self.order = ActivityHeap(self.activity)
-            for v in range(self.num_vars):
-                self.order.insert(v)
-        while len(self.order):
-            v = self.order.pop_max()
-            if self.assign[v] == UNDEF:
+            self.order.build(range(self.num_vars))
+        eliminated = self.eliminated
+        assign = self.assign
+        order = self.order
+        while len(order):
+            v = order.pop_max()
+            if assign[v] == UNDEF and not eliminated[v]:
                 return v
         return -1
 
@@ -411,9 +669,9 @@ class SatSolver:
 
         Returns True (SAT), False (UNSAT), or None if the budget ran out.
         ``last_solve_stats`` afterwards holds this call's deltas
-        (conflicts/decisions/propagations/restarts/learned) — the per-call
-        view the tracing layer records, as opposed to the lifetime totals
-        of :meth:`stats`.
+        (conflicts/decisions/propagations/restarts/learned plus the
+        per-phase second counters) — the per-call view the tracing layer
+        records, as opposed to the lifetime totals of :meth:`stats`.
         """
         before = (
             self.num_conflicts,
@@ -421,6 +679,8 @@ class SatSolver:
             self.num_propagations,
             self.num_restarts,
             self.num_learned,
+            self.propagate_seconds,
+            self.analyze_seconds,
         )
         try:
             return self._solve(assumptions, budget)
@@ -431,6 +691,8 @@ class SatSolver:
                 "propagations": self.num_propagations - before[2],
                 "restarts": self.num_restarts - before[3],
                 "learned": self.num_learned - before[4],
+                "propagate_seconds": self.propagate_seconds - before[5],
+                "analyze_seconds": self.analyze_seconds - before[6],
             }
 
     def _solve(
@@ -440,9 +702,15 @@ class SatSolver:
     ) -> Optional[bool]:
         if not self.ok:
             return False
+        for a in assumptions:
+            if self.eliminated[a >> 1]:
+                raise ValueError(
+                    f"assumption on eliminated variable {a >> 1}; "
+                    "freeze assumption variables before presimplify()"
+                )
         self._cancel_until(0)
         conflict = self._propagate()
-        if conflict is not None:
+        if conflict != CREF_NONE:
             self.ok = False
             return False
         self.conflict_assumptions: List[int] = []
@@ -452,7 +720,7 @@ class SatSolver:
         max_learnts = max(1000, len(self.clauses) // 2)
         while True:
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict != CREF_NONE:
                 self.num_conflicts += 1
                 conflicts_this_restart += 1
                 if budget is not None:
@@ -460,20 +728,20 @@ class SatSolver:
                     if budget.exhausted():
                         self._cancel_until(0)
                         return None
-                if self._decision_level() == 0:
+                if not self.trail_lim:
                     self.ok = False
                     return False
                 learnt, bt_level = self._analyze(conflict)
                 self.num_learned += 1
                 self._cancel_until(bt_level)
                 if len(learnt) == 1:
-                    self._enqueue(learnt[0], None)
+                    self._enqueue(learnt[0], CREF_NONE)
                 else:
-                    clause = Clause(learnt, learnt=True)
-                    self.learnts.append(clause)
-                    self._watch(clause)
-                    self._bump_clause(clause)
-                    self._enqueue(learnt[0], clause)
+                    cref = self.arena.alloc(learnt, learnt=True)
+                    self.learnts.append(cref)
+                    self._watch(cref, len(learnt), learnt[0], learnt[1])
+                    self._bump_clause(cref)
+                    self._enqueue(learnt[0], cref)
                 self.var_inc /= self.var_decay
                 self.cla_inc /= self.cla_decay
                 if len(self.learnts) > max_learnts:
@@ -501,15 +769,15 @@ class SatSolver:
             if next_lit is not None:
                 self.num_decisions += 1
                 self._new_decision_level()
-                self._enqueue(next_lit, None)
+                self._enqueue(next_lit, CREF_NONE)
                 continue
             v = self._pick_branch_var()
             if v < 0:
-                return True  # all variables assigned: SAT
+                return True  # all non-eliminated variables assigned: SAT
             self.num_decisions += 1
             self._new_decision_level()
             literal = 2 * v + (0 if self.polarity[v] else 1)
-            self._enqueue(literal, None)
+            self._enqueue(literal, CREF_NONE)
 
     def _record_assumption_conflict(
         self, failed: int, assumptions: Sequence[int]
@@ -521,13 +789,35 @@ class SatSolver:
     # Model access
     # ------------------------------------------------------------------
     def model(self) -> List[bool]:
-        """The satisfying assignment after a True result (per variable)."""
-        return [a == TRUE for a in self.assign]
+        """The satisfying assignment after a True result (per variable).
+
+        Eliminated variables are re-valued from the reconstruction stack:
+        processed newest-first, each eliminated literal defaults to false
+        and flips to true exactly when one of its saved clauses is not
+        already satisfied — the standard SatELite argument guarantees the
+        opposite-polarity clauses (whose resolvents the solver did see)
+        then hold as well."""
+        m = [a == TRUE for a in self.assign]
+        for l, saved in reversed(self.reconstruction):
+            v = l >> 1
+            m[v] = (l & 1) == 1  # default: literal l false
+            for clause in saved:
+                satisfied = False
+                for q in clause:
+                    if q != l and m[q >> 1] != bool(q & 1):
+                        satisfied = True
+                        break
+                if not satisfied:
+                    m[v] = (l & 1) == 0  # literal l true
+                    break
+        return m
 
     def model_value(self, literal: int) -> bool:
+        if self.reconstruction and self.eliminated[literal >> 1]:
+            return self.model()[literal >> 1] ^ bool(literal & 1)
         return self.value_lit(literal) == TRUE
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, float]:
         return {
             "vars": self.num_vars,
             "clauses": len(self.clauses),
@@ -538,4 +828,10 @@ class SatSolver:
             "restarts": self.num_restarts,
             "learned": self.num_learned,
             "clauses_added": self.num_clauses_added,
+            "eliminated": sum(self.eliminated),
+            "arena_words": len(self.arena),
+            "arena_gcs": self.num_gcs,
+            "propagate_seconds": round(self.propagate_seconds, 6),
+            "analyze_seconds": round(self.analyze_seconds, 6),
+            "simplify_seconds": round(self.simplify_seconds, 6),
         }

@@ -83,6 +83,9 @@ class Solver:
         self._scanned: set[Term] = set()
         self._model: Optional[Model] = None
         self._last_result = UNKNOWN
+        self._gate_hits_seen = 0  # for per-check gate-cache deltas
+        self._last_gate_hits_delta = 0
+        self._simplify_seen = 0.0  # for per-check simplify-time deltas
 
     # ------------------------------------------------------------------
     def add(self, *terms: Term) -> None:
@@ -133,6 +136,12 @@ class Solver:
                 f"SAT solver exhausted interpreter resources: "
                 f"{type(exc).__name__}", site="sat.solve",
             ) from exc
+        # Gate-cache hits accrue during add()/bit-blasting between checks;
+        # attribute each stretch to the check that consumes it so the
+        # per-call deltas in last_check_stats stay additive.
+        hits = self._blaster.gate_cache_hits
+        self._last_gate_hits_delta = hits - self._gate_hits_seen
+        self._gate_hits_seen = hits
         tracer = get_tracer()
         if tracer.enabled:
             delta = self._sat.last_solve_stats
@@ -142,6 +151,19 @@ class Solver:
             tracer.count("sat.propagations", delta.get("propagations", 0))
             tracer.count("sat.restarts", delta.get("restarts", 0))
             tracer.count("sat.learnt_clauses", delta.get("learned", 0))
+            # Per-phase solver time and CNF-cache effectiveness: the
+            # solver's own profile, readable from any span breakdown
+            # without external tooling.
+            tracer.count(
+                "sat.propagate_seconds", delta.get("propagate_seconds", 0.0)
+            )
+            tracer.count(
+                "sat.analyze_seconds", delta.get("analyze_seconds", 0.0)
+            )
+            simp = self._sat.simplify_seconds
+            tracer.count("sat.simplify_seconds", simp - self._simplify_seen)
+            self._simplify_seen = simp
+            tracer.count("sat.gate_cache_hits", self._last_gate_hits_delta)
         if result is None:
             self._last_result = UNKNOWN
         elif result:
@@ -162,7 +184,9 @@ class Solver:
 
     def last_check_stats(self) -> Dict[str, int]:
         """Per-call solver deltas for the most recent :meth:`check`."""
-        return dict(self._sat.last_solve_stats)
+        stats = dict(self._sat.last_solve_stats)
+        stats["gate_cache_hits"] = self._last_gate_hits_delta
+        return stats
 
     @property
     def sat_solver(self) -> SatSolver:

@@ -29,7 +29,7 @@ class Term:
     which makes equality checks and bit-blasting caches cheap.
     """
 
-    __slots__ = ("op", "args", "extra", "sort", "_hash")
+    __slots__ = ("op", "args", "extra", "sort", "_hash", "_neg")
 
     _interned: Dict[tuple, "Term"] = {}
 
@@ -50,6 +50,10 @@ class Term:
         self.extra = extra
         self.sort = sort
         self._hash = hash(key)
+        # Memoized negation (filled in by Not); the synthesis encodings
+        # negate the same guard terms tens of thousands of times per
+        # compile, so one slot beats re-interning a ("not", ...) key.
+        self._neg = None
         cls._interned[key] = self
         return self
 
@@ -206,26 +210,42 @@ def BitVecVal(value: int, width: int) -> Term:
 # ---------------------------------------------------------------------------
 
 def Not(a: Term) -> Term:
+    try:
+        neg = a._neg
+    except AttributeError:
+        _expect_bool(a, "Not")  # raises TypeError for non-Term inputs
+        raise
+    if neg is not None:
+        return neg
     _expect_bool(a, "Not")
     if a.is_const:
-        return BoolVal(not a.value)
-    if a.op == "not":
-        return a.args[0]
-    return Term("not", (a,), (), BOOL)
+        neg = BoolVal(not a.value)
+    elif a.op == "not":
+        neg = a.args[0]
+    else:
+        neg = Term("not", (a,), (), BOOL)
+    a._neg = neg
+    neg._neg = a
+    return neg
 
 
 def And(*args) -> Term:
     terms = _flatten_bool(args, "and")
+    seen = set()
     out = []
     for t in terms:
         if t.is_const:
             if not t.value:
                 return FALSE
             continue
-        out.append(t)
-    out = _dedupe(out)
+        if t not in seen:
+            seen.add(t)
+            out.append(t)
+    # Complementary-pair folding without constructing Not(t) per element:
+    # if both x and ¬x survived dedup, the iteration reaches the "not"
+    # node and finds its argument in `seen`.
     for t in out:
-        if Not(t) in out:
+        if t.op == "not" and t.args[0] in seen:
             return FALSE
     if not out:
         return TRUE
@@ -236,16 +256,18 @@ def And(*args) -> Term:
 
 def Or(*args) -> Term:
     terms = _flatten_bool(args, "or")
+    seen = set()
     out = []
     for t in terms:
         if t.is_const:
             if t.value:
                 return TRUE
             continue
-        out.append(t)
-    out = _dedupe(out)
+        if t not in seen:
+            seen.add(t)
+            out.append(t)
     for t in out:
-        if Not(t) in out:
+        if t.op == "not" and t.args[0] in seen:
             return TRUE
     if not out:
         return FALSE
@@ -293,16 +315,6 @@ def _flatten_bool(args: Sequence, op: str):
             out.extend(item.args)
         else:
             out.append(item)
-    return out
-
-
-def _dedupe(terms):
-    seen = set()
-    out = []
-    for t in terms:
-        if t not in seen:
-            seen.add(t)
-            out.append(t)
     return out
 
 
@@ -577,6 +589,18 @@ def _fresh_bool(prefix: str) -> Term:
     return Bool(f"__{prefix}{_FRESH_COUNTER[0]}")
 
 
+# AtMostOne over the same input tuple recurs constantly in the synthesis
+# encodings (every CEGIS iteration re-asserts the selector one-hots), and
+# the large-input encoding mints fresh auxiliary variables per call —
+# identical inputs would otherwise blow up the variable count linearly in
+# the iteration count.  Memoizing on the interned input terms returns the
+# exact same term (and the same auxiliaries), which downstream hash-consed
+# bit-blasting then encodes exactly once.  Re-asserting a returned term is
+# idempotent, so sharing auxiliaries keeps the documented positive-
+# assertion-only contract sound.
+_AMO_CACHE: Dict[Tuple["Term", ...], "Term"] = {}
+
+
 def AtMostOne(bits: Sequence[Term]) -> Term:
     """At most one of the Bool terms holds.
 
@@ -589,6 +613,16 @@ def AtMostOne(bits: Sequence[Term]) -> Term:
     clause count linear — essential for the synthesis encodings' wide
     one-hot selectors."""
     bits = list(bits)
+    key = tuple(bits)
+    hit = _AMO_CACHE.get(key)
+    if hit is not None:
+        return hit
+    result = _at_most_one(bits)
+    _AMO_CACHE[key] = result
+    return result
+
+
+def _at_most_one(bits: Sequence[Term]) -> Term:
     n = len(bits)
     if n <= 1:
         return TRUE

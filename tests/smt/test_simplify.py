@@ -1,0 +1,211 @@
+"""Property tests for SatELite-style preprocessing.
+
+The load-bearing suite is the 500-CNF fuzz: every random formula is
+solved simplified and unsimplified, both answers are checked against
+brute-force enumeration, and every SAT model — including values the
+reconstruction stack fills in for eliminated variables — is verified
+against the *original* clauses.  Frozen-variable runs additionally check
+assumption solving and post-simplification clause addition stay exact.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smt.sat import SatSolver, lit
+from repro.smt.sat.simplify import Simplifier, SimplifyStats
+
+
+def brute_force_sat(num_vars, clauses):
+    """All satisfying assignments by enumeration (small num_vars only)."""
+    models = []
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(
+            any(bits[l >> 1] ^ bool(l & 1) == 1 for l in clause)
+            for clause in clauses
+        ):
+            models.append(bits)
+    return models
+
+
+def random_cnf(rng, max_vars=8, max_clauses=24, max_width=4):
+    n = rng.randint(1, max_vars)
+    m = rng.randint(1, max_clauses)
+    clauses = []
+    for _ in range(m):
+        width = rng.randint(1, min(max_width, n))
+        vs = rng.sample(range(n), width)
+        clauses.append([lit(v, rng.random() < 0.5) for v in vs])
+    return n, clauses
+
+
+def build_solver(n, clauses):
+    s = SatSolver()
+    s.ensure_vars(n)
+    for clause in clauses:
+        if not s.add_clause(clause):
+            break
+    return s
+
+
+def model_satisfies(model, clauses):
+    return all(
+        any(model[l >> 1] ^ bool(l & 1) for l in clause)
+        for clause in clauses
+    )
+
+
+class TestSimplifyUnits:
+    def test_subsumption_removes_superset(self):
+        s = build_solver(3, [[lit(0), lit(1)], [lit(0), lit(1), lit(2)]])
+        stats = s.presimplify(frozen=range(3))
+        assert stats.subsumed == 1
+        assert s.solve() is True
+
+    def test_self_subsuming_resolution_strengthens(self):
+        # (a ∨ b) and (a ∨ ¬b ∨ c): the second is strengthened to (a ∨ c).
+        s = build_solver(
+            3, [[lit(0), lit(1)], [lit(0), lit(1, False), lit(2)]]
+        )
+        stats = s.presimplify(frozen=range(3))
+        assert stats.strengthened == 1
+        assert s.solve() is True
+
+    def test_pure_literal_elimination(self):
+        # Variable 1 only occurs positively: clauses mentioning it vanish.
+        s = build_solver(3, [[lit(0), lit(1)], [lit(1), lit(2)]])
+        stats = s.presimplify()
+        assert stats.eliminated_vars >= 1
+        assert s.solve() is True
+        assert model_satisfies(s.model(), [[lit(0), lit(1)], [lit(1), lit(2)]])
+
+    def test_unsat_detected_during_preprocessing(self):
+        s = build_solver(
+            2,
+            [[lit(0), lit(1)], [lit(0), lit(1, False)],
+             [lit(0, False), lit(1)], [lit(0, False), lit(1, False)]],
+        )
+        s.presimplify()
+        assert s.ok is False or s.solve() is False
+
+    def test_eliminated_var_add_clause_raises(self):
+        s = build_solver(3, [[lit(0), lit(1)], [lit(1), lit(2)]])
+        stats = s.presimplify()
+        assert stats.eliminated_vars >= 1
+        eliminated = next(v for v in range(3) if s.eliminated[v])
+        with pytest.raises(ValueError):
+            s.add_clause([lit(eliminated)])
+
+    def test_eliminated_var_assumption_raises(self):
+        s = build_solver(3, [[lit(0), lit(1)], [lit(1), lit(2)]])
+        s.presimplify()
+        eliminated = next(v for v in range(3) if s.eliminated[v])
+        with pytest.raises(ValueError):
+            s.solve(assumptions=[lit(eliminated)])
+
+    def test_frozen_vars_survive(self):
+        s = build_solver(3, [[lit(0), lit(1)], [lit(1), lit(2)]])
+        s.presimplify(frozen=[0, 1, 2])
+        assert not any(s.eliminated)
+
+    def test_stats_dict_shape(self):
+        stats = SimplifyStats()
+        keys = set(stats.as_dict())
+        assert {"rounds", "subsumed", "strengthened", "eliminated_vars",
+                "resolvents_added", "units_found",
+                "satisfied_removed"} <= keys
+
+    def test_simplifier_runs_standalone(self):
+        s = build_solver(4, [[lit(0), lit(1)], [lit(2), lit(3)]])
+        stats = Simplifier(s, frozen=[0]).run()
+        assert stats.rounds >= 1
+        assert s.solve() is True
+
+
+class TestFuzzAnswerEquivalence:
+    """The acceptance-criteria fuzz: >= 500 random CNFs, simplified and
+    unsimplified answers both checked against brute force, models checked
+    against the original clauses."""
+
+    TRIALS = 500
+
+    def test_simplified_vs_unsimplified_vs_brute_force(self):
+        rng = random.Random(20260806)
+        for trial in range(self.TRIALS):
+            n, clauses = random_cnf(rng)
+            expect = bool(brute_force_sat(n, clauses))
+
+            plain = build_solver(n, clauses)
+            plain_result = plain.solve() if plain.ok else False
+            assert plain_result == expect, (trial, clauses)
+            if plain_result:
+                assert model_satisfies(plain.model(), clauses), (
+                    trial, clauses, plain.model()
+                )
+
+            simp = build_solver(n, clauses)
+            if simp.ok:
+                simp.presimplify()
+            simp_result = simp.solve() if simp.ok else False
+            assert simp_result == expect, (trial, clauses)
+            assert simp_result == plain_result
+            if simp_result:
+                # Includes reconstructed values for eliminated variables.
+                assert model_satisfies(simp.model(), clauses), (
+                    trial, clauses, simp.model()
+                )
+
+    def test_frozen_variables_under_assumptions(self):
+        rng = random.Random(977)
+        for trial in range(200):
+            n, clauses = random_cnf(rng, max_vars=7, max_clauses=18)
+            frozen = sorted(rng.sample(range(n), rng.randint(1, n)))
+            assumptions = [
+                lit(v, rng.random() < 0.5)
+                for v in rng.sample(frozen, rng.randint(1, len(frozen)))
+            ]
+            constrained = clauses + [[a] for a in assumptions]
+            expect = bool(brute_force_sat(n, constrained))
+
+            s = build_solver(n, clauses)
+            if s.ok:
+                s.presimplify(frozen=frozen)
+            result = (
+                s.solve(assumptions=assumptions) if s.ok
+                else (True if expect else False)
+            )
+            if not s.ok:
+                # add_clause-level UNSAT: brute force must agree the base
+                # formula is unsatisfiable.
+                assert not brute_force_sat(n, clauses), (trial, clauses)
+                continue
+            assert result == expect, (trial, clauses, assumptions)
+            if result:
+                model = s.model()
+                assert model_satisfies(model, clauses), (trial, clauses)
+                for a in assumptions:
+                    assert model[a >> 1] ^ bool(a & 1), (trial, assumptions)
+
+    def test_incremental_add_after_frozen_presimplify(self):
+        rng = random.Random(31337)
+        for trial in range(100):
+            n, clauses = random_cnf(rng, max_vars=6, max_clauses=12)
+            frozen = sorted(rng.sample(range(n), rng.randint(1, n)))
+            s = build_solver(n, clauses)
+            if s.ok:
+                s.presimplify(frozen=frozen)
+            if not s.ok:
+                assert not brute_force_sat(n, clauses)
+                continue
+            s.solve()
+            # Add a fresh clause over frozen variables only and re-solve.
+            extra_vars = rng.sample(frozen, rng.randint(1, len(frozen)))
+            extra = [lit(v, rng.random() < 0.5) for v in extra_vars]
+            combined = clauses + [extra]
+            expect = bool(brute_force_sat(n, combined))
+            added = s.add_clause(extra)
+            result = s.solve() if added and s.ok else False
+            assert result == expect, (trial, combined)
+            if result:
+                assert model_satisfies(s.model(), combined), (trial, combined)

@@ -271,3 +271,79 @@ class TestCacheCommand:
         entry.write_text("garbage")
         assert main(["cache", "verify", str(cache_dir)]) == 1
         assert "1 corrupt" in capsys.readouterr().out
+
+
+class TestSatCommand:
+    SAT_CNF = "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n"
+    UNSAT_CNF = "p cnf 2 4\n1 2 0\n-1 2 0\n1 -2 0\n-1 -2 0\n"
+
+    @pytest.fixture
+    def sat_file(self, tmp_path):
+        path = tmp_path / "sat.cnf"
+        path.write_text(self.SAT_CNF)
+        return str(path)
+
+    @pytest.fixture
+    def unsat_file(self, tmp_path):
+        path = tmp_path / "unsat.cnf"
+        path.write_text(self.UNSAT_CNF)
+        return str(path)
+
+    def test_sat_instance(self, sat_file, capsys):
+        assert main(["sat", "solve", sat_file]) == 10
+        out = capsys.readouterr().out
+        assert "s SATISFIABLE" in out
+        # The v-line is a complete assignment over the declared variables.
+        vline = next(l for l in out.splitlines() if l.startswith("v "))
+        assert len(vline.split()) == 5  # 'v' + 3 vars + trailing 0
+
+    def test_unsat_instance_both_modes(self, unsat_file, capsys):
+        assert main(["sat", "solve", unsat_file]) == 20
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+        assert main(["sat", "solve", unsat_file, "--no-simplify"]) == 20
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_stats_output(self, sat_file, capsys):
+        assert main(["sat", "solve", sat_file, "--stats"]) == 10
+        out = capsys.readouterr().out
+        assert "c clauses_added = 3" in out
+        assert "c simplify.rounds" in out
+        assert "c propagate_seconds" in out
+
+    def test_no_simplify_skips_simplifier_stats(self, sat_file, capsys):
+        assert main(
+            ["sat", "solve", sat_file, "--no-simplify", "--stats"]
+        ) == 10
+        out = capsys.readouterr().out
+        assert "c simplify.rounds" not in out
+
+    def test_budget_unknown(self, tmp_path, capsys):
+        # A hard pigeonhole instance under a 1-conflict budget: UNKNOWN.
+        n = 6
+        lines = [f"p cnf {(n + 1) * n} 0"]
+        for p in range(n + 1):
+            lines.append(" ".join(str(p * n + h + 1) for h in range(n)) + " 0")
+        for h in range(n):
+            for p1 in range(n + 1):
+                for p2 in range(p1 + 1, n + 1):
+                    lines.append(f"-{p1 * n + h + 1} -{p2 * n + h + 1} 0")
+        path = tmp_path / "php.cnf"
+        path.write_text("\n".join(lines) + "\n")
+        code = main(
+            ["sat", "solve", str(path), "--no-simplify",
+             "--max-conflicts", "1"]
+        )
+        assert code == 0
+        assert "s UNKNOWN" in capsys.readouterr().out
+
+    def test_dump_writes_preprocessed_formula(self, sat_file, tmp_path,
+                                              capsys):
+        dump = tmp_path / "out.cnf"
+        assert main(
+            ["sat", "solve", sat_file, "--dump", str(dump)]
+        ) == 10
+        capsys.readouterr()
+        from repro.smt.sat import parse_dimacs
+
+        num_vars, clauses = parse_dimacs(dump.read_text())
+        assert num_vars == 3
