@@ -23,7 +23,7 @@ Usage::
 
     python benchmarks/bench_compile_speed.py [--quick] [--check]
         [--output BENCH_pr5.json] [--baseline BENCH_pr4.json] [--seed 0]
-        [--pr4-tree PATH]
+        [--pr4-tree PATH] [--certify-ab]
 
 ``--quick`` runs one repetition per case (CI perf-smoke) and relaxes the
 vs-PR4 gate to a no-major-regression check (geomean >= 0.8, i.e. fail
@@ -92,9 +92,13 @@ DEFAULT_BASELINE = REPO_ROOT / "BENCH_pr4.json"
 VS_PR4_TARGET_FULL = 1.3
 VS_PR4_TARGET_QUICK = 0.8  # fail only on a >25% regression
 
+# Certified compiles (DRAT logging in every CEGIS solver) may cost at
+# most this much end-to-end; the default path has logging off entirely.
+CERTIFY_OVERHEAD_LIMIT = 1.10
+
 
 def _options(reuse: bool, extra: int, tslice: float,
-             seed: int) -> CompileOptions:
+             seed: int, certify: bool = False) -> CompileOptions:
     return CompileOptions(
         test_reuse=reuse,
         seed=seed,
@@ -104,6 +108,7 @@ def _options(reuse: bool, extra: int, tslice: float,
         total_max_seconds=120,
         budget_time_slice=tslice,
         max_extra_entries=extra,
+        certify=certify,
     )
 
 
@@ -297,6 +302,77 @@ def _run_gate_cache_ab(seed: int) -> Dict[str, Any]:
     return out
 
 
+def _run_certify_ab(seed: int, reps: int) -> Dict[str, Any]:
+    """Interleaved certify on/off A/B over the whole suite.
+
+    ``certify=True`` turns on DRAT proof logging in every CEGIS solver
+    (one append per derived clause); with no cache/checkpoint directory
+    nothing is persisted, so the A/B isolates the logging overhead from
+    IO.  Arms alternate case-by-case so both see the same machine load;
+    per-case overhead is median(certified)/median(plain) and the gate
+    (``--check``) requires the geomean to stay <= CERTIFY_OVERHEAD_LIMIT
+    with identical answers.
+    """
+    walls: Dict[str, Dict[str, List[float]]] = {
+        arm: {c[0]: [] for c in SUITE} for arm in ("certify", "plain")
+    }
+    answers: Dict[str, Dict[str, Any]] = {"certify": {}, "plain": {}}
+    for _rep in range(reps):
+        for label, kl, extra, tslice in SUITE:
+            spec = benchmark_by_label(label).spec()
+            device = tofino_profile(key_limit=kl)
+            if _rep == 0:
+                # Untimed warm-up so the first timed arm doesn't absorb
+                # cold caches (imports, interned terms, pyc loads).
+                compile_spec(spec, device,
+                             _options(True, extra, tslice, seed))
+            arms = [("certify", True), ("plain", False)]
+            if _rep % 2:
+                arms.reverse()        # neither arm always goes first
+            for arm, certify in arms:
+                t0 = time.monotonic()
+                result = compile_spec(
+                    spec, device,
+                    _options(True, extra, tslice, seed, certify=certify))
+                walls[arm][label].append(time.monotonic() - t0)
+                answers[arm][label] = (
+                    result.status,
+                    result.num_entries if result.program else None,
+                    result.num_stages if result.program else None,
+                )
+    cases = []
+    logs: List[float] = []
+    for label, *_ in SUITE:
+        wc = walls["certify"][label]
+        wp = walls["plain"][label]
+        overhead = (
+            statistics.median(wc) / statistics.median(wp)
+            if statistics.median(wp) else 1.0
+        )
+        logs.append(math.log(max(overhead, 1e-9)))
+        cases.append({
+            "case": label,
+            "certify_walls": [round(w, 4) for w in wc],
+            "plain_walls": [round(w, 4) for w in wp],
+            "overhead": round(overhead, 4),
+            "same_answer": answers["certify"][label]
+            == answers["plain"][label],
+        })
+        print(
+            f"{label:30s} certify={statistics.median(wc):6.2f}s "
+            f"plain={statistics.median(wp):6.2f}s "
+            f"x{overhead:.3f}",
+            flush=True,
+        )
+    return {
+        "reps": reps,
+        "cases": cases,
+        "geomean_overhead": round(
+            math.exp(sum(logs) / len(logs)), 4),
+        "same_answers": all(c["same_answer"] for c in cases),
+    }
+
+
 def _load_baseline(path: Path) -> Optional[Dict[str, Dict[str, Any]]]:
     """Checked-in PR-4 reuse-on rows keyed by case label, or None."""
     if not path.exists():
@@ -307,7 +383,8 @@ def _load_baseline(path: Path) -> Optional[Dict[str, Dict[str, Any]]]:
 
 def run_bench(quick: bool = False, seed: int = 0,
               baseline_path: Path = DEFAULT_BASELINE,
-              pr4_tree: Optional[Path] = None) -> Dict[str, Any]:
+              pr4_tree: Optional[Path] = None,
+              certify_ab: bool = False) -> Dict[str, Any]:
     reps = 1 if quick else 3
     baseline = _load_baseline(baseline_path)
     cases = []
@@ -365,6 +442,7 @@ def run_bench(quick: bool = False, seed: int = 0,
         _run_pr4_same_machine_ab(pr4_tree, seed, reps)
         if pr4_tree is not None else None
     )
+    certify = _run_certify_ab(seed, reps) if certify_ab else None
     report = {
         "bench": "bench_compile_speed",
         "pr": 5,
@@ -376,6 +454,7 @@ def run_bench(quick: bool = False, seed: int = 0,
         "fold_constants_ab": fold,
         "gate_cache_ab": gate,
         "pr4_same_machine": same_machine,
+        "certify_ab": certify,
         "summary": {
             "geomean_speedup": round(geomean, 4),
             "geomean_vs_pr4": (
@@ -403,6 +482,10 @@ def run_bench(quick: bool = False, seed: int = 0,
             "geomean_vs_pr4_same_machine": (
                 same_machine["geomean_median"]
                 if same_machine is not None else None
+            ),
+            "certify_overhead": (
+                certify["geomean_overhead"]
+                if certify is not None else None
             ),
         },
     }
@@ -457,6 +540,15 @@ def check_report(report: Dict[str, Any]) -> List[str]:
         failures.append("gate cache did not reduce emitted clauses")
     if not (gate["same_status"] and gate["same_entries"]):
         failures.append("gate cache changed a compile answer")
+    certify = report.get("certify_ab")
+    if certify is not None:
+        if certify["geomean_overhead"] > CERTIFY_OVERHEAD_LIMIT:
+            failures.append(
+                f"certify overhead x{certify['geomean_overhead']:.3f} > "
+                f"x{CERTIFY_OVERHEAD_LIMIT}"
+            )
+        if not certify["same_answers"]:
+            failures.append("proof logging changed a compile answer")
     return failures
 
 
@@ -473,11 +565,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--pr4-tree", default=None,
                         help="checkout of the pre-PR-5 commit; enables the "
                              "interleaved same-machine A/B (see module doc)")
+    parser.add_argument("--certify-ab", action="store_true",
+                        help="also run the interleaved certify on/off A/B "
+                             "(proof-logging overhead must stay <= "
+                             f"{CERTIFY_OVERHEAD_LIMIT}x with --check)")
     args = parser.parse_args(argv)
 
     report = run_bench(quick=args.quick, seed=args.seed,
                        pr4_tree=Path(args.pr4_tree) if args.pr4_tree else None,
-                       baseline_path=Path(args.baseline))
+                       baseline_path=Path(args.baseline),
+                       certify_ab=args.certify_ab)
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     s = report["summary"]
     vs = (
@@ -501,6 +598,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"same-machine vs PR4: geomean median "
             f"x{sm['geomean_median']:.3f}  min x{sm['geomean_min']:.3f}  "
             f"same_answers={sm['same_answers']}"
+        )
+    if report["certify_ab"] is not None:
+        cab = report["certify_ab"]
+        print(
+            f"certify A/B: geomean overhead x{cab['geomean_overhead']:.3f} "
+            f"(limit x{CERTIFY_OVERHEAD_LIMIT})  "
+            f"same_answers={cab['same_answers']}"
         )
     print(f"wrote {args.output}")
     if args.check:

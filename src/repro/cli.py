@@ -137,6 +137,12 @@ def _print_failure(result, args: argparse.Namespace) -> None:
 def cmd_compile(args: argparse.Namespace) -> int:
     spec = parse_spec(Path(args.source).read_text())
     device = make_device(args)
+    if args.certify and not (args.cache_dir or args.checkpoint_dir):
+        print(
+            "warning: --certify without --cache-dir/--checkpoint-dir "
+            "logs proofs but has nowhere to persist certificates",
+            file=sys.stderr,
+        )
     options = CompileOptions(
         total_max_seconds=args.timeout,
         parallel_workers=args.jobs,
@@ -146,6 +152,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
         checkpoint_interval_seconds=args.checkpoint_interval,
         cache_dir=args.cache_dir,
         test_reuse=not args.no_test_reuse,
+        certify=args.certify,
     )
     tracer = _make_tracer(args)
     with use_tracer(tracer):
@@ -174,6 +181,12 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
         print(resource_report(result.program, device).render(),
               file=sys.stderr)
+    if result.certificate_path:
+        print(
+            f"# equivalence certificate: {result.certificate_path} "
+            "(re-check with `repro cache verify --deep`)",
+            file=sys.stderr,
+        )
     print(f"# {result.summary_row()}", file=sys.stderr)
     return 0
 
@@ -246,21 +259,76 @@ def cmd_cache(args: argparse.Namespace) -> int:
         stats = cache.stats()
         print(f"cache directory: {args.cache_dir}")
         print(f"entries: {stats['entries']}")
+        print(f"certificates: {stats['certificates']}")
         print(f"bytes: {stats['bytes']}")
         print(f"quarantined: {stats['quarantined']}")
         return 0
     if args.action == "clear":
+        if args.quarantined:
+            removed = cache.purge_quarantined()
+            print(
+                f"removed {removed} quarantined "
+                f"file{'' if removed == 1 else 's'}"
+            )
+            return 0
         removed = cache.clear()
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
         return 0
     # verify: re-read every entry through the integrity-checking loader;
-    # corrupt entries are quarantined as a side effect.
-    report = cache.verify()
+    # corrupt entries are quarantined as a side effect (and reported, so
+    # the numbers agree with a subsequent `cache stats`).
+    report = cache.verify(deep=args.deep)
     print(
         f"verified {report['ok']} entr{'y' if report['ok'] == 1 else 'ies'}"
-        f", {report['invalid']} corrupt (quarantined)"
+        f", {report['invalid']} corrupt"
+        f" ({report['quarantined']} quarantined)"
     )
-    return 0 if report["invalid"] == 0 else 1
+    failed = report["invalid"]
+    if args.deep:
+        print(
+            f"certificates: {report['cert_ok']} ok, "
+            f"{report['cert_invalid']} invalid, "
+            f"{report['witnesses_checked']} witness test(s) re-run"
+        )
+        failed += report["cert_invalid"]
+    return 0 if failed == 0 else 1
+
+
+def _emit_and_check_proof(
+    args: argparse.Namespace, proof, num_vars: int, clauses
+) -> Optional[int]:
+    """Write/verify the DRAT refutation of an UNSAT solve.
+
+    Returns an exit code to use instead of 20 when the proof fails its
+    own check (the verdict must not be trusted then), else None.
+    """
+    drat = proof.to_drat()
+    if args.proof is not None:
+        try:
+            Path(args.proof).write_text(drat)
+            print(f"c proof written to {args.proof}", file=sys.stderr)
+        except OSError as exc:
+            print(f"could not write proof to {args.proof}: {exc}",
+                  file=sys.stderr)
+            return 1
+    if args.check_proof:
+        # The independent checker: reverse unit propagation over the
+        # clauses as *parsed from the input file*, shared solver state
+        # deliberately not consulted.  Round-tripping through DRAT text
+        # also exercises the on-disk format.
+        from .smt.sat import check_proof, parse_drat
+
+        result = check_proof(num_vars, clauses, parse_drat(drat))
+        if result.verified:
+            # A comment line, so it lands next to the s-line it backs.
+            print(
+                f"c proof verified ({result.additions} additions, "
+                f"{result.deletions} deletions)"
+            )
+        else:
+            print(f"c proof check FAILED: {result.reason}", file=sys.stderr)
+            return 1
+    return None
 
 
 def cmd_sat(args: argparse.Namespace) -> int:
@@ -271,8 +339,20 @@ def cmd_sat(args: argparse.Namespace) -> int:
     """
     from .smt.sat import Budget, SatSolver, dump_solver, parse_dimacs
 
-    num_vars, clauses = parse_dimacs(Path(args.cnf).read_text())
+    want_proof = args.proof is not None or args.check_proof
+    try:
+        text = Path(args.cnf).read_text()
+    except OSError as exc:
+        print(f"cannot read {args.cnf}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        num_vars, clauses = parse_dimacs(text)
+    except ValueError as exc:
+        print(f"malformed DIMACS input: {exc}", file=sys.stderr)
+        return 1
     solver = SatSolver()
+    if want_proof:
+        proof = solver.enable_proof()
     solver.ensure_vars(num_vars)
     for clause in clauses:
         if not solver.add_clause(clause):
@@ -303,18 +383,21 @@ def cmd_sat(args: argparse.Namespace) -> int:
                 print("c model failed verification", file=sys.stderr)
                 return 1
         print("s SATISFIABLE")
-        print(
-            "v "
-            + " ".join(
-                str(v + 1) if model[v] else str(-(v + 1))
-                for v in range(num_vars)
-            )
-            + " 0"
+        assignment = " ".join(
+            str(v + 1) if model[v] else str(-(v + 1))
+            for v in range(num_vars)
         )
+        print(f"v {assignment} 0" if assignment else "v 0")
+        if want_proof:
+            print("c satisfiable: no refutation to log", file=sys.stderr)
         code = 10
     else:
         print("s UNSATISFIABLE")
         code = 20
+        if want_proof:
+            rc = _emit_and_check_proof(args, proof, num_vars, clauses)
+            if rc is not None:
+                return rc
     if args.stats:
         for key, value in solver.stats().items():
             print(f"c {key} = {value}")
@@ -370,6 +453,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed compile cache: identical "
         "(spec, device, solver options) compiles are served from DIR "
         "instead of re-synthesized",
+    )
+    p_compile.add_argument(
+        "--certify", action="store_true",
+        help="certifying compile: DRAT proof logging in every CEGIS "
+        "solver, an offline-checkable equivalence certificate next to "
+        "the cache entry (with --cache-dir), and proof bundles for "
+        "budgets proved UNSAT (with --checkpoint-dir)",
     )
     p_compile.add_argument(
         "--no-test-reuse", action="store_true",
@@ -430,6 +520,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cache.add_argument("action", choices=["stats", "clear", "verify"])
     p_cache.add_argument("cache_dir", metavar="DIR")
+    p_cache.add_argument(
+        "--deep", action="store_true",
+        help="verify only: additionally re-validate every equivalence "
+        "certificate offline — re-parse the spec, rebuild the program, "
+        "re-check fingerprints/device constraints, and re-run every "
+        "witness test through both simulators (no solver involved)",
+    )
+    p_cache.add_argument(
+        "--quarantined", action="store_true",
+        help="clear only: delete quarantined (.corrupt-N) files instead "
+        "of live entries",
+    )
     p_cache.set_defaults(func=cmd_cache)
 
     p_sat = sub.add_parser(
@@ -464,6 +566,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--dump", metavar="PATH", default=None,
         help="write the (possibly preprocessed) formula the search "
         "actually ran on back out as DIMACS",
+    )
+    p_sat_solve.add_argument(
+        "--proof", metavar="PATH", default=None,
+        help="log a DRAT proof during the solve and, on UNSAT, write "
+        "the refutation to PATH",
+    )
+    p_sat_solve.add_argument(
+        "--check-proof", action="store_true",
+        help="on UNSAT, re-verify the DRAT refutation with the "
+        "independent reverse-unit-propagation checker against the "
+        "original CNF (exit 1 if it does not check)",
     )
     p_sat_solve.set_defaults(func=cmd_sat)
 

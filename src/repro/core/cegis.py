@@ -96,6 +96,14 @@ class CegisOutcome:
     # Gate-level CNF cache hits (hash-consed bit-blasting): each hit is a
     # Tseitin gate a warm or repeated encoding did not have to re-emit.
     gate_cache_hits: int = 0
+    # Certifying runs only.  On a winner: the SHA-256 of the exact CNF
+    # clause stream the solver saw plus the ordered packet-level inputs
+    # whose behaviour was encoded as constraints (the certificate's
+    # witness tests).  On a proved UNSAT: the DRAT ProofLog refuting the
+    # blasted formula.
+    constraint_digest: str = ""
+    witnesses: List[Bits] = field(default_factory=list)
+    proof: Optional[object] = None
 
 
 def initial_tests(
@@ -251,6 +259,7 @@ class CegisSession:
         on_counterexample: Optional[Callable[[Bits], None]] = None,
         pool: Optional[TestPool] = None,
         pool_base: Optional[int] = None,
+        certify: bool = False,
     ) -> None:
         self.skeleton = skeleton
         self.spec = skeleton.spec
@@ -263,8 +272,14 @@ class CegisSession:
         self.on_counterexample = on_counterexample
         self.pool = pool
         self.pool_base = pool_base
+        self.certify = certify
         self._sp = SymbolicProgram(skeleton)
-        self._solver = Solver()
+        # Certifying runs log a DRAT proof of every solver verdict; the
+        # search itself is identical (logging only observes).
+        self._solver = Solver(proof=certify)
+        # Ordered packet-level inputs whose expected behaviour was
+        # encoded as constraints — the witness tests of a certificate.
+        self._witnesses: List[Bits] = []
         # The pool prefix is materialized now: the session must seed
         # exactly the prefix that existed when the attempt started, even
         # if the shared pool keeps growing while this budget is parked
@@ -283,6 +298,20 @@ class CegisSession:
         self._replay_pos = 0
         self._iterations = 0
         self._encoded_inputs: set = set()
+
+    # ------------------------------------------------------------------
+    def _encode_test(self, bits: Bits, expected: ParseResult) -> None:
+        """Encode one test's expected behaviour as constraints, keeping
+        the ordered witness record in certifying mode."""
+        if self.certify:
+            self._witnesses.append(bits)
+        for constraint in self._sp.encode_test(bits, expected):
+            self._solver.add(constraint)
+
+    def _attach_unsat_proof(self, outcome: CegisOutcome) -> None:
+        """Hand the refutation to the caller on a proved-UNSAT outcome."""
+        if self.certify:
+            outcome.proof = self._solver.proof
 
     # ------------------------------------------------------------------
     def run(
@@ -393,11 +422,11 @@ class CegisSession:
                         )
                     if status == UNSAT:
                         outcome.feasible = False
+                        self._attach_unsat_proof(outcome)
                         return outcome
                     self._since_solve = 0
                 self._encoded_inputs.add(bits)
-                for constraint in sp.encode_test(bits, expected):
-                    solver.add(constraint)
+                self._encode_test(bits, expected)
                 self._pool_pos += 1
                 self._since_solve += 1
                 outcome.pool_reused += 1
@@ -418,8 +447,7 @@ class CegisSession:
                         if bits in self._encoded_inputs:
                             continue
                         self._encoded_inputs.add(bits)
-                        for constraint in sp.encode_test(bits, expected):
-                            solver.add(constraint)
+                        self._encode_test(bits, expected)
 
             # Checkpoint replay: re-apply previously discovered
             # counterexamples, preceding each with the solve its original
@@ -436,13 +464,13 @@ class CegisSession:
                     status = solve_once()
                 if status == UNSAT:
                     outcome.feasible = False
+                    self._attach_unsat_proof(outcome)
                     return outcome
                 if status == UNKNOWN:
                     raise SynthesisTimeout(
                         "SAT solver budget exhausted", outcome
                     )
-                for constraint in sp.encode_test(bits, expected):
-                    solver.add(constraint)
+                self._encode_test(bits, expected)
                 self._replay_pos += 1
                 outcome.replayed += 1
                 tracer.count("cegis.replayed")
@@ -455,6 +483,7 @@ class CegisSession:
                     status = solve_once()
                     if status == UNSAT:
                         outcome.feasible = False
+                        self._attach_unsat_proof(outcome)
                         return outcome
                     if status == UNKNOWN:
                         raise SynthesisTimeout(
@@ -478,6 +507,11 @@ class CegisSession:
                             )
                     if cex is None:
                         outcome.program = candidate
+                        if self.certify:
+                            outcome.constraint_digest = (
+                                solver.proof.input_digest()
+                            )
+                            outcome.witnesses = list(self._witnesses)
                         return outcome
                     outcome.counterexamples.append(cex)
                     tracer.count("cegis.counterexamples")
@@ -489,8 +523,7 @@ class CegisSession:
                         "specification overran its step bound on a "
                         "counterexample; increase max_unroll_steps"
                     )
-                for constraint in sp.encode_test(cex.bits, expected):
-                    solver.add(constraint)
+                self._encode_test(cex.bits, expected)
             raise SynthesisTimeout(
                 f"CEGIS did not converge within {self.max_iterations} "
                 "iterations", outcome
@@ -515,6 +548,7 @@ def synthesize_for_budget(
     on_counterexample: Optional[Callable[[Bits], None]] = None,
     pool: Optional[TestPool] = None,
     pool_base: Optional[int] = None,
+    certify: bool = False,
 ) -> CegisOutcome:
     """Run CEGIS for one skeleton as a single cold attempt.  ``feasible=
     False`` reports a proved UNSAT (no program in this budget); a timeout
@@ -553,5 +587,6 @@ def synthesize_for_budget(
         on_counterexample=on_counterexample,
         pool=pool,
         pool_base=pool_base,
+        certify=certify,
     )
     return session.run(max_seconds=max_seconds, deadline=deadline)

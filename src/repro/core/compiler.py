@@ -32,9 +32,12 @@ from ..obs import get_tracer
 from ..persist import (
     CheckpointManager,
     cache_for_options,
+    certificate_doc,
     compile_key,
     program_fingerprint,
     spec_fingerprint,
+    store_proof_bundle,
+    write_certificate,
 )
 from ..resilience import CompileFault
 from .cegis import CegisSession, SynthesisTimeout, synthesize_for_budget
@@ -120,6 +123,9 @@ class ParserHawkCompiler:
         if cache is not None:
             hit = cache.lookup(key, device)
             if hit is not None:
+                cert = cache.cert_path(key)
+                if cert.exists():
+                    hit.certificate_path = str(cert)
                 return hit
         manager: Optional[CheckpointManager] = None
         if ckpt_dir:
@@ -203,6 +209,20 @@ class ParserHawkCompiler:
                     result,
                     meta={"spec": spec.name, "device": device.name},
                 )
+                if options.certify and result._certify_payload is not None:
+                    payload = result._certify_payload
+                    doc = certificate_doc(
+                        spec,
+                        device,
+                        result.program,
+                        compile_key=key,
+                        constraint_digest=payload["constraint_digest"],
+                        witnesses=payload["witnesses"],
+                        max_steps=payload["max_steps"],
+                    )
+                    cert = cache.cert_path(key)
+                    if write_certificate(cert, doc):
+                        result.certificate_path = str(cert)
         return result
 
     # ------------------------------------------------------------------
@@ -469,6 +489,7 @@ class ParserHawkCompiler:
                             on_counterexample=on_cex,
                             pool=pool,
                             pool_base=pool_base,
+                            certify=options.certify,
                         )
                     try:
                         outcome = session.run(
@@ -500,7 +521,30 @@ class ParserHawkCompiler:
                         stats.budgets_retired += 1
                         tracer.count("budget.retired")
                         if manager is not None:
-                            manager.record_retired(arm_key, budget_key)
+                            proof_ref = None
+                            proof = getattr(outcome, "proof", None)
+                            if (
+                                options.certify
+                                and proof is not None
+                                and proof.has_refutation
+                            ):
+                                # UNSAT-gated verdict: park the DRAT
+                                # bundle next to the checkpoint so the
+                                # retirement is offline-checkable.
+                                budget_id = (
+                                    f"{'-' if stage_budget is None else stage_budget}"
+                                    f":{num_entries}"
+                                )
+                                proof_ref = store_proof_bundle(
+                                    manager.directory,
+                                    manager.compile_key,
+                                    arm_key,
+                                    budget_id,
+                                    proof,
+                                )
+                            manager.record_retired(
+                                arm_key, budget_key, proof_ref=proof_ref
+                            )
                         continue  # proved UNSAT at this budget; grow it
                     assert outcome.program is not None
                     program = post_optimize(outcome.program, device)
@@ -509,6 +553,9 @@ class ParserHawkCompiler:
                         original_spec, program, device, options
                     )
                     if final is not None:
+                        self._attach_certify_payload(
+                            final, original_spec, outcome, options
+                        )
                         return final
                     # Restoration failed validation (rare: scaling
                     # interacted with semantics): retry this budget
@@ -580,6 +627,7 @@ class ParserHawkCompiler:
                 max_conflicts_per_solve=options.synthesis_max_conflicts,
                 deadline=deadline,
                 directed_tests=options.directed_seed_tests,
+                certify=options.certify,
             )
         except (
             SynthesisTimeout, EncodingOverflow, VerificationBudgetExceeded
@@ -591,10 +639,32 @@ class ParserHawkCompiler:
         self._merge_outcome(stats, outcome)
         if outcome.feasible and outcome.program is not None:
             program = post_optimize(outcome.program, device)
-            return self._finalize(original_spec, program, device, options)
+            final = self._finalize(original_spec, program, device, options)
+            if final is not None:
+                self._attach_certify_payload(
+                    final, original_spec, outcome, options
+                )
+            return final
         return None
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _attach_certify_payload(
+        result: CompileResult,
+        original_spec: ParserSpec,
+        outcome,
+        options: CompileOptions,
+    ) -> None:
+        """Stash the winning attempt's certificate material on the result
+        (``compile`` writes it next to the cache entry at the end)."""
+        if not options.certify:
+            return
+        result._certify_payload = {
+            "constraint_digest": getattr(outcome, "constraint_digest", ""),
+            "witnesses": list(getattr(outcome, "witnesses", ())),
+            "max_steps": max(32, 4 * max_parse_depth(original_spec)),
+        }
+
     @staticmethod
     def _merge_outcome(stats: CompileStats, outcome) -> None:
         """Fold one CEGIS attempt's measurements into the compile stats."""

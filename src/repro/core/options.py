@@ -80,6 +80,14 @@ class CompileOptions:
     resume: bool = False
     checkpoint_interval_seconds: float = 0.0   # min seconds between flushes
     cache_dir: Optional[str] = None
+    # Certifying mode: DRAT proof logging in every CEGIS solver, an
+    # equivalence certificate written next to the cache entry on winner
+    # paths (requires cache_dir), and proof-log references recorded in
+    # the checkpoint manifest for UNSAT-gated outcomes (requires
+    # checkpoint_dir).  Pure observation — the search, the winning
+    # program, and cache keys are unchanged — so it is listed in
+    # fingerprint.NON_SEMANTIC_OPTIONS.
+    certify: bool = False
 
     def with_(self, **kwargs) -> "CompileOptions":
         return replace(self, **kwargs)

@@ -75,6 +75,15 @@ class CompileResult:
     # For resumable failures (timeout/fault with checkpointing enabled):
     # the checkpoint file that continues this compile.
     checkpoint_path: str = ""
+    # Certifying compiles: where the equivalence certificate landed
+    # (empty when certification was off or no cache_dir was configured).
+    certificate_path: str = ""
+    # Internal hand-off from the budget search to the certificate writer:
+    # the winning attempt's constraint digest, witness tests and the
+    # verification step bound.  Never serialized.
+    _certify_payload: Optional[dict] = field(
+        default=None, repr=False, compare=False
+    )
     # Memoized check_constraints() output (portfolio winner validation);
     # keyed implicitly by the device of the *first* call — the portfolio
     # only ever validates against its one real device profile.

@@ -19,6 +19,15 @@ below the compiler driver; imports nothing from ``core.compiler`` or
 
 from .atomic import canonical_json, load_envelope, quarantine, write_atomic
 from .cache import CompileCache, cache_for_options, result_cache_key
+from .certify import (
+    CertificateCheck,
+    certificate_doc,
+    check_proof_bundle,
+    load_certificate,
+    store_proof_bundle,
+    verify_certificate,
+    write_certificate,
+)
 from .checkpoint import (
     CheckpointManager,
     arm_checkpoint_dir,
@@ -39,14 +48,18 @@ from .serialize import (
 )
 
 __all__ = [
+    "CertificateCheck",
     "CheckpointManager",
     "CompileCache",
     "arm_checkpoint_dir",
     "cache_for_options",
     "canonical_json",
+    "certificate_doc",
+    "check_proof_bundle",
     "compile_key",
     "device_fingerprint",
     "flush_active",
+    "load_certificate",
     "load_envelope",
     "options_fingerprint",
     "program_fingerprint",
@@ -57,5 +70,8 @@ __all__ = [
     "result_from_doc",
     "result_to_doc",
     "spec_fingerprint",
+    "store_proof_bundle",
+    "verify_certificate",
     "write_atomic",
+    "write_certificate",
 ]

@@ -17,6 +17,12 @@ program is additionally re-checked against the device profile — a
 defense-in-depth guard (the key already pins the device) that also
 catches entries written by a buggy build.
 
+Certifying compiles park an equivalence certificate *next to* each
+entry (``<key>.cert.json``, see :mod:`repro.persist.certify`); the
+entry walk skips them so they are never mistaken for results, and
+``verify(deep=True)`` re-validates them with the solver out of the
+loop.
+
 Observability counters: ``cache.hit``, ``cache.miss``, ``cache.store``,
 ``cache.invalidated``.
 """
@@ -38,6 +44,10 @@ from .serialize import result_from_doc, result_to_doc
 CACHE_KIND = "compile-result"
 CACHE_VERSION = 1
 
+# Certificate sibling files (repro.persist.certify).  They end in
+# ``.json`` too, so every entry walk must test this suffix explicitly.
+CERT_SUFFIX = ".cert.json"
+
 
 class CompileCache:
     """A directory of enveloped compile results, sharded by key prefix."""
@@ -47,6 +57,11 @@ class CompileCache:
 
     def entry_path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.json"
+
+    def cert_path(self, key: str) -> Path:
+        """Where ``key``'s equivalence certificate lives (next to the
+        entry, same shard)."""
+        return self.directory / key[:2] / f"{key}{CERT_SUFFIX}"
 
     # ------------------------------------------------------------------
     def lookup(
@@ -102,43 +117,85 @@ class CompileCache:
         return True
 
     # ------------------------------------------------------------------
-    def _entries(self):
+    def _shards(self):
         if not self.directory.is_dir():
             return
         for shard in sorted(self.directory.iterdir()):
-            if not shard.is_dir():
-                continue
+            if shard.is_dir():
+                yield shard
+
+    def _entries(self):
+        """Every result entry (never certificates, never quarantined
+        files)."""
+        for shard in self._shards():
             for path in sorted(shard.iterdir()):
-                if path.suffix == ".json" and ".corrupt" not in path.name:
+                if (
+                    path.suffix == ".json"
+                    and ".corrupt" not in path.name
+                    and not path.name.endswith(CERT_SUFFIX)
+                ):
                     yield path
+
+    def _certificates(self):
+        for shard in self._shards():
+            for path in sorted(shard.iterdir()):
+                if (
+                    path.name.endswith(CERT_SUFFIX)
+                    and ".corrupt" not in path.name
+                ):
+                    yield path
+
+    def _quarantined(self):
+        for shard in self._shards():
+            for path in sorted(shard.iterdir()):
+                if ".corrupt" in path.name:
+                    yield path
+
+    def _prune_empty_shards(self) -> None:
+        for shard in list(self._shards()):
+            try:
+                next(shard.iterdir())
+            except StopIteration:
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+            except OSError:
+                pass
 
     def stats(self) -> Dict[str, Any]:
         entries = 0
+        certificates = 0
         total_bytes = 0
         corrupt = 0
-        if self.directory.is_dir():
-            for shard in sorted(self.directory.iterdir()):
-                if not shard.is_dir():
+        for shard in self._shards():
+            for path in shard.iterdir():
+                if ".corrupt" in path.name:
+                    corrupt += 1
                     continue
-                for path in shard.iterdir():
-                    if ".corrupt" in path.name:
-                        corrupt += 1
-                        continue
-                    if path.suffix == ".json":
-                        entries += 1
-                        try:
-                            total_bytes += path.stat().st_size
-                        except OSError:
-                            pass
+                if path.name.endswith(CERT_SUFFIX):
+                    certificates += 1
+                    continue
+                if path.suffix == ".json":
+                    entries += 1
+                    try:
+                        total_bytes += path.stat().st_size
+                    except OSError:
+                        pass
         return {
             "directory": str(self.directory),
             "entries": entries,
+            "certificates": certificates,
             "bytes": total_bytes,
             "quarantined": corrupt,
         }
 
     def clear(self) -> int:
-        """Delete every (non-quarantined) entry; returns how many."""
+        """Delete every (non-quarantined) entry and its certificate;
+        returns how many *entries* were removed.  Quarantined files are
+        deliberately kept (they are evidence — ``purge_quarantined``
+        disposes of them explicitly); shard directories left empty are
+        pruned."""
         removed = 0
         for path in list(self._entries()):
             try:
@@ -146,19 +203,78 @@ class CompileCache:
                 removed += 1
             except OSError:
                 pass
+        for path in list(self._certificates()):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._prune_empty_shards()
         return removed
 
-    def verify(self) -> Dict[str, int]:
+    def purge_quarantined(self) -> int:
+        """Delete quarantined (``.corrupt-N``) files; returns how many."""
+        removed = 0
+        for path in list(self._quarantined()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        self._prune_empty_shards()
+        return removed
+
+    def verify(self, deep: bool = False) -> Dict[str, int]:
         """Re-validate every entry's envelope; corrupt ones are
-        quarantined by the load path.  Returns {'ok': n, 'invalid': m}."""
-        ok = invalid = 0
+        quarantined by the load path, and — unlike ``stats()`` before
+        the walk — the report says so: ``quarantined`` counts the
+        entries this call moved aside, so the numbers line up with a
+        ``stats()`` taken afterwards.
+
+        ``deep=True`` additionally re-validates every equivalence
+        certificate offline (:func:`repro.persist.certify.verify_certificate`):
+        re-parse the spec, rebuild the program, re-check fingerprints and
+        device constraints, and re-run every witness through both
+        simulators — the solver is never consulted.  Adds ``cert_ok``,
+        ``cert_invalid`` and ``witnesses_checked`` to the report.
+        """
+        ok = invalid = quarantined = 0
         for path in list(self._entries()):
             payload = load_envelope(path, CACHE_KIND, CACHE_VERSION)
             if payload is None:
                 invalid += 1
+                if not path.exists():
+                    quarantined += 1
             else:
                 ok += 1
-        return {"ok": ok, "invalid": invalid}
+        report: Dict[str, int] = {
+            "ok": ok, "invalid": invalid, "quarantined": quarantined,
+        }
+        if deep:
+            from .certify import load_certificate, verify_certificate
+
+            cert_ok = cert_invalid = witnesses = 0
+            for path in list(self._certificates()):
+                # "<key>.cert.json" -> the entry key it certifies.
+                key = path.name[: -len(CERT_SUFFIX)]
+                doc = load_certificate(path)
+                if doc is None:
+                    cert_invalid += 1
+                    if not path.exists():
+                        report["quarantined"] += 1
+                    continue
+                check = verify_certificate(doc, expected_key=key)
+                witnesses += check.witnesses_checked
+                if check.ok:
+                    cert_ok += 1
+                else:
+                    cert_invalid += 1
+                    get_tracer().count("certify.failed")
+            report.update(
+                cert_ok=cert_ok,
+                cert_invalid=cert_invalid,
+                witnesses_checked=witnesses,
+            )
+        return report
 
 
 def cache_for_options(options) -> Optional[CompileCache]:

@@ -223,12 +223,33 @@ class CheckpointManager:
             return None
         return doc.get("pool_base")
 
-    def record_retired(self, arm_key: str, budget: BudgetKey) -> None:
+    def record_retired(
+        self,
+        arm_key: str,
+        budget: BudgetKey,
+        proof_ref: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Mark a budget UNSAT.  ``proof_ref`` (certifying compiles) is
+        the DRAT bundle manifest from
+        :func:`repro.persist.certify.store_proof_bundle`, recorded under
+        ``proof_refs`` so the retirement verdict is offline-checkable."""
         arm = self._arm(arm_key)
         entry = [budget[0], budget[1]]
         if entry not in arm["retired"]:
             arm["retired"].append(entry)
             self._dirty = True
+        if proof_ref is not None:
+            refs = arm.setdefault("proof_refs", {})
+            refs[_budget_id(budget)] = proof_ref
+            self._dirty = True
+            self.flush()
+
+    def proof_refs(self, arm_key: str) -> Dict[str, Dict[str, Any]]:
+        """Recorded UNSAT proof-bundle references, keyed by budget id."""
+        arm = self.state["arms"].get(arm_key)
+        if not arm:
+            return {}
+        return dict(arm.get("proof_refs", {}))
 
     def retired_budgets(self, arm_key: str) -> Set[BudgetKey]:
         arm = self.state["arms"].get(arm_key)

@@ -37,6 +37,8 @@ CANONICAL_VERSION = 1
 
 # CompileOptions fields that cannot change which program a *successful*
 # compile produces: execution-shape knobs and the persistence config.
+# ``certify`` only *observes* (DRAT logging + certificate emission), so
+# flipping it must not invalidate existing cache entries.
 NON_SEMANTIC_OPTIONS = frozenset(
     {
         "parallel_workers",
@@ -45,6 +47,7 @@ NON_SEMANTIC_OPTIONS = frozenset(
         "resume",
         "checkpoint_interval_seconds",
         "cache_dir",
+        "certify",
     }
 )
 

@@ -9,6 +9,8 @@ from .dimacs import (
     solver_from_dimacs,
     write_dimacs,
 )
+from .dratcheck import ProofCheckResult, check_proof, parse_drat
+from .proof import ProofLog
 from .simplify import Simplifier, SimplifyStats
 from .solver import Budget, SatSolver, luby
 
@@ -17,9 +19,13 @@ __all__ = [
     "CREF_NONE",
     "Clause",
     "ClauseArena",
+    "ProofCheckResult",
+    "ProofLog",
     "SatSolver",
     "Simplifier",
     "SimplifyStats",
+    "check_proof",
+    "parse_drat",
     "dump_solver",
     "lit",
     "lit_from_dimacs",

@@ -15,7 +15,15 @@ from .solver import SatSolver
 
 
 def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
-    """Parse DIMACS CNF text into (num_vars, clauses-of-packed-literals)."""
+    """Parse DIMACS CNF text into (num_vars, clauses-of-packed-literals).
+
+    Tolerant where the ecosystem is (clauses spanning lines, ``%``
+    trailers, a header that under-declares the variable count — the
+    count grows to cover the literals actually used), strict where
+    silence would corrupt the formula: a malformed or duplicated
+    problem line and non-integer literal tokens raise ``ValueError``
+    with the offending text named.
+    """
     num_vars = 0
     clauses: List[List[int]] = []
     current: List[int] = []
@@ -25,16 +33,31 @@ def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
         if not line or line.startswith("c"):
             continue
         if line.startswith("p"):
+            if declared:
+                raise ValueError(f"duplicate problem line: {line!r}")
             parts = line.split()
             if len(parts) != 4 or parts[1] != "cnf":
                 raise ValueError(f"malformed problem line: {line!r}")
-            num_vars = int(parts[2])
+            try:
+                num_vars = int(parts[2])
+                num_clauses = int(parts[3])
+            except ValueError:
+                raise ValueError(
+                    f"non-numeric counts in problem line: {line!r}"
+                ) from None
+            if num_vars < 0 or num_clauses < 0:
+                raise ValueError(
+                    f"negative counts in problem line: {line!r}"
+                )
             declared = True
             continue
         if line.startswith("%"):
             break
         for tok in line.split():
-            val = int(tok)
+            try:
+                val = int(tok)
+            except ValueError:
+                raise ValueError(f"bad literal token: {tok!r}") from None
             if val == 0:
                 clauses.append(current)
                 current = []

@@ -1,0 +1,247 @@
+"""Independent DRAT/DRUP proof checker.
+
+Verifies a refutation produced by :class:`~repro.smt.sat.proof.ProofLog`
+against the *original* CNF using reverse unit propagation (RUP) only:
+for each added clause ``C``, assume ``¬C`` on top of the root-level
+assignment and unit-propagate; the addition is accepted exactly when
+propagation derives a conflict.  A verified addition of the empty
+clause certifies unsatisfiability of the original formula.
+
+The checker deliberately shares no code with the solver — no arena, no
+watchers, no activity heaps.  Clauses are plain tuples, propagation is
+naive occurrence-list walking, and literals use the same packed-int
+convention as the rest of the SAT layer (``var = l >> 1``, negation bit
+``l & 1``) so callers can hand over clause lists directly.
+
+Deletions follow drat-trim's operational semantics: a deletion removes
+one matching clause (by literal multiset) from the active formula,
+except when that clause is currently the reason for a root-level unit —
+those deletions are ignored, which keeps the persistent root trail
+sound.  Since deleting clauses only ever *weakens* propagation, a proof
+that still reaches the empty clause remains a valid refutation of the
+original CNF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+Step = Tuple[bool, Sequence[int]]
+
+
+@dataclass
+class ProofCheckResult:
+    """Outcome of checking one proof against one formula."""
+
+    ok: bool
+    reason: str = ""
+    additions: int = 0
+    deletions: int = 0
+    deletions_ignored: int = 0
+
+    @property
+    def verified(self) -> bool:
+        return self.ok
+
+
+def parse_drat(text: str) -> List[Tuple[bool, List[int]]]:
+    """Parse DRAT text into (is_deletion, packed-literal clause) steps."""
+    steps: List[Tuple[bool, List[int]]] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        is_delete = False
+        if line.startswith("d ") or line == "d":
+            is_delete = True
+            line = line[1:].strip()
+        lits: List[int] = []
+        terminated = False
+        for tok in line.split():
+            try:
+                val = int(tok)
+            except ValueError:
+                raise ValueError(f"malformed DRAT token {tok!r}")
+            if val == 0:
+                terminated = True
+                break
+            lits.append(2 * (val - 1) if val > 0 else 2 * (-val - 1) + 1)
+        if not terminated:
+            raise ValueError(f"unterminated DRAT line {raw!r}")
+        steps.append((is_delete, lits))
+    return steps
+
+
+class _Formula:
+    """Active clause set with a persistent root-level unit trail."""
+
+    def __init__(self) -> None:
+        self.clauses: List[Tuple[int, ...]] = []
+        self.alive: List[bool] = []
+        self.by_key: Dict[Tuple[int, ...], List[int]] = {}
+        self.occ: Dict[int, List[int]] = {}
+        self.val: Dict[int, bool] = {}      # var -> root/temp value
+        self.reason_ids: set = set()        # clause ids justifying roots
+        self.root_conflict = False
+
+    @staticmethod
+    def _key(lits: Iterable[int]) -> Tuple[int, ...]:
+        return tuple(sorted(set(lits)))
+
+    def _lit_value(self, l: int) -> Optional[bool]:
+        v = self.val.get(l >> 1)
+        if v is None:
+            return None
+        return v == ((l & 1) == 0)
+
+    def _propagate(
+        self,
+        queue: List[Tuple[int, int]],
+        temp_trail: Optional[List[int]],
+    ) -> bool:
+        """Assign queued literals and propagate units. True on conflict.
+
+        ``temp_trail is None`` means root-level: assignments persist and
+        reason clauses are pinned against deletion.  Otherwise every new
+        assignment is recorded for the caller to undo.
+        """
+        while queue:
+            l, reason = queue.pop()
+            cur = self._lit_value(l)
+            if cur is not None:
+                if cur is False:
+                    return True
+                continue
+            var = l >> 1
+            self.val[var] = (l & 1) == 0
+            if temp_trail is None:
+                if reason >= 0:
+                    self.reason_ids.add(reason)
+            else:
+                temp_trail.append(var)
+            for cid in self.occ.get(l ^ 1, ()):
+                if not self.alive[cid]:
+                    continue
+                unassigned = None
+                free = 0
+                satisfied = False
+                for q in self.clauses[cid]:
+                    qv = self._lit_value(q)
+                    if qv is None:
+                        free += 1
+                        if free > 1:
+                            break
+                        unassigned = q
+                    elif qv:
+                        satisfied = True
+                        break
+                if satisfied or free > 1:
+                    continue
+                if free == 0:
+                    return True
+                queue.append((unassigned, cid))
+        return False
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Install a clause and propagate at root level if it is unit."""
+        dedup = tuple(dict.fromkeys(lits))
+        for l in dedup:
+            if (l ^ 1) in dedup:
+                return  # tautology: inert, never propagates
+        cid = len(self.clauses)
+        self.clauses.append(dedup)
+        self.alive.append(True)
+        self.by_key.setdefault(self._key(dedup), []).append(cid)
+        for l in dedup:
+            self.occ.setdefault(l, []).append(cid)
+        if self.root_conflict:
+            return
+        unassigned = None
+        free = 0
+        for q in dedup:
+            qv = self._lit_value(q)
+            if qv is None:
+                free += 1
+                unassigned = q
+            elif qv:
+                return  # satisfied at root already
+        if free == 0:
+            self.root_conflict = True
+        elif free == 1:
+            if self._propagate([(unassigned, cid)], None):
+                self.root_conflict = True
+
+    def delete_clause(self, lits: Iterable[int]) -> str:
+        """Remove one matching clause. Returns 'deleted'/'pinned'/'missing'."""
+        ids = self.by_key.get(self._key(lits))
+        if ids:
+            for i, cid in enumerate(ids):
+                if not self.alive[cid]:
+                    continue
+                if cid in self.reason_ids:
+                    return "pinned"
+                self.alive[cid] = False
+                del ids[i]
+                return "deleted"
+        return "missing"
+
+    def rup(self, lits: Sequence[int]) -> bool:
+        """Is the clause RUP w.r.t. the active formula + root trail?"""
+        if self.root_conflict:
+            return True
+        queue: List[Tuple[int, int]] = []
+        for l in set(lits):
+            cur = self._lit_value(l)
+            if cur is True:
+                return True  # assuming ¬l contradicts the root trail
+            if cur is None:
+                queue.append((l ^ 1, -1))
+        temp: List[int] = []
+        conflict = self._propagate(queue, temp)
+        for var in temp:
+            del self.val[var]
+        return conflict
+
+
+def check_proof(
+    num_vars: int,
+    clauses: Sequence[Sequence[int]],
+    steps: Sequence[Step],
+) -> ProofCheckResult:
+    """Check a DRAT refutation of ``clauses`` (packed literals).
+
+    ``num_vars`` is advisory (literals may name higher variables).  The
+    proof verifies iff every addition is RUP in order and some verified
+    addition is the empty clause.
+    """
+    del num_vars  # the packed literals carry the variable space
+    formula = _Formula()
+    for clause in clauses:
+        formula.add_clause(clause)
+    result = ProofCheckResult(ok=False)
+    for index, (is_delete, lits) in enumerate(steps):
+        if is_delete:
+            result.deletions += 1
+            if formula.delete_clause(lits) != "deleted":
+                result.deletions_ignored += 1
+            continue
+        result.additions += 1
+        if not formula.rup(lits):
+            result.reason = (
+                f"step {index}: clause "
+                f"{sorted(set(lits))} is not RUP"
+            )
+            return result
+        if not lits:
+            result.ok = True
+            result.reason = "refutation verified"
+            return result
+        formula.add_clause(lits)
+    result.reason = "proof contains no verified empty clause"
+    return result
+
+
+def check_drat_text(cnf_clauses, proof_text: str) -> ProofCheckResult:
+    """Convenience wrapper: check DRAT text against packed clauses."""
+    return check_proof(0, cnf_clauses, parse_drat(proof_text))

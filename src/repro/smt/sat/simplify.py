@@ -95,6 +95,12 @@ class Simplifier:
         self.frozen: Set[int] = set(frozen or ())
         self.max_rounds = max_rounds
         self.stats = SimplifyStats()
+        # DRAT logging (None when the solver has it off).  Invariant for
+        # every transformation below: the derived clause is logged as an
+        # addition *before* the clauses that justify it are logged as
+        # deletions, whatever order the arena is mutated in — a checker
+        # replays the steps in log order.
+        self.proof = solver.proof
         # occ[lit] -> crefs of live clauses containing lit (may hold dead
         # crefs transiently; filtered lazily against the deleted bit).
         self.occ: List[List[int]] = []
@@ -114,6 +120,7 @@ class Simplifier:
         index the survivors.  Returns False on derived UNSAT."""
         solver = self.solver
         arena = self.arena
+        proof = self.proof
         self.occ = [[] for _ in range(2 * solver.num_vars)]
         self.sig.clear()
         live: List[int] = []
@@ -123,6 +130,8 @@ class Simplifier:
             lits = arena.literals(cref)
             vals = [solver.value_lit(l) for l in lits]
             if TRUE in vals:
+                if proof is not None:
+                    proof.delete(lits)
                 arena.delete(cref)
                 self.stats.satisfied_removed += 1
                 continue
@@ -130,6 +139,9 @@ class Simplifier:
                 kept = [l for l, v in zip(lits, vals) if v != FALSE]
                 if not kept:
                     return False
+                if proof is not None:
+                    proof.add(kept)
+                    proof.delete(lits)
                 if len(kept) == 1:
                     arena.delete(cref)
                     if not self._assign_unit(kept[0]):
@@ -161,7 +173,12 @@ class Simplifier:
         return out
 
     def _assign_unit(self, literal: int) -> bool:
-        """Apply a derived unit at level 0 through the occurrence lists."""
+        """Apply a derived unit at level 0 through the occurrence lists.
+
+        Proof logging of the unit clause itself is the *caller's* job
+        (logged before the deletions that motivated it); this method
+        logs only the cascade it performs.
+        """
         solver = self.solver
         val = solver.value_lit(literal)
         if val == TRUE:
@@ -174,16 +191,23 @@ class Simplifier:
         if not self.occ:
             return True
         arena = self.arena
+        proof = self.proof
         for cref in self._live(self.occ[literal]):
+            if proof is not None:
+                proof.delete(arena.literals(cref))
             arena.delete(cref)
             self.stats.satisfied_removed += 1
         self.occ[literal] = []
         for cref in self._live(self.occ[literal ^ 1]):
             if arena.is_deleted(cref):
                 continue  # a recursive unit cascade got here first
-            lits = [l for l in arena.literals(cref) if l != (literal ^ 1)]
+            old = arena.literals(cref)
+            lits = [l for l in old if l != (literal ^ 1)]
             if not lits:
                 return False
+            if proof is not None:
+                proof.add(lits)
+                proof.delete(old)
             if len(lits) == 1:
                 arena.delete(cref)
                 if not self._assign_unit(lits[0]):
@@ -247,6 +271,8 @@ class Simplifier:
                     continue
                 verdict = self._subsumes(c_lits, d_lits)
                 if verdict is True:
+                    if self.proof is not None:
+                        self.proof.delete(d_lits)
                     arena.delete(d)
                     self.stats.subsumed += 1
                 elif verdict is not None:
@@ -257,6 +283,10 @@ class Simplifier:
                     drop = verdict ^ 1
                     kept = [l for l in d_lits if l != drop]
                     self.stats.strengthened += 1
+                    if self.proof is not None:
+                        # The resolvent of C and D; RUP while both live.
+                        self.proof.add(kept)
+                        self.proof.delete(d_lits)
                     if len(kept) == 1:
                         arena.delete(d)
                         if not self._assign_unit(kept[0]):
@@ -328,6 +358,13 @@ class Simplifier:
         solver.reconstruction.append(
             (saved_lit, [arena.literals(c) for c in saved_refs])
         )
+        if self.proof is not None:
+            # All resolvents first — each is RUP only while both of its
+            # parents are still in the formula — then the originals.
+            for r in resolvents:
+                self.proof.add(r)
+            for cref in pos + neg:
+                self.proof.delete(arena.literals(cref))
         for cref in pos + neg:
             arena.delete(cref)
         self.occ[pos_l] = []
@@ -409,6 +446,10 @@ class Simplifier:
             c for c in solver.clauses if not arena.is_deleted(c)
         ]
         if not ok:
+            if self.proof is not None:
+                # Every UNSAT exit above leaves a root-level conflict a
+                # checker re-derives by unit propagation alone.
+                self.proof.add_empty()
             solver.ok = False
         if arena.should_collect():
             solver._garbage_collect()

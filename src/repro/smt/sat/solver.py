@@ -50,28 +50,66 @@ class Budget:
     """Resource budget for a single ``solve`` call.
 
     Conflict-count limits are checked exactly on every conflict; the
-    wall-clock limit polls ``time.monotonic`` only on the first conflict
-    and then every :data:`CLOCK_CHECK_INTERVAL` conflicts — the clock
-    read was a measurable fraction of conflict handling when checked
-    every time, and a sub-interval overshoot is harmless for the budgets
-    the compile pipeline uses.
+    wall-clock limit polls the clock only every
+    :data:`CLOCK_CHECK_INTERVAL` conflicts — the clock read was a
+    measurable fraction of conflict handling when checked every time,
+    and a sub-interval overshoot is harmless for the budgets the
+    compile pipeline uses.
+
+    Conflicts alone are not enough: a propagation-heavy solve with few
+    conflicts never reaches the conflict-path check and can blow far
+    past a portfolio arm's deadline.  The search loop therefore also
+    polls the clock at every restart boundary and — via
+    :meth:`note_propagations` — after every
+    :data:`PROPS_PER_CLOCK_CHECK` propagated literals.
+
+    ``clock`` defaults to ``time.monotonic``; tests inject a fake to
+    make deadline behaviour deterministic.
     """
 
     CLOCK_CHECK_INTERVAL = 64
+    PROPS_PER_CLOCK_CHECK = 1 << 16
 
     def __init__(
         self,
         max_conflicts: Optional[int] = None,
         max_seconds: Optional[float] = None,
+        clock=None,
     ) -> None:
         self.max_conflicts = max_conflicts
         self.max_seconds = max_seconds
-        self._start = time.monotonic()
+        self._clock = time.monotonic if clock is None else clock
+        self._start = self._clock()
         self._conflicts = 0
+        self._props_since_check = 0
         self._out = False
 
     def note_conflict(self) -> None:
         self._conflicts += 1
+
+    def poll(self) -> bool:
+        """Direct wall-clock check, regardless of conflict counters."""
+        if self._out:
+            return True
+        if (
+            self.max_seconds is not None
+            and self._clock() - self._start >= self.max_seconds
+        ):
+            self._out = True
+            return True
+        return False
+
+    def note_propagations(self, props: int) -> bool:
+        """Accumulate propagation work; poll the clock periodically."""
+        if self._out:
+            return True
+        if self.max_seconds is None:
+            return False
+        self._props_since_check += props
+        if self._props_since_check < self.PROPS_PER_CLOCK_CHECK:
+            return False
+        self._props_since_check = 0
+        return self.poll()
 
     def exhausted(self) -> bool:
         if self._out:
@@ -85,7 +123,7 @@ class Budget:
         if self.max_seconds is not None and (
             self._conflicts % self.CLOCK_CHECK_INTERVAL <= 1
         ):
-            if time.monotonic() - self._start >= self.max_seconds:
+            if self._clock() - self._start >= self.max_seconds:
                 self._out = True
                 return True
         return False
@@ -162,6 +200,9 @@ class SatSolver:
         # drops satisfied/tautological ones).  The bit-blaster's constant
         # folding shows up here: fewer emitted clauses for the same query.
         self.num_clauses_added = 0
+        # DRAT proof logging; None (the default) keeps every hook to a
+        # single attribute test so the hot path is untouched.
+        self.proof = None
         # Per-phase wall time (seconds): the solver's own breakdown, so
         # profiling the hot path needs no external tooling.
         self.propagate_seconds = 0.0
@@ -206,6 +247,23 @@ class SatSolver:
             return UNDEF
         return a ^ (literal & 1)
 
+    def enable_proof(self):
+        """Turn on DRAT proof logging (idempotent).
+
+        Must be called before any clause is added: the log's ``inputs``
+        double as the original-formula record a checker verifies
+        against.  Returns the :class:`~repro.smt.sat.proof.ProofLog`.
+        """
+        if self.proof is None:
+            from .proof import ProofLog
+
+            if self.num_clauses_added or not self.ok:
+                raise ValueError(
+                    "enable_proof() must precede the first add_clause()"
+                )
+            self.proof = ProofLog()
+        return self.proof
+
     def add_clause(self, lits: Iterable[int]) -> bool:
         """Add an input clause. Returns False if the formula became UNSAT.
 
@@ -217,6 +275,10 @@ class SatSolver:
         if not self.ok:
             return False
         self.num_clauses_added += 1
+        proof = self.proof
+        if proof is not None:
+            lits = list(lits)
+            proof.log_input(lits)
         if self.trail_lim:
             # Incremental use: retract the previous solve's decisions.
             self._cancel_until(0)
@@ -250,6 +312,7 @@ class SatSolver:
                         return True
         seen: set = set()
         out: List[int] = []
+        stripped = False
         for l in lits:
             v = l >> 1
             if v >= len(assign):
@@ -265,7 +328,8 @@ class SatSolver:
             if a >= 0:
                 if a ^ (l & 1):
                     return True  # clause already satisfied at level 0
-                continue         # literal is dead
+                stripped = True  # literal is dead: the kept clause is a
+                continue         # derived strengthening of the input
             if l in seen:
                 continue
             if (l ^ 1) in seen:
@@ -273,14 +337,23 @@ class SatSolver:
             seen.add(l)
             out.append(l)
         if not out:
+            if proof is not None:
+                proof.add_empty()
             self.ok = False
             return False
+        if proof is not None and stripped:
+            # RUP via the level-0 units that falsified the dropped lits.
+            proof.add(out)
         if len(out) == 1:
             if not self._enqueue(out[0], CREF_NONE):
+                if proof is not None:
+                    proof.add_empty()
                 self.ok = False
                 return False
             conflict = self._propagate()
             if conflict != CREF_NONE:
+                if proof is not None:
+                    proof.add_empty()
                 self.ok = False
                 return False
             return True
@@ -584,11 +657,14 @@ class SatSolver:
         arena = self.arena
         data = arena.data
         acts = arena.activities
+        proof = self.proof
         self.learnts.sort(key=lambda c: acts[data[c + 1]])
         keep_from = len(self.learnts) // 2
         removed = 0
         for cref in self.learnts[:keep_from]:
             if (data[cref] >> 2) > 2 and not self._is_reason(cref):
+                if proof is not None:
+                    proof.delete(arena.literals(cref))
                 arena.delete(cref)
                 removed += 1
         if removed:
@@ -633,8 +709,12 @@ class SatSolver:
         self._cancel_until(0)
         t0 = perf_counter()
         try:
+            proof = self.proof
             for cref in self.learnts:
-                self.arena.delete(cref)
+                if not self.arena.is_deleted(cref):
+                    if proof is not None:
+                        proof.delete(self.arena.literals(cref))
+                    self.arena.delete(cref)
             self.learnts = []
             simp = Simplifier(self, frozen=frozen, max_rounds=max_rounds)
             stats = simp.run()
@@ -709,8 +789,11 @@ class SatSolver:
                     "freeze assumption variables before presimplify()"
                 )
         self._cancel_until(0)
+        proof = self.proof
         conflict = self._propagate()
         if conflict != CREF_NONE:
+            if proof is not None:
+                proof.add_empty()
             self.ok = False
             return False
         self.conflict_assumptions: List[int] = []
@@ -718,6 +801,7 @@ class SatSolver:
         restart_limit = 32 * luby(restart_idx)
         conflicts_this_restart = 0
         max_learnts = max(1000, len(self.clauses) // 2)
+        last_props = self.num_propagations
         while True:
             conflict = self._propagate()
             if conflict != CREF_NONE:
@@ -729,10 +813,14 @@ class SatSolver:
                         self._cancel_until(0)
                         return None
                 if not self.trail_lim:
+                    if proof is not None:
+                        proof.add_empty()
                     self.ok = False
                     return False
                 learnt, bt_level = self._analyze(conflict)
                 self.num_learned += 1
+                if proof is not None:
+                    proof.add(learnt)
                 self._cancel_until(bt_level)
                 if len(learnt) == 1:
                     self._enqueue(learnt[0], CREF_NONE)
@@ -748,7 +836,19 @@ class SatSolver:
                     self._reduce_db()
                     max_learnts = int(max_learnts * 1.3)
                 continue
+            if budget is not None:
+                # Wall-clock safety net for propagation-heavy solves
+                # that rarely conflict (the conflict-path check above
+                # would never fire).
+                props = self.num_propagations
+                if budget.note_propagations(props - last_props):
+                    self._cancel_until(0)
+                    return None
+                last_props = props
             if conflicts_this_restart >= restart_limit:
+                if budget is not None and budget.poll():
+                    self._cancel_until(0)
+                    return None
                 self.num_restarts += 1
                 restart_idx += 1
                 restart_limit = 32 * luby(restart_idx)

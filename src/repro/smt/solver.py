@@ -68,10 +68,21 @@ class Model:
 
 
 class Solver:
-    """Incremental SMT solver for the Bool+BitVec fragment."""
+    """Incremental SMT solver for the Bool+BitVec fragment.
 
-    def __init__(self) -> None:
+    ``proof=True`` turns on DRAT logging in the underlying CDCL core
+    (see :mod:`repro.smt.sat.proof`); the log is reachable via
+    :attr:`proof` and covers every clause the bit-blaster emits.  An
+    UNSAT verdict from an assumption-free :meth:`check` then carries a
+    checkable refutation of the blasted CNF; UNSAT under assumptions or
+    popped scopes does not end in the empty clause (the assumptions are
+    not part of the formula) and is out of scope for certification.
+    """
+
+    def __init__(self, proof: bool = False) -> None:
         self._sat = SatSolver()
+        if proof:
+            self._sat.enable_proof()
         self._blaster = BitBlaster(self._sat)
         self._scope_lits: List[int] = []
         self._vars: set[Term] = set()
@@ -86,6 +97,7 @@ class Solver:
         self._gate_hits_seen = 0  # for per-check gate-cache deltas
         self._last_gate_hits_delta = 0
         self._simplify_seen = 0.0  # for per-check simplify-time deltas
+        self._proof_logged_seen = 0  # for per-check proof-step deltas
 
     # ------------------------------------------------------------------
     def add(self, *terms: Term) -> None:
@@ -164,6 +176,12 @@ class Solver:
             tracer.count("sat.simplify_seconds", simp - self._simplify_seen)
             self._simplify_seen = simp
             tracer.count("sat.gate_cache_hits", self._last_gate_hits_delta)
+            if self._sat.proof is not None:
+                logged = self._sat.proof.clauses_logged
+                tracer.count(
+                    "proof.clauses_logged", logged - self._proof_logged_seen
+                )
+                self._proof_logged_seen = logged
         if result is None:
             self._last_result = UNKNOWN
         elif result:
@@ -187,6 +205,11 @@ class Solver:
         stats = dict(self._sat.last_solve_stats)
         stats["gate_cache_hits"] = self._last_gate_hits_delta
         return stats
+
+    @property
+    def proof(self):
+        """The underlying DRAT :class:`ProofLog`, or None when disabled."""
+        return self._sat.proof
 
     @property
     def sat_solver(self) -> SatSolver:

@@ -118,11 +118,12 @@ class TestMaintenance:
         cache.store(key, _compile(spec, device))
         stats = cache.stats()
         assert stats["entries"] == 1 and stats["bytes"] > 0
-        assert cache.verify() == {"ok": 1, "invalid": 0}
-        # Corrupt it: verify flags and quarantines it.
+        assert cache.verify() == {"ok": 1, "invalid": 0, "quarantined": 0}
+        # Corrupt it: verify flags it AND reports the quarantine it
+        # performed, so the numbers agree with stats() afterwards.
         path = cache.entry_path(key)
         path.write_text("junk")
-        assert cache.verify() == {"ok": 0, "invalid": 1}
+        assert cache.verify() == {"ok": 0, "invalid": 1, "quarantined": 1}
         assert cache.stats()["quarantined"] == 1
         # Repopulate then clear.
         cache.store(key, _compile(spec, device))
@@ -133,4 +134,62 @@ class TestMaintenance:
         cache = CompileCache(tmp_path / "never-created")
         assert cache.stats()["entries"] == 0
         assert cache.clear() == 0
-        assert cache.verify() == {"ok": 0, "invalid": 0}
+        assert cache.verify() == {"ok": 0, "invalid": 0, "quarantined": 0}
+
+    def test_clear_prunes_empty_shards(self, tmp_path, spec, device):
+        cache = CompileCache(tmp_path)
+        key = compile_key(spec, device, CompileOptions())
+        cache.store(key, _compile(spec, device))
+        shard = cache.entry_path(key).parent
+        assert shard.is_dir()
+        assert cache.clear() == 1
+        assert not shard.exists()
+
+    def test_clear_keeps_quarantined_files(self, tmp_path, spec, device):
+        cache = CompileCache(tmp_path)
+        key = compile_key(spec, device, CompileOptions())
+        cache.store(key, _compile(spec, device))
+        cache.entry_path(key).write_text("junk")
+        cache.verify()                    # quarantines the torn entry
+        cache.store(key, _compile(spec, device))
+        assert cache.clear() == 1
+        # The shard survives because the .corrupt evidence is kept.
+        assert cache.stats()["quarantined"] == 1
+        assert cache.stats()["entries"] == 0
+
+    def test_purge_quarantined(self, tmp_path, spec, device):
+        cache = CompileCache(tmp_path)
+        key = compile_key(spec, device, CompileOptions())
+        cache.store(key, _compile(spec, device))
+        cache.entry_path(key).write_text("junk")
+        cache.verify()
+        assert cache.stats()["quarantined"] == 1
+        assert cache.purge_quarantined() == 1
+        stats = cache.stats()
+        assert stats["quarantined"] == 0
+        # Nothing left at all -> the shard directory is pruned too.
+        assert not cache.entry_path(key).parent.exists()
+
+    def test_certificates_counted_separately(self, tmp_path, spec, device):
+        from repro.persist.atomic import write_atomic
+        from repro.persist.certify import CERT_KIND, CERT_VERSION
+
+        cache = CompileCache(tmp_path)
+        key = compile_key(spec, device, CompileOptions())
+        cache.store(key, _compile(spec, device))
+        write_atomic(cache.cert_path(key), CERT_KIND, CERT_VERSION, {})
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["certificates"] == 1
+        # The entry walk (and shallow verify) never touches certificates.
+        assert cache.verify() == {"ok": 1, "invalid": 0, "quarantined": 0}
+        assert cache.cert_path(key).exists()
+        # clear() removes both the entry and its certificate.
+        assert cache.clear() == 1
+        assert cache.stats() == {
+            "directory": str(tmp_path),
+            "entries": 0,
+            "certificates": 0,
+            "bytes": 0,
+            "quarantined": 0,
+        }

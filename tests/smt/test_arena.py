@@ -155,3 +155,54 @@ class TestLubyMemo:
     def test_memo_stable_on_repeat_calls(self):
         assert luby(63) == self._reference(63)
         assert luby(63) == luby(63)
+
+
+# ---------------------------------------------------------------------------
+# Proof-logging fuzz: every UNSAT verdict must come with a refutation the
+# independent RUP checker accepts — with and without preprocessing, checked
+# against the ORIGINAL clause list (never solver state).
+# ---------------------------------------------------------------------------
+
+class TestProofFuzz:
+    TRIALS = 500
+
+    def _random_cnf(self, rng, max_vars=8, max_clauses=24, max_width=4):
+        n = rng.randint(1, max_vars)
+        m = rng.randint(1, max_clauses)
+        clauses = []
+        for _ in range(m):
+            width = rng.randint(1, min(max_width, n))
+            vs = rng.sample(range(n), width)
+            clauses.append([lit(v, rng.random() < 0.5) for v in vs])
+        return n, clauses
+
+    def test_every_unsat_yields_checkable_drat(self):
+        import random
+
+        from repro.smt.sat.dratcheck import check_drat_text
+
+        rng = random.Random(20260807)
+        unsat_seen = 0
+        for trial in range(self.TRIALS):
+            n, clauses = self._random_cnf(rng)
+            presimplify = trial % 2 == 1
+            s = SatSolver()
+            log = s.enable_proof()
+            s.ensure_vars(n)
+            ok = True
+            for clause in clauses:
+                if not s.add_clause(clause):
+                    ok = False
+                    break
+            if ok and presimplify:
+                s.presimplify()
+                ok = s.ok
+            result = s.solve() if ok else False
+            if result is not False:
+                continue
+            unsat_seen += 1
+            assert log.has_refutation, (trial, clauses)
+            check = check_drat_text(clauses, log.to_drat())
+            assert check.verified, (trial, presimplify, check.reason, clauses)
+        # The corpus must actually exercise the UNSAT path, both arms.
+        assert unsat_seen > 50

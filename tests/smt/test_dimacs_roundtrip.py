@@ -91,3 +91,27 @@ class TestParserEdgeCases:
     def test_empty_input_rejected(self):
         with pytest.raises(ValueError):
             parse_dimacs("c nothing here\n")
+
+    def test_non_numeric_counts_rejected(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_dimacs("p cnf x 3\n1 0\n")
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            parse_dimacs("p cnf -1 3\n1 0\n")
+
+    def test_duplicate_problem_line_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_dimacs("p cnf 1 1\np cnf 1 1\n1 0\n")
+
+    def test_bad_literal_token_rejected(self):
+        with pytest.raises(ValueError, match="bad literal"):
+            parse_dimacs("p cnf 2 1\n1 two 0\n")
+
+    def test_under_declared_header_grows(self):
+        num_vars, clauses = parse_dimacs("p cnf 1 1\n1 5 0\n")
+        assert num_vars == 5
+        assert clauses == [[lit_from_dimacs(1), lit_from_dimacs(5)]]
+
+    def test_empty_formula_header_only(self):
+        assert parse_dimacs("p cnf 0 0\n") == (0, [])

@@ -347,3 +347,134 @@ class TestSatCommand:
 
         num_vars, clauses = parse_dimacs(dump.read_text())
         assert num_vars == 3
+
+
+class TestSatDegenerateInputs:
+    def _solve(self, tmp_path, text, *extra):
+        path = tmp_path / "in.cnf"
+        path.write_text(text)
+        return main(["sat", "solve", str(path), *extra])
+
+    def test_empty_formula_is_satisfiable(self, tmp_path, capsys):
+        assert self._solve(tmp_path, "p cnf 0 0\n") == 10
+        out = capsys.readouterr().out
+        assert "s SATISFIABLE" in out
+        assert "v 0" in out          # empty assignment, still terminated
+
+    def test_empty_clause_is_unsatisfiable(self, tmp_path, capsys):
+        assert self._solve(tmp_path, "p cnf 1 1\n0\n") == 20
+        assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+    def test_under_declared_header_tolerated(self, tmp_path, capsys):
+        # Header says 1 variable; the clauses use 2.  The ecosystem is
+        # full of such files, so the count grows instead of erroring.
+        assert self._solve(tmp_path, "p cnf 1 1\n1 2 0\n") == 10
+        vline = next(
+            l for l in capsys.readouterr().out.splitlines()
+            if l.startswith("v ")
+        )
+        assert len(vline.split()) == 4   # 'v' + 2 vars + trailing 0
+
+    def test_malformed_header_exits_cleanly(self, tmp_path, capsys):
+        assert self._solve(tmp_path, "p cnf x 3\n1 0\n") == 1
+        assert "malformed DIMACS" in capsys.readouterr().err
+
+    def test_duplicate_header_exits_cleanly(self, tmp_path, capsys):
+        assert self._solve(tmp_path, "p cnf 1 1\np cnf 1 1\n1 0\n") == 1
+        assert "malformed DIMACS" in capsys.readouterr().err
+
+    def test_missing_file_exits_cleanly(self, tmp_path, capsys):
+        assert main(["sat", "solve", str(tmp_path / "nope.cnf")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestSatProofFlags:
+    def test_unsat_proof_written_and_checked(self, tmp_path, capsys):
+        path = tmp_path / "unsat.cnf"
+        path.write_text(TestSatCommand.UNSAT_CNF)
+        drat = tmp_path / "out.drat"
+        code = main(
+            ["sat", "solve", str(path), "--proof", str(drat),
+             "--check-proof"]
+        )
+        assert code == 20
+        captured = capsys.readouterr()
+        assert "s UNSATISFIABLE" in captured.out
+        assert "c proof verified" in captured.out
+        # The written proof ends with the empty clause.
+        assert drat.read_text().rstrip().splitlines()[-1] == "0"
+
+    def test_check_proof_alone_verifies(self, tmp_path, capsys):
+        path = tmp_path / "unsat.cnf"
+        path.write_text(TestSatCommand.UNSAT_CNF)
+        assert main(["sat", "solve", str(path), "--check-proof"]) == 20
+        assert "c proof verified" in capsys.readouterr().out
+
+    def test_sat_instance_notes_no_refutation(self, tmp_path, capsys):
+        path = tmp_path / "sat.cnf"
+        path.write_text(TestSatCommand.SAT_CNF)
+        assert main(["sat", "solve", str(path), "--check-proof"]) == 10
+        assert "no refutation" in capsys.readouterr().err
+
+
+class TestCertifyFlag:
+    def test_certified_compile_reports_certificate(
+        self, source, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache")
+        code = main(
+            ["compile", source, "--key-limit", "8", "--certify",
+             "--cache-dir", cache]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "# equivalence certificate:" in err
+        assert "cache verify --deep" in err
+        # The advertised re-check passes.
+        assert main(["cache", "verify", cache, "--deep"]) == 0
+        out = capsys.readouterr().out
+        assert "certificates: 1 ok, 0 invalid" in out
+
+    def test_certify_without_persistence_warns(self, source, capsys):
+        assert main(
+            ["compile", source, "--key-limit", "8", "--certify"]
+        ) == 0
+        assert "nowhere to persist" in capsys.readouterr().err
+
+
+class TestCacheMaintenanceFlags:
+    def _populate(self, source, cache):
+        assert main(
+            ["compile", source, "--key-limit", "8", "--cache-dir", cache]
+        ) == 0
+
+    def _corrupt_entry(self, cache_dir):
+        entry = next(
+            p for shard in cache_dir.iterdir() if shard.is_dir()
+            for p in shard.iterdir() if p.suffix == ".json"
+        )
+        entry.write_text("garbage")
+
+    def test_clear_quarantined(self, source, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        self._populate(source, str(cache_dir))
+        self._corrupt_entry(cache_dir)
+        assert main(["cache", "verify", str(cache_dir)]) == 1
+        capsys.readouterr()
+        assert main(
+            ["cache", "clear", str(cache_dir), "--quarantined"]
+        ) == 0
+        assert "removed 1 quarantined" in capsys.readouterr().out
+        assert main(["cache", "stats", str(cache_dir)]) == 0
+        assert "quarantined: 0" in capsys.readouterr().out
+
+    def test_deep_verify_reports_quarantine_actions(
+        self, source, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        self._populate(source, str(cache_dir))
+        self._corrupt_entry(cache_dir)
+        assert main(["cache", "verify", str(cache_dir), "--deep"]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt (1 quarantined)" in out
+        assert "certificates: 0 ok, 0 invalid" in out
