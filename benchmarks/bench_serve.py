@@ -1,0 +1,516 @@
+"""Serve soak benchmark: durability and answer-fidelity under faults.
+
+PR 7 added ``repro serve`` — an admission-controlled job layer over the
+compiler with retry/backoff, coalescing, a per-(tenant, key) circuit
+breaker, and a crash-safe journal.  Its headline property is robustness,
+so unlike the other benchmarks this one measures *invariants* first and
+wall clocks second:
+
+1. **Zero lost work.** A real server subprocess runs with WorkerCrash
+   faults injected at ``serve.worker``; a load generator spools a
+   duplicate-heavy workload at it, the server is SIGKILL'd mid-run and
+   restarted, and every request that was ever acked ``accepted`` must
+   reach a terminal journal state.
+2. **Answer fidelity.** Every job that finishes ``done`` (and was not
+   stale-served) must carry a result *byte-identical* — canonical
+   program document plus entries/stages resource counts — to a direct
+   in-process ``compile()`` of the same spec/device/options.
+3. **Saturation behavior.** A burst beyond queue capacity must be
+   rejected with non-terminal retry-after acks (backpressure, not
+   errors), and a well-behaved client that honors them must eventually
+   land all of its work.
+
+Usage::
+
+    python benchmarks/bench_serve.py [--quick] [--check]
+        [--output BENCH_serve.json] [--duration 45] [--seed 3]
+        [--no-kill] [--inject SPEC]
+
+``--quick`` shrinks the workload for CI smoke; ``--check`` exits
+non-zero if any invariant fails (lost jobs, divergent results, no
+observed retries while faults were injected, burst not backpressured).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.benchgen import all_base_specs  # noqa: E402
+from repro.core.compiler import ParserHawkCompiler  # noqa: E402
+from repro.hw.device import tofino_profile  # noqa: E402
+from repro.persist.serialize import (  # noqa: E402
+    program_from_doc,
+    program_to_doc,
+)
+from repro.serve import SpoolClient, TERMINAL_STATES, make_job  # noqa: E402
+
+# Fast-compiling base specs (each well under a second on the reference
+# machine) so the soak exercises queueing/retry/coalescing machinery,
+# not solver time.  Each entry is submitted COPIES times with an
+# identical compile key — the duplicates must coalesce.
+WORKLOAD = [
+    "parse_ethernet",
+    "parse_icmp",
+    "parse_mpls",
+    "multi_key_diff",
+    "pure_extraction",
+    "geneve_tunnel",
+    "lookahead_tag",
+    "dash_v1",
+    "finance_feed",
+]
+
+DEFAULT_INJECT = "serve.worker:WorkerCrash:4"
+
+
+def serve_cmd(
+    root: Path,
+    *,
+    workers: int,
+    capacity: int,
+    duration: Optional[float],
+    inject: Optional[str],
+) -> List[str]:
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        str(root),
+        "--workers",
+        str(workers),
+        "--capacity",
+        str(capacity),
+    ]
+    if duration is not None:
+        cmd += ["--duration", str(duration)]
+    if inject:
+        cmd += ["--inject", inject]
+    return cmd
+
+
+def start_server(root: Path, **kwargs: Any) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONHASHSEED"] = "0"
+    return subprocess.Popen(
+        serve_cmd(root, **kwargs),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def submit_workload(
+    client: SpoolClient,
+    device,
+    seed: int,
+    copies: int,
+    certify: bool = False,
+) -> Dict[str, Dict[str, Any]]:
+    """Spool every workload spec ``copies`` times; returns request docs
+    keyed by req_id (spec name + options kept for later verification)."""
+    specs = all_base_specs()
+    requests: Dict[str, Dict[str, Any]] = {}
+    for name in WORKLOAD:
+        source = specs[name].to_source()
+        options: Dict[str, Any] = {"seed": seed}
+        if certify:
+            options["certify"] = True
+        for copy in range(copies):
+            tenant = f"tenant-{copy % 2}"
+            req_id = client.submit(
+                source,
+                device,
+                tenant=tenant,
+                options=options,
+            )
+            requests[req_id] = {
+                "spec": name,
+                "source": source,
+                "tenant": tenant,
+                "options": dict(options),
+            }
+    return requests
+
+
+def await_acks(
+    client: SpoolClient,
+    requests: Dict[str, Dict[str, Any]],
+    timeout: float,
+) -> None:
+    deadline = time.monotonic() + timeout
+    for req_id, info in requests.items():
+        remaining = max(1.0, deadline - time.monotonic())
+        info["ack"] = client.wait_ack(req_id, timeout=remaining)
+
+
+def resubmit_until_accepted(
+    client: SpoolClient,
+    requests: Dict[str, Dict[str, Any]],
+    timeout: float,
+) -> int:
+    """A well-behaved client: honor retry-after on transient rejections
+    until every request is accepted (or permanently rejected)."""
+    retries = 0
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        pending = [
+            (rid, info)
+            for rid, info in requests.items()
+            if info.get("ack") is not None
+            and not info["ack"].get("accepted")
+            and not info["ack"].get("permanent")
+        ]
+        if not pending:
+            break
+        for rid, info in pending:
+            time.sleep(min(2.0, float(info["ack"].get("retry_after", 0.5))))
+            (client.acks / f"{rid}.json").unlink(missing_ok=True)
+            client.submit(
+                info["source"],
+                tofino_profile(),
+                tenant=info.get("tenant", "default"),
+                options=info["options"],
+                req_id=rid,
+            )
+            retries += 1
+            info["ack"] = client.wait_ack(
+                rid, timeout=max(1.0, deadline - time.monotonic())
+            )
+    return retries
+
+
+def direct_compile_doc(
+    info: Dict[str, Any], device
+) -> Dict[str, Any]:
+    """The ground truth: compile the same spec/device/options directly,
+    in-process, through the same validation path the service uses."""
+    job = make_job(
+        info["source"], device, options=info["options"]
+    )
+    result = ParserHawkCompiler(job.build_options()).compile(
+        job.build_spec(), job.build_device()
+    )
+    return {
+        "status": result.status,
+        "program": (
+            program_to_doc(result.program)
+            if result.program is not None
+            else None
+        ),
+        "entries": result.num_entries,
+        "stages": result.num_stages,
+    }
+
+
+def run_soak(args: argparse.Namespace) -> Dict[str, Any]:
+    root = Path(args.dir or "serve-soak").resolve()
+    root.mkdir(parents=True, exist_ok=True)
+    device = tofino_profile()
+    client = SpoolClient(root)
+    copies = 2 if args.quick else 3
+    report: Dict[str, Any] = {
+        "bench": "serve_soak",
+        "quick": args.quick,
+        "inject": args.inject,
+        "copies": copies,
+        "workload": list(WORKLOAD),
+    }
+
+    # Phase 1: faulty server + load + mid-run SIGKILL.
+    t0 = time.monotonic()
+    server = start_server(
+        root,
+        workers=args.workers,
+        capacity=args.capacity,
+        duration=args.duration,
+        inject=args.inject,
+    )
+    requests = submit_workload(
+        client, device, args.seed, copies, certify=args.certify
+    )
+    await_acks(client, requests, timeout=60.0)
+    acked = {
+        rid: info
+        for rid, info in requests.items()
+        if info.get("ack") and info["ack"].get("accepted")
+    }
+    report["submitted"] = len(requests)
+    report["accepted_before_kill"] = len(acked)
+
+    if not args.no_kill:
+        # SIGKILL mid-run: no graceful shutdown, no final journal
+        # writes — recovery must come entirely from the journal.
+        time.sleep(0.5)
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=30)
+        report["killed"] = True
+    else:
+        report["killed"] = False
+
+    # Phase 2: restart drains everything (recovery re-adopts the
+    # journaled jobs; unacked inbox files are reprocessed idempotently).
+    # In sustained-soak mode the faults keep churning on this server
+    # too — retries, not the absence of faults, must land the work.
+    server2 = start_server(
+        root,
+        workers=args.workers,
+        capacity=args.capacity,
+        duration=None,
+        inject=args.inject if args.soak_seconds > 0 else None,
+    )
+    try:
+        await_acks(client, requests, timeout=60.0)
+        client_retries = resubmit_until_accepted(
+            client, requests, timeout=60.0
+        )
+
+        # Sustained load: keep spooling fresh waves (new seeds, so new
+        # compile keys — real compiles, not cache hits) until the soak
+        # window closes.
+        wave = 0
+        while time.monotonic() - t0 < args.soak_seconds:
+            wave += 1
+            fresh = submit_workload(
+                client,
+                device,
+                args.seed + wave,
+                copies=1,
+                certify=args.certify,
+            )
+            await_acks(client, fresh, timeout=30.0)
+            client_retries += resubmit_until_accepted(
+                client, fresh, timeout=30.0
+            )
+            requests.update(fresh)
+            time.sleep(1.0)
+        report["waves"] = wave
+        report["client_retries_after_backpressure"] = client_retries
+        acked = {
+            rid: info
+            for rid, info in requests.items()
+            if info.get("ack") and info["ack"].get("accepted")
+        }
+        report["accepted_total"] = len(acked)
+
+        wait_deadline = time.monotonic() + (120 if args.quick else 300)
+        lost: List[str] = []
+        for rid in acked:
+            job = client.wait_job(
+                rid, timeout=max(1.0, wait_deadline - time.monotonic())
+            )
+            acked[rid]["job"] = job
+            if job is None or job.state not in TERMINAL_STATES:
+                lost.append(rid)
+        report["lost_jobs"] = lost
+
+        # Phase 3: saturation burst against a tiny window — submit far
+        # beyond capacity at once; count backpressure rejections.
+        burst_root_metrics = client.metrics() or {}
+        client.request_stop()
+        server2.wait(timeout=60)
+    finally:
+        if server2.poll() is None:
+            server2.kill()
+            server2.wait(timeout=30)
+    report["soak_seconds"] = round(time.monotonic() - t0, 2)
+
+    # Verification: every done, non-degraded job must match a direct
+    # in-process compile byte-for-byte.
+    divergent: List[str] = []
+    checked = 0
+    direct_cache: Dict[str, Dict[str, Any]] = {}
+    for rid, info in acked.items():
+        job = info.get("job")
+        if job is None or job.state != "done" or job.degraded:
+            continue
+        key = job.compile_key
+        if key not in direct_cache:
+            direct_cache[key] = direct_compile_doc(info, device)
+        truth = direct_cache[key]
+        doc = job.result_doc or {}
+        served_program = (
+            program_from_doc(doc["program"])
+            if doc.get("program") is not None
+            else None
+        )
+        served = {
+            "status": doc.get("status"),
+            "program": doc.get("program"),
+            "entries": (
+                served_program.num_entries
+                if served_program is not None
+                else -1
+            ),
+            "stages": (
+                served_program.num_stages
+                if served_program is not None
+                else -1
+            ),
+        }
+        if json.dumps(served, sort_keys=True) != json.dumps(
+            truth, sort_keys=True
+        ):
+            divergent.append(rid)
+        checked += 1
+    report["results_checked"] = checked
+    report["divergent_results"] = divergent
+
+    states: Dict[str, int] = {}
+    coalesced = 0
+    for info in acked.values():
+        job = info.get("job")
+        state = job.state if job is not None else "missing"
+        states[state] = states.get(state, 0) + 1
+        if job is not None and job.coalesced_into:
+            coalesced += 1
+    report["terminal_states"] = states
+    report["coalesced_jobs"] = coalesced
+
+    counters = (burst_root_metrics or {}).get("counters", {})
+    report["server_counters"] = {
+        k: v
+        for k, v in sorted(counters.items())
+        if k.startswith("serve.")
+    }
+    return report
+
+
+def run_burst(args: argparse.Namespace) -> Dict[str, Any]:
+    """Saturation: a burst beyond capacity must draw retry-after acks."""
+    root = Path(args.dir or "serve-soak").resolve() / "burst"
+    root.mkdir(parents=True, exist_ok=True)
+    client = SpoolClient(root)
+    device = tofino_profile()
+    source = all_base_specs()["multi_key_same"].to_source()
+    capacity = 2
+    burst = 8
+    server = start_server(
+        root, workers=1, capacity=capacity, duration=None, inject=None
+    )
+    try:
+        req_ids = []
+        for i in range(burst):
+            # Distinct keys (different seeds) so nothing coalesces and
+            # the bounded queue actually fills.
+            req_ids.append(
+                client.submit(source, device, options={"seed": i})
+            )
+        acks = {}
+        for rid in req_ids:
+            acks[rid] = client.wait_ack(rid, timeout=60.0)
+        rejected = [
+            rid
+            for rid, ack in acks.items()
+            if ack and not ack.get("accepted")
+        ]
+        transient = [
+            rid
+            for rid in rejected
+            if not acks[rid].get("permanent")
+            and float(acks[rid].get("retry_after", 0)) > 0
+        ]
+        client.request_stop()
+        server.wait(timeout=120)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+    return {
+        "burst": burst,
+        "capacity": capacity,
+        "rejected": len(rejected),
+        "rejected_with_retry_after": len(transient),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument("--output", default="BENCH_serve.json")
+    parser.add_argument("--dir", default=None, help="service directory")
+    parser.add_argument("--duration", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--capacity", type=int, default=32)
+    parser.add_argument("--inject", default=DEFAULT_INJECT)
+    parser.add_argument(
+        "--soak-seconds",
+        type=float,
+        default=0.0,
+        help="after the kill/restart, keep spooling fresh waves (with "
+        "faults still injected) until this much wall clock has passed",
+    )
+    parser.add_argument(
+        "--certify",
+        action="store_true",
+        help="submit every job with certify=true so the service cache "
+        "holds offline-checkable equivalence certificates",
+    )
+    parser.add_argument(
+        "--no-kill",
+        action="store_true",
+        help="skip the mid-run SIGKILL (debug aid)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_soak(args)
+    report["saturation"] = run_burst(args)
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+    failures: List[str] = []
+    if report["accepted_total"] < report["submitted"]:
+        failures.append(
+            f"only {report['accepted_total']}/{report['submitted']} "
+            "requests were ever accepted"
+        )
+    if report["lost_jobs"]:
+        failures.append(f"lost jobs: {report['lost_jobs']}")
+    if report["divergent_results"]:
+        failures.append(
+            f"results diverged from direct compile: "
+            f"{report['divergent_results']}"
+        )
+    if report["results_checked"] == 0:
+        failures.append("no done results to verify")
+    if args.inject and not args.no_kill:
+        retried = report["server_counters"].get("serve.retries", 0)
+        recovered = report["server_counters"].get(
+            "serve.jobs_recovered", 0
+        )
+        if retried == 0 and recovered == 0:
+            failures.append(
+                "faults were injected and the server was killed, yet "
+                "no retry or recovery was observed"
+            )
+    sat = report["saturation"]
+    if sat["rejected_with_retry_after"] == 0:
+        failures.append(
+            "burst beyond capacity produced no retry-after backpressure"
+        )
+
+    if failures:
+        for line in failures:
+            print(f"CHECK FAIL: {line}", file=sys.stderr)
+        return 1 if args.check else 0
+    print("CHECK OK: zero lost jobs, all results identical", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

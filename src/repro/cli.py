@@ -9,7 +9,17 @@ Commands:
 * ``bench``    — regenerate one of the paper's tables from the harness;
 * ``cache``    — inspect/clear/verify a persistent compile cache directory;
 * ``sat``      — run the standalone CDCL solver on DIMACS input (profiling
-  and triage for the synthesis substrate).
+  and triage for the synthesis substrate);
+* ``serve``    — run the compile service on a spool directory (see
+  :mod:`repro.serve`): admission control, request coalescing, classified
+  retry, and a crash-safe job journal;
+* ``submit``   — spool a compile request to a ``serve`` directory;
+* ``status``   — print a submitted job's journaled state;
+* ``result``   — print a finished job's synthesized program.
+
+The ``submit``/``status``/``result`` commands talk to the server purely
+through files (atomic envelopes in the service directory), so ``status``
+and ``result`` work even when no server is running.
 
 Interrupting a checkpointed compile (Ctrl-C) flushes a final checkpoint
 and prints the ``--resume`` invocation hint before exiting with the
@@ -292,6 +302,143 @@ def cmd_cache(args: argparse.Namespace) -> int:
         )
         failed += report["cert_invalid"]
     return 0 if failed == 0 else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .resilience import injection
+    from .serve import CompileService, SpoolServer
+
+    if args.inject:
+        injection.configure_from_string(args.inject)
+    service = CompileService(
+        args.dir,
+        workers=args.workers,
+        capacity=args.capacity,
+        per_tenant=args.per_tenant,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+    )
+    server = SpoolServer(args.dir, service)
+    print(
+        f"serving {args.dir} with {args.workers} worker(s), "
+        f"capacity {args.capacity}, per-tenant quota {args.per_tenant}",
+        file=sys.stderr,
+    )
+    handled = server.run(duration=args.duration)
+    metrics = service.metrics()
+    print(
+        f"served {handled} request(s); "
+        f"counters: {metrics['counters']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _parse_option_overrides(pairs) -> dict:
+    """``KEY=VALUE`` pairs, values parsed as JSON with a string fallback
+    (so ``seed=7`` and ``certify=true`` both do the obvious thing)."""
+    import json
+
+    options = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise ValueError(f"expected KEY=VALUE, got {pair!r}")
+        try:
+            options[key] = json.loads(value)
+        except ValueError:
+            options[key] = value
+    return options
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import SpoolClient
+
+    client = SpoolClient(args.dir)
+    try:
+        options = _parse_option_overrides(args.option)
+    except ValueError as exc:
+        print(f"bad --option: {exc}", file=sys.stderr)
+        return 1
+    if args.timeout is not None:
+        options["total_max_seconds"] = args.timeout
+    if args.seed is not None:
+        options["seed"] = args.seed
+    req_id = client.submit(
+        Path(args.source).read_text(),
+        make_device(args),
+        tenant=args.tenant,
+        options=options,
+        deadline_seconds=args.deadline,
+    )
+    print(req_id)
+    if not args.wait:
+        return 0
+    ack = client.wait_ack(req_id, timeout=args.wait_timeout)
+    if ack is None:
+        print("no ack (is a server running on this directory?)",
+              file=sys.stderr)
+        return 2
+    if not ack.get("accepted"):
+        retry = ack.get("retry_after")
+        hint = "" if retry is None else f" (retry after {retry:g}s)"
+        print(f"rejected: {ack.get('reason', '?')}{hint}", file=sys.stderr)
+        return 1
+    job = client.wait_job(req_id, timeout=args.wait_timeout)
+    if job is None or not job.terminal:
+        print("job not finished before --wait-timeout", file=sys.stderr)
+        return 2
+    return _print_job(job, emit=None)
+
+
+def _print_job(job, emit: Optional[str]) -> int:
+    """Render a journaled job; exit code mirrors its state."""
+    flags = []
+    if job.coalesced_into:
+        flags.append(f"coalesced into {job.coalesced_into}")
+    if job.degraded:
+        flags.append("degraded")
+    suffix = f" ({', '.join(flags)})" if flags else ""
+    print(
+        f"# job {job.job_id} [{job.tenant}] {job.state}"
+        f"{': ' + job.failure_kind if job.failure_kind else ''}{suffix}",
+        file=sys.stderr,
+    )
+    if job.message:
+        print(f"# {job.message}", file=sys.stderr)
+    if job.state == "failed":
+        return 1
+    if not job.terminal:
+        return 2
+    if job.result_doc and job.result_doc.get("program") and emit:
+        from .persist.serialize import program_from_doc
+
+        program = program_from_doc(job.result_doc["program"])
+        if emit == "json":
+            print(emit_json(program))
+        else:
+            print(program.describe())
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from .serve import SpoolClient
+
+    job = SpoolClient(args.dir).job(args.job_id)
+    if job is None:
+        print(f"unknown job {args.job_id}", file=sys.stderr)
+        return 1
+    return _print_job(job, emit=None)
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    from .serve import SpoolClient
+
+    job = SpoolClient(args.dir).job(args.job_id)
+    if job is None:
+        print(f"unknown job {args.job_id}", file=sys.stderr)
+        return 1
+    return _print_job(job, emit=args.emit)
 
 
 def _emit_and_check_proof(
@@ -579,6 +726,95 @@ def build_parser() -> argparse.ArgumentParser:
         "original CNF (exit 1 if it does not check)",
     )
     p_sat_solve.set_defaults(func=cmd_sat)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the compile service on a spool directory"
+    )
+    p_serve.add_argument(
+        "dir", metavar="DIR",
+        help="service directory (inbox/, acks/, journal/, cache/, ckpt/)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent compile workers (threads)",
+    )
+    p_serve.add_argument(
+        "--capacity", type=int, default=32,
+        help="bounded queue: max queued+running primary jobs before "
+        "submissions are rejected with a retry-after hint",
+    )
+    p_serve.add_argument(
+        "--per-tenant", type=int, default=8, metavar="N",
+        help="max live jobs (coalesced included) per tenant",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive faulting outcomes that open a per-(tenant, "
+        "compile key) circuit breaker",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="how long an open breaker rejects before admitting a probe",
+    )
+    p_serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="serve for this long then shut down gracefully "
+        "(default: until DIR/stop appears)",
+    )
+    p_serve.add_argument(
+        "--inject", metavar="SPEC", default=None,
+        help="arm deterministic fault injection: comma-separated "
+        "site:FaultName[:times[:match]] entries (soak testing)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="spool a compile request to a serve directory"
+    )
+    p_submit.add_argument("dir", metavar="DIR", help="service directory")
+    p_submit.add_argument("source", help="parser source file")
+    _add_device_args(p_submit)
+    p_submit.add_argument("--tenant", default="default")
+    p_submit.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="end-to-end deadline from submission; propagated into the "
+        "compiler's wall-clock budget",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt compile budget (total_max_seconds override)",
+    )
+    p_submit.add_argument("--seed", type=int, default=None)
+    p_submit.add_argument(
+        "--option", action="append", metavar="KEY=VALUE",
+        help="whitelisted CompileOptions override (repeatable); values "
+        "are parsed as JSON with a string fallback",
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job is acked and terminal",
+    )
+    p_submit.add_argument(
+        "--wait-timeout", type=float, default=300.0, metavar="SECONDS",
+    )
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="print a submitted job's journaled state"
+    )
+    p_status.add_argument("dir", metavar="DIR", help="service directory")
+    p_status.add_argument("job_id")
+    p_status.set_defaults(func=cmd_status)
+
+    p_result = sub.add_parser(
+        "result", help="print a finished job's synthesized program"
+    )
+    p_result.add_argument("dir", metavar="DIR", help="service directory")
+    p_result.add_argument("job_id")
+    p_result.add_argument(
+        "--emit", choices=["text", "json"], default="text"
+    )
+    p_result.set_defaults(func=cmd_result)
 
     return parser
 

@@ -196,15 +196,23 @@ def _arm_failure(
 
 def _with_deadline(
     sub: Subproblem, deadline: Optional[float]
-) -> Subproblem:
+) -> Optional[Subproblem]:
     """Thread the portfolio's wall-clock deadline into an arm's options.
 
     Each arm then enforces its share of the remaining time itself (the
     compiler turns ``total_max_seconds`` into its internal deadline), so
-    a straggler arm self-terminates even if the parent has moved on."""
+    a straggler arm self-terminates even if the parent has moved on.
+
+    Returns None when the deadline has *already expired*: the arm must
+    not be launched at all (it could only burn a token budget and report
+    a misleading per-arm timeout) — callers count it under
+    ``portfolio.deadline_expired`` and report it among the pending arms.
+    """
     if deadline is None:
         return sub
-    remaining = max(0.01, deadline - time.monotonic())
+    remaining = deadline - time.monotonic()
+    if remaining <= 0:
+        return None
     current = sub.options.total_max_seconds
     if current is not None and current <= remaining:
         return sub
@@ -291,7 +299,9 @@ def _run_arms_inline(
     because the deadline expired first (empty otherwise)."""
     ordered = sorted(subproblems, key=lambda s: s.priority)
     for index, sub in enumerate(ordered):
-        if deadline is not None and time.monotonic() >= deadline:
+        bounded = _with_deadline(sub, deadline)
+        if bounded is None:
+            # Deadline already expired: launching would only misreport.
             tracer.count("portfolio.deadline_expired")
             return [s.label for s in ordered[index:]]
         with tracer.span(
@@ -299,7 +309,7 @@ def _run_arms_inline(
         ) as arm_span:
             try:
                 _priority, result, _spans, _counters = _run_subproblem(
-                    spec, _with_deadline(sub, deadline), False, None,
+                    spec, bounded, False, None,
                     channel,
                 )
             except Exception as exc:
@@ -349,19 +359,31 @@ def _run_pooled(
     futures: Dict[concurrent.futures.Future, Subproblem] = {}
     completed: Set[int] = set()
     broken: Optional[BaseException] = None
+    expired: List[Subproblem] = []
     try:
         try:
             for sub in subproblems:
+                bounded = _with_deadline(sub, deadline)
+                if bounded is None:
+                    # The deadline expired before this arm could even be
+                    # submitted: never launch it (the old code clamped it
+                    # to a token 0.01 s budget and launched anyway).
+                    expired.append(sub)
+                    tracer.count("portfolio.deadline_expired")
+                    continue
                 futures[pool.submit(
                     _run_subproblem,
                     spec,
-                    _with_deadline(sub, deadline),
+                    bounded,
                     tracer.enabled,
                     faults,
                     channel,
                 )] = sub
         except (BrokenProcessPool,) + _POOL_UNAVAILABLE_ERRORS as exc:
             broken = exc
+        expired_labels = [
+            s.label for s in sorted(expired, key=lambda s: s.priority)
+        ]
         if broken is None:
             timeout = (
                 None if deadline is None
@@ -404,7 +426,7 @@ def _run_pooled(
                         # First valid success wins; cancel stragglers.
                         for other in futures:
                             other.cancel()
-                        return []
+                        return expired_labels
             except concurrent.futures.TimeoutError:
                 tracer.count("portfolio.deadline_expired")
                 for other in futures:
@@ -435,7 +457,7 @@ def _run_pooled(
                     spec, remaining, device, tracer, deadline, results,
                     on_result, channel,
                 )
-        return []
+        return expired_labels
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
 

@@ -37,6 +37,7 @@ from ..core.result import STATUS_OK, CompileResult
 from ..hw.device import DeviceProfile
 from ..ir.spec import ParserSpec
 from ..obs import get_tracer
+from ..resilience.injection import fault_point
 from .atomic import load_envelope, quarantine, write_atomic
 from .fingerprint import compile_key
 from .serialize import result_from_doc, result_to_doc
@@ -108,6 +109,7 @@ class CompileCache:
         if meta:
             payload["meta"] = meta
         try:
+            fault_point("cache.store", label=key)
             write_atomic(self.entry_path(key), CACHE_KIND, CACHE_VERSION,
                          payload)
         except Exception:

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..ir.bits import Bits
 from ..obs import get_tracer
+from ..resilience.retry import RetryPolicy
 from .atomic import load_envelope, write_atomic
 
 CHECKPOINT_KIND = "checkpoint"
@@ -49,8 +50,11 @@ CHECKPOINT_KIND = "checkpoint"
 CHECKPOINT_VERSION = 2
 CHECKPOINT_FILENAME = "checkpoint.json"
 
-# Consecutive write failures after which a manager stops trying.
-_MAX_WRITE_FAILURES = 3
+# Consecutive write failures after which a manager stops trying.  Only
+# the give-up decision is reused from the retry machinery — flushes are
+# never delayed (checkpointing must not slow the compile down), so the
+# policy carries no backoff.
+WRITE_RETRY_POLICY = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
 
 BudgetKey = Tuple[Optional[int], int]        # (stage budget or None, entries)
 
@@ -101,7 +105,9 @@ class CheckpointManager:
         self.resumed = False
         self._dirty = False
         self._disabled = False
-        self._write_failures = 0
+        self._write_state = WRITE_RETRY_POLICY.start(
+            key=compile_key, sleep=None
+        )
         self._last_flush = 0.0
         self.state: Dict[str, Any] = {
             "compile_key": compile_key,
@@ -295,7 +301,8 @@ class CheckpointManager:
         """Write the state out if dirty (or forced); True when written.
 
         Failures degrade: counted, and checkpointing disables itself
-        after ``_MAX_WRITE_FAILURES`` consecutive errors."""
+        once ``WRITE_RETRY_POLICY`` is exhausted (consecutive errors; a
+        good write in between resets the streak)."""
         if self._disabled:
             return False
         if not force:
@@ -314,12 +321,11 @@ class CheckpointManager:
         except Exception:
             tracer = get_tracer()
             tracer.count("persist.write_failures")
-            self._write_failures += 1
-            if self._write_failures >= _MAX_WRITE_FAILURES:
+            if not self._write_state.record_failure():
                 self._disabled = True
                 tracer.count("checkpoint.disabled")
             return False
-        self._write_failures = 0
+        self._write_state.record_success()
         self._dirty = False
         self._last_flush = time.monotonic()
         get_tracer().count("checkpoint.flushes")

@@ -4,14 +4,18 @@ The compile pipeline — especially the §6.7 portfolio, which races many
 arms across a process pool — must degrade instead of dying: a crashing
 worker becomes a per-arm failure, a broken pool is recovered by
 re-running pending arms in-process, and a wall-clock deadline yields the
-best partial result rather than a hang.  This package holds the two
+best partial result rather than a hang.  This package holds the
 pieces those behaviours share:
 
 * :mod:`repro.resilience.faults` — the :class:`CompileFault` exception
   taxonomy supervision code catches and converts into results;
 * :mod:`repro.resilience.injection` — a deterministic fault-injection
   registry (``inject(site, fault)``) so every recovery path is testable
-  without real crashes (see ``tests/resilience/``).
+  without real crashes (see ``tests/resilience/``);
+* :mod:`repro.resilience.retry` — a reusable retry policy (bounded
+  attempts, exponential backoff, deterministic jitter) plus the
+  transient-vs-permanent fault classification, shared by the serve
+  layer and the checkpoint manager's write-failure self-disable.
 
 Deliberately dependency-free (stdlib only): both ``repro.smt`` and
 ``repro.core`` import it, so it must sit below everything.
@@ -34,14 +38,23 @@ from .injection import (
     install,
     snapshot,
 )
+from .retry import (
+    TRANSIENT_FAULTS,
+    RetryPolicy,
+    RetryState,
+    transient_fault,
+)
 
 __all__ = [
     "ArmTimeout",
     "CompileFault",
     "InjectedFault",
     "PoolBroken",
+    "RetryPolicy",
+    "RetryState",
     "SITES",
     "SolverResourceExhausted",
+    "TRANSIENT_FAULTS",
     "WorkerCrash",
     "active",
     "clear",
@@ -49,4 +62,5 @@ __all__ = [
     "inject",
     "install",
     "snapshot",
+    "transient_fault",
 ]

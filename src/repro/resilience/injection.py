@@ -15,6 +15,10 @@ site              fired from
 ``portfolio.pool``    process-pool creation in ``portfolio_compile``
 ``persist.write``     :func:`repro.persist.atomic.write_atomic`
 ``persist.read``      :func:`repro.persist.atomic.load_envelope`
+``cache.store``       :meth:`repro.persist.cache.CompileCache.store`
+``serve.enqueue``     ``repro.serve.service.CompileService.submit``
+``serve.worker``      the serve worker loop, before each compile attempt
+``serve.journal``     :meth:`repro.serve.journal.JobJournal` writes
 ================  ====================================================
 
 Production code calls :func:`fault_point` at each site; with an empty
@@ -58,6 +62,10 @@ SITES = (
     "portfolio.pool",
     "persist.write",
     "persist.read",
+    "cache.store",
+    "serve.enqueue",
+    "serve.worker",
+    "serve.journal",
 )
 
 
@@ -141,6 +149,55 @@ def install(faults: Optional[List[InjectedFault]]) -> None:
     _FAULTS.clear()
     if faults:
         _FAULTS.extend(faults)
+
+
+def configure_from_string(text: str) -> List[InjectedFault]:
+    """Arm faults from a compact CLI spec (``repro serve --inject``).
+
+    Comma-separated ``site:FaultName[:times[:match]]`` entries, where
+    ``FaultName`` is a class from :mod:`repro.resilience.faults` and
+    ``times`` is an integer or ``*`` (every visit)::
+
+        serve.worker:WorkerCrash:2,serve.journal:PoolBroken:1
+
+    ``hang=<seconds>`` in place of a fault class injects a stall
+    instead of an exception (a worker that wedges rather than dies)::
+
+        serve.worker:hang=0.3:4
+    """
+    import time as _time
+
+    from . import faults as _faults
+
+    armed: List[InjectedFault] = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        parts = item.split(":")
+        if len(parts) < 2:
+            raise ValueError(
+                f"expected site:FaultName[:times[:match]], got {item!r}"
+            )
+        site, name = parts[0], parts[1]
+        times: Optional[int] = 1
+        if len(parts) > 2 and parts[2]:
+            times = None if parts[2] == "*" else int(parts[2])
+        match = parts[3] if len(parts) > 3 and parts[3] else None
+        if name.startswith("hang"):
+            _, eq, dur = name.partition("=")
+            seconds = float(dur) if eq else 0.1
+            fault: Any = lambda s=seconds: _time.sleep(s)  # noqa: E731
+        else:
+            fault_cls = getattr(_faults, name, None)
+            if not (
+                isinstance(fault_cls, type)
+                and issubclass(fault_cls, BaseException)
+            ):
+                raise ValueError(f"unknown fault type {name!r}")
+            fault = fault_cls
+        armed.append(inject(site, fault, times=times, match=match))
+    return armed
 
 
 def fault_point(site: str, label: Optional[str] = None) -> None:

@@ -1,0 +1,71 @@
+"""Compile-as-a-service: a robust job layer over the compiler.
+
+Layering (each module usable and testable on its own):
+
+* :mod:`repro.serve.job` — the journaled unit of work and its state
+  machine;
+* :mod:`repro.serve.journal` — crash-safe per-job persistence
+  (atomic envelopes; accepted ⇒ durable);
+* :mod:`repro.serve.admission` — bounded queue + per-tenant quotas
+  with honest ``retry_after`` backpressure;
+* :mod:`repro.serve.breaker` — per-(tenant, compile key) circuit
+  breaker;
+* :mod:`repro.serve.service` — the orchestrator: workers, coalescing,
+  classified retry, deadline propagation, recovery;
+* :mod:`repro.serve.spool` — the filesystem front-end protocol used by
+  ``repro serve`` / ``repro submit`` / ``repro status`` /
+  ``repro result``.
+"""
+
+from .admission import (
+    AdmissionQueue,
+    BreakerOpen,
+    QueueFull,
+    QuotaExceeded,
+    Rejected,
+)
+from .breaker import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+from .job import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    Job,
+    TERMINAL_STATES,
+    make_job,
+    new_job_id,
+)
+from .journal import JobJournal, JournalWriteError
+from .service import SERVICE_RETRY_POLICY, CompileService
+from .spool import SpoolClient, SpoolServer
+
+__all__ = [
+    "AdmissionQueue",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "CompileService",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "Job",
+    "JobJournal",
+    "JournalWriteError",
+    "QueueFull",
+    "QuotaExceeded",
+    "Rejected",
+    "SERVICE_RETRY_POLICY",
+    "SpoolClient",
+    "SpoolServer",
+    "TERMINAL_STATES",
+    "make_job",
+    "new_job_id",
+]

@@ -1,0 +1,130 @@
+"""Per-(tenant, compile_key) circuit breaker.
+
+A spec that keeps crashing the synthesis pipeline must not be allowed
+to monopolize workers by resubmission.  Each ``(tenant, compile_key)``
+pair gets the classic three-state breaker:
+
+* **closed** — normal operation; consecutive faulting/timed-out
+  outcomes are counted, successes (``ok`` *or* ``infeasible`` — a
+  clean verdict either way) reset the streak;
+* **open** — after ``failure_threshold`` consecutive failures; new
+  submissions for the key are rejected (:class:`BreakerOpen`) with the
+  remaining cooldown as ``retry_after``;
+* **half-open** — once ``cooldown_seconds`` elapse, exactly one probe
+  submission is let through.  Its success closes the breaker; its
+  failure re-opens it for a fresh cooldown.
+
+Everything is deterministic given the injected clock — tests drive
+state transitions with a fake clock, no sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from ..obs import get_tracer
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+BreakerKey = Tuple[str, str]          # (tenant, compile_key)
+
+
+@dataclass
+class _Entry:
+    state: str = BREAKER_CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    probe_in_flight: bool = False
+
+
+@dataclass
+class CircuitBreaker:
+    """Breaker table (serialized by the service's lock, like admission)."""
+
+    failure_threshold: int = 3
+    cooldown_seconds: float = 30.0
+    clock: Callable[[], float] = time.monotonic
+    _entries: Dict[BreakerKey, _Entry] = field(default_factory=dict)
+
+    def _entry(self, key: BreakerKey) -> _Entry:
+        return self._entries.setdefault(key, _Entry())
+
+    # ------------------------------------------------------------------
+    def state(self, key: BreakerKey) -> str:
+        entry = self._entries.get(key)
+        if entry is None:
+            return BREAKER_CLOSED
+        if (
+            entry.state == BREAKER_OPEN
+            and self.clock() - entry.opened_at >= self.cooldown_seconds
+        ):
+            return BREAKER_HALF_OPEN
+        return entry.state
+
+    def retry_after(self, key: BreakerKey) -> float:
+        entry = self._entries.get(key)
+        if entry is None or entry.state != BREAKER_OPEN:
+            return 0.0
+        remaining = self.cooldown_seconds - (self.clock() - entry.opened_at)
+        return max(0.0, remaining)
+
+    # ------------------------------------------------------------------
+    def allow(self, key: BreakerKey) -> bool:
+        """May a new submission for ``key`` proceed right now?
+
+        In half-open state the first caller becomes the probe (True);
+        subsequent callers are refused until the probe resolves.
+        """
+        entry = self._entries.get(key)
+        if entry is None or entry.state == BREAKER_CLOSED:
+            return True
+        now = self.clock()
+        if entry.state == BREAKER_OPEN:
+            if now - entry.opened_at < self.cooldown_seconds:
+                get_tracer().count("serve.breaker_rejections")
+                return False
+            entry.state = BREAKER_HALF_OPEN
+            entry.probe_in_flight = False
+        # half-open: admit exactly one probe.
+        if entry.probe_in_flight:
+            get_tracer().count("serve.breaker_rejections")
+            return False
+        entry.probe_in_flight = True
+        get_tracer().count("serve.breaker_probes")
+        return True
+
+    # ------------------------------------------------------------------
+    def record_success(self, key: BreakerKey) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        if entry.state != BREAKER_CLOSED:
+            get_tracer().count("serve.breaker_closed")
+        self._entries.pop(key, None)     # closed + clean slate
+
+    def record_failure(self, key: BreakerKey) -> None:
+        entry = self._entry(key)
+        entry.consecutive_failures += 1
+        entry.probe_in_flight = False
+        tripped = (
+            entry.state == BREAKER_HALF_OPEN
+            or entry.consecutive_failures >= self.failure_threshold
+        )
+        if tripped:
+            if entry.state != BREAKER_OPEN:
+                get_tracer().count("serve.breaker_opened")
+            entry.state = BREAKER_OPEN
+            entry.opened_at = self.clock()
+
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BreakerKey",
+    "CircuitBreaker",
+]

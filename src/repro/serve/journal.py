@@ -1,0 +1,160 @@
+"""The crash-safe job journal.
+
+One file per job (``<dir>/jobs/<job_id>.json``), each an atomic
+checksummed envelope from :mod:`repro.persist.atomic` — so every state
+transition durably replaces the previous one, a SIGKILL mid-write
+leaves the old state, and a torn file is quarantined rather than
+trusted.  The journal is the service's *only* source of truth across a
+restart: :meth:`JobJournal.recover` rebuilds the accepted-but-unfinished
+job set from disk and the service re-adopts it.
+
+Durability contract (the "zero lost accepted work" property):
+
+* an **accept** write (:meth:`record`, first write of a job in state
+  ``queued``) must *succeed before the client is acked* — on failure the
+  submission is rejected, so "accepted" and "journaled" are the same
+  event;
+* **transition** writes (queued→running→terminal) retry under
+  :data:`TRANSITION_RETRY_POLICY` and then degrade: the in-memory job
+  still completes and waiters are still notified, but the journal keeps
+  the *older* state — which on restart re-runs the job, a safe (if
+  wasteful) outcome for an idempotent content-addressed compile;
+* every write passes the ``serve.journal`` fault-injection site so the
+  degradation paths are testable without real disk failures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..obs import get_tracer
+from ..resilience.injection import fault_point
+from ..resilience.retry import RetryPolicy
+from ..persist.atomic import load_envelope, write_atomic
+from .job import TERMINAL_STATES, Job
+
+JOURNAL_KIND = "serve-job"
+JOURNAL_VERSION = 1
+
+# Transition writes retry briefly (transient disk hiccups) and then
+# degrade; accept writes never retry — the client is told to.
+TRANSITION_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=0.02, max_delay=0.2, jitter=0.25
+)
+
+
+class JournalWriteError(Exception):
+    """An accept-path journal write failed; the submission must be
+    rejected (the job was never durably accepted)."""
+
+
+class JobJournal:
+    """A directory of per-job atomic envelopes."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.jobs_dir = self.directory / "jobs"
+
+    def path_for(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    # -- writes --------------------------------------------------------
+    def record(self, job: Job) -> None:
+        """Durably write ``job``'s current state (the accept path).
+
+        Raises :class:`JournalWriteError` on failure — an un-journaled
+        job must never be acked as accepted.
+        """
+        try:
+            fault_point("serve.journal", label=f"accept:{job.job_id}")
+            write_atomic(
+                self.path_for(job.job_id),
+                JOURNAL_KIND,
+                JOURNAL_VERSION,
+                job.to_doc(),
+            )
+        except Exception as exc:
+            get_tracer().count("serve.journal_write_failures")
+            raise JournalWriteError(str(exc)) from exc
+        get_tracer().count("serve.journal_writes")
+
+    def transition(self, job: Job) -> bool:
+        """Best-effort durable state transition; True when journaled.
+
+        Retries under :data:`TRANSITION_RETRY_POLICY`, then degrades
+        (counted as ``serve.journal_degraded``) — the service keeps
+        going on its in-memory state.
+        """
+        tracer = get_tracer()
+        state = TRANSITION_RETRY_POLICY.start(key=job.job_id)
+        while True:
+            try:
+                fault_point(
+                    "serve.journal", label=f"{job.state}:{job.job_id}"
+                )
+                write_atomic(
+                    self.path_for(job.job_id),
+                    JOURNAL_KIND,
+                    JOURNAL_VERSION,
+                    job.to_doc(),
+                )
+            except Exception:
+                tracer.count("serve.journal_write_failures")
+                if not state.record_failure():
+                    tracer.count("serve.journal_degraded")
+                    return False
+                state.backoff()
+                continue
+            tracer.count("serve.journal_writes")
+            return True
+
+    # -- reads ---------------------------------------------------------
+    def load(self, job_id: str) -> Optional[Job]:
+        payload = load_envelope(
+            self.path_for(job_id), JOURNAL_KIND, JOURNAL_VERSION
+        )
+        if payload is None:
+            return None
+        try:
+            return Job.from_doc(payload)
+        except Exception:
+            get_tracer().count("serve.journal_malformed")
+            return None
+
+    def __iter__(self) -> Iterator[Job]:
+        if not self.jobs_dir.is_dir():
+            return
+        for path in sorted(self.jobs_dir.iterdir()):
+            if path.suffix != ".json" or ".corrupt" in path.name:
+                continue
+            payload = load_envelope(path, JOURNAL_KIND, JOURNAL_VERSION)
+            if payload is None:
+                continue
+            try:
+                yield Job.from_doc(payload)
+            except Exception:
+                get_tracer().count("serve.journal_malformed")
+
+    def all_jobs(self) -> Dict[str, Job]:
+        return {job.job_id: job for job in self}
+
+    def recover(self) -> List[Job]:
+        """Accepted-but-unfinished jobs, submission order (the restart
+        re-adoption set).  Jobs found in state ``running`` were live
+        when the previous server died; their per-key checkpoints make
+        re-running them cheap (``resume=True``)."""
+        pending = [job for job in self if job.state not in TERMINAL_STATES]
+        pending.sort(key=lambda j: (j.submitted_epoch, j.job_id))
+        if pending:
+            get_tracer().count("serve.jobs_recovered", len(pending))
+        return pending
+
+
+__all__ = [
+    "JOURNAL_KIND",
+    "JOURNAL_VERSION",
+    "JobJournal",
+    "JournalWriteError",
+    "TRANSITION_RETRY_POLICY",
+]

@@ -1,0 +1,545 @@
+"""The compile service: admission, coalescing, retry, recovery.
+
+:class:`CompileService` turns :class:`~repro.core.compiler.ParserHawkCompiler`
+into a robust multi-tenant job runner.  One instance owns a service
+directory::
+
+    <root>/journal/jobs/*.json    the crash-safe job journal
+    <root>/cache/                 the shared compile cache
+    <root>/ckpt/<key16>/          per-compile-key CEGIS checkpoints
+
+and a pool of worker *threads* (the compiler already fans out its own
+portfolio subprocesses; service workers spend their time waiting on
+them, so threads are the right grain and the journal/cache/checkpoint
+state stays in one process).
+
+Robustness properties, and where they live:
+
+* **backpressure** — :class:`~repro.serve.admission.AdmissionQueue`
+  bounds queued+running primaries and per-tenant live jobs; rejected
+  submissions carry ``retry_after``;
+* **coalescing** — identical ``compile_key``\\ s share one in-flight
+  compile; waiters are journaled with ``coalesced_into`` and copy the
+  primary's terminal state (counted as ``serve.coalesced``);
+* **classified retry** — transient faults (worker crash, broken pool,
+  solver resource exhaustion — :func:`repro.resilience.retry.transient_fault`,
+  plus ``STATUS_FAULT`` results) re-run under the service
+  :class:`~repro.resilience.retry.RetryPolicy` with deterministic
+  jittered backoff; infeasible/invalid/timeout outcomes never retry;
+* **circuit breaker** — repeatedly-faulting ``(tenant, compile_key)``
+  pairs are rejected for a cooldown
+  (:class:`~repro.serve.breaker.CircuitBreaker`);
+* **deadline propagation** — a job deadline caps the compiler's
+  ``total_max_seconds`` on every attempt; an already-expired deadline
+  terminates the job without launching;
+* **graceful degradation** — cache hits answer at submit time without
+  burning a compile slot; after exhausted retries the cache is
+  consulted once more (another process may have finished the same key)
+  and a hit is served marked ``degraded`` (``serve.stale_served``);
+* **crash safety** — every accepted job is journaled before its ack;
+  :meth:`recover` re-adopts non-terminal jobs on restart, resuming
+  their CEGIS checkpoints (``resume=True`` + per-key checkpoint dirs).
+
+Threading note: :class:`~repro.obs.Tracer` span trees are **not**
+thread-safe, so every worker attempt and every submit runs under its
+own private tracer whose counters are merged into the service-owned
+:class:`~repro.obs.CounterRegistry` afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Deque, Dict, List, Optional, Union
+
+from ..core.compiler import ParserHawkCompiler
+from ..core.result import (
+    STATUS_FAULT,
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+)
+from ..hw.device import DeviceProfile
+from ..obs import CounterRegistry, Tracer, use_tracer
+from ..persist.cache import CompileCache
+from ..persist.serialize import result_to_doc
+from ..resilience.injection import fault_point
+from ..resilience.retry import RetryPolicy, transient_fault
+from .admission import AdmissionQueue, BreakerOpen, Rejected
+from .breaker import CircuitBreaker
+from .job import (
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    Job,
+    make_job,
+)
+from .journal import JobJournal, JournalWriteError
+
+# Service-level retry policy for transient attempt failures.  Short
+# base delay: the per-key checkpoint makes a re-run cheap, and the
+# deterministic jitter de-synchronizes concurrent retriers.
+SERVICE_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, base_delay=0.05, multiplier=2.0, max_delay=2.0,
+    jitter=0.25, seed=0,
+)
+
+
+class CompileService:
+    """Admission-controlled, journaled compile-as-a-service."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        workers: int = 2,
+        capacity: int = 32,
+        per_tenant: int = 8,
+        retry_policy: RetryPolicy = SERVICE_RETRY_POLICY,
+        breaker: Optional[CircuitBreaker] = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        use_cache: bool = True,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.root = Path(root)
+        self.journal = JobJournal(self.root / "journal")
+        self.cache: Optional[CompileCache] = (
+            CompileCache(self.root / "cache") if use_cache else None
+        )
+        self.admission = AdmissionQueue(
+            capacity=capacity, per_tenant=per_tenant, workers=workers
+        )
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            cooldown_seconds=breaker_cooldown,
+        )
+        self.retry_policy = retry_policy
+        self.registry = CounterRegistry()
+        self._sleep = sleep
+        self._num_workers = max(1, workers)
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: Deque[str] = deque()
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, str] = {}      # compile_key -> primary id
+        self._waiters: Dict[str, List[str]] = {} # primary id -> waiter ids
+        self._events: Dict[str, threading.Event] = {}
+        self._threads: List[threading.Thread] = []
+        self._stopping = False
+
+    # -- counter plumbing ----------------------------------------------
+    @contextmanager
+    def _capture(self, name: str):
+        """Run a block under a private tracer; merge its counters into
+        the service registry (span trees are per-thread, counters are
+        the shared truth)."""
+        tracer = Tracer(name)
+        try:
+            with use_tracer(tracer):
+                yield tracer
+        finally:
+            self.registry.merge(tracer.registry.snapshot())
+
+    def _count(self, name: str, delta: Union[int, float] = 1) -> None:
+        self.registry.add(name, delta)
+
+    # -- directories ---------------------------------------------------
+    def checkpoint_dir_for(self, compile_key: str) -> Path:
+        return self.root / "ckpt" / compile_key[:16]
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> int:
+        """Recover journaled work and start the worker pool.  Returns
+        how many jobs were re-adopted."""
+        adopted = self.recover()
+        with self._lock:
+            self._stopping = False
+        for index in range(self._num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return adopted
+
+    def shutdown(self, wait: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting work and (optionally) join the workers.
+        Jobs still queued stay journaled and are re-adopted by the next
+        :meth:`start` — shutdown never loses accepted work."""
+        with self._wakeup:
+            self._stopping = True
+            self._wakeup.notify_all()
+        if wait:
+            deadline = time.monotonic() + timeout
+            for thread in self._threads:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                thread.join(remaining)
+        self._threads = []
+
+    def recover(self) -> int:
+        """Re-adopt every accepted-but-unfinished job from the journal.
+
+        Jobs are grouped by ``compile_key``: the oldest becomes (or
+        stays) the primary, the rest re-coalesce behind it.  Admission
+        counters are force-set — this work was *already* accepted, so
+        capacity cannot bounce it now.
+        """
+        with self._capture("serve.recover"), self._lock:
+            pending = self.journal.recover()
+            for job in pending:
+                if job.job_id in self._jobs:
+                    continue
+                job.coalesced_into = None        # re-derived below
+                if job.state != JOB_QUEUED:
+                    job.state = JOB_QUEUED
+                self._jobs[job.job_id] = job
+                self._events.setdefault(job.job_id, threading.Event())
+                primary_id = self._inflight.get(job.compile_key)
+                if primary_id is None:
+                    self._inflight[job.compile_key] = job.job_id
+                    self._queue.append(job.job_id)
+                    self.admission.primaries += 1
+                else:
+                    job.coalesced_into = primary_id
+                    self._waiters.setdefault(primary_id, []).append(
+                        job.job_id
+                    )
+                    self._count("serve.coalesced")
+                self.admission.tenant_live[job.tenant] = (
+                    self.admission.tenant_live.get(job.tenant, 0) + 1
+                )
+                self.journal.transition(job)
+            self._wakeup.notify_all()
+        return len(pending)
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self,
+        spec_source: str,
+        device: DeviceProfile,
+        *,
+        tenant: str = "default",
+        spec_start: str = "start",
+        options: Optional[Dict[str, Any]] = None,
+        deadline_seconds: Optional[float] = None,
+        job_id: Optional[str] = None,
+    ) -> Job:
+        """Admit one compile request; returns the journaled :class:`Job`.
+
+        Raises ``ValueError`` for an invalid request (bad spec or
+        unknown option override — permanent, never queued) and
+        :class:`~repro.serve.admission.Rejected` for backpressure,
+        quota, breaker and journal-unavailable refusals (all carry
+        ``retry_after``).
+        """
+        with self._capture("serve.submit"):
+            # Validation happens before any slot is claimed.
+            job = make_job(
+                spec_source,
+                device,
+                tenant=tenant,
+                spec_start=spec_start,
+                options=options,
+                deadline_seconds=deadline_seconds,
+                job_id=job_id,
+            )
+            fault_point("serve.enqueue", label=job.compile_key)
+            return self._admit(job)
+
+    def _admit(self, job: Job) -> Job:
+        key = (job.tenant, job.compile_key)
+        with self._lock:
+            if not self.breaker.allow(key):
+                raise BreakerOpen(
+                    f"breaker open for compile key {job.compile_key[:16]}…",
+                    retry_after=max(1.0, self.breaker.retry_after(key)),
+                )
+            # Cache fast-path: an already-known answer is terminal at
+            # admission and never consumes a compile slot.
+            if self._serve_from_cache(job):
+                self.journal.record(job)       # accepted *and* terminal
+                self._events[job.job_id] = threading.Event()
+                self._events[job.job_id].set()
+                self._jobs[job.job_id] = job
+                self.breaker.record_success(key)   # a served answer
+                self._count("serve.cache_hits")
+                return job
+            primary_id = self._inflight.get(job.compile_key)
+            coalesced = primary_id is not None
+            self.admission.admit(job.tenant, primary=not coalesced)
+            try:
+                if coalesced:
+                    job.coalesced_into = primary_id
+                self.journal.record(job)       # accepted => durable
+            except JournalWriteError as exc:
+                self.admission.release(job.tenant, primary=not coalesced)
+                raise Rejected(
+                    f"journal unavailable: {exc}",
+                    retry_after=self.admission.retry_after(),
+                ) from exc
+            self._jobs[job.job_id] = job
+            self._events[job.job_id] = threading.Event()
+            if coalesced:
+                self._waiters.setdefault(primary_id, []).append(job.job_id)
+                self._count("serve.coalesced")
+            else:
+                self._inflight[job.compile_key] = job.job_id
+                self._queue.append(job.job_id)
+                self._count("serve.accepted")
+                self._wakeup.notify()
+        return job
+
+    def _serve_from_cache(self, job: Job) -> bool:
+        """Terminal-ize ``job`` from the compile cache; True on a hit.
+        Called under the service lock."""
+        if self.cache is None:
+            return False
+        result = self.cache.lookup(job.compile_key, job.build_device())
+        if result is None:
+            return False
+        job.state = JOB_DONE
+        job.result_doc = result_to_doc(result)
+        job.finished_epoch = time.time()
+        return True
+
+    # -- introspection -------------------------------------------------
+    def status(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is not None:
+            return job
+        return self.journal.load(job_id)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Optional[Job]:
+        """Block until ``job_id`` is terminal (or timeout); returns it."""
+        with self._lock:
+            event = self._events.get(job_id)
+        if event is not None:
+            event.wait(timeout)
+        return self.status(job_id)
+
+    def metrics(self) -> Dict[str, Any]:
+        with self._lock:
+            gauges = {
+                "queue_depth": len(self._queue),
+                "inflight_keys": len(self._inflight),
+                "jobs_tracked": len(self._jobs),
+                "primaries_live": self.admission.primaries,
+                "estimated_compile_seconds": round(
+                    self.admission.estimated_seconds(), 3
+                ),
+            }
+        return {"counters": self.registry.snapshot(), "gauges": gauges}
+
+    # -- the worker ----------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._queue and not self._stopping:
+                    self._wakeup.wait(0.2)
+                if self._stopping:
+                    return
+                job_id = self._queue.popleft()
+                job = self._jobs[job_id]
+                queued_for = time.time() - job.submitted_epoch
+            self._count("serve.queue_seconds", max(0.0, queued_for))
+            with self._capture(f"serve.job.{job_id}"):
+                try:
+                    self._run_job(job)
+                except Exception as exc:   # defense: a worker never dies
+                    self._count("serve.worker_errors")
+                    self._finish(
+                        job,
+                        JOB_FAILED,
+                        failure_kind="fault",
+                        message=f"worker error: {exc}",
+                    )
+
+    def _run_job(self, job: Job) -> None:
+        started = time.time()
+        while True:
+            remaining = job.remaining_seconds()
+            if remaining is not None and remaining <= 0:
+                self._count("serve.deadline_exceeded")
+                self._finish(
+                    job,
+                    JOB_FAILED,
+                    failure_kind="timeout",
+                    message="deadline expired before the compile ran",
+                )
+                return
+            job.state = JOB_RUNNING
+            job.started_epoch = job.started_epoch or started
+            job.attempts += 1
+            self.journal.transition(job)
+            self._count("serve.attempts")
+            try:
+                result = self._attempt(job, remaining)
+            except Exception as exc:
+                if transient_fault(exc) and self._retry(job, exc):
+                    continue
+                self._record_outcome(job, success=False)
+                self._finish(
+                    job,
+                    JOB_FAILED,
+                    failure_kind="fault",
+                    message=f"{type(exc).__name__}: {exc}",
+                )
+                return
+            if result.status == STATUS_OK:
+                self._record_outcome(job, success=True)
+                job.result_doc = result_to_doc(result)
+                self._finish(job, JOB_DONE)
+                return
+            if result.status == STATUS_INFEASIBLE:
+                # A clean verdict: the spec cannot fit the device.
+                self._record_outcome(job, success=True)
+                job.result_doc = result_to_doc(result)
+                self._finish(
+                    job,
+                    JOB_FAILED,
+                    failure_kind="infeasible",
+                    message=result.message,
+                )
+                return
+            if result.status == STATUS_TIMEOUT:
+                self._record_outcome(job, success=False)
+                job.result_doc = result_to_doc(result)
+                self._finish(
+                    job,
+                    JOB_FAILED,
+                    failure_kind="timeout",
+                    message=result.message,
+                )
+                return
+            # STATUS_FAULT: the compiler absorbed a transient failure
+            # (its checkpoint makes the re-run cheap).
+            assert result.status == STATUS_FAULT, result.status
+            if self._retry(job, None):
+                continue
+            self._record_outcome(job, success=False)
+            job.result_doc = result_to_doc(result)
+            self._finish(
+                job, JOB_FAILED, failure_kind="fault",
+                message=result.message,
+            )
+            return
+
+    def _attempt(self, job: Job, remaining: Optional[float]):
+        """One compile attempt with deadline propagation + checkpointing."""
+        fault_point("serve.worker", label=job.compile_key)
+        overrides: Dict[str, Any] = {
+            "cache_dir": str(self.cache.directory) if self.cache else None,
+        }
+        requested = job.options.get("total_max_seconds")
+        if remaining is not None:
+            overrides["total_max_seconds"] = (
+                min(requested, remaining)
+                if requested is not None
+                else remaining
+            )
+        options = job.build_options(**overrides)
+        compiler = ParserHawkCompiler(options)
+        self._count("serve.compile_launched")
+        return compiler.compile(
+            job.build_spec(),
+            job.build_device(),
+            checkpoint_dir=str(self.checkpoint_dir_for(job.compile_key)),
+            resume=True,
+        )
+
+    def _retry(self, job: Job, exc: Optional[BaseException]) -> bool:
+        """Decide (and pace) a transient-failure retry; True = go again."""
+        self._count("serve.transient_failures")
+        if job.attempts >= self.retry_policy.max_attempts:
+            self._count("serve.retries_exhausted")
+            if self._degrade(job):
+                return False
+            return False
+        remaining = job.remaining_seconds()
+        delay = self.retry_policy.delay(job.attempts, key=job.job_id)
+        if remaining is not None and delay >= remaining:
+            self._count("serve.deadline_exceeded")
+            return False
+        job.state = JOB_QUEUED
+        self.journal.transition(job)
+        self._count("serve.retries")
+        self._sleep(delay)
+        return True
+
+    def _degrade(self, job: Job) -> bool:
+        """Last-resort cache consult after exhausted retries (another
+        process may have completed the same key); True when served."""
+        with self._lock:
+            hit = self._serve_from_cache(job)
+        if hit:
+            job.degraded = True
+            self._count("serve.stale_served")
+            self._finish(job, JOB_DONE)
+        return hit
+
+    def _record_outcome(self, job: Job, *, success: bool) -> None:
+        key = (job.tenant, job.compile_key)
+        with self._lock:
+            if success:
+                self.breaker.record_success(key)
+            else:
+                self.breaker.record_failure(key)
+
+    # -- completion ----------------------------------------------------
+    def _finish(
+        self,
+        job: Job,
+        state: str,
+        *,
+        failure_kind: str = "",
+        message: str = "",
+    ) -> None:
+        if job.terminal:
+            return
+        job.state = state
+        job.failure_kind = failure_kind
+        if message:
+            job.message = message
+        job.finished_epoch = time.time()
+        self.journal.transition(job)
+        self._count(f"serve.jobs_{state}")
+        with self._lock:
+            waiters = self._waiters.pop(job.job_id, [])
+            if self._inflight.get(job.compile_key) == job.job_id:
+                del self._inflight[job.compile_key]
+            self.admission.release(job.tenant, primary=True)
+            if job.started_epoch and job.finished_epoch:
+                self.admission.observe_duration(
+                    job.finished_epoch - job.started_epoch
+                )
+            event = self._events.get(job.job_id)
+            waiter_jobs = [self._jobs[w] for w in waiters if w in self._jobs]
+        if event is not None:
+            event.set()
+        for waiter in waiter_jobs:
+            waiter.state = job.state
+            waiter.failure_kind = job.failure_kind
+            waiter.message = job.message
+            waiter.result_doc = job.result_doc
+            waiter.degraded = job.degraded
+            waiter.finished_epoch = job.finished_epoch
+            self.journal.transition(waiter)
+            self._count(f"serve.jobs_{waiter.state}")
+            with self._lock:
+                self.admission.release(waiter.tenant, primary=False)
+                waiter_event = self._events.get(waiter.job_id)
+            if waiter_event is not None:
+                waiter_event.set()
+
+
+__all__ = ["CompileService", "SERVICE_RETRY_POLICY"]

@@ -1,0 +1,280 @@
+"""Filesystem spool: the CLI ⇄ server protocol.
+
+``repro submit/status/result`` must work without any network stack and
+must survive either side dying, so the front-end protocol is files in
+the service directory, every one an atomic checksummed envelope::
+
+    <root>/inbox/<req_id>.json     submission requests (client writes)
+    <root>/acks/<req_id>.json      accept/reject acks (server writes)
+    <root>/journal/jobs/*.json     the job journal (server writes;
+                                   clients read it directly, so
+                                   ``status``/``result`` work even with
+                                   no server running)
+    <root>/metrics.json            periodic counter/gauge snapshot
+    <root>/stop                    touch to request a graceful stop
+
+Idempotency: the job id *is* the request id.  Whatever instant the
+server dies at, reprocessing an inbox file converges — an already-acked
+request is just unlinked, an already-journaled job (accepted, then
+crash before ack) is acked from the journal without resubmitting, and
+:meth:`~repro.serve.service.CompileService.recover` has re-adopted the
+job itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..hw.device import DeviceProfile
+from ..persist.atomic import load_envelope, write_atomic
+from ..resilience.faults import CompileFault
+from .admission import Rejected
+from .job import Job, TERMINAL_STATES, new_job_id
+from .journal import JobJournal
+from .service import CompileService
+
+REQUEST_KIND = "serve-request"
+REQUEST_VERSION = 1
+ACK_KIND = "serve-ack"
+ACK_VERSION = 1
+METRICS_KIND = "serve-metrics"
+METRICS_VERSION = 1
+
+STOP_FILENAME = "stop"
+
+
+class SpoolClient:
+    """Client side: submit requests, poll acks, read the journal."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.inbox = self.root / "inbox"
+        self.acks = self.root / "acks"
+        self.journal = JobJournal(self.root / "journal")
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self,
+        spec_source: str,
+        device: DeviceProfile,
+        *,
+        tenant: str = "default",
+        spec_start: str = "start",
+        options: Optional[Dict[str, Any]] = None,
+        deadline_seconds: Optional[float] = None,
+        req_id: Optional[str] = None,
+    ) -> str:
+        """Spool one request; returns its id (also the job id)."""
+        req_id = req_id or new_job_id()
+        write_atomic(
+            self.inbox / f"{req_id}.json",
+            REQUEST_KIND,
+            REQUEST_VERSION,
+            {
+                "req_id": req_id,
+                "tenant": tenant,
+                "spec_source": spec_source,
+                "spec_start": spec_start,
+                "device": asdict(device),
+                "options": dict(options or {}),
+                "deadline_seconds": deadline_seconds,
+                "submitted_epoch": time.time(),
+            },
+        )
+        return req_id
+
+    # -- acks ----------------------------------------------------------
+    def ack(self, req_id: str) -> Optional[Dict[str, Any]]:
+        return load_envelope(
+            self.acks / f"{req_id}.json", ACK_KIND, ACK_VERSION
+        )
+
+    def wait_ack(
+        self, req_id: str, timeout: float = 30.0, poll: float = 0.05
+    ) -> Optional[Dict[str, Any]]:
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.ack(req_id)
+            if doc is not None or time.monotonic() >= deadline:
+                return doc
+            time.sleep(poll)
+
+    # -- job state (straight off the journal; no server needed) --------
+    def job(self, job_id: str) -> Optional[Job]:
+        return self.journal.load(job_id)
+
+    def wait_job(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.1
+    ) -> Optional[Job]:
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job is not None and job.state in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                return job
+            time.sleep(poll)
+
+    def metrics(self) -> Optional[Dict[str, Any]]:
+        return load_envelope(
+            self.root / "metrics.json", METRICS_KIND, METRICS_VERSION
+        )
+
+    def request_stop(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / STOP_FILENAME).touch()
+
+
+class SpoolServer:
+    """Server side: drain the inbox into a :class:`CompileService`."""
+
+    def __init__(
+        self, root: Union[str, Path], service: CompileService
+    ) -> None:
+        self.root = Path(root)
+        self.inbox = self.root / "inbox"
+        self.acks = self.root / "acks"
+        self.service = service
+
+    # -- one request ---------------------------------------------------
+    def _write_ack(self, req_id: str, doc: Dict[str, Any]) -> None:
+        doc = dict(doc, req_id=req_id)
+        write_atomic(
+            self.acks / f"{req_id}.json", ACK_KIND, ACK_VERSION, doc
+        )
+
+    def process_request(self, path: Path) -> bool:
+        """Handle one inbox file to convergence; True when consumed."""
+        req_id = path.stem
+        if self.ack_exists(req_id):
+            # Crash window: acked but not unlinked.  Just consume.
+            path.unlink(missing_ok=True)
+            return True
+        if self.service.status(req_id) is not None:
+            # Crash window: journaled (= accepted, and re-adopted by
+            # recover()) but never acked.  Ack from the journal.
+            self._write_ack(req_id, {"accepted": True, "job_id": req_id})
+            path.unlink(missing_ok=True)
+            return True
+        payload = load_envelope(path, REQUEST_KIND, REQUEST_VERSION)
+        if payload is None:
+            # Torn request: quarantined by the loader; nothing to ack.
+            path.unlink(missing_ok=True)
+            return True
+        deadline_seconds: Optional[float] = None
+        if payload.get("deadline_seconds") is not None:
+            # Deadlines are relative to *submission*, not to whenever
+            # the server got around to the inbox file.
+            elapsed = time.time() - payload.get(
+                "submitted_epoch", time.time()
+            )
+            deadline_seconds = payload["deadline_seconds"] - elapsed
+        try:
+            self.service.submit(
+                payload["spec_source"],
+                DeviceProfile(**payload["device"]),
+                tenant=payload.get("tenant", "default"),
+                spec_start=payload.get("spec_start", "start"),
+                options=payload.get("options") or {},
+                deadline_seconds=deadline_seconds,
+                job_id=req_id,
+            )
+        except (Rejected, CompileFault) as exc:
+            # Backpressure, quota, breaker, journal outage, injected
+            # enqueue fault: the same request may succeed later.
+            retry_after = getattr(exc, "retry_after", 1.0)
+            self._write_ack(
+                req_id,
+                {
+                    "accepted": False,
+                    "permanent": False,
+                    "reason": str(exc),
+                    "retry_after": round(float(retry_after), 3),
+                },
+            )
+        except Exception as exc:
+            # Anything validation raises (unparseable spec, unknown
+            # option override) fails identically on every retry.
+            self._write_ack(
+                req_id,
+                {"accepted": False, "permanent": True, "reason": str(exc)},
+            )
+        else:
+            self._write_ack(req_id, {"accepted": True, "job_id": req_id})
+        path.unlink(missing_ok=True)
+        return True
+
+    def ack_exists(self, req_id: str) -> bool:
+        return (self.acks / f"{req_id}.json").exists()
+
+    def drain_inbox(self) -> int:
+        """Process every spooled request, oldest first; returns count."""
+        if not self.inbox.is_dir():
+            return 0
+        handled = 0
+        for path in sorted(self.inbox.iterdir()):
+            if path.suffix != ".json" or ".corrupt" in path.name:
+                continue
+            if self.process_request(path):
+                handled += 1
+        return handled
+
+    def write_metrics(self) -> None:
+        try:
+            write_atomic(
+                self.root / "metrics.json",
+                METRICS_KIND,
+                METRICS_VERSION,
+                self.service.metrics(),
+            )
+        except Exception:
+            pass                      # metrics are best-effort, always
+
+    def stop_requested(self) -> bool:
+        return (self.root / STOP_FILENAME).exists()
+
+    # -- the loop ------------------------------------------------------
+    def run(
+        self,
+        duration: Optional[float] = None,
+        poll: float = 0.05,
+        metrics_interval: float = 1.0,
+    ) -> int:
+        """Recover, serve until stop/duration, shut down gracefully.
+        Returns how many inbox requests were handled."""
+        (self.root / STOP_FILENAME).unlink(missing_ok=True)
+        self.inbox.mkdir(parents=True, exist_ok=True)
+        self.acks.mkdir(parents=True, exist_ok=True)
+        self.service.start()
+        handled = 0
+        started = time.monotonic()
+        last_metrics = 0.0
+        try:
+            while True:
+                handled += self.drain_inbox()
+                now = time.monotonic()
+                if now - last_metrics >= metrics_interval:
+                    self.write_metrics()
+                    last_metrics = now
+                if self.stop_requested():
+                    break
+                if duration is not None and now - started >= duration:
+                    break
+                time.sleep(poll)
+        finally:
+            self.service.shutdown(wait=True)
+            self.write_metrics()
+        return handled
+
+
+__all__ = [
+    "ACK_KIND",
+    "METRICS_KIND",
+    "REQUEST_KIND",
+    "SpoolClient",
+    "SpoolServer",
+    "STOP_FILENAME",
+]

@@ -58,6 +58,53 @@ class TestDeadlineThreading:
         assert _with_deadline(sub, None) is sub
 
 
+class TestExpiredDeadline:
+    """An already-expired deadline must SKIP the arm, not launch it with
+    a clamped micro-budget (regression: the old code clamped to 0.01s
+    and the arm still ran, burning budget and misreporting a per-arm
+    timeout)."""
+
+    def test_with_deadline_returns_none_when_expired(self):
+        sub = Subproblem("arm", DEVICE, CompileOptions(), priority=0)
+        assert _with_deadline(sub, time.monotonic() - 0.1) is None
+        assert _with_deadline(sub, time.monotonic()) is None
+
+    def test_inline_arms_skipped_and_reported_pending(self):
+        from repro.core.parallel import _run_arms_inline
+        from repro.obs import Tracer
+
+        subs = [
+            Subproblem("first", DEVICE, CompileOptions(), 0),
+            Subproblem("second", DEVICE, CompileOptions(), 1),
+        ]
+        tracer = Tracer()
+        results = []
+        pending = _run_arms_inline(
+            None, subs, DEVICE, tracer,
+            deadline=time.monotonic() - 1.0, results=results,
+        )
+        # Nothing launched: no results, both arms reported pending.
+        assert results == []
+        assert pending == ["first", "second"]
+        assert tracer.registry.get("portfolio.deadline_expired") == 1
+        out = select_result(subs, results, DEVICE, pending=pending)
+        assert out.status == STATUS_TIMEOUT
+        assert "first" in out.message and "second" in out.message
+
+    def test_portfolio_compile_expired_budget_times_out_cleanly(
+        self, spec, device
+    ):
+        # End-to-end: a compile whose budget is already unreachable must
+        # come back as a timeout naming every arm, having launched none.
+        result = portfolio_compile(
+            spec,
+            device,
+            CompileOptions(parallel_workers=1, total_max_seconds=1e-9),
+        )
+        assert result.status == STATUS_TIMEOUT
+        assert "still running" in result.message
+
+
 class TestPooledDeadline:
     def test_hung_workers_yield_timeout_naming_arms(self, spec, device):
         # Every worker hangs (in the subprocess only); the portfolio must

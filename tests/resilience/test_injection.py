@@ -103,3 +103,46 @@ class TestTaxonomy:
             exc = cls("x")
             assert isinstance(exc, CompileFault)
             assert cls.__name__ in exc.describe()
+
+
+class TestConfigureFromString:
+    """The ``--inject`` CLI syntax: site:FaultName[:times[:match]]."""
+
+    def test_arms_named_fault_classes(self):
+        armed = injection.configure_from_string(
+            "serve.worker:WorkerCrash:2,serve.journal:PoolBroken"
+        )
+        assert len(armed) == 2
+        with pytest.raises(WorkerCrash):
+            fault_point("serve.worker")
+        with pytest.raises(WorkerCrash):
+            fault_point("serve.worker")
+        fault_point("serve.worker")          # times=2: now disarmed
+        from repro.resilience import PoolBroken
+
+        with pytest.raises(PoolBroken):
+            fault_point("serve.journal")
+        fault_point("serve.journal")         # default times=1
+
+    def test_star_means_every_visit(self):
+        injection.configure_from_string("serve.worker:WorkerCrash:*")
+        for _ in range(5):
+            with pytest.raises(WorkerCrash):
+                fault_point("serve.worker")
+
+    def test_hang_injects_a_stall_not_an_exception(self):
+        import time
+
+        injection.configure_from_string("serve.worker:hang=0.05:1")
+        start = time.monotonic()
+        fault_point("serve.worker")          # sleeps, must not raise
+        assert time.monotonic() - start >= 0.05
+        fault_point("serve.worker")          # disarmed after one visit
+
+    def test_unknown_fault_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault type"):
+            injection.configure_from_string("serve.worker:NoSuchFault")
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ValueError, match="expected site:FaultName"):
+            injection.configure_from_string("serve.worker")

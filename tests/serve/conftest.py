@@ -1,0 +1,33 @@
+"""Shared fixtures for the serve-layer suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import tofino_profile
+from repro.resilience import injection
+from tests.conftest import ETH_DISPATCH, TWO_STATE
+
+
+@pytest.fixture(autouse=True)
+def clean_injection():
+    injection.clear()
+    yield
+    injection.clear()
+
+
+@pytest.fixture
+def device():
+    return tofino_profile(key_limit=8, tcam_limit=64, lookahead_limit=8)
+
+
+@pytest.fixture
+def spec_source():
+    """A fast-to-compile spec (sub-second on a cold cache)."""
+    return TWO_STATE
+
+
+@pytest.fixture
+def other_spec_source():
+    """A second spec with a different compile key."""
+    return ETH_DISPATCH

@@ -1,0 +1,96 @@
+"""CircuitBreaker: deterministic closed → open → half-open → closed."""
+
+from __future__ import annotations
+
+from repro.serve import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+
+KEY = ("tenant", "deadbeef")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(threshold=3, cooldown=30.0):
+    clock = FakeClock()
+    return CircuitBreaker(
+        failure_threshold=threshold, cooldown_seconds=cooldown, clock=clock
+    ), clock
+
+
+class TestOpening:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = make_breaker(threshold=3)
+        for _ in range(2):
+            breaker.record_failure(KEY)
+            assert breaker.state(KEY) == BREAKER_CLOSED
+            assert breaker.allow(KEY)
+        breaker.record_failure(KEY)
+        assert breaker.state(KEY) == BREAKER_OPEN
+        assert not breaker.allow(KEY)
+
+    def test_success_resets_the_streak(self):
+        breaker, _ = make_breaker(threshold=2)
+        breaker.record_failure(KEY)
+        breaker.record_success(KEY)
+        breaker.record_failure(KEY)
+        assert breaker.state(KEY) == BREAKER_CLOSED
+
+    def test_keys_are_independent(self):
+        breaker, _ = make_breaker(threshold=1)
+        breaker.record_failure(KEY)
+        assert not breaker.allow(KEY)
+        assert breaker.allow(("tenant", "other"))
+        assert breaker.allow(("other", KEY[1]))
+
+    def test_retry_after_counts_down(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=30.0)
+        breaker.record_failure(KEY)
+        assert breaker.retry_after(KEY) == 30.0
+        clock.advance(10.0)
+        assert breaker.retry_after(KEY) == 20.0
+
+
+class TestHalfOpen:
+    def test_cooldown_admits_exactly_one_probe(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=30.0)
+        breaker.record_failure(KEY)
+        assert not breaker.allow(KEY)
+        clock.advance(30.0)
+        assert breaker.state(KEY) == BREAKER_HALF_OPEN
+        assert breaker.allow(KEY)         # the probe
+        assert not breaker.allow(KEY)     # nothing else until it resolves
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=30.0)
+        breaker.record_failure(KEY)
+        clock.advance(30.0)
+        assert breaker.allow(KEY)
+        breaker.record_success(KEY)
+        assert breaker.state(KEY) == BREAKER_CLOSED
+        assert breaker.allow(KEY)
+
+    def test_probe_failure_reopens_for_a_fresh_cooldown(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=30.0)
+        breaker.record_failure(KEY)
+        clock.advance(30.0)
+        assert breaker.allow(KEY)
+        breaker.record_failure(KEY)
+        assert breaker.state(KEY) == BREAKER_OPEN
+        assert breaker.retry_after(KEY) == 30.0
+        clock.advance(29.0)
+        assert not breaker.allow(KEY)
+        clock.advance(1.0)
+        assert breaker.allow(KEY)

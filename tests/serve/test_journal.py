@@ -1,0 +1,119 @@
+"""JobJournal: atomic per-job envelopes, recovery, degradation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Tracer, use_tracer
+from repro.resilience import PoolBroken, injection
+from repro.serve import (
+    JOB_DONE,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobJournal,
+    JournalWriteError,
+    make_job,
+)
+
+
+def journal(tmp_path):
+    return JobJournal(tmp_path / "journal")
+
+
+def job_for(spec_source, device, **kwargs):
+    return make_job(spec_source, device, **kwargs)
+
+
+class TestRoundTrip:
+    def test_record_then_load(self, tmp_path, spec_source, device):
+        j = journal(tmp_path)
+        job = job_for(spec_source, device, tenant="t", deadline_seconds=60)
+        j.record(job)
+        loaded = j.load(job.job_id)
+        assert loaded is not None
+        assert loaded.to_doc() == job.to_doc()
+        assert loaded.compile_key == job.compile_key
+        assert loaded.remaining_seconds(job.submitted_epoch) == 60
+
+    def test_transition_replaces_state(self, tmp_path, spec_source, device):
+        j = journal(tmp_path)
+        job = job_for(spec_source, device)
+        j.record(job)
+        job.state = JOB_RUNNING
+        job.attempts = 1
+        assert j.transition(job)
+        loaded = j.load(job.job_id)
+        assert loaded.state == JOB_RUNNING
+        assert loaded.attempts == 1
+
+    def test_unknown_job_is_none(self, tmp_path):
+        assert journal(tmp_path).load("nope") is None
+
+    def test_corrupt_file_quarantined_not_trusted(
+        self, tmp_path, spec_source, device
+    ):
+        j = journal(tmp_path)
+        job = job_for(spec_source, device)
+        j.record(job)
+        path = j.path_for(job.job_id)
+        path.write_text(path.read_text()[:-20])      # tear the file
+        assert j.load(job.job_id) is None
+        assert not path.exists()                     # moved aside
+        assert list(j) == []
+
+
+class TestRecovery:
+    def test_recover_returns_nonterminal_in_submission_order(
+        self, tmp_path, spec_source, other_spec_source, device
+    ):
+        j = journal(tmp_path)
+        first = job_for(spec_source, device, job_id="00001-aa")
+        second = job_for(other_spec_source, device, job_id="00002-bb")
+        finished = job_for(spec_source, device, job_id="00003-cc")
+        finished.state = JOB_DONE
+        second.submitted_epoch = first.submitted_epoch + 1
+        finished.submitted_epoch = first.submitted_epoch + 2
+        for job in (second, finished, first):
+            j.record(job)
+        recovered = j.recover()
+        assert [job.job_id for job in recovered] == ["00001-aa", "00002-bb"]
+        assert all(job.state == JOB_QUEUED for job in recovered)
+
+
+class TestFaultPaths:
+    def test_accept_write_failure_raises(
+        self, tmp_path, spec_source, device
+    ):
+        injection.inject("serve.journal", PoolBroken("disk gone"))
+        j = journal(tmp_path)
+        job = job_for(spec_source, device)
+        with pytest.raises(JournalWriteError):
+            j.record(job)
+        # Nothing durable: the job must not be considered accepted.
+        assert j.load(job.job_id) is None
+
+    def test_transition_retries_then_degrades(
+        self, tmp_path, spec_source, device
+    ):
+        j = journal(tmp_path)
+        job = job_for(spec_source, device)
+        j.record(job)
+        injection.inject("serve.journal", PoolBroken, times=None)
+        tracer = Tracer()
+        job.state = JOB_RUNNING
+        with use_tracer(tracer):
+            assert not j.transition(job)
+        assert tracer.registry.get("serve.journal_degraded") == 1
+        # Journal kept the older state (safe: restart re-runs the job).
+        assert j.load(job.job_id).state == JOB_QUEUED
+
+    def test_transition_survives_transient_write_failure(
+        self, tmp_path, spec_source, device
+    ):
+        j = journal(tmp_path)
+        job = job_for(spec_source, device)
+        j.record(job)
+        injection.inject("serve.journal", PoolBroken, times=1)
+        job.state = JOB_RUNNING
+        assert j.transition(job)                 # retried, then landed
+        assert j.load(job.job_id).state == JOB_RUNNING
