@@ -1,0 +1,574 @@
+"""Chaos soak: a serve fleet under kill/pause/fault churn.
+
+PR 8 scaled ``repro serve`` out to a lease-coordinated fleet
+(``repro fleet``): N server processes sharing one spool root, with
+heartbeats, fencing tokens, job reclamation and a restart supervisor.
+This benchmark is the fleet's gate, and like ``bench_serve.py`` it
+measures invariants first:
+
+1. **Targeted reclaim + fencing** (deterministic choreography).  Worker
+   A runs a deliberately slow multi-iteration CEGIS compile (injected
+   per-solve stalls), is SIGSTOP'd once its checkpoint holds recorded
+   counterexamples, and worker B must steal the expired lease, resume
+   from the checkpoint (``cegis_replayed > 0`` — reclaimed work
+   continues, it doesn't restart cold) and finish the job.  When A is
+   SIGCONT'd it finishes its zombie attempt and its terminal write must
+   be **fenced** into a no-op (``serve.fencing_rejected``), leaving
+   exactly one terminal transition in the audit log.
+2. **Random chaos** (seeded RNG).  A real ``repro fleet`` subprocess
+   serves a duplicate-heavy workload while the harness SIGKILLs and
+   SIGSTOP/SIGCONTs random workers and the workers chew injected
+   ``serve.worker``/``serve.journal`` faults.  Gates: every acked job
+   reaches a terminal journal state (zero lost), no job ever records
+   two conflicting terminal transitions, and every ``done`` result is
+   byte-identical to a direct in-process compile.
+
+Usage::
+
+    python benchmarks/bench_chaos.py [--quick] [--check]
+        [--output BENCH_chaos.json] [--soak-seconds 60] [--seed 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.benchgen import all_base_specs  # noqa: E402
+from repro.core.compiler import ParserHawkCompiler  # noqa: E402
+from repro.hw.device import tofino_profile  # noqa: E402
+from repro.persist.serialize import program_to_doc  # noqa: E402
+from repro.serve import (  # noqa: E402
+    JobJournal,
+    SpoolClient,
+    TERMINAL_STATES,
+    make_job,
+    read_fleet_pids,
+)
+
+# Fast-compiling specs for the random-chaos phase (duplicates coalesce;
+# per-wave seeds force fresh compile keys).
+WORKLOAD = [
+    "parse_ethernet",
+    "parse_mpls",
+    "multi_key_diff",
+    "pure_extraction",
+    "lookahead_tag",
+]
+
+FLEET_INJECT = "serve.worker:WorkerCrash:6,serve.journal:PoolBroken:4"
+
+LEASE_TTL = 1.0
+
+
+def _env() -> Dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONHASHSEED"] = "0"
+    return env
+
+
+def start_serve_worker(
+    root: Path,
+    owner_id: str,
+    *,
+    inject: Optional[str] = None,
+    workers: int = 1,
+) -> subprocess.Popen:
+    cmd = [
+        sys.executable, "-m", "repro", "serve", str(root),
+        "--workers", str(workers),
+        "--owner-id", owner_id,
+        "--lease-ttl", str(LEASE_TTL),
+    ]
+    if inject:
+        cmd += ["--inject", inject]
+    return subprocess.Popen(
+        cmd, env=_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def checkpointed_cex_count(root: Path) -> int:
+    """Counterexamples durably recorded under the service's per-key
+    checkpoint directories (the resume payload a thief replays)."""
+    total = 0
+    for path in (root / "ckpt").glob("**/checkpoint.json"):
+        try:
+            doc = json.loads(path.read_text())
+            total += sum(
+                len(budget["cex"])
+                for arm in doc["payload"]["arms"].values()
+                for budget in arm["budgets"].values()
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+    return total
+
+
+def wait_until(predicate, timeout: float, poll: float = 0.1) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return predicate()
+
+
+def owner_counters(client: SpoolClient, owner: str) -> Dict[str, Any]:
+    doc = client.fleet_metrics().get(owner) or {}
+    return doc.get("counters", {})
+
+
+# ----------------------------------------------------------------------
+# Phase 1: targeted SIGSTOP steal — reclaim with resume, stale writer
+# fenced.
+# ----------------------------------------------------------------------
+def run_targeted(args: argparse.Namespace) -> Dict[str, Any]:
+    root = Path(args.dir).resolve() / "targeted"
+    root.mkdir(parents=True, exist_ok=True)
+    client = SpoolClient(root)
+    device = tofino_profile()
+    source = all_base_specs()["parse_icmp"].to_source()
+    report: Dict[str, Any] = {"phase": "targeted"}
+
+    # Worker A crawls: every SAT solve stalls, so the multi-iteration
+    # CEGIS run leaves a comfortable window to pause it mid-compile.
+    a = start_serve_worker(
+        root, "chaos-a", inject="sat.solve:hang=0.35:*"
+    )
+    b: Optional[subprocess.Popen] = None
+    stopped = False
+    try:
+        req = client.submit(
+            source, device,
+            options={"directed_seed_tests": False, "seed": args.seed},
+        )
+        ack = client.wait_ack(req, timeout=60.0)
+        report["accepted"] = bool(ack and ack.get("accepted"))
+        if not report["accepted"]:
+            return report
+
+        # Wait for recorded CEGIS progress, then stop A cold.
+        report["checkpoint_seen"] = wait_until(
+            lambda: checkpointed_cex_count(root) >= 1, timeout=120.0
+        )
+        os.kill(a.pid, signal.SIGSTOP)
+        stopped = True
+
+        # B steals the expired lease and resumes from the checkpoint.
+        b = start_serve_worker(root, "chaos-b")
+        job = client.wait_job(req, timeout=300.0)
+        report["job_state"] = job.state if job else "missing"
+        report["reclaims"] = job.reclaims if job else 0
+        report["final_owner"] = job.lease_owner if job else None
+        stats = (job.result_doc or {}).get("stats", {}) if job else {}
+        report["cegis_replayed"] = int(stats.get("cegis_replayed", 0))
+
+        # Resume A: its zombie attempt finishes and must be fenced.
+        os.kill(a.pid, signal.SIGCONT)
+        stopped = False
+        report["stale_writer_fenced"] = wait_until(
+            lambda: owner_counters(client, "chaos-a").get(
+                "serve.fencing_rejected", 0
+            ) >= 1,
+            timeout=300.0,
+        )
+
+        journal = JobJournal(root / "journal")
+        rows = [
+            r for r in journal.terminal_log_entries() if r[0] == req
+        ]
+        report["terminal_rows"] = [
+            {"state": r[1], "token": r[2], "owner": r[3]} for r in rows
+        ]
+        report["ok"] = (
+            report["job_state"] == "done"
+            and report["reclaims"] >= 1
+            and report["final_owner"] == "chaos-b"
+            and report["cegis_replayed"] > 0
+            and report["stale_writer_fenced"]
+            and len(rows) == 1
+            and rows[0][3] == "chaos-b"
+        )
+        return report
+    finally:
+        if stopped:
+            os.kill(a.pid, signal.SIGCONT)
+        client.request_stop()
+        for proc in (a, b):
+            if proc is None:
+                continue
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Phase 2: random chaos against a real `repro fleet`.
+# ----------------------------------------------------------------------
+def submit_wave(
+    client: SpoolClient, device, seed: int, copies: int
+) -> Dict[str, Dict[str, Any]]:
+    specs = all_base_specs()
+    requests: Dict[str, Dict[str, Any]] = {}
+    for name in WORKLOAD:
+        source = specs[name].to_source()
+        options = {"seed": seed}
+        for copy in range(copies):
+            rid = client.submit(
+                source, device,
+                tenant=f"tenant-{copy % 2}", options=options,
+            )
+            requests[rid] = {
+                "spec": name, "source": source, "options": dict(options),
+            }
+    return requests
+
+
+def collect_acks(
+    client: SpoolClient,
+    requests: Dict[str, Dict[str, Any]],
+    timeout: float,
+) -> None:
+    deadline = time.monotonic() + timeout
+    for rid, info in requests.items():
+        if info.get("ack", {}) and info["ack"].get("accepted"):
+            continue
+        info["ack"] = client.wait_ack(
+            rid, timeout=max(1.0, deadline - time.monotonic())
+        )
+
+
+def resubmit_rejected(
+    client: SpoolClient,
+    requests: Dict[str, Dict[str, Any]],
+    timeout: float,
+) -> int:
+    """Honor retry-after acks until everything is accepted or the
+    window closes (fleet restarts make transient rejections normal)."""
+    retries = 0
+    device = tofino_profile()
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        pending = [
+            (rid, info) for rid, info in requests.items()
+            if info.get("ack") is not None
+            and not info["ack"].get("accepted")
+            and not info["ack"].get("permanent")
+        ]
+        # Requests with no ack at all (worker died pre-ack) are simply
+        # re-spooled under the same req_id: the protocol is idempotent.
+        pending += [
+            (rid, info) for rid, info in requests.items()
+            if info.get("ack") is None
+        ]
+        if not pending:
+            break
+        for rid, info in pending:
+            ack = info.get("ack") or {}
+            time.sleep(min(1.0, float(ack.get("retry_after", 0.2))))
+            (client.acks / f"{rid}.json").unlink(missing_ok=True)
+            client.submit(
+                info["source"], device,
+                options=info["options"], req_id=rid,
+            )
+            retries += 1
+            info["ack"] = client.wait_ack(
+                rid, timeout=max(1.0, deadline - time.monotonic())
+            )
+    return retries
+
+
+def run_chaos(args: argparse.Namespace) -> Dict[str, Any]:
+    root = Path(args.dir).resolve() / "fleet"
+    root.mkdir(parents=True, exist_ok=True)
+    client = SpoolClient(root)
+    device = tofino_profile()
+    rng = random.Random(args.seed)
+    report: Dict[str, Any] = {
+        "phase": "chaos",
+        "workers": args.workers,
+        "inject": FLEET_INJECT,
+    }
+
+    fleet = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "fleet", str(root),
+            "--workers", str(args.workers),
+            "--threads", "1",
+            "--lease-ttl", str(LEASE_TTL),
+            "--restart-budget", "64",
+            "--drain-timeout", "60",
+            "--inject", FLEET_INJECT,
+        ],
+        env=_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    kills = stops = 0
+    requests: Dict[str, Dict[str, Any]] = {}
+    try:
+        if not wait_until(
+            lambda: len(read_fleet_pids(root)) >= args.workers,
+            timeout=60.0,
+        ):
+            report["error"] = "fleet never came up"
+            return report
+
+        t0 = time.monotonic()
+        wave = 0
+        stopped_pid: Optional[int] = None
+        stopped_at = 0.0
+        while time.monotonic() - t0 < args.soak_seconds:
+            wave += 1
+            fresh = submit_wave(
+                client, device, seed=args.seed + wave,
+                copies=2 if args.quick else 3,
+            )
+            requests.update(fresh)
+            collect_acks(client, fresh, timeout=20.0)
+
+            # One chaos action per wave, seeded: kill or pause a
+            # random worker.  A paused worker outlives its lease TTL,
+            # so its jobs are stolen and its late writes fenced.
+            pids = read_fleet_pids(root)
+            if stopped_pid is not None and (
+                time.monotonic() - stopped_at > 2.5 * LEASE_TTL
+            ):
+                try:
+                    os.kill(stopped_pid, signal.SIGCONT)
+                except ProcessLookupError:
+                    pass
+                stopped_pid = None
+            if pids:
+                owner = rng.choice(sorted(pids))
+                victim = pids[owner]
+                if rng.random() < 0.5:
+                    try:
+                        os.kill(victim, signal.SIGKILL)
+                        kills += 1
+                    except ProcessLookupError:
+                        pass
+                elif stopped_pid is None:
+                    try:
+                        os.kill(victim, signal.SIGSTOP)
+                        stopped_pid = victim
+                        stopped_at = time.monotonic()
+                        stops += 1
+                    except ProcessLookupError:
+                        pass
+            time.sleep(2.0)
+        if stopped_pid is not None:
+            try:
+                os.kill(stopped_pid, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+
+        # Chaos over: let the fleet catch up, resubmitting anything
+        # that was rejected or never acked during the churn.
+        collect_acks(client, requests, timeout=60.0)
+        report["client_retries"] = resubmit_rejected(
+            client, requests, timeout=120.0
+        )
+        acked = {
+            rid: info for rid, info in requests.items()
+            if info.get("ack") and info["ack"].get("accepted")
+        }
+        report["submitted"] = len(requests)
+        report["accepted"] = len(acked)
+        # A permanent rejection under pure fault churn is always a bug
+        # (every chaos spec is valid): surface them for diagnosis.
+        report["permanent_rejections"] = [
+            {"req_id": rid, "reason": info["ack"].get("reason", "")}
+            for rid, info in requests.items()
+            if info.get("ack") and not info["ack"].get("accepted")
+            and info["ack"].get("permanent")
+        ]
+        report["kills"] = kills
+        report["stops"] = stops
+
+        wait_deadline = time.monotonic() + (300 if args.quick else 600)
+        lost: List[str] = []
+        for rid in acked:
+            job = client.wait_job(
+                rid, timeout=max(1.0, wait_deadline - time.monotonic())
+            )
+            acked[rid]["job"] = job
+            if job is None or job.state not in TERMINAL_STATES:
+                lost.append(rid)
+        report["lost_jobs"] = lost
+    finally:
+        client.request_stop()
+        try:
+            fleet.wait(timeout=120)
+        except subprocess.TimeoutExpired:
+            fleet.kill()
+            fleet.wait(timeout=30)
+
+    # Invariant: no job ever records two conflicting terminal states.
+    journal = JobJournal(root / "journal")
+    terminal_states: Dict[str, set] = {}
+    for job_id, state, _token, _owner in journal.terminal_log_entries():
+        terminal_states.setdefault(job_id, set()).add(state)
+    conflicts = sorted(
+        jid for jid, states in terminal_states.items() if len(states) > 1
+    )
+    report["terminal_log_jobs"] = len(terminal_states)
+    report["conflicting_terminals"] = conflicts
+
+    # Reclamation actually happened under chaos (jobs changed hands).
+    reclaimed = [
+        rid for rid, info in requests.items()
+        if info.get("job") is not None and info["job"].reclaims > 0
+    ]
+    report["reclaimed_jobs"] = len(reclaimed)
+
+    # Answer fidelity: every done, non-degraded result byte-identical
+    # to a direct in-process compile (one per compile key).
+    divergent: List[str] = []
+    checked = 0
+    truth_cache: Dict[str, str] = {}
+    for rid, info in requests.items():
+        job = info.get("job")
+        if job is None or job.state != "done" or job.degraded:
+            continue
+        if job.compile_key not in truth_cache:
+            probe = make_job(
+                info["source"], device, options=info["options"]
+            )
+            result = ParserHawkCompiler(probe.build_options()).compile(
+                probe.build_spec(), probe.build_device()
+            )
+            truth_cache[job.compile_key] = json.dumps(
+                {
+                    "status": result.status,
+                    "program": (
+                        program_to_doc(result.program)
+                        if result.program is not None
+                        else None
+                    ),
+                },
+                sort_keys=True,
+            )
+        doc = job.result_doc or {}
+        served = json.dumps(
+            {
+                "status": doc.get("status"),
+                "program": doc.get("program"),
+            },
+            sort_keys=True,
+        )
+        if served != truth_cache[job.compile_key]:
+            divergent.append(rid)
+        checked += 1
+    report["results_checked"] = checked
+    report["divergent_results"] = divergent
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--check", action="store_true")
+    parser.add_argument("--output", default="BENCH_chaos.json")
+    parser.add_argument("--dir", default="chaos-soak")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=3)
+    parser.add_argument(
+        "--soak-seconds", type=float, default=None,
+        help="random-chaos window (default: 25 with --quick, 60 without)",
+    )
+    parser.add_argument(
+        "--skip-targeted", action="store_true",
+        help="run only the random-chaos phase (debug aid)",
+    )
+    args = parser.parse_args(argv)
+    if args.soak_seconds is None:
+        args.soak_seconds = 25.0 if args.quick else 60.0
+
+    report: Dict[str, Any] = {
+        "bench": "chaos_soak",
+        "quick": args.quick,
+        "seed": args.seed,
+        "lease_ttl": LEASE_TTL,
+    }
+    t0 = time.monotonic()
+    if not args.skip_targeted:
+        report["targeted"] = run_targeted(args)
+    report["chaos"] = run_chaos(args)
+    report["elapsed_seconds"] = round(time.monotonic() - t0, 2)
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+    failures: List[str] = []
+    targeted = report.get("targeted")
+    if targeted is not None and not targeted.get("ok"):
+        failures.append(
+            "targeted reclaim/fencing phase failed: "
+            + json.dumps(
+                {
+                    k: targeted.get(k)
+                    for k in (
+                        "job_state", "reclaims", "final_owner",
+                        "cegis_replayed", "stale_writer_fenced",
+                        "terminal_rows",
+                    )
+                }
+            )
+        )
+    chaos = report["chaos"]
+    if chaos.get("error"):
+        failures.append(f"chaos phase: {chaos['error']}")
+    if chaos.get("accepted", 0) < chaos.get("submitted", 1):
+        failures.append(
+            f"only {chaos.get('accepted')}/{chaos.get('submitted')} "
+            "chaos requests were ever accepted"
+        )
+    if chaos.get("permanent_rejections"):
+        failures.append(
+            f"permanent rejections: {chaos['permanent_rejections']}"
+        )
+    if chaos.get("lost_jobs"):
+        failures.append(f"lost acked jobs: {chaos['lost_jobs']}")
+    if chaos.get("conflicting_terminals"):
+        failures.append(
+            "conflicting terminal transitions: "
+            f"{chaos['conflicting_terminals']}"
+        )
+    if chaos.get("divergent_results"):
+        failures.append(
+            f"results diverged: {chaos['divergent_results']}"
+        )
+    if chaos.get("results_checked", 0) == 0:
+        failures.append("no done results to verify")
+    if chaos.get("kills", 0) == 0 and chaos.get("stops", 0) == 0:
+        failures.append("chaos loop never actually disturbed a worker")
+
+    if failures:
+        for line in failures:
+            print(f"CHECK FAIL: {line}", file=sys.stderr)
+        return 1 if args.check else 0
+    print(
+        "CHECK OK: zero lost jobs, no conflicting terminals, "
+        "reclaim resumed from checkpoints, stale writers fenced",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

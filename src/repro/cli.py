@@ -12,7 +12,10 @@ Commands:
   and triage for the synthesis substrate);
 * ``serve``    — run the compile service on a spool directory (see
   :mod:`repro.serve`): admission control, request coalescing, classified
-  retry, and a crash-safe job journal;
+  retry, and a crash-safe job journal; ``--owner-id`` joins a fleet;
+* ``fleet``    — supervise N ``serve`` processes sharing one spool
+  directory: leases with fencing tokens, job reclamation, crash
+  restarts under a budget, graceful drain;
 * ``submit``   — spool a compile request to a ``serve`` directory;
 * ``status``   — print a submitted job's journaled state;
 * ``result``   — print a finished job's synthesized program.
@@ -305,6 +308,8 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from .resilience import injection
     from .serve import CompileService, SpoolServer
 
@@ -317,10 +322,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
         per_tenant=args.per_tenant,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
+        owner_id=args.owner_id,
+        lease_ttl=args.lease_ttl,
     )
     server = SpoolServer(args.dir, service)
+    if args.owner_id:
+        # Fleet member: SIGTERM means "drain gracefully" — the run loop
+        # picks the stop file up, finishes/releases held leases, exits 0.
+        def _drain(signum, frame):  # noqa: ARG001
+            (Path(args.dir) / f"stop-{args.owner_id}").touch()
+
+        try:
+            signal.signal(signal.SIGTERM, _drain)
+        except ValueError:
+            pass
+    who = f" as {args.owner_id}" if args.owner_id else ""
     print(
-        f"serving {args.dir} with {args.workers} worker(s), "
+        f"serving {args.dir}{who} with {args.workers} worker(s), "
         f"capacity {args.capacity}, per-tenant quota {args.per_tenant}",
         file=sys.stderr,
     )
@@ -329,6 +347,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"served {handled} request(s); "
         f"counters: {metrics['counters']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from .serve import FleetSupervisor
+
+    supervisor = FleetSupervisor(
+        args.dir,
+        workers=args.workers,
+        threads=args.threads,
+        capacity=args.capacity,
+        per_tenant=args.per_tenant,
+        lease_ttl=args.lease_ttl,
+        restart_budget=args.restart_budget,
+        drain_timeout=args.drain_timeout,
+        inject=args.inject,
+    )
+    print(
+        f"fleet of {args.workers} server(s) on {args.dir} "
+        f"({args.threads} thread(s) each, lease ttl {args.lease_ttl:g}s)",
+        file=sys.stderr,
+    )
+    summary = supervisor.run(duration=args.duration)
+    restarts = sum(summary["restarts"].values())
+    print(
+        f"fleet drained after {summary['elapsed_seconds']:g}s; "
+        f"{restarts} restart(s); exit codes: {summary['exit_codes']}",
         file=sys.stderr,
     )
     return 0
@@ -766,7 +813,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm deterministic fault injection: comma-separated "
         "site:FaultName[:times[:match]] entries (soak testing)",
     )
+    p_serve.add_argument(
+        "--owner-id", default=None, metavar="ID",
+        help="fleet mode: join DIR as this named instance (leases, "
+        "fencing, reclamation; see 'repro fleet')",
+    )
+    p_serve.add_argument(
+        "--lease-ttl", type=float, default=5.0, metavar="SECONDS",
+        help="fleet mode: heartbeat TTL before a lease may be stolen",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="supervise N serve processes sharing one spool directory",
+    )
+    p_fleet.add_argument(
+        "dir", metavar="DIR",
+        help="shared service directory (same layout as 'serve')",
+    )
+    p_fleet.add_argument(
+        "--workers", type=int, default=3, metavar="N",
+        help="server processes to supervise",
+    )
+    p_fleet.add_argument(
+        "--threads", type=int, default=2, metavar="N",
+        help="compile worker threads per server process",
+    )
+    p_fleet.add_argument("--capacity", type=int, default=32)
+    p_fleet.add_argument("--per-tenant", type=int, default=8, metavar="N")
+    p_fleet.add_argument(
+        "--lease-ttl", type=float, default=5.0, metavar="SECONDS",
+        help="heartbeat TTL before a worker's lease may be stolen",
+    )
+    p_fleet.add_argument(
+        "--restart-budget", type=int, default=8, metavar="N",
+        help="max respawns per worker slot before giving up on it",
+    )
+    p_fleet.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="grace period for workers to finish after a drain request",
+    )
+    p_fleet.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="supervise for this long then drain "
+        "(default: until SIGTERM or DIR/stop appears)",
+    )
+    p_fleet.add_argument(
+        "--inject", metavar="SPEC", default=None,
+        help="fault-injection spec passed through to every worker",
+    )
+    p_fleet.set_defaults(func=cmd_fleet)
 
     p_submit = sub.add_parser(
         "submit", help="spool a compile request to a serve directory"

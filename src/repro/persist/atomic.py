@@ -27,13 +27,67 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Union
+
+try:
+    import fcntl
+except ImportError:                    # non-POSIX: degrade to lock-free
+    fcntl = None  # type: ignore[assignment]
 
 from ..obs import get_tracer
 from ..resilience.injection import fault_point
 
 MAGIC = "parserhawk-persist"
+
+
+@contextmanager
+def file_mutex(
+    path: Union[str, Path],
+    timeout: float = 2.0,
+    poll: float = 0.01,
+) -> Iterator[bool]:
+    """A short-lived cross-process mutex around a read-check-write window.
+
+    Yields True while holding an exclusive ``flock`` on ``path`` (created
+    if absent), False if the lock could not be acquired within
+    ``timeout`` — callers must treat False as *contended* and back off,
+    never proceed unguarded.  The lock is advisory, per-file, and
+    released automatically when the holding process dies (the kernel
+    drops it with the descriptor), so a SIGKILL'd holder can never leave
+    a stale lock behind.  Acquisition is non-blocking-with-retries so a
+    SIGSTOP'd holder delays contenders by at most ``timeout``, not
+    forever.  On platforms without ``fcntl`` the mutex degrades to a
+    no-op True (single-process best-effort).
+    """
+    path = Path(path)
+    if fcntl is None:
+        yield True
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(str(path), os.O_RDWR | os.O_CREAT, 0o644)
+    acquired = False
+    try:
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                acquired = True
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    break
+                time.sleep(poll)
+        yield acquired
+    finally:
+        if acquired:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+        os.close(fd)
 
 
 def canonical_json(doc: Any) -> str:

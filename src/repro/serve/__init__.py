@@ -5,16 +5,21 @@ Layering (each module usable and testable on its own):
 * :mod:`repro.serve.job` — the journaled unit of work and its state
   machine;
 * :mod:`repro.serve.journal` — crash-safe per-job persistence
-  (atomic envelopes; accepted ⇒ durable);
+  (atomic envelopes; accepted ⇒ durable), with per-job fencing;
+* :mod:`repro.serve.lease` — per-job ownership leases with heartbeat
+  deadlines and fencing tokens (the fleet coordination substrate);
+* :mod:`repro.serve.reaper` — reclamation of dead owners' jobs;
 * :mod:`repro.serve.admission` — bounded queue + per-tenant quotas
   with honest ``retry_after`` backpressure;
 * :mod:`repro.serve.breaker` — per-(tenant, compile key) circuit
   breaker;
 * :mod:`repro.serve.service` — the orchestrator: workers, coalescing,
-  classified retry, deadline propagation, recovery;
+  classified retry, deadline propagation, recovery, fleet mode;
 * :mod:`repro.serve.spool` — the filesystem front-end protocol used by
   ``repro serve`` / ``repro submit`` / ``repro status`` /
-  ``repro result``.
+  ``repro result``;
+* :mod:`repro.serve.fleet` — the ``repro fleet`` supervisor: N serve
+  processes on one spool root, restart budget, graceful drain.
 """
 
 from .admission import (
@@ -30,6 +35,7 @@ from .breaker import (
     BREAKER_OPEN,
     CircuitBreaker,
 )
+from .fleet import FleetSupervisor, read_fleet_pids
 from .job import (
     JOB_DONE,
     JOB_FAILED,
@@ -40,7 +46,15 @@ from .job import (
     make_job,
     new_job_id,
 )
-from .journal import JobJournal, JournalWriteError
+from .journal import (
+    JobJournal,
+    JournalWriteError,
+    WRITE_DEGRADED,
+    WRITE_FENCED,
+    WRITE_OK,
+)
+from .lease import DEFAULT_TTL, Lease, LeaseManager
+from .reaper import Reaper
 from .service import SERVICE_RETRY_POLICY, CompileService
 from .spool import SpoolClient, SpoolServer
 
@@ -52,6 +66,8 @@ __all__ = [
     "BreakerOpen",
     "CircuitBreaker",
     "CompileService",
+    "DEFAULT_TTL",
+    "FleetSupervisor",
     "JOB_DONE",
     "JOB_FAILED",
     "JOB_QUEUED",
@@ -59,13 +75,20 @@ __all__ = [
     "Job",
     "JobJournal",
     "JournalWriteError",
+    "Lease",
+    "LeaseManager",
     "QueueFull",
     "QuotaExceeded",
+    "Reaper",
     "Rejected",
     "SERVICE_RETRY_POLICY",
     "SpoolClient",
     "SpoolServer",
     "TERMINAL_STATES",
+    "WRITE_DEGRADED",
+    "WRITE_FENCED",
+    "WRITE_OK",
     "make_job",
     "new_job_id",
+    "read_fleet_pids",
 ]

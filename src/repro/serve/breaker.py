@@ -14,6 +14,12 @@ pair gets the classic three-state breaker:
   submission is let through.  Its success closes the breaker; its
   failure re-opens it for a fresh cooldown.
 
+The probe itself is leased, not trusted: if the worker running it dies
+without ever recording an outcome, ``probe_timeout_seconds`` (default:
+the cooldown) bounds how long the half-open state may block the key —
+after it elapses another submission may re-probe.  Without the
+deadline, a crashed probe wedged the breaker half-open forever.
+
 Everything is deterministic given the injected clock — tests drive
 state transitions with a fake clock, no sleeping.
 """
@@ -22,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..obs import get_tracer
 
@@ -39,6 +45,7 @@ class _Entry:
     consecutive_failures: int = 0
     opened_at: float = 0.0
     probe_in_flight: bool = False
+    probe_started: float = 0.0
 
 
 @dataclass
@@ -47,8 +54,18 @@ class CircuitBreaker:
 
     failure_threshold: int = 3
     cooldown_seconds: float = 30.0
+    # How long a half-open probe may stay unresolved before another
+    # submission is allowed to re-probe (a dead prober must not block
+    # the key forever).  None = use cooldown_seconds.
+    probe_timeout_seconds: Optional[float] = None
     clock: Callable[[], float] = time.monotonic
     _entries: Dict[BreakerKey, _Entry] = field(default_factory=dict)
+
+    @property
+    def _probe_timeout(self) -> float:
+        if self.probe_timeout_seconds is not None:
+            return self.probe_timeout_seconds
+        return self.cooldown_seconds
 
     def _entry(self, key: BreakerKey) -> _Entry:
         return self._entries.setdefault(key, _Entry())
@@ -89,11 +106,16 @@ class CircuitBreaker:
                 return False
             entry.state = BREAKER_HALF_OPEN
             entry.probe_in_flight = False
-        # half-open: admit exactly one probe.
+        # half-open: admit exactly one probe — but a probe whose worker
+        # died without recording an outcome expires, so the key is
+        # never blocked forever by a dead prober.
         if entry.probe_in_flight:
-            get_tracer().count("serve.breaker_rejections")
-            return False
+            if now - entry.probe_started < self._probe_timeout:
+                get_tracer().count("serve.breaker_rejections")
+                return False
+            get_tracer().count("serve.breaker_probe_expired")
         entry.probe_in_flight = True
+        entry.probe_started = now
         get_tracer().count("serve.breaker_probes")
         return True
 

@@ -1,0 +1,262 @@
+"""The fleet supervisor: N serve processes, one spool root.
+
+``repro fleet --workers N`` turns the single-process spool server into
+a small self-healing fleet.  The supervisor does exactly four things —
+everything stateful lives in the shared spool directory, so the
+supervisor itself carries no recovery burden:
+
+* **spawn** — start N ``repro serve`` subprocesses, each with its own
+  ``owner_id`` (``worker-0`` … ``worker-N-1``); pids are dropped into
+  ``<root>/fleet/<owner>.pid`` so outside tooling (the chaos soak) can
+  pick victims;
+* **restart** — a worker that *exits non-zero* (crash, SIGKILL) is
+  respawned under a restart budget, with the shared deterministic
+  backoff from :mod:`repro.resilience.retry` so a crash-looping worker
+  doesn't spin the box.  The replacement re-uses the dead worker's
+  ``owner_id``: its first reaper sweep legally steals its predecessor's
+  leases (same owner = provably dead) and resumes the jobs from their
+  checkpoints;
+* **drain** — SIGTERM (or the run duration elapsing) touches each
+  worker's ``stop-<owner>`` file: workers stop claiming inbox work,
+  finish or release their held leases, and exit 0.  Workers still
+  alive after ``drain_timeout`` are terminated, then killed;
+* **report** — :meth:`FleetSupervisor.run` returns a summary dict
+  (spawned/restarted/exit codes) the CLI prints.
+
+The supervisor deliberately does *not* route work: admission,
+coalescing and reclamation are decided by the workers against the
+shared journal/lease directories.  Killing the supervisor therefore
+loses nothing — workers keep serving, and a new supervisor (or bare
+``repro serve`` processes) can take over the same root.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..obs import get_tracer
+from ..resilience.retry import RetryPolicy
+from .lease import DEFAULT_TTL
+from .spool import STOP_FILENAME
+
+# Backoff between respawns of the *same* worker slot; resets on a
+# clean exit.  Deterministic jitter (keyed by owner id) keeps fleets
+# from thundering-herd restarts.
+RESTART_POLICY = RetryPolicy(
+    max_attempts=8, base_delay=0.1, multiplier=2.0, max_delay=2.0,
+    jitter=0.25, seed=0,
+)
+
+
+class FleetSupervisor:
+    """Spawn-and-keep-alive for a fleet of spool servers."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        workers: int = 3,
+        threads: int = 2,
+        capacity: int = 32,
+        per_tenant: int = 8,
+        lease_ttl: float = DEFAULT_TTL,
+        restart_budget: int = 8,
+        drain_timeout: float = 30.0,
+        inject: Optional[str] = None,
+        python: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.fleet_dir = self.root / "fleet"
+        self.workers = max(1, workers)
+        self.threads = threads
+        self.capacity = capacity
+        self.per_tenant = per_tenant
+        self.lease_ttl = lease_ttl
+        self.restart_budget = restart_budget
+        self.drain_timeout = drain_timeout
+        self.inject = inject
+        self.python = python or sys.executable
+        self._procs: Dict[str, subprocess.Popen] = {}
+        # _streaks drives the budget and is reset by a clean exit;
+        # _restarts is the cumulative count the summary reports (a
+        # clean exit must not erase history — workers racing the
+        # supervisor to notice the global stop file would wipe it).
+        self._streaks: Dict[str, int] = {}
+        self._restarts: Dict[str, int] = {}
+        self._exit_codes: Dict[str, List[int]] = {}
+        self._draining = False
+
+    # -- naming --------------------------------------------------------
+    def owner_ids(self) -> List[str]:
+        return [f"worker-{i}" for i in range(self.workers)]
+
+    def pid_path(self, owner_id: str) -> Path:
+        return self.fleet_dir / f"{owner_id}.pid"
+
+    # -- process management --------------------------------------------
+    def _command(self, owner_id: str) -> List[str]:
+        cmd = [
+            self.python, "-m", "repro", "serve", str(self.root),
+            "--workers", str(self.threads),
+            "--capacity", str(self.capacity),
+            "--per-tenant", str(self.per_tenant),
+            "--owner-id", owner_id,
+            "--lease-ttl", str(self.lease_ttl),
+        ]
+        if self.inject:
+            cmd += ["--inject", self.inject]
+        return cmd
+
+    def spawn(self, owner_id: str) -> subprocess.Popen:
+        (self.root / f"{STOP_FILENAME}-{owner_id}").unlink(missing_ok=True)
+        proc = subprocess.Popen(
+            self._command(owner_id),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        self._procs[owner_id] = proc
+        self.fleet_dir.mkdir(parents=True, exist_ok=True)
+        self.pid_path(owner_id).write_text(str(proc.pid))
+        get_tracer().count("serve.fleet_spawned")
+        return proc
+
+    def pids(self) -> Dict[str, int]:
+        """Live worker pids by owner id (from this supervisor's table)."""
+        return {
+            owner: proc.pid
+            for owner, proc in self._procs.items()
+            if proc.poll() is None
+        }
+
+    def _reap_exits(self) -> None:
+        """Collect exited workers; respawn crashers within budget."""
+        for owner, proc in list(self._procs.items()):
+            code = proc.poll()
+            if code is None:
+                continue
+            self._exit_codes.setdefault(owner, []).append(code)
+            self.pid_path(owner).unlink(missing_ok=True)
+            del self._procs[owner]
+            if self._draining:
+                continue
+            if code == 0:
+                # Clean exit outside a drain: someone touched its stop
+                # file (or a duration elapsed); respect it, and reset
+                # the slot's crash streak.
+                self._streaks.pop(owner, None)
+                continue
+            attempt = self._streaks.get(owner, 0) + 1
+            if attempt > self.restart_budget:
+                get_tracer().count("serve.fleet_budget_exhausted")
+                continue
+            self._streaks[owner] = attempt
+            self._restarts[owner] = self._restarts.get(owner, 0) + 1
+            get_tracer().count("serve.fleet_restarts")
+            time.sleep(RESTART_POLICY.delay(attempt, key=owner))
+            self.spawn(owner)
+
+    # -- drain ---------------------------------------------------------
+    def request_drain(self) -> None:
+        """Ask every worker to stop claiming work and exit gracefully."""
+        self._draining = True
+        self.root.mkdir(parents=True, exist_ok=True)
+        for owner in self.owner_ids():
+            (self.root / f"{STOP_FILENAME}-{owner}").touch()
+
+    def _drain_and_stop(self) -> None:
+        self.request_drain()
+        deadline = time.monotonic() + self.drain_timeout
+        while self._procs and time.monotonic() < deadline:
+            self._reap_exits()
+            time.sleep(0.05)
+        for owner, proc in list(self._procs.items()):
+            if proc.poll() is None:
+                proc.terminate()
+        grace = time.monotonic() + 2.0
+        while self._procs and time.monotonic() < grace:
+            self._reap_exits()
+            time.sleep(0.05)
+        for owner, proc in list(self._procs.items()):
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+                self._exit_codes.setdefault(owner, []).append(-9)
+                self.pid_path(owner).unlink(missing_ok=True)
+                del self._procs[owner]
+
+    # -- the loop ------------------------------------------------------
+    def run(
+        self,
+        duration: Optional[float] = None,
+        poll: float = 0.1,
+    ) -> Dict[str, object]:
+        """Supervise until SIGTERM/SIGINT, the global stop file, or
+        ``duration``; then drain.  Returns a summary document."""
+        # A stale global stop from a previous run must not instantly
+        # kill the new fleet; the supervisor owns clearing it.
+        (self.root / STOP_FILENAME).unlink(missing_ok=True)
+        stop_signalled = {"flag": False}
+
+        def _on_signal(signum, frame):  # noqa: ARG001
+            stop_signalled["flag"] = True
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[signum] = signal.signal(signum, _on_signal)
+            except ValueError:
+                pass                    # not the main thread (tests)
+        started = time.monotonic()
+        try:
+            for owner in self.owner_ids():
+                self.spawn(owner)
+            while True:
+                self._reap_exits()
+                if stop_signalled["flag"]:
+                    break
+                if (self.root / STOP_FILENAME).exists():
+                    break
+                if (
+                    duration is not None
+                    and time.monotonic() - started >= duration
+                ):
+                    break
+                if not self._procs:
+                    break               # everyone exited (budget spent)
+                time.sleep(poll)
+            self._drain_and_stop()
+        finally:
+            for signum, handler in previous.items():
+                try:
+                    signal.signal(signum, handler)
+                except ValueError:
+                    pass
+        return {
+            "workers": self.workers,
+            "restarts": dict(self._restarts),
+            "exit_codes": dict(self._exit_codes),
+            "elapsed_seconds": round(time.monotonic() - started, 3),
+        }
+
+
+def read_fleet_pids(root: Union[str, Path]) -> Dict[str, int]:
+    """Owner-id → pid map from the pid files (for outside tooling; a
+    pid is only as live as the file is fresh)."""
+    fleet_dir = Path(root) / "fleet"
+    out: Dict[str, int] = {}
+    if not fleet_dir.is_dir():
+        return out
+    for path in sorted(fleet_dir.glob("*.pid")):
+        try:
+            out[path.stem] = int(path.read_text().strip())
+        except (OSError, ValueError):
+            continue
+    return out
+
+
+__all__ = ["FleetSupervisor", "RESTART_POLICY", "read_fleet_pids"]

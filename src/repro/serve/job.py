@@ -93,6 +93,16 @@ class Job:
     # Degradation marker: the result was served from a cache/journal
     # entry while the breaker was open or the queue was saturated.
     degraded: bool = False
+    # Fleet ownership (see repro.serve.lease): which server instance
+    # currently holds the job's lease, and under which fencing token.
+    # Every journal transition carries the token; the journal rejects
+    # writes whose token is older than the last one it recorded, so a
+    # stale owner's writes become no-ops.  Token 0 = never leased
+    # (single-node mode), and trivially passes every fence.
+    lease_owner: str = ""
+    lease_token: int = 0
+    # How many times the job changed hands via lease reclamation.
+    reclaims: int = 0
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,272 @@
+"""Job leases: checkable, expirable ownership with fencing tokens.
+
+Scaling the serve layer to a fleet of processes sharing one spool root
+needs an answer to "who owns job J right now?" that survives arbitrary
+worker death.  An in-memory claim dies with its process; a lock file
+wedges when its holder is SIGKILL'd.  A *lease* is neither: a per-job
+atomic envelope (``<root>/leases/<job_id>.json``) carrying
+
+* ``owner_id`` — which server instance holds the job,
+* ``token`` — a per-job **fencing token**, strictly incremented on every
+  change of ownership.  Every journal transition carries the owner's
+  token, and the journal rejects writes whose token is older than the
+  last one it saw — so a stale owner (SIGSTOP'd through a steal, then
+  resumed) has its writes turned into no-ops instead of corrupting a
+  reclaimed job's state;
+* ``deadline_epoch`` — the heartbeat deadline.  A live owner extends it
+  every ``ttl / 3``; once it passes, any other worker may *steal* the
+  lease (incrementing the token) and reclaim the job.
+
+Lease files are never deleted while a job is live: :meth:`release`
+marks the lease ``released`` (immediately stealable) but keeps the
+token, which must stay monotonic across the job's whole life — the
+token's durable home is the lease file.  All mutations run under a
+short :func:`~repro.persist.atomic.file_mutex` critical section
+(read, validate, write one small envelope), so acquire/steal/heartbeat
+races collapse to a serialized compare-and-swap; the mutex is dropped
+by the kernel when its holder dies, so it can never wedge a job.
+
+Clocks are wall-clock epoch seconds (``time.time``) because deadlines
+must be comparable *across processes*; the skew tolerance is the TTL,
+which callers should keep well above their scheduling jitter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from ..obs import get_tracer
+from ..persist.atomic import file_mutex, load_envelope, write_atomic
+
+LEASE_KIND = "serve-lease"
+LEASE_VERSION = 1
+
+# Default heartbeat TTL.  Workers heartbeat at ttl / 3, so a lease
+# survives two missed beats; 5 s tolerates heavy CI-box jitter while
+# keeping reclaim latency human-visible.
+DEFAULT_TTL = 5.0
+
+
+@dataclass
+class Lease:
+    """One job's ownership claim, as read from (or written to) disk."""
+
+    job_id: str
+    owner_id: str
+    token: int
+    deadline_epoch: float
+    acquired_epoch: float
+    released: bool = False
+
+    def to_doc(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "owner_id": self.owner_id,
+            "token": self.token,
+            "deadline_epoch": self.deadline_epoch,
+            "acquired_epoch": self.acquired_epoch,
+            "released": self.released,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "Lease":
+        return cls(
+            job_id=doc["job_id"],
+            owner_id=doc["owner_id"],
+            token=int(doc["token"]),
+            deadline_epoch=float(doc["deadline_epoch"]),
+            acquired_epoch=float(doc["acquired_epoch"]),
+            released=bool(doc.get("released", False)),
+        )
+
+
+class LeaseManager:
+    """Acquire, heartbeat, release and steal per-job leases.
+
+    One instance per server process, bound to its ``owner_id``.  Every
+    method is safe to call concurrently from any number of processes
+    sharing the lease directory.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        owner_id: str,
+        *,
+        ttl: float = DEFAULT_TTL,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if not owner_id:
+            raise ValueError("owner_id must be non-empty")
+        self.directory = Path(directory)
+        self.owner_id = owner_id
+        self.ttl = float(ttl)
+        self.clock = clock
+
+    def path_for(self, job_id: str) -> Path:
+        return self.directory / f"{job_id}.json"
+
+    def _mutex_for(self, job_id: str):
+        return file_mutex(self.directory / f"{job_id}.lock")
+
+    # -- reads ---------------------------------------------------------
+    def peek(self, job_id: str) -> Optional[Lease]:
+        """The lease as currently on disk (no lock taken); None if never
+        leased or unreadable."""
+        doc = load_envelope(
+            self.path_for(job_id), LEASE_KIND, LEASE_VERSION
+        )
+        if doc is None:
+            return None
+        try:
+            return Lease.from_doc(doc)
+        except Exception:
+            return None
+
+    def expired(self, lease: Lease) -> bool:
+        return lease.released or self.clock() >= lease.deadline_epoch
+
+    def stealable(self, lease: Optional[Lease]) -> bool:
+        """May *this* owner take the lease over right now?  Absent,
+        released and expired leases are stealable; so is our own lease
+        from a previous incarnation (same ``owner_id`` — the old process
+        provably exited before this one started with its name)."""
+        if lease is None:
+            return True
+        return self.expired(lease) or lease.owner_id == self.owner_id
+
+    def live_count(self) -> int:
+        """How many leases are currently held and unexpired (a fleet
+        health gauge; scans the directory)."""
+        if not self.directory.is_dir():
+            return 0
+        count = 0
+        for path in self.directory.iterdir():
+            if path.suffix != ".json" or ".corrupt" in path.name:
+                continue
+            doc = load_envelope(path, LEASE_KIND, LEASE_VERSION)
+            if doc is None:
+                continue
+            try:
+                lease = Lease.from_doc(doc)
+            except Exception:
+                continue
+            if not self.expired(lease):
+                count += 1
+        return count
+
+    # -- writes (all under the per-job mutex) --------------------------
+    def acquire(self, job_id: str, min_token: int = 0) -> Optional[Lease]:
+        """Create-or-steal the lease for ``job_id``; None when another
+        owner holds it live (or the mutex is contended).
+
+        ``min_token`` lets a caller that knows the journal's last-seen
+        token force the new token past it even if the lease file was
+        lost — fencing must advance monotonically no matter what.
+        """
+        tracer = get_tracer()
+        with self._mutex_for(job_id) as locked:
+            if not locked:
+                tracer.count("serve.lease_contended")
+                return None
+            current = self.peek(job_id)
+            if current is not None and not self.stealable(current):
+                return None
+            now = self.clock()
+            token = max(
+                1,
+                min_token,
+                (current.token + 1) if current is not None else 1,
+            )
+            lease = Lease(
+                job_id=job_id,
+                owner_id=self.owner_id,
+                token=token,
+                deadline_epoch=now + self.ttl,
+                acquired_epoch=now,
+            )
+            try:
+                write_atomic(
+                    self.path_for(job_id),
+                    LEASE_KIND,
+                    LEASE_VERSION,
+                    lease.to_doc(),
+                )
+            except Exception:
+                tracer.count("serve.lease_write_failures")
+                return None
+        if current is not None and current.owner_id != self.owner_id:
+            tracer.count("serve.leases_stolen")
+        tracer.count("serve.leases_acquired")
+        return lease
+
+    def heartbeat(self, lease: Lease) -> bool:
+        """Extend our lease's deadline; False means the lease was lost
+        (stolen, released, or unreadable) and the holder must treat
+        every in-flight write for the job as fenced."""
+        tracer = get_tracer()
+        with self._mutex_for(lease.job_id) as locked:
+            if not locked:
+                # Contended is not lost: keep the old deadline and let
+                # the next beat try again.
+                tracer.count("serve.lease_contended")
+                return True
+            current = self.peek(lease.job_id)
+            if (
+                current is None
+                or current.owner_id != self.owner_id
+                or current.token != lease.token
+                or current.released
+            ):
+                tracer.count("serve.leases_lost")
+                return False
+            lease.deadline_epoch = self.clock() + self.ttl
+            try:
+                write_atomic(
+                    self.path_for(lease.job_id),
+                    LEASE_KIND,
+                    LEASE_VERSION,
+                    lease.to_doc(),
+                )
+            except Exception:
+                tracer.count("serve.lease_write_failures")
+                return True                 # transient; deadline unchanged
+        return True
+
+    def release(self, lease: Lease) -> bool:
+        """Mark our lease released (immediately stealable, token kept).
+        False when the lease was no longer ours to release."""
+        with self._mutex_for(lease.job_id) as locked:
+            if not locked:
+                return False
+            current = self.peek(lease.job_id)
+            if (
+                current is None
+                or current.owner_id != self.owner_id
+                or current.token != lease.token
+            ):
+                return False
+            current.released = True
+            try:
+                write_atomic(
+                    self.path_for(lease.job_id),
+                    LEASE_KIND,
+                    LEASE_VERSION,
+                    current.to_doc(),
+                )
+            except Exception:
+                return False
+        get_tracer().count("serve.leases_released")
+        return True
+
+
+__all__ = [
+    "DEFAULT_TTL",
+    "LEASE_KIND",
+    "LEASE_VERSION",
+    "Lease",
+    "LeaseManager",
+]

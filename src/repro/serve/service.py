@@ -38,7 +38,15 @@ Robustness properties, and where they live:
   and a hit is served marked ``degraded`` (``serve.stale_served``);
 * **crash safety** — every accepted job is journaled before its ack;
   :meth:`recover` re-adopts non-terminal jobs on restart, resuming
-  their CEGIS checkpoints (``resume=True`` + per-key checkpoint dirs).
+  their CEGIS checkpoints (``resume=True`` + per-key checkpoint dirs);
+* **fleet mode** (``owner_id`` set) — N service processes share one
+  root, coordinated by per-job leases (:mod:`repro.serve.lease`): every
+  locally-owned job's lease is heartbeaten by a dedicated thread, every
+  journal write carries the lease's fencing token (stale owners are
+  fenced into no-ops), :meth:`reap` steals expired leases and resumes
+  the jobs from their checkpoints, and a graceful :meth:`shutdown`
+  releases held leases so the rest of the fleet reclaims unfinished
+  work immediately instead of waiting out the TTL.
 
 Threading note: :class:`~repro.obs.Tracer` span trees are **not**
 thread-safe, so every worker attempt and every submit runs under its
@@ -78,7 +86,13 @@ from .job import (
     Job,
     make_job,
 )
-from .journal import JobJournal, JournalWriteError
+from .journal import (
+    JobJournal,
+    JournalWriteError,
+    WRITE_FENCED,
+)
+from .lease import DEFAULT_TTL, Lease, LeaseManager
+from .reaper import Reaper
 
 # Service-level retry policy for transient attempt failures.  Short
 # base delay: the per-key checkpoint makes a re-run cheap, and the
@@ -105,9 +119,22 @@ class CompileService:
         breaker_cooldown: float = 30.0,
         use_cache: bool = True,
         sleep: Callable[[float], None] = time.sleep,
+        owner_id: Optional[str] = None,
+        lease_ttl: float = DEFAULT_TTL,
     ) -> None:
         self.root = Path(root)
         self.journal = JobJournal(self.root / "journal")
+        self.owner_id = owner_id
+        self.leases: Optional[LeaseManager] = (
+            LeaseManager(self.root / "leases", owner_id, ttl=lease_ttl)
+            if owner_id
+            else None
+        )
+        self._reaper: Optional[Reaper] = (
+            Reaper(self.journal, self.leases, self.adopt)
+            if self.leases is not None
+            else None
+        )
         self.cache: Optional[CompileCache] = (
             CompileCache(self.root / "cache") if use_cache else None
         )
@@ -131,6 +158,13 @@ class CompileService:
         self._events: Dict[str, threading.Event] = {}
         self._threads: List[threading.Thread] = []
         self._stopping = False
+        # Fleet bookkeeping: leases we hold, and jobs whose lease we
+        # lost mid-flight (their writes are fenced; workers abandon
+        # them instead of finishing).
+        self._held: Dict[str, Lease] = {}
+        self._abandoned: set = set()
+        self._hb_thread: Optional[threading.Thread] = None
+        self._hb_stop = threading.Event()
 
     # -- counter plumbing ----------------------------------------------
     @contextmanager
@@ -155,10 +189,26 @@ class CompileService:
     # -- lifecycle -----------------------------------------------------
     def start(self) -> int:
         """Recover journaled work and start the worker pool.  Returns
-        how many jobs were re-adopted."""
-        adopted = self.recover()
+        how many jobs were re-adopted.
+
+        Single-node mode replays the whole journal (:meth:`recover`);
+        fleet mode instead runs one reaper sweep — only jobs whose
+        lease this instance can legitimately take are adopted, the rest
+        belong to live peers — and starts the heartbeat thread.
+        """
         with self._lock:
             self._stopping = False
+        if self.leases is None:
+            adopted = self.recover()
+        else:
+            adopted = self.reap()
+            self._hb_stop = threading.Event()
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"serve-heartbeat-{self.owner_id}",
+                daemon=True,
+            )
+            self._hb_thread.start()
         for index in range(self._num_workers):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -172,7 +222,13 @@ class CompileService:
     def shutdown(self, wait: bool = True, timeout: float = 30.0) -> None:
         """Stop accepting work and (optionally) join the workers.
         Jobs still queued stay journaled and are re-adopted by the next
-        :meth:`start` — shutdown never loses accepted work."""
+        :meth:`start` — shutdown never loses accepted work.
+
+        In fleet mode a waited shutdown is a *graceful drain*: once the
+        workers have finished (or the timeout passed), every still-held
+        lease is released so peers reclaim the unfinished jobs
+        immediately instead of waiting out the heartbeat TTL.
+        """
         with self._wakeup:
             self._stopping = True
             self._wakeup.notify_all()
@@ -184,6 +240,170 @@ class CompileService:
                     break
                 thread.join(remaining)
         self._threads = []
+        if self.leases is not None:
+            self._hb_stop.set()
+            if self._hb_thread is not None:
+                self._hb_thread.join(timeout=5.0)
+                self._hb_thread = None
+            if wait:
+                with self._lock:
+                    held = list(self._held.values())
+                    self._held.clear()
+                for lease in held:
+                    if self.leases.release(lease):
+                        self._count("serve.leases_handed_back")
+
+    # -- fleet: heartbeats, reclamation, abandonment -------------------
+    def _heartbeat_loop(self) -> None:
+        interval = max(0.05, self.leases.ttl / 3.0)
+        while not self._hb_stop.wait(interval):
+            with self._lock:
+                held = list(self._held.values())
+            for lease in held:
+                if self._hb_stop.is_set():
+                    return
+                with self._capture("serve.heartbeat"):
+                    ok = self.leases.heartbeat(lease)
+                if not ok:
+                    self._on_lease_lost(lease.job_id)
+
+    def reap(self) -> int:
+        """One reclamation sweep over the shared journal: steal every
+        expired/released lease and adopt its job.  Returns how many
+        jobs were reclaimed.  No-op in single-node mode."""
+        if self._reaper is None:
+            return 0
+        with self._capture("serve.reap"):
+            with self._lock:
+                skip = set(self._jobs) | set(self._held)
+            return self._reaper.run_once(skip=skip)
+
+    def adopt(self, job: Job, lease: Lease) -> None:
+        """Take over a reclaimed job under a freshly-stolen lease.
+
+        Re-journals the job under the new fencing token *immediately* —
+        from that write on, the previous owner's writes are rejected —
+        then enqueues it like recovered work (admission force-set; an
+        already-cached answer finishes it on the spot).  The per-key
+        checkpoint makes the re-run warm: recorded CEGIS progress
+        replays instead of restarting cold.
+        """
+        with self._capture("serve.adopt"), self._lock:
+            if job.job_id in self._jobs:
+                self.leases.release(lease)
+                return
+            job.lease_owner = lease.owner_id
+            job.lease_token = lease.token
+            job.coalesced_into = None
+            job.state = JOB_QUEUED
+            if self._serve_from_cache(job):
+                self.journal.transition(job)
+                self._jobs[job.job_id] = job
+                event = self._events.setdefault(
+                    job.job_id, threading.Event()
+                )
+                event.set()
+                self._count("serve.reclaim_cache_hits")
+                self.leases.release(lease)
+                return
+            self._held[job.job_id] = lease
+            self._jobs[job.job_id] = job
+            self._events.setdefault(job.job_id, threading.Event())
+            primary_id = self._inflight.get(job.compile_key)
+            if primary_id is None:
+                self._inflight[job.compile_key] = job.job_id
+                self._queue.append(job.job_id)
+                self.admission.primaries += 1
+            else:
+                job.coalesced_into = primary_id
+                self._waiters.setdefault(primary_id, []).append(
+                    job.job_id
+                )
+                self._count("serve.coalesced")
+            self.admission.tenant_live[job.tenant] = (
+                self.admission.tenant_live.get(job.tenant, 0) + 1
+            )
+            # The load-bearing write: the new token lands in the
+            # journal, fencing out the old owner from here on.
+            self.journal.transition(job)
+            self._wakeup.notify_all()
+
+    def _on_lease_lost(self, job_id: str) -> None:
+        """Our lease was stolen (we were paused/slow past the TTL).
+        The job now belongs to someone else: stop working on it.  A
+        queued job detaches immediately; a running one is flagged and
+        its worker abandons it at the next loop boundary (any write it
+        still attempts is fenced by the journal)."""
+        with self._lock:
+            self._held.pop(job_id, None)
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                return
+            self._abandoned.add(job_id)
+            queued = job_id in self._queue
+            if queued:
+                self._queue.remove(job_id)
+        if queued:
+            self._abandon(job)
+
+    def _is_abandoned(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._abandoned
+
+    def _abandon(self, job: Job) -> None:
+        """Drop a job whose lease we lost: detach it locally (promoting
+        a coalesced waiter to primary if one exists — *our* waiters are
+        still ours), release its slots, and let clients follow the new
+        owner through the journal."""
+        self._count("serve.jobs_abandoned")
+        with self._lock:
+            self._abandoned.discard(job.job_id)
+            self._held.pop(job.job_id, None)
+            was_primary = job.coalesced_into is None
+            promoted = self._detach_locked(job)
+            # The primary slot either transfers to the promoted waiter
+            # or is released; a waiter only ever held a tenant slot.
+            self.admission.release(
+                job.tenant, primary=was_primary and not promoted
+            )
+            self._jobs.pop(job.job_id, None)
+            event = self._events.pop(job.job_id, None)
+        if event is not None:
+            event.set()                   # waiters re-poll the journal
+
+    def _detach_locked(self, job: Job) -> bool:
+        """Unlink ``job`` from the coalescing tables (under the service
+        lock).  Returns True when a waiter inherited its primary slot."""
+        if job.coalesced_into is not None:
+            siblings = self._waiters.get(job.coalesced_into, [])
+            if job.job_id in siblings:
+                siblings.remove(job.job_id)
+            return False
+        waiters = self._waiters.pop(job.job_id, [])
+        if self._inflight.get(job.compile_key) == job.job_id:
+            del self._inflight[job.compile_key]
+        waiters = [w for w in waiters if w in self._jobs]
+        if not waiters:
+            return False
+        promoted, rest = waiters[0], waiters[1:]
+        promoted_job = self._jobs[promoted]
+        promoted_job.coalesced_into = None
+        self._inflight[job.compile_key] = promoted
+        self._waiters[promoted] = rest
+        for waiter_id in rest:
+            self._jobs[waiter_id].coalesced_into = promoted
+        self._queue.append(promoted)
+        self._count("serve.waiters_promoted")
+        self._wakeup.notify()
+        return True
+
+    def _release_lease(self, job_id: str) -> None:
+        if self.leases is None:
+            return
+        with self._lock:
+            lease = self._held.pop(job_id, None)
+        if lease is not None:
+            self.leases.release(lease)
 
     def recover(self) -> int:
         """Re-adopt every accepted-but-unfinished job from the journal.
@@ -232,6 +452,7 @@ class CompileService:
         options: Optional[Dict[str, Any]] = None,
         deadline_seconds: Optional[float] = None,
         job_id: Optional[str] = None,
+        lease: Optional[Lease] = None,
     ) -> Job:
         """Admit one compile request; returns the journaled :class:`Job`.
 
@@ -240,6 +461,11 @@ class CompileService:
         :class:`~repro.serve.admission.Rejected` for backpressure,
         quota, breaker and journal-unavailable refusals (all carry
         ``retry_after``).
+
+        In fleet mode the job's lease is acquired before any slot is
+        claimed (callers that already claimed one — the spool's inbox
+        drain — pass it as ``lease``).  A refused admission releases
+        the lease again, so a rejected request never stays owned.
         """
         with self._capture("serve.submit"):
             # Validation happens before any slot is claimed.
@@ -253,10 +479,30 @@ class CompileService:
                 job_id=job_id,
             )
             fault_point("serve.enqueue", label=job.compile_key)
-            return self._admit(job)
+            return self._admit(job, lease=lease)
 
-    def _admit(self, job: Job) -> Job:
+    def _admit(self, job: Job, lease: Optional[Lease] = None) -> Job:
         key = (job.tenant, job.compile_key)
+        if self.leases is not None:
+            if lease is None:
+                lease = self.leases.acquire(job.job_id)
+                if lease is None:
+                    raise Rejected(
+                        f"job {job.job_id} is owned by another server",
+                        retry_after=self.leases.ttl,
+                    )
+            job.lease_owner = lease.owner_id
+            job.lease_token = lease.token
+        try:
+            return self._admit_leased(job, key, lease)
+        except BaseException:
+            if lease is not None and self.leases is not None:
+                self.leases.release(lease)
+            raise
+
+    def _admit_leased(
+        self, job: Job, key: Any, lease: Optional[Lease]
+    ) -> Job:
         with self._lock:
             if not self.breaker.allow(key):
                 raise BreakerOpen(
@@ -266,12 +512,23 @@ class CompileService:
             # Cache fast-path: an already-known answer is terminal at
             # admission and never consumes a compile slot.
             if self._serve_from_cache(job):
-                self.journal.record(job)       # accepted *and* terminal
+                try:
+                    self.journal.record(job)   # accepted *and* terminal
+                except JournalWriteError as exc:
+                    # Same contract as the queue path below: a journal
+                    # outage is a *transient* rejection, never a
+                    # permanent one — the client must retry.
+                    raise Rejected(
+                        f"journal unavailable: {exc}",
+                        retry_after=self.admission.retry_after(),
+                    ) from exc
                 self._events[job.job_id] = threading.Event()
                 self._events[job.job_id].set()
                 self._jobs[job.job_id] = job
                 self.breaker.record_success(key)   # a served answer
                 self._count("serve.cache_hits")
+                if lease is not None and self.leases is not None:
+                    self.leases.release(lease)     # terminal: nothing to own
                 return job
             primary_id = self._inflight.get(job.compile_key)
             coalesced = primary_id is not None
@@ -286,6 +543,8 @@ class CompileService:
                     f"journal unavailable: {exc}",
                     retry_after=self.admission.retry_after(),
                 ) from exc
+            if lease is not None:
+                self._held[job.job_id] = lease
             self._jobs[job.job_id] = job
             self._events[job.job_id] = threading.Event()
             if coalesced:
@@ -334,11 +593,22 @@ class CompileService:
                 "inflight_keys": len(self._inflight),
                 "jobs_tracked": len(self._jobs),
                 "primaries_live": self.admission.primaries,
+                "admission_queue_depth": self.admission.primaries,
                 "estimated_compile_seconds": round(
                     self.admission.estimated_seconds(), 3
                 ),
+                "leases_held": len(self._held),
             }
-        return {"counters": self.registry.snapshot(), "gauges": gauges}
+        gauges["journal_quarantined"] = self.journal.quarantined_count()
+        if self.leases is not None:
+            gauges["leases_live"] = self.leases.live_count()
+        doc: Dict[str, Any] = {
+            "counters": self.registry.snapshot(),
+            "gauges": gauges,
+        }
+        if self.owner_id is not None:
+            doc["owner_id"] = self.owner_id
+        return doc
 
     # -- the worker ----------------------------------------------------
     def _worker_loop(self) -> None:
@@ -349,7 +619,9 @@ class CompileService:
                 if self._stopping:
                     return
                 job_id = self._queue.popleft()
-                job = self._jobs[job_id]
+                job = self._jobs.get(job_id)
+                if job is None:            # abandoned while queued
+                    continue
                 queued_for = time.time() - job.submitted_epoch
             self._count("serve.queue_seconds", max(0.0, queued_for))
             with self._capture(f"serve.job.{job_id}"):
@@ -367,6 +639,9 @@ class CompileService:
     def _run_job(self, job: Job) -> None:
         started = time.time()
         while True:
+            if self._is_abandoned(job.job_id):
+                self._abandon(job)
+                return
             remaining = job.remaining_seconds()
             if remaining is not None and remaining <= 0:
                 self._count("serve.deadline_exceeded")
@@ -380,7 +655,11 @@ class CompileService:
             job.state = JOB_RUNNING
             job.started_epoch = job.started_epoch or started
             job.attempts += 1
-            self.journal.transition(job)
+            if self.journal.transition(job) == WRITE_FENCED:
+                # The journal already carries a newer owner's token:
+                # our lease was stolen before we even started.
+                self._abandon(job)
+                return
             self._count("serve.attempts")
             try:
                 result = self._attempt(job, remaining)
@@ -511,7 +790,16 @@ class CompileService:
         if message:
             job.message = message
         job.finished_epoch = time.time()
-        self.journal.transition(job)
+        if self.journal.transition(job) == WRITE_FENCED:
+            # A newer owner journaled first (stolen lease, or a
+            # conflicting terminal).  Our outcome is void: drop the job
+            # locally and let clients follow the journal's owner.  The
+            # deterministic compile means any *result* we raced on is
+            # identical anyway — only the bookkeeping was stale.
+            self._count("serve.stale_finishes")
+            self._abandon(job)
+            return
+        self._release_lease(job.job_id)
         self._count(f"serve.jobs_{state}")
         with self._lock:
             waiters = self._waiters.pop(job.job_id, [])
@@ -533,7 +821,9 @@ class CompileService:
             waiter.result_doc = job.result_doc
             waiter.degraded = job.degraded
             waiter.finished_epoch = job.finished_epoch
-            self.journal.transition(waiter)
+            if self.journal.transition(waiter) == WRITE_FENCED:
+                self._count("serve.stale_finishes")
+            self._release_lease(waiter.job_id)
             self._count(f"serve.jobs_{waiter.state}")
             with self._lock:
                 self.admission.release(waiter.tenant, primary=False)

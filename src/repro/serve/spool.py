@@ -11,7 +11,9 @@ the service directory, every one an atomic checksummed envelope::
                                    ``status``/``result`` work even with
                                    no server running)
     <root>/metrics.json            periodic counter/gauge snapshot
+    <root>/metrics-<owner>.json    per-instance snapshot (fleet mode)
     <root>/stop                    touch to request a graceful stop
+    <root>/stop-<owner>            drain exactly one fleet instance
 
 Idempotency: the job id *is* the request id.  Whatever instant the
 server dies at, reprocessing an inbox file converges — an already-acked
@@ -19,6 +21,14 @@ request is just unlinked, an already-journaled job (accepted, then
 crash before ack) is acked from the journal without resubmitting, and
 :meth:`~repro.serve.service.CompileService.recover` has re-adopted the
 job itself.
+
+Fleet mode (the service has an ``owner_id``): N servers share one
+spool root.  A server *claims* each inbox request by acquiring its job
+lease before submitting — the loser of the race skips the file instead
+of double-submitting — and sweeps the reaper between drains so dead
+peers' jobs are reclaimed.  Per-instance ``stop-<owner>`` files drain
+one server (its supervisor restarts or retires it) while the global
+``stop`` still halts everyone.
 """
 
 from __future__ import annotations
@@ -123,9 +133,36 @@ class SpoolClient:
             self.root / "metrics.json", METRICS_KIND, METRICS_VERSION
         )
 
+    def fleet_metrics(self) -> Dict[str, Dict[str, Any]]:
+        """Per-instance metrics snapshots, keyed by owner id (fleet
+        servers each write ``metrics-<owner>.json``)."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for path in sorted(self.root.glob("metrics-*.json")):
+            if ".corrupt" in path.name:
+                continue
+            doc = load_envelope(path, METRICS_KIND, METRICS_VERSION)
+            if doc is not None:
+                owner = path.name[len("metrics-"):-len(".json")]
+                out[owner] = doc
+        return out
+
     def request_stop(self) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / STOP_FILENAME).touch()
+
+    def request_drain(self, owner_id: str) -> None:
+        """Ask exactly one fleet instance to drain and exit (the global
+        ``stop`` file halts everyone; this halts just ``owner_id``)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / f"{STOP_FILENAME}-{owner_id}").touch()
+
+    def draining(self) -> list:
+        """Owner ids with a pending per-instance drain request."""
+        prefix = f"{STOP_FILENAME}-"
+        return sorted(
+            path.name[len(prefix):]
+            for path in self.root.glob(f"{prefix}*")
+        )
 
 
 class SpoolServer:
@@ -138,6 +175,14 @@ class SpoolServer:
         self.inbox = self.root / "inbox"
         self.acks = self.root / "acks"
         self.service = service
+
+    @property
+    def _fleet(self) -> bool:
+        return self.service.leases is not None
+
+    @property
+    def _own_stop(self) -> Path:
+        return self.root / f"{STOP_FILENAME}-{self.service.owner_id}"
 
     # -- one request ---------------------------------------------------
     def _write_ack(self, req_id: str, doc: Dict[str, Any]) -> None:
@@ -172,6 +217,14 @@ class SpoolServer:
                 "submitted_epoch", time.time()
             )
             deadline_seconds = payload["deadline_seconds"] - elapsed
+        lease = None
+        if self._fleet:
+            # Claim the request before submitting: whichever fleet
+            # server acquires the job's lease owns it; the losers skip
+            # the file (it is consumed by the winner's ack).
+            lease = self.service.leases.acquire(req_id)
+            if lease is None:
+                return False
         try:
             self.service.submit(
                 payload["spec_source"],
@@ -181,10 +234,13 @@ class SpoolServer:
                 options=payload.get("options") or {},
                 deadline_seconds=deadline_seconds,
                 job_id=req_id,
+                lease=lease,
             )
         except (Rejected, CompileFault) as exc:
             # Backpressure, quota, breaker, journal outage, injected
             # enqueue fault: the same request may succeed later.
+            if lease is not None:
+                self.service.leases.release(lease)
             retry_after = getattr(exc, "retry_after", 1.0)
             self._write_ack(
                 req_id,
@@ -198,6 +254,8 @@ class SpoolServer:
         except Exception as exc:
             # Anything validation raises (unparseable spec, unknown
             # option override) fails identically on every retry.
+            if lease is not None:
+                self.service.leases.release(lease)
             self._write_ack(
                 req_id,
                 {"accepted": False, "permanent": True, "reason": str(exc)},
@@ -223,18 +281,24 @@ class SpoolServer:
         return handled
 
     def write_metrics(self) -> None:
-        try:
-            write_atomic(
-                self.root / "metrics.json",
-                METRICS_KIND,
-                METRICS_VERSION,
-                self.service.metrics(),
+        doc = self.service.metrics()
+        targets = [self.root / "metrics.json"]
+        if self._fleet:
+            targets.append(
+                self.root / f"metrics-{self.service.owner_id}.json"
             )
-        except Exception:
-            pass                      # metrics are best-effort, always
+        for target in targets:
+            try:
+                write_atomic(
+                    target, METRICS_KIND, METRICS_VERSION, doc
+                )
+            except Exception:
+                pass                  # metrics are best-effort, always
 
     def stop_requested(self) -> bool:
-        return (self.root / STOP_FILENAME).exists()
+        if (self.root / STOP_FILENAME).exists():
+            return True
+        return self._fleet and self._own_stop.exists()
 
     # -- the loop ------------------------------------------------------
     def run(
@@ -242,16 +306,30 @@ class SpoolServer:
         duration: Optional[float] = None,
         poll: float = 0.05,
         metrics_interval: float = 1.0,
+        reap_interval: Optional[float] = None,
     ) -> int:
         """Recover, serve until stop/duration, shut down gracefully.
-        Returns how many inbox requests were handled."""
-        (self.root / STOP_FILENAME).unlink(missing_ok=True)
+        Returns how many inbox requests were handled.
+
+        A fleet server clears only its *own* ``stop-<owner>`` file at
+        startup (the global ``stop`` belongs to the operator or the
+        supervisor) and sweeps the reaper every ``reap_interval``
+        seconds (default: the lease TTL) so dead peers' jobs are
+        reclaimed promptly.
+        """
+        if self._fleet:
+            self._own_stop.unlink(missing_ok=True)
+            if reap_interval is None:
+                reap_interval = self.service.leases.ttl
+        else:
+            (self.root / STOP_FILENAME).unlink(missing_ok=True)
         self.inbox.mkdir(parents=True, exist_ok=True)
         self.acks.mkdir(parents=True, exist_ok=True)
         self.service.start()
         handled = 0
         started = time.monotonic()
         last_metrics = 0.0
+        last_reap = time.monotonic()
         try:
             while True:
                 handled += self.drain_inbox()
@@ -259,6 +337,12 @@ class SpoolServer:
                 if now - last_metrics >= metrics_interval:
                     self.write_metrics()
                     last_metrics = now
+                if (
+                    reap_interval is not None
+                    and now - last_reap >= reap_interval
+                ):
+                    self.service.reap()
+                    last_reap = now
                 if self.stop_requested():
                     break
                 if duration is not None and now - started >= duration:

@@ -102,3 +102,51 @@ class TestClassification:
         assert WorkerCrash in TRANSIENT_FAULTS
         assert PoolBroken in TRANSIENT_FAULTS
         assert SolverResourceExhausted in TRANSIENT_FAULTS
+
+
+class TestCrossProcessDeterminism:
+    """The jitter must be a pure function of (seed, key, attempt) — a
+    restarted worker (fresh interpreter, fresh PYTHONHASHSEED) has to
+    compute the *same* backoff schedule, or fleet restart pacing would
+    drift run-to-run."""
+
+    CHILD = (
+        "from repro.resilience.retry import RetryPolicy\n"
+        "p = RetryPolicy(max_attempts=5, base_delay=0.05,\n"
+        "                multiplier=2.0, max_delay=2.0,\n"
+        "                jitter=0.25, seed=0)\n"
+        "for key in ('job-a', 'job-b'):\n"
+        "    for attempt in (1, 2, 3, 4):\n"
+        "        print(f'{key} {attempt} {p.delay(attempt, key=key):.17g}')\n"
+    )
+
+    def _run_child(self, hash_seed):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        out = subprocess.run(
+            [sys.executable, "-c", self.CHILD],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        return out.stdout
+
+    def test_same_schedule_in_fresh_subprocesses(self):
+        parent = RetryPolicy(
+            max_attempts=5, base_delay=0.05, multiplier=2.0,
+            max_delay=2.0, jitter=0.25, seed=0,
+        )
+        expected = "".join(
+            f"{key} {attempt} {parent.delay(attempt, key=key):.17g}\n"
+            for key in ("job-a", "job-b")
+            for attempt in (1, 2, 3, 4)
+        )
+        # Two different PYTHONHASHSEEDs: the schedule must not depend
+        # on interpreter hash randomization in any way.
+        assert self._run_child("1") == expected
+        assert self._run_child("12345") == expected
+
+    def test_distinct_keys_desynchronize(self):
+        policy = RetryPolicy(base_delay=0.05, jitter=0.25, seed=0)
+        assert policy.delay(2, key="job-a") != policy.delay(2, key="job-b")

@@ -94,3 +94,47 @@ class TestHalfOpen:
         assert not breaker.allow(KEY)
         clock.advance(1.0)
         assert breaker.allow(KEY)
+
+
+class TestProbeLeak:
+    """Regression: a probe whose worker died without recording an
+    outcome must not wedge the key half-open forever."""
+
+    def test_expired_probe_allows_a_reprobe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=30.0,
+            probe_timeout_seconds=10.0, clock=clock,
+        )
+        breaker.record_failure(KEY)
+        clock.advance(30.0)
+        assert breaker.allow(KEY)         # probe; its worker then dies
+        clock.advance(9.9)
+        assert not breaker.allow(KEY)     # deadline not yet passed
+        clock.advance(0.2)
+        assert breaker.allow(KEY)         # leaked probe expired: re-probe
+        breaker.record_success(KEY)
+        assert breaker.state(KEY) == BREAKER_CLOSED
+
+    def test_probe_timeout_defaults_to_cooldown(self):
+        breaker, clock = make_breaker(threshold=1, cooldown=30.0)
+        breaker.record_failure(KEY)
+        clock.advance(30.0)
+        assert breaker.allow(KEY)
+        clock.advance(29.9)
+        assert not breaker.allow(KEY)
+        clock.advance(0.2)
+        assert breaker.allow(KEY)
+
+    def test_resolved_probe_does_not_reprobe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=30.0,
+            probe_timeout_seconds=10.0, clock=clock,
+        )
+        breaker.record_failure(KEY)
+        clock.advance(30.0)
+        assert breaker.allow(KEY)
+        breaker.record_failure(KEY)       # probe resolved: reopened
+        clock.advance(10.1)               # past probe deadline
+        assert not breaker.allow(KEY)     # still open (fresh cooldown)

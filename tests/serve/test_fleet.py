@@ -1,0 +1,266 @@
+"""Fleet mode: leases + fencing + reclamation across CompileServices.
+
+Most tests run two in-process :class:`CompileService` instances (each
+with its own ``owner_id``) against one shared root — the coordination
+protocol is pure filesystem, so process boundaries add nothing but
+slowness.  One supervisor test exercises the real ``repro fleet``
+subprocess tree end to end.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.resilience import injection
+from repro.resilience.retry import RetryPolicy
+from repro.serve import (
+    JOB_DONE,
+    CompileService,
+    FleetSupervisor,
+    SpoolClient,
+    SpoolServer,
+    read_fleet_pids,
+)
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+WAIT = 120.0
+
+
+def make_fleet_service(tmp_path, owner_id, *, ttl=0.3, **kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("retry_policy", FAST_RETRY)
+    return CompileService(
+        tmp_path / "svc", owner_id=owner_id, lease_ttl=ttl, **kwargs
+    )
+
+
+def wait_for(predicate, timeout=WAIT, poll=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return predicate()
+
+
+class TestReclaim:
+    def test_dead_owner_job_is_reclaimed_and_finished(
+        self, tmp_path, spec_source, device
+    ):
+        # Owner "a" accepts a job and then "dies" before running it
+        # (never started: no workers, no heartbeats).
+        a = make_fleet_service(tmp_path, "a", ttl=0.2)
+        job = a.submit(spec_source, device)
+        assert job.lease_owner == "a"
+        assert job.lease_token == 1
+        time.sleep(0.3)                    # a's lease expires
+        b = make_fleet_service(tmp_path, "b", ttl=0.2)
+        try:
+            adopted = b.start()
+            assert adopted == 1
+            done = b.wait(job.job_id, timeout=WAIT)
+            assert done is not None and done.state == JOB_DONE
+            assert done.reclaims == 1
+            assert b.registry.get("serve.jobs_reclaimed") == 1
+            durable = b.journal.load(job.job_id)
+            assert durable.lease_owner == "b"
+            assert durable.lease_token == 2
+        finally:
+            b.shutdown(wait=True)
+
+    def test_reap_skips_live_peers(self, tmp_path, spec_source, device):
+        a = make_fleet_service(tmp_path, "a", ttl=30.0)
+        a.submit(spec_source, device)      # lease live for 30s
+        b = make_fleet_service(tmp_path, "b", ttl=30.0)
+        assert b.reap() == 0               # nothing legally stealable
+
+
+class TestStaleWriterFencing:
+    def test_resumed_owner_after_steal_is_fenced(
+        self, tmp_path, spec_source, device
+    ):
+        """The dedicated stale-writer scenario: owner "a" goes dark
+        mid-compile (heartbeats stop — the in-process stand-in for
+        SIGSTOP), "b" steals the lease and finishes the job; when "a"
+        resumes, its terminal write must be rejected as a no-op."""
+        # One-shot hang: only a's first attempt sleeps through the TTL.
+        injection.inject(
+            "serve.worker", lambda: time.sleep(1.5), times=1
+        )
+        a = make_fleet_service(tmp_path, "a", ttl=0.3)
+        b = make_fleet_service(tmp_path, "b", ttl=0.3)
+        try:
+            a.start()
+            job = a.submit(spec_source, device)
+            assert wait_for(
+                lambda: a.registry.get("serve.attempts") >= 1, timeout=10
+            )
+            a._hb_stop.set()               # lights out for a's heartbeats
+            time.sleep(0.5)                # lease expires
+            assert b.start() == 1          # b's reaper steals the job
+            done = b.wait(job.job_id, timeout=WAIT)
+            assert done is not None and done.state == JOB_DONE
+            assert done.lease_owner == "b"
+            # a eventually wakes up and tries to finish: fenced no-op.
+            assert wait_for(
+                lambda: a.registry.get("serve.stale_finishes") >= 1
+            )
+            durable = a.journal.load(job.job_id)
+            assert durable.state == JOB_DONE
+            assert durable.lease_owner == "b"
+            # Exactly one terminal transition ever hit the audit log,
+            # and it carries b's token.
+            rows = [
+                r for r in a.journal.terminal_log_entries()
+                if r[0] == job.job_id
+            ]
+            assert len(rows) == 1
+            assert rows[0][3] == "b"
+            assert a.registry.get("serve.fencing_rejected") >= 1
+        finally:
+            a.shutdown(wait=True, timeout=5.0)
+            b.shutdown(wait=True, timeout=5.0)
+
+
+class TestGracefulDrain:
+    def test_shutdown_releases_leases_for_immediate_steal(
+        self, tmp_path, spec_source, device
+    ):
+        # TTL is deliberately huge: the only way "b" can take the job
+        # quickly is the *released* lease from a's graceful drain.
+        injection.inject(
+            "serve.worker", lambda: time.sleep(2.0), times=1
+        )
+        a = make_fleet_service(tmp_path, "a", ttl=60.0)
+        b = make_fleet_service(tmp_path, "b", ttl=60.0)
+        try:
+            a.start()
+            job = a.submit(spec_source, device)
+            assert wait_for(
+                lambda: a.registry.get("serve.attempts") >= 1, timeout=10
+            )
+            a.shutdown(wait=True, timeout=0.2)   # drain: hands lease back
+            assert a.registry.get("serve.leases_handed_back") >= 1
+            assert b.start() == 1                # stolen with no TTL wait
+            done = b.wait(job.job_id, timeout=WAIT)
+            assert done is not None and done.state == JOB_DONE
+            assert done.lease_owner == "b"
+        finally:
+            a.shutdown(wait=True, timeout=5.0)
+            b.shutdown(wait=True, timeout=5.0)
+
+
+class TestFleetSpool:
+    def test_per_instance_stop_files(self, tmp_path, spec_source, device):
+        root = tmp_path / "svc"
+        a = make_fleet_service(tmp_path, "a")
+        server = SpoolServer(root, a)
+        client = SpoolClient(root)
+        assert not server.stop_requested()
+        client.request_drain("a")
+        assert client.draining() == ["a"]
+        assert server.stop_requested()        # own stop file
+        (root / "stop-a").unlink()
+        assert not server.stop_requested()
+        client.request_stop()
+        assert server.stop_requested()        # global stop still works
+
+    def test_inbox_claim_skips_requests_owned_by_peers(
+        self, tmp_path, spec_source, device
+    ):
+        root = tmp_path / "svc"
+        a = make_fleet_service(tmp_path, "a")
+        b = make_fleet_service(tmp_path, "b", ttl=60.0)
+        server_a = SpoolServer(root, a)
+        client = SpoolClient(root)
+        req = client.submit(spec_source, device)
+        # Peer b claims the request's lease first: a must skip it.
+        lease = b.leases.acquire(req)
+        assert lease is not None
+        assert server_a.drain_inbox() == 0
+        assert client.ack(req) is None
+        assert (root / "inbox" / f"{req}.json").exists()
+        # b lets go (drain/crash); a now processes it normally.
+        b.leases.release(lease)
+        assert server_a.drain_inbox() == 1
+        ack = client.ack(req)
+        assert ack is not None and ack["accepted"]
+        done = a.journal.load(req) or a.status(req)
+        assert done is not None
+
+    def test_fleet_metrics_written_per_owner(
+        self, tmp_path, spec_source, device
+    ):
+        root = tmp_path / "svc"
+        a = make_fleet_service(tmp_path, "a")
+        server = SpoolServer(root, a)
+        root.mkdir(parents=True, exist_ok=True)
+        server.write_metrics()
+        client = SpoolClient(root)
+        per_owner = client.fleet_metrics()
+        assert "a" in per_owner
+        doc = per_owner["a"]
+        assert doc["owner_id"] == "a"
+        for gauge in (
+            "journal_quarantined",
+            "admission_queue_depth",
+            "leases_held",
+            "leases_live",
+        ):
+            assert gauge in doc["gauges"]
+        # The classic single metrics.json is still written too.
+        assert client.metrics() is not None
+
+
+@pytest.mark.slow
+class TestSupervisor:
+    def test_spawn_restart_and_drain(self, tmp_path, spec_source, device):
+        root = tmp_path / "svc"
+        supervisor = FleetSupervisor(
+            root, workers=2, threads=1, lease_ttl=0.5,
+            restart_budget=4, drain_timeout=30.0,
+        )
+        summary = {}
+
+        def run():
+            summary.update(supervisor.run(duration=None, poll=0.05))
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        try:
+            assert wait_for(
+                lambda: len(read_fleet_pids(root)) == 2, timeout=30
+            )
+            victims = read_fleet_pids(root)
+            victim_owner = sorted(victims)[0]
+            os.kill(victims[victim_owner], signal.SIGKILL)
+            # The supervisor respawns the slot under a new pid.
+            assert wait_for(
+                lambda: read_fleet_pids(root).get(victim_owner)
+                not in (None, victims[victim_owner]),
+                timeout=30,
+            )
+            # A request still round-trips through the surviving fleet.
+            client = SpoolClient(root)
+            req = client.submit(spec_source, device)
+            ack = client.wait_ack(req, timeout=WAIT)
+            assert ack is not None and ack["accepted"]
+            job = client.wait_job(req, timeout=WAIT)
+            assert job is not None and job.state == JOB_DONE
+        finally:
+            SpoolClient(root).request_stop()
+            thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert sum(summary["restarts"].values()) >= 1
+        assert read_fleet_pids(root) == {}
+        assert -9 in [
+            code
+            for codes in summary["exit_codes"].values()
+            for code in codes
+        ]

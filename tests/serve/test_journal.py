@@ -8,10 +8,14 @@ from repro.obs import Tracer, use_tracer
 from repro.resilience import PoolBroken, injection
 from repro.serve import (
     JOB_DONE,
+    JOB_FAILED,
     JOB_QUEUED,
     JOB_RUNNING,
     JobJournal,
     JournalWriteError,
+    WRITE_DEGRADED,
+    WRITE_FENCED,
+    WRITE_OK,
     make_job,
 )
 
@@ -41,7 +45,7 @@ class TestRoundTrip:
         j.record(job)
         job.state = JOB_RUNNING
         job.attempts = 1
-        assert j.transition(job)
+        assert j.transition(job) == WRITE_OK
         loaded = j.load(job.job_id)
         assert loaded.state == JOB_RUNNING
         assert loaded.attempts == 1
@@ -102,7 +106,7 @@ class TestFaultPaths:
         tracer = Tracer()
         job.state = JOB_RUNNING
         with use_tracer(tracer):
-            assert not j.transition(job)
+            assert j.transition(job) == WRITE_DEGRADED
         assert tracer.registry.get("serve.journal_degraded") == 1
         # Journal kept the older state (safe: restart re-runs the job).
         assert j.load(job.job_id).state == JOB_QUEUED
@@ -115,5 +119,74 @@ class TestFaultPaths:
         j.record(job)
         injection.inject("serve.journal", PoolBroken, times=1)
         job.state = JOB_RUNNING
-        assert j.transition(job)                 # retried, then landed
+        assert j.transition(job) == WRITE_OK     # retried, then landed
         assert j.load(job.job_id).state == JOB_RUNNING
+
+
+class TestFencing:
+    def test_stale_token_write_is_a_noop(
+        self, tmp_path, spec_source, device
+    ):
+        j = journal(tmp_path)
+        job = job_for(spec_source, device)
+        job.lease_owner, job.lease_token = "worker-1", 2
+        j.record(job)
+        stale = j.load(job.job_id)
+        stale.lease_owner, stale.lease_token = "worker-0", 1
+        stale.state = JOB_RUNNING
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert j.transition(stale) == WRITE_FENCED
+        assert tracer.registry.get("serve.fencing_rejected") == 1
+        assert j.load(job.job_id).state == JOB_QUEUED
+        assert j.load(job.job_id).lease_owner == "worker-1"
+
+    def test_conflicting_terminal_blocked_identical_idempotent(
+        self, tmp_path, spec_source, device
+    ):
+        j = journal(tmp_path)
+        job = job_for(spec_source, device)
+        job.lease_token = 1
+        j.record(job)
+        job.state = JOB_DONE
+        assert j.transition(job) == WRITE_OK
+        # Identical terminal re-write (same state): already durable.
+        assert j.transition(job) == WRITE_OK
+        # Conflicting terminal (done -> failed) is blocked even with a
+        # token that would otherwise pass the fence.
+        conflict = j.load(job.job_id)
+        conflict.state = JOB_FAILED
+        conflict.lease_token = 5
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert j.transition(conflict) == WRITE_FENCED
+        assert tracer.registry.get("serve.terminal_conflicts_blocked") == 1
+        assert j.load(job.job_id).state == JOB_DONE
+        # Exactly one terminal line in the audit log.
+        rows = j.terminal_log_entries()
+        assert [(r[0], r[1]) for r in rows] == [(job.job_id, JOB_DONE)]
+
+    def test_record_never_regresses_newer_token(
+        self, tmp_path, spec_source, device
+    ):
+        j = journal(tmp_path)
+        job = job_for(spec_source, device)
+        job.lease_owner, job.lease_token = "worker-1", 3
+        job.state = JOB_RUNNING
+        j.record(job)
+        stale = j.load(job.job_id)
+        stale.lease_owner, stale.lease_token = "worker-0", 1
+        stale.state = JOB_QUEUED
+        j.record(stale)                  # no-op, not an error
+        assert j.load(job.job_id).lease_token == 3
+        assert j.load(job.job_id).state == JOB_RUNNING
+
+    def test_quarantined_count(self, tmp_path, spec_source, device):
+        j = journal(tmp_path)
+        job = job_for(spec_source, device)
+        j.record(job)
+        assert j.quarantined_count() == 0
+        path = j.path_for(job.job_id)
+        path.write_text(path.read_text()[:-20])      # tear the file
+        assert j.load(job.job_id) is None            # quarantines
+        assert j.quarantined_count() == 1

@@ -1,0 +1,137 @@
+"""Leases: acquire/steal/heartbeat/release, fencing-token monotonicity."""
+
+from __future__ import annotations
+
+from repro.serve.lease import DEFAULT_TTL, Lease, LeaseManager
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def managers(tmp_path, clock, ttl=5.0):
+    d = tmp_path / "leases"
+    a = LeaseManager(d, "worker-a", ttl=ttl, clock=clock)
+    b = LeaseManager(d, "worker-b", ttl=ttl, clock=clock)
+    return a, b
+
+
+class TestAcquire:
+    def test_fresh_acquire_starts_at_token_one(self, tmp_path):
+        clock = FakeClock()
+        a, _ = managers(tmp_path, clock)
+        lease = a.acquire("job-1")
+        assert lease is not None
+        assert lease.token == 1
+        assert lease.owner_id == "worker-a"
+        assert lease.deadline_epoch == clock.now + 5.0
+
+    def test_live_lease_is_not_stealable_by_other(self, tmp_path):
+        clock = FakeClock()
+        a, b = managers(tmp_path, clock)
+        assert a.acquire("job-1") is not None
+        assert b.acquire("job-1") is None
+
+    def test_expired_lease_steal_increments_token(self, tmp_path):
+        clock = FakeClock()
+        a, b = managers(tmp_path, clock)
+        first = a.acquire("job-1")
+        clock.advance(5.1)                      # past the deadline
+        stolen = b.acquire("job-1")
+        assert stolen is not None
+        assert stolen.owner_id == "worker-b"
+        assert stolen.token == first.token + 1
+
+    def test_own_previous_incarnation_is_stealable(self, tmp_path):
+        clock = FakeClock()
+        a, _ = managers(tmp_path, clock)
+        first = a.acquire("job-1")
+        again = a.acquire("job-1")              # restart, lease still live
+        assert again is not None
+        assert again.token == first.token + 1
+
+    def test_min_token_forces_fencing_forward(self, tmp_path):
+        clock = FakeClock()
+        a, _ = managers(tmp_path, clock)
+        lease = a.acquire("job-1", min_token=7)
+        assert lease.token == 7
+
+
+class TestHeartbeat:
+    def test_heartbeat_extends_deadline(self, tmp_path):
+        clock = FakeClock()
+        a, _ = managers(tmp_path, clock)
+        lease = a.acquire("job-1")
+        clock.advance(3.0)
+        assert a.heartbeat(lease)
+        assert lease.deadline_epoch == clock.now + 5.0
+        assert a.peek("job-1").deadline_epoch == clock.now + 5.0
+
+    def test_heartbeat_after_steal_reports_lost(self, tmp_path):
+        clock = FakeClock()
+        a, b = managers(tmp_path, clock)
+        lease = a.acquire("job-1")
+        clock.advance(5.1)
+        assert b.acquire("job-1") is not None   # stolen
+        assert not a.heartbeat(lease)           # lost, not extended
+        assert a.peek("job-1").owner_id == "worker-b"
+
+    def test_heartbeat_after_release_reports_lost(self, tmp_path):
+        clock = FakeClock()
+        a, _ = managers(tmp_path, clock)
+        lease = a.acquire("job-1")
+        assert a.release(lease)
+        assert not a.heartbeat(lease)
+
+
+class TestRelease:
+    def test_release_keeps_token_and_is_stealable(self, tmp_path):
+        clock = FakeClock()
+        a, b = managers(tmp_path, clock)
+        lease = a.acquire("job-1")
+        assert a.release(lease)
+        current = a.peek("job-1")
+        assert current.released
+        assert current.token == lease.token     # monotonic home kept
+        stolen = b.acquire("job-1")             # immediately, no TTL wait
+        assert stolen is not None
+        assert stolen.token == lease.token + 1
+
+    def test_release_of_stolen_lease_is_refused(self, tmp_path):
+        clock = FakeClock()
+        a, b = managers(tmp_path, clock)
+        lease = a.acquire("job-1")
+        clock.advance(5.1)
+        b.acquire("job-1")
+        assert not a.release(lease)
+
+
+class TestGauges:
+    def test_live_count_skips_expired_and_released(self, tmp_path):
+        clock = FakeClock()
+        a, _ = managers(tmp_path, clock)
+        a.acquire("job-1")
+        kept = a.acquire("job-2")
+        short = a.acquire("job-3")
+        a.release(kept)
+        assert a.live_count() == 2              # job-1 + job-3
+        clock.advance(5.1)
+        assert a.live_count() == 0
+        assert short is not None
+
+    def test_default_ttl_sane(self):
+        assert DEFAULT_TTL > 0
+
+    def test_lease_doc_round_trip(self):
+        lease = Lease(
+            job_id="j", owner_id="o", token=3,
+            deadline_epoch=12.0, acquired_epoch=7.0, released=True,
+        )
+        assert Lease.from_doc(lease.to_doc()) == lease

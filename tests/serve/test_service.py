@@ -238,6 +238,27 @@ class TestAdmission:
         job = svc.submit(spec_source, device)
         assert svc.journal.load(job.job_id) is not None
 
+    def test_journal_failure_on_cache_hit_is_transient_too(
+        self, tmp_path, spec_source, device
+    ):
+        """The cache fast-path must reject a journal outage exactly
+        like the queue path: as a retryable `Rejected`, never as a
+        generic error the spool would ack as *permanent* (found by the
+        chaos soak — a stranded request no client ever retried)."""
+        svc = make_service(tmp_path)
+        svc.start()
+        try:
+            first = svc.submit(spec_source, device)
+            svc.wait(first.job_id, timeout=WAIT)
+            injection.inject("serve.journal", PoolBroken("no disk"))
+            with pytest.raises(Rejected, match="journal unavailable"):
+                svc.submit(spec_source, device)    # cache-hit admission
+            # The outage clears; the same submission now succeeds.
+            again = svc.submit(spec_source, device)
+            assert again.state == JOB_DONE
+        finally:
+            svc.shutdown()
+
 
 class TestBreaker:
     def test_opens_after_failures_and_recovers_after_cooldown(
