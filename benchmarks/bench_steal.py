@@ -1,0 +1,442 @@
+"""Work-stealing portfolio benchmark: worker sweep, schedule A/B, and
+single-stream parity (PR 9).
+
+PR 9 broke the fixed arm-per-future portfolio into migratable
+(arm, budget-slice) work units executed by long-lived workers that steal
+units when idle, with counterexamples shared over a topic-addressed bus.
+This benchmark sweeps the worker axis (1/2/4/8) over seeded Table-3 rows
+through the steal scheduler and records wall clocks, winners, and the
+scheduler's own counters (units dispatched / stolen / migrated, bus
+prunes).  ``--check`` gates the invariants that must hold on *any*
+machine:
+
+* every compile in the sweep succeeds, and the winner's status and
+  resource counts are identical at every worker count and under
+  ``--schedule=static`` — the scheduler is not allowed to change
+  answers;
+* multi-worker walls stay within a bounded overhead envelope of the
+  single-stream wall (catches slicing/IPC pathologies);
+* with ``--baseline-tree`` (a git worktree of the pre-PR-9 commit), the
+  single-stream path stays within ``SINGLE_STREAM_LIMIT`` of the old
+  tree, measured by an interleaved same-machine fresh-subprocess A/B.
+
+**Why wall-clock speedup is recorded but not gated.**  The sweep's
+geomean speedup at the top worker count is recorded in the summary, but
+a ≥ N× gate would be dishonest on this suite: measured per-arm solo
+times across all 29 Table-3 rows (Tofino and IPU, default and ablated
+options) show the priority-0 arm — full device key budget — is always
+the *cheapest* valid arm; tighter-key arms are equal or strictly harder.
+The sequential path runs arms best-priority-first and exits on the first
+valid winner, so its wall is already the single-arm optimum, and any
+racing schedule must pay at least that arm's CPU.  Racing buys
+robustness (a fallback when an arm's cost inverts or a tight arm is
+infeasible) and answer-preserving scale-out, not wall-clock on rows
+whose cheapest arm is also the most preferred.  On machines with real
+cores the sweep degrades gracefully toward speedup ≈ 1.0; on a
+single-core box it measures the (gated) overhead envelope.
+
+Usage::
+
+    python benchmarks/bench_steal.py [--quick] [--check]
+        [--output BENCH_pr9.json] [--seed 11] [--baseline-tree PATH]
+
+``--quick`` (CI scaling-smoke) sweeps 1 and 4 workers over the fast
+rows with one repetition; the full run sweeps 1/2/4/8 workers, adds the
+heavier rows, and takes the median of two repetitions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.benchgen.suites import benchmark_by_label  # noqa: E402
+from repro.core import portfolio_compile  # noqa: E402
+from repro.core.options import CompileOptions  # noqa: E402
+from repro.harness.table3 import TOFINO  # noqa: E402
+from repro.obs import Tracer, use_tracer  # noqa: E402
+
+# Rows whose arms ALL terminate quickly (≤ 2 s solo, measured).  This
+# matters beyond bench duration: a static ``ProcessPoolExecutor`` cannot
+# interrupt a running task, so ``shutdown(cancel_futures=True)`` leaves
+# any in-flight slow arm grinding until its own budget expires — and a
+# straggler from row N poisons every wall clock measured during row N+1
+# (dramatically so on a single-core box).  Rows with infeasible-hard
+# arms (e.g. "Sai V1", "Sai V2") belong in the equivalence *tests*,
+# where only answers matter, not in a timing harness.
+QUICK_SUITE = [
+    "Parse icmp",
+    "Geneve tunnel",
+    "Multi-keys (diff pkt fields) -R5",
+    "Dash V2",
+]
+# Extra rows for the full run: a 4-arm unrolled-loop row and the row
+# with the widest measured arm-cost spread among all-terminating rows
+# (key<=4 arms ~20x the key<=8 arms, opposite winners' entry counts —
+# exercises the winner broadcast racing genuinely different layouts).
+FULL_EXTRA = [
+    "Parse MPLS +unroll",
+    "Multi-keys (diff pkt fields)",
+]
+
+QUICK_WORKERS = [1, 4]
+FULL_WORKERS = [1, 2, 4, 8]
+
+# Multi-worker wall-clock envelope vs the same row's single-stream wall.
+# On a single-core box the steal race round-robins every arm until the
+# winner lands, so the wall is bounded by (#arms × winner wall) plus the
+# fixed cost of spawning workers and the bus manager; the envelope
+# catches slicing/IPC pathologies (e.g. thrashing micro-slices), not
+# scheduling shape.
+OVERHEAD_FACTOR = 8.0
+OVERHEAD_CONST_SECONDS = 30.0
+
+# Single-stream (workers=1) geomean wall vs the pre-PR-9 tree.
+SINGLE_STREAM_LIMIT = 1.05
+
+SCHEDULER_COUNTERS = (
+    "portfolio.units_dispatched",
+    "portfolio.units_stolen",
+    "portfolio.units_migrated",
+    "bus.pruned",
+)
+
+
+def _effective_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+# Per-compile budget.  Every suite arm solves in ≤ 2 s solo, so 60 s is
+# ample headroom even racing on one core — and it bounds the lifetime
+# of any straggler the quiescence barrier has to wait out.
+ROW_BUDGET_SECONDS = 60
+
+
+def _options(workers: int, seed: int, schedule: str = "steal",
+             ) -> CompileOptions:
+    return CompileOptions(
+        parallel_workers=workers,
+        schedule=schedule,
+        seed=seed,
+        total_max_seconds=ROW_BUDGET_SECONDS,
+    )
+
+
+def _quiesce(timeout: float = 75.0) -> bool:
+    """Wait until every child process of this interpreter has exited.
+
+    ``portfolio_compile`` can return while losing arms are still
+    grinding in pool workers (a running task cannot be cancelled);
+    measuring the next configuration against that background load
+    corrupts its wall clock.  Returns False on timeout."""
+    import multiprocessing
+
+    deadline = time.monotonic() + timeout
+    while multiprocessing.active_children():
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0.1)
+    return True
+
+
+def _compile(label: str, workers: int, seed: int, schedule: str,
+             reps: int) -> Dict[str, Any]:
+    spec = benchmark_by_label(label).spec()
+    walls: List[float] = []
+    result = None
+    counters: Dict[str, int] = {}
+    for _ in range(reps):
+        tracer = Tracer()
+        t0 = time.monotonic()
+        with use_tracer(tracer):
+            result = portfolio_compile(
+                spec, TOFINO, _options(workers, seed, schedule)
+            )
+        walls.append(time.monotonic() - t0)
+        _quiesce()
+        snapshot = tracer.registry.snapshot()
+        counters = {
+            k: snapshot.get(k, 0) for k in SCHEDULER_COUNTERS
+        }
+    return {
+        "status": result.status,
+        "wall_seconds": round(statistics.median(walls), 4),
+        "wall_all": [round(w, 4) for w in walls],
+        "entries": result.num_entries if result.program else None,
+        "stages": result.num_stages if result.program else None,
+        "counters": counters,
+    }
+
+
+def _answer(row: Dict[str, Any]) -> tuple:
+    return (row["status"], row["entries"], row["stages"])
+
+
+# Child script for the same-machine single-stream A/B: one warm-up
+# compile, then the median of three timed compiles (the suite's rows
+# are sub-second, where a single sample is scheduler-jitter-dominated).
+# Fresh interpreter per rep so neither tree's module caches leak.
+_AB_CHILD = r'''
+import json, statistics, sys, time
+sys.path.insert(0, sys.argv[1] + "/src")
+from repro.benchgen.suites import benchmark_by_label
+from repro.core import portfolio_compile
+from repro.core.options import CompileOptions
+from repro.harness.table3 import TOFINO
+label, seed = sys.argv[2], int(sys.argv[3])
+spec = benchmark_by_label(label).spec()
+def opts():
+    return CompileOptions(parallel_workers=1, seed=seed,
+                          total_max_seconds=60)
+portfolio_compile(spec, TOFINO, opts())  # warm-up (imports, pyc)
+walls = []
+for _ in range(3):
+    t0 = time.perf_counter()
+    result = portfolio_compile(spec, TOFINO, opts())
+    walls.append(time.perf_counter() - t0)
+print(json.dumps({
+    "wall": statistics.median(walls),
+    "status": result.status,
+    "entries": result.num_entries if result.program else None,
+    "stages": result.num_stages if result.program else None,
+}))
+'''
+
+
+def _run_single_stream_ab(baseline_tree: Path, suite: List[str],
+                          seed: int, reps: int) -> Dict[str, Any]:
+    """Interleaved A/B of the workers=1 path against a pre-PR-9
+    checkout on this machine: alternating fresh-subprocess compiles so
+    both trees see the same load profile."""
+    import subprocess
+
+    _quiesce()   # no sweep stragglers may leak into the A/B walls
+    trees = {"pr9": str(REPO_ROOT), "baseline": str(baseline_tree)}
+    walls: Dict[str, Dict[str, List[float]]] = {
+        t: {label: [] for label in suite} for t in trees
+    }
+    answers: Dict[str, Dict[str, Any]] = {t: {} for t in trees}
+    for _rep in range(reps):
+        for label in suite:
+            for tree, path in trees.items():
+                proc = subprocess.run(
+                    [sys.executable, "-c", _AB_CHILD, path, label,
+                     str(seed)],
+                    capture_output=True, text=True, check=True)
+                doc = json.loads(proc.stdout.strip().splitlines()[-1])
+                walls[tree][label].append(doc["wall"])
+                answers[tree][label] = (
+                    doc["status"], doc["entries"], doc["stages"])
+    cases = []
+    logs: List[float] = []
+    for label in suite:
+        wb = walls["baseline"][label]
+        w9 = walls["pr9"][label]
+        overhead = statistics.median(w9) / statistics.median(wb)
+        logs.append(math.log(max(overhead, 1e-9)))
+        cases.append({
+            "case": label,
+            "baseline_walls": [round(w, 4) for w in wb],
+            "pr9_walls": [round(w, 4) for w in w9],
+            "overhead": round(overhead, 4),
+            "same_answer": answers["baseline"][label]
+            == answers["pr9"][label],
+        })
+        print(
+            f"{label:30s} baseline={statistics.median(wb):6.2f}s "
+            f"pr9={statistics.median(w9):6.2f}s x{overhead:.3f}",
+            flush=True,
+        )
+    return {
+        "baseline_tree": str(baseline_tree),
+        "reps": reps,
+        "cases": cases,
+        "geomean_overhead": round(
+            math.exp(sum(logs) / len(logs)), 4),
+        "same_answers": all(c["same_answer"] for c in cases),
+    }
+
+
+def run_bench(quick: bool = False, seed: int = 11,
+              baseline_tree: Optional[Path] = None) -> Dict[str, Any]:
+    reps = 1 if quick else 2
+    suite = QUICK_SUITE if quick else QUICK_SUITE + FULL_EXTRA
+    workers = QUICK_WORKERS if quick else FULL_WORKERS
+    top = max(workers)
+    rows = []
+    for label in suite:
+        row: Dict[str, Any] = {"case": label, "sweep": {}}
+        for w in workers:
+            row["sweep"][str(w)] = _compile(label, w, seed, "steal", reps)
+        row["static"] = _compile(label, top, seed, "static", reps)
+        single = row["sweep"]["1"]
+        fastest = row["sweep"][str(top)]
+        row["speedup_top"] = round(
+            single["wall_seconds"] / fastest["wall_seconds"]
+            if fastest["wall_seconds"] else 0.0, 4)
+        row["answers_identical"] = all(
+            _answer(cfg) == _answer(single)
+            for cfg in list(row["sweep"].values()) + [row["static"]]
+        )
+        row["overhead_ok"] = all(
+            cfg["wall_seconds"]
+            <= OVERHEAD_FACTOR * single["wall_seconds"]
+            + OVERHEAD_CONST_SECONDS
+            for cfg in row["sweep"].values()
+        )
+        sweep_walls = " ".join(
+            f"{w}w={row['sweep'][str(w)]['wall_seconds']:6.2f}s"
+            for w in workers
+        )
+        print(
+            f"{label:30s} {sweep_walls} "
+            f"static@{top}={row['static']['wall_seconds']:6.2f}s "
+            f"x{row['speedup_top']:.2f} "
+            f"stolen={row['sweep'][str(top)]['counters'].get('portfolio.units_stolen', 0)}",
+            flush=True,
+        )
+        rows.append(row)
+    logs = [
+        math.log(max(r["speedup_top"], 1e-9)) for r in rows
+    ]
+    single_stream = (
+        _run_single_stream_ab(baseline_tree, suite, seed, reps)
+        if baseline_tree is not None else None
+    )
+    top_counters = {
+        k: sum(r["sweep"][str(top)]["counters"].get(k, 0) for r in rows)
+        for k in SCHEDULER_COUNTERS
+    }
+    report = {
+        "bench": "bench_steal",
+        "pr": 9,
+        "quick": quick,
+        "seed": seed,
+        "reps": reps,
+        "effective_cores": _effective_cores(),
+        "worker_counts": workers,
+        "rows": rows,
+        "single_stream_ab": single_stream,
+        "summary": {
+            "geomean_speedup_top": round(
+                math.exp(sum(logs) / len(logs)), 4),
+            "top_workers": top,
+            "all_ok": all(
+                cfg["status"] == "ok"
+                for r in rows
+                for cfg in list(r["sweep"].values()) + [r["static"]]
+            ),
+            "answers_identical": all(r["answers_identical"] for r in rows),
+            "overhead_ok": all(r["overhead_ok"] for r in rows),
+            "units_stolen_total": top_counters["portfolio.units_stolen"],
+            "units_dispatched_total": top_counters[
+                "portfolio.units_dispatched"],
+            "single_stream_overhead": (
+                single_stream["geomean_overhead"]
+                if single_stream is not None else None
+            ),
+            "speedup_gate": (
+                "recorded, not gated: the priority-0 arm is the cheapest "
+                "valid arm on every measured Table-3 row, so the "
+                "sequential first-winner exit is already wall-clock "
+                "optimal; gates cover answer identity, the overhead "
+                "envelope, and single-stream parity instead"
+            ),
+        },
+    }
+    return report
+
+
+def check_report(report: Dict[str, Any]) -> List[str]:
+    """Acceptance assertions; returns a list of failure strings."""
+    s = report["summary"]
+    failures = []
+    if not s["all_ok"]:
+        bad = [
+            (r["case"], name, cfg["status"])
+            for r in report["rows"]
+            for name, cfg in list(r["sweep"].items())
+            + [("static", r["static"])]
+            if cfg["status"] != "ok"
+        ]
+        failures.append(f"non-ok compiles in the sweep: {bad}")
+    if not s["answers_identical"]:
+        bad = [r["case"] for r in report["rows"]
+               if not r["answers_identical"]]
+        failures.append(
+            f"winner status/resources changed across worker counts or "
+            f"schedules: {bad}"
+        )
+    if not s["overhead_ok"]:
+        bad = [r["case"] for r in report["rows"] if not r["overhead_ok"]]
+        failures.append(
+            f"multi-worker wall exceeded the overhead envelope "
+            f"({OVERHEAD_FACTOR}x single + {OVERHEAD_CONST_SECONDS}s): "
+            f"{bad}"
+        )
+    if s["units_dispatched_total"] <= 0:
+        failures.append(
+            "steal scheduler dispatched no units at the top worker count"
+        )
+    single = report.get("single_stream_ab")
+    if single is not None:
+        if single["geomean_overhead"] > SINGLE_STREAM_LIMIT:
+            failures.append(
+                f"single-stream geomean x{single['geomean_overhead']:.3f} "
+                f"vs the baseline tree exceeds x{SINGLE_STREAM_LIMIT}"
+            )
+        if not single["same_answers"]:
+            failures.append(
+                "single-stream answers differ from the baseline tree"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="1/4-worker sweep, fast rows only (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless acceptance criteria hold")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--baseline-tree", type=Path, default=None,
+        help="pre-PR-9 checkout for the single-stream parity A/B "
+             "(git worktree add --detach /tmp/pr8repo <pre-PR9-sha>)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick, seed=args.seed,
+                       baseline_tree=args.baseline_tree)
+    print()
+    print(json.dumps(report["summary"], indent=2))
+    if args.output:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.check:
+        failures = check_report(report)
+        if failures:
+            print("\nCHECK FAILURES:")
+            for f in failures:
+                print(f"  - {f}")
+            return 1
+        print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,30 @@ class SynthesisTimeout(Exception):
         self.outcome = outcome
 
 
+class UnitCancelled(Exception):
+    """The work unit driving this search was cancelled (winner broadcast,
+    stale-runner discard, or shutdown).  Deliberately *not* a
+    :class:`SynthesisTimeout` or ``CompileFault``: cancellation must
+    unwind out of ``ParserHawkCompiler.compile`` untouched — it is a
+    scheduling outcome, never a compile result."""
+
+
+class SlicePacer:
+    """Unit-slice gate for migratable budget search (repro.core.stealing).
+
+    The budget loop calls :meth:`checkpoint` between budget attempts —
+    the exact points where all state is either warm-parked (sessions,
+    pool, retired set) or durable (checkpoint records), so a compile
+    suspended here can resume warm on the same worker or be rebuilt from
+    its checkpoint on another.  The base class never blocks; the steal
+    scheduler's pacer parks the calling thread until the next unit is
+    granted, and raises :class:`UnitCancelled` once the race is over.
+    """
+
+    def checkpoint(self) -> None:  # pragma: no cover - trivial default
+        return None
+
+
 @dataclass
 class CegisOutcome:
     program: Optional[TcamProgram]

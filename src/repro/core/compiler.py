@@ -40,7 +40,12 @@ from ..persist import (
     write_certificate,
 )
 from ..resilience import CompileFault
-from .cegis import CegisSession, SynthesisTimeout, synthesize_for_budget
+from .cegis import (
+    CegisSession,
+    SlicePacer,
+    SynthesisTimeout,
+    synthesize_for_budget,
+)
 from .encoder import EncodingOverflow
 from .normalize import CompileError, prepare_spec
 from .options import CompileOptions
@@ -89,6 +94,7 @@ class ParserHawkCompiler:
         checkpoint_dir: Optional[str] = None,
         resume: Optional[bool] = None,
         test_channel: Optional[TestChannel] = None,
+        pacer: Optional[SlicePacer] = None,
     ) -> CompileResult:
         """Compile ``spec`` for ``device``.
 
@@ -97,6 +103,12 @@ class ParserHawkCompiler:
         it and sibling arms' finds (for the same prepared-spec bit
         layout) are adopted between budget attempts — see
         :mod:`repro.core.testpool`.
+
+        ``pacer`` (optional) is the steal scheduler's unit-slice gate: it
+        is consulted between budget attempts, may park this thread until
+        the next work unit is granted, and may raise
+        :class:`~repro.core.cegis.UnitCancelled` — which unwinds out of
+        this method untouched (a cancelled unit has no compile result).
 
         Persistence (both optional, see :mod:`repro.persist`):
 
@@ -162,7 +174,7 @@ class ParserHawkCompiler:
             try:
                 result = self._compile_scaled(
                     spec, device, options, stats, deadline, manager,
-                    test_channel,
+                    test_channel, pacer,
                 )
             except CompileError as exc:
                 return CompileResult(
@@ -235,6 +247,7 @@ class ParserHawkCompiler:
         deadline: Optional[float],
         manager: Optional[CheckpointManager] = None,
         channel: Optional[TestChannel] = None,
+        pacer: Optional[SlicePacer] = None,
     ) -> CompileResult:
         arms = self._portfolio_arms(spec, device, options)
         tracer = get_tracer()
@@ -251,7 +264,7 @@ class ParserHawkCompiler:
                 )
                 result = self._search_budgets(
                     spec, synth_spec, plan, device, options, stats,
-                    deadline, allow_loops, manager, channel,
+                    deadline, allow_loops, manager, channel, pacer,
                 )
             if result.ok:
                 return result
@@ -288,6 +301,7 @@ class ParserHawkCompiler:
         allow_loops: bool,
         manager: Optional[CheckpointManager] = None,
         channel: Optional[TestChannel] = None,
+        pacer: Optional[SlicePacer] = None,
     ) -> CompileResult:
         # Checkpoint and pool state are keyed per (loop mode, prepared
         # spec): the counterexample inputs live in the *synthesis* spec's
@@ -371,6 +385,12 @@ class ParserHawkCompiler:
                 budget_key = (stage_budget, num_entries)
                 if budget_key in retired:
                     continue
+                if pacer is not None:
+                    # Unit boundary: everything is warm-parked or durable
+                    # here, so the steal scheduler may suspend this arm
+                    # (and later resume it on this worker or rebuild it
+                    # elsewhere from the checkpoint).
+                    pacer.checkpoint()
                 if deadline is not None and time.monotonic() > deadline:
                     raise SynthesisTimeout("compiler deadline exceeded")
                 if budget_key in attempted:
@@ -401,6 +421,9 @@ class ParserHawkCompiler:
                         drained = pool.drain(channel)
                         if drained:
                             tracer.count("tests.pool_shared_in", drained)
+                            # Each adopted test prunes this arm's search
+                            # without a local CEGIS round-trip.
+                            tracer.count("bus.pruned", drained)
                     session = warm_sessions.get(budget_key)
                     if session is not None:
                         # Warm continuation: the expired attempt's solver,

@@ -37,6 +37,16 @@ class CompileOptions:
     # §6.7 portfolio parallelism (loop-aware vs loop-free, key-limit levels).
     opt7_parallelism: bool = True
     parallel_workers: int = 1          # 1 = deterministic sequential portfolio
+    # Portfolio execution strategy when parallel_workers > 1:
+    # "steal"  — shard scheduler: arms are decomposed into (arm, budget
+    #            slice) work units that long-lived workers steal when idle;
+    #            parked sessions migrate across workers via the checkpoint
+    #            format (see repro.core.stealing);
+    # "static" — the PR-2 arm-per-future process pool, kept as the A/B
+    #            baseline and fallback.
+    # Pure placement: never changes which program a compile produces, so
+    # fingerprint.NON_SEMANTIC_OPTIONS excludes it from cache keys.
+    schedule: str = "steal"
     # Directed seed tests for CEGIS (our addition; the paper seeds with a
     # single random input/output pair, which the "Orig" arm reproduces).
     directed_seed_tests: bool = True

@@ -5,9 +5,17 @@ loop-free arms (§6.7.1) and per-hardware-constraint-level arms (§6.7.2,
 e.g. one subproblem per transition-key width limit), halting as soon as
 any subproblem yields a valid outcome.
 
-``portfolio_compile`` reproduces that with a ``ProcessPoolExecutor``: each
-worker runs a full sequential compile of one subproblem, and the first
-success (in subproblem priority order) wins.  With
+``portfolio_compile`` reproduces that two ways, selected by
+``options.schedule``:
+
+* ``"steal"`` (default) — the work-stealing shard scheduler
+  (:mod:`repro.core.stealing`): arms decompose into migratable
+  (arm, budget slice) work units raced by long-lived workers, sharing
+  counterexamples over the :class:`~repro.core.testpool.CexBus`;
+* ``"static"`` — a ``ProcessPoolExecutor`` where each worker runs a full
+  sequential compile of one subproblem (the A/B baseline and fallback).
+
+The first valid success wins either way.  With
 ``options.parallel_workers <= 1`` the portfolio degenerates to the
 deterministic sequential iteration the rest of the repo uses by default.
 
@@ -37,7 +45,8 @@ grafts the spans under its own trace and merges the counters.
 from __future__ import annotations
 
 import concurrent.futures
-import multiprocessing
+import shutil
+import tempfile
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -57,7 +66,8 @@ from ..resilience import CompileFault, PoolBroken
 from ..resilience import injection as _injection
 from ..resilience.injection import fault_point
 from .options import CompileOptions
-from .testpool import TestChannel
+from .stealing import run_stealing
+from .testpool import TestChannel, start_bus
 from .result import (
     STATUS_FAULT,
     STATUS_INFEASIBLE,
@@ -429,6 +439,41 @@ def _run_pooled(
                         return expired_labels
             except concurrent.futures.TimeoutError:
                 tracer.count("portfolio.deadline_expired")
+                # Harvest arms that finished but were not yet yielded by
+                # as_completed — their results already exist and must
+                # not be reported as "still running" (or dropped when
+                # one of them is the winner).
+                for future, sub in futures.items():
+                    if (
+                        sub.priority in completed
+                        or future.cancelled()
+                        or not future.done()
+                    ):
+                        continue
+                    try:
+                        priority, result, spans, counters = future.result(
+                            timeout=0
+                        )
+                    except Exception as exc:
+                        priority = sub.priority
+                        result = _arm_failure(sub, exc, device)
+                        spans = counters = None
+                        with tracer.span(
+                            "portfolio.arm.fault",
+                            label=sub.label,
+                            priority=sub.priority,
+                            error=result.message,
+                        ):
+                            pass
+                        tracer.count("portfolio.arm_faults")
+                    completed.add(sub.priority)
+                    if spans is not None:
+                        tracer.attach(spans)
+                    if counters is not None and tracer.enabled:
+                        tracer.registry.merge(counters)
+                    results.append((priority, result))
+                    if on_result is not None:
+                        on_result(priority, result)
                 for other in futures:
                     other.cancel()
                 return [
@@ -489,6 +534,7 @@ def portfolio_compile(
     options = options or CompileOptions()
     subproblems = derive_subproblems(spec, device, options)
     workers = max(1, options.parallel_workers)
+    use_steal = workers > 1 and options.schedule != "static"
     tracer = get_tracer()
     deadline = (
         time.monotonic() + options.total_max_seconds
@@ -522,6 +568,36 @@ def portfolio_compile(
             for sub in subproblems
         ]
 
+    # The steal scheduler migrates arms between workers through the
+    # checkpoint format; without a user-provided checkpoint root, give
+    # each arm a scratch one so migration still resumes instead of
+    # restarting cold.  (A small flush interval amortizes the per-record
+    # writes on the hot path.)
+    scratch_root: Optional[str] = None
+    if use_steal and not options.checkpoint_dir:
+        try:
+            scratch_root = tempfile.mkdtemp(prefix="repro-steal-")
+        except OSError:
+            scratch_root = None
+        if scratch_root is not None:
+            subproblems = [
+                Subproblem(
+                    sub.label,
+                    sub.device,
+                    sub.options.with_(
+                        checkpoint_dir=str(arm_checkpoint_dir(
+                            scratch_root, sub.label
+                        )),
+                        checkpoint_interval_seconds=max(
+                            0.25,
+                            sub.options.checkpoint_interval_seconds,
+                        ),
+                    ),
+                    sub.priority,
+                )
+                for sub in subproblems
+            ]
+
     label_of = {sub.priority: sub.label for sub in subproblems}
     results: List[Tuple[int, CompileResult]] = []
     to_run = subproblems
@@ -553,9 +629,11 @@ def portfolio_compile(
 
     # Cross-arm test exchange (see repro.core.testpool): arms sharing a
     # spec layout adopt each other's counterexamples between budget
-    # attempts.  Inline arms share a plain list; pooled arms need a
-    # manager proxy (picklable into workers).  Best-effort throughout —
-    # environments that cannot start a manager just race without sharing.
+    # attempts, over a CexBus.  Inline arms share an in-process bus;
+    # worker processes hold a manager proxy for it (one round-trip per
+    # publish/fetch, deduped and sliced per topic server-side).
+    # Best-effort throughout — environments that cannot start a manager
+    # just race without sharing.
     channel: Optional[TestChannel] = None
     mp_manager = None
     if options.test_reuse and len(to_run) > 1:
@@ -563,8 +641,8 @@ def portfolio_compile(
             channel = TestChannel()
         else:
             try:
-                mp_manager = multiprocessing.Manager()
-                channel = TestChannel(mp_manager.list())
+                mp_manager, bus = start_bus()
+                channel = TestChannel(bus)
             except Exception:
                 tracer.count("portfolio.channel_unavailable")
                 mp_manager = None
@@ -573,12 +651,22 @@ def portfolio_compile(
     pending: List[str] = []
     try:
         with tracer.span(
-            "portfolio", arms=len(subproblems), workers=workers
+            "portfolio",
+            arms=len(subproblems),
+            workers=workers,
+            schedule="steal" if use_steal else (
+                "static" if workers > 1 else "sequential"
+            ),
         ):
             if workers == 1:
                 pending = _run_arms_inline(
                     spec, to_run, device, tracer, deadline, results,
                     record_arm, channel,
+                )
+            elif use_steal:
+                pending = run_stealing(
+                    spec, to_run, device, tracer, deadline, workers,
+                    results, record_arm, channel, manager,
                 )
             else:
                 pending = _run_pooled(
@@ -591,6 +679,8 @@ def portfolio_compile(
                 mp_manager.shutdown()
             except Exception:
                 pass
+        if scratch_root is not None:
+            shutil.rmtree(scratch_root, ignore_errors=True)
 
     result = select_result(subproblems, results, device, pending=pending)
     if manager is not None:

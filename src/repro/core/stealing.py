@@ -1,0 +1,520 @@
+"""Work-stealing shard scheduler for the synthesis portfolio (§6.7).
+
+The static portfolio (`repro.core.parallel._run_pooled`) pins each arm to
+one pool future for its whole life: a slow arm idles every other worker
+while tighter-key arms finish early.  This module decomposes each compile
+into **work units** of (arm, budget slice) instead:
+
+* a worker drives one unit by resuming the arm's compile thread until the
+  budget loop reaches its next slice boundary (``SlicePacer.checkpoint``
+  in ``ParserHawkCompiler._search_budgets``), where every piece of search
+  state is either warm-parked (live ``CegisSession``s, the test pool, the
+  retired-budget set) or durable (checkpoint records);
+* units live in a scheduler-side deque and idle workers *steal* the next
+  unit of any runnable arm.  Units prefer their arm's previous worker —
+  there the parked compile thread is still warm and resumption is free —
+  and otherwise **migrate**: the new worker rebuilds the arm from its
+  PR-3/PR-4 checkpoint (counterexample replay + retired budgets + pool
+  prefix), which is winner-identical to the warm continuation by the
+  checkpoint determinism contract;
+* counterexamples flow between workers through the
+  :class:`~repro.core.testpool.CexBus` at slice granularity, and the
+  first valid winner broadcasts cancellation (a ``multiprocessing`` event
+  plus a bus flag) so in-flight units stand down at their next boundary.
+
+Supervision mirrors the static pool's contracts: a unit that raises
+becomes its arm's ``STATUS_FAULT`` result (``portfolio.arm_faults``), a
+hard worker death abandons the worker fleet and re-runs the unfinished
+arms in-process from their checkpoints (``portfolio.pool_broken`` +
+``portfolio.recovery``), an environment that cannot spawn processes
+degrades to the sequential path (``portfolio.pool_unavailable`` +
+``portfolio.degraded``), and the portfolio deadline returns the labels of
+arms still holding units.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..obs import Tracer, use_tracer
+from ..resilience import PoolBroken
+from ..resilience import injection as _injection
+from ..resilience.injection import fault_point
+from .cegis import SlicePacer, UnitCancelled
+from .testpool import TestChannel
+
+# Unit outcomes a worker reports back to the scheduler.
+UNIT_PARKED = "parked"        # slice boundary reached; arm still runnable
+UNIT_DONE = "done"            # the arm's compile returned a result
+UNIT_FAULT = "fault"          # the unit raised; arm becomes STATUS_FAULT
+UNIT_CANCELLED = "cancelled"  # winner broadcast / stale-runner discard
+
+_group_ids = itertools.count(1)
+
+
+def _next_group() -> str:
+    """Compile-scoped identity for winner broadcasts on the bus."""
+    return f"{os.getpid()}.{next(_group_ids)}"
+
+
+class UnitPacer(SlicePacer):
+    """Thread gate between a worker's loop and one arm's compile thread.
+
+    The compile thread calls :meth:`checkpoint` between budget attempts;
+    unless cancelled it parks there until the worker grants the next
+    unit.  One grant runs exactly one budget attempt (or, for the very
+    first unit, the front-end preparation up to the first attempt).
+    """
+
+    def __init__(self, should_cancel=None) -> None:
+        self._resume = threading.Event()
+        self._idle = threading.Event()
+        self._cancelled = False
+        self._should_cancel = should_cancel
+
+    # -- compile-thread side -------------------------------------------
+    def checkpoint(self) -> None:
+        if self._cancelled or (
+            self._should_cancel is not None and self._should_cancel()
+        ):
+            raise UnitCancelled("cancelled at slice boundary")
+        self._idle.set()
+        self._resume.wait()
+        self._resume.clear()
+        if self._cancelled:
+            raise UnitCancelled("cancelled while parked")
+
+    def mark_idle(self) -> None:
+        self._idle.set()
+
+    # -- worker side ---------------------------------------------------
+    def grant(self) -> None:
+        self._idle.clear()
+        self._resume.set()
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._resume.set()
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        return self._idle.wait(timeout)
+
+
+class ArmRunner:
+    """Slice-at-a-time executor of one portfolio arm.
+
+    The arm's full sequential compile runs in a daemon thread whose only
+    scheduling surface is the pacer: between budget attempts it parks,
+    keeping every warm structure (sessions, pool, solver) alive in place.
+    ``run_unit`` grants one more attempt and blocks until the thread
+    parks again or terminates.  ``slices`` mirrors the scheduler's
+    per-arm unit count so a worker can detect that an arm migrated away
+    and back (its parked thread is then stale and must be discarded in
+    favour of a checkpoint rebuild).
+    """
+
+    def __init__(
+        self,
+        spec,
+        subproblem,
+        channel: Optional[TestChannel] = None,
+        trace: bool = False,
+        should_cancel=None,
+    ) -> None:
+        self.spec = spec
+        self.subproblem = subproblem
+        self.channel = channel
+        self.trace = trace
+        self.pacer = UnitPacer(should_cancel)
+        self.slices = 0
+        self.outcome: Optional[Tuple[str, Any]] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def _drive(self) -> None:
+        from .compiler import ParserHawkCompiler
+
+        sub = self.subproblem
+        try:
+            compiler = ParserHawkCompiler(sub.options)
+            if not self.trace:
+                result = compiler.compile(
+                    self.spec, sub.device,
+                    test_channel=self.channel, pacer=self.pacer,
+                )
+                payload = (sub.priority, result, None, None)
+            else:
+                tracer = Tracer()
+                with use_tracer(tracer):
+                    with tracer.span(
+                        "portfolio.arm",
+                        label=sub.label,
+                        priority=sub.priority,
+                    ) as arm_span:
+                        result = compiler.compile(
+                            self.spec, sub.device,
+                            test_channel=self.channel, pacer=self.pacer,
+                        )
+                payload = (
+                    sub.priority, result,
+                    arm_span.to_dict(), tracer.registry.snapshot(),
+                )
+            self.outcome = (UNIT_DONE, payload)
+        except UnitCancelled:
+            self.outcome = (UNIT_CANCELLED, None)
+        except BaseException as exc:  # supervised: becomes STATUS_FAULT
+            self.outcome = (UNIT_FAULT, exc)
+        finally:
+            self.pacer.mark_idle()
+
+    def run_unit(self) -> Tuple[str, Any]:
+        """Run one unit; returns ``(kind, payload)`` when the arm parks
+        (``UNIT_PARKED``) or terminates (done / fault / cancelled)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._drive,
+                name=f"arm:{self.subproblem.label}",
+                daemon=True,
+            )
+            self._thread.start()
+        else:
+            self.pacer.grant()
+        self.pacer.wait_idle()
+        self.slices += 1
+        if self.outcome is not None:
+            return self.outcome
+        return (UNIT_PARKED, None)
+
+    def cancel(self) -> None:
+        """Unpark the thread into a ``UnitCancelled`` exit."""
+        self.pacer.cancel()
+
+
+def _steal_worker_main(
+    worker_id: int,
+    spec,
+    subproblems: Sequence,
+    device,
+    task_q,
+    result_q,
+    faults,
+    trace: bool,
+    channel: Optional[TestChannel],
+    cancel_event,
+    group: str,
+) -> None:
+    """Worker process: execute units the scheduler assigns, one at a time.
+
+    A task is ``(priority, slice_index, subproblem)``.  ``slice_index``
+    is the scheduler's unit count for the arm: if it disagrees with the
+    local runner's count the arm ran elsewhere in between, so the stale
+    warm thread is discarded and the arm is rebuilt from its checkpoint
+    (``resume=True``) — the migration path.  ``None`` shuts the worker
+    down.
+    """
+    from .parallel import Subproblem, _arm_failure
+
+    _injection.install(faults)
+
+    def should_cancel() -> bool:
+        if cancel_event is not None and cancel_event.is_set():
+            return True
+        return (
+            channel.winner_declared(group) if channel is not None else False
+        )
+
+    runners: Dict[int, ArmRunner] = {}
+    result_q.put(("ready", worker_id))
+    while True:
+        task = task_q.get()
+        if task is None:
+            break
+        priority, slice_index, sub = task
+        try:
+            fault_point("portfolio.worker", label=sub.label)
+            if should_cancel():
+                kind, payload = UNIT_CANCELLED, None
+            else:
+                runner = runners.get(priority)
+                if runner is not None and runner.slices != slice_index:
+                    # The arm migrated away and back: this worker's
+                    # parked thread predates slices run elsewhere.
+                    runner.cancel()
+                    runner = None
+                    runners.pop(priority, None)
+                if runner is None:
+                    options = sub.options
+                    if slice_index > 0 and options.checkpoint_dir:
+                        # Migrated here: rebuild from the arm's durable
+                        # checkpoint (replay counterexamples, skip
+                        # retired budgets, restore the pool prefix).
+                        options = options.with_(resume=True)
+                    runner = ArmRunner(
+                        spec,
+                        Subproblem(sub.label, sub.device, options,
+                                   sub.priority),
+                        channel=channel,
+                        trace=trace,
+                        should_cancel=should_cancel,
+                    )
+                    runner.slices = slice_index
+                    runners[priority] = runner
+                kind, payload = runner.run_unit()
+                if kind != UNIT_PARKED:
+                    runners.pop(priority, None)
+        except BaseException as exc:
+            kind, payload = UNIT_FAULT, exc
+        if kind == UNIT_FAULT:
+            failure = _arm_failure(sub, payload, device)
+            payload = (sub.priority, failure, None, None)
+        try:
+            result_q.put(("unit", worker_id, priority, kind, payload))
+        except Exception as exc:
+            # The payload would not serialize: report the arm as faulted
+            # rather than silently stalling the scheduler.
+            failure = _arm_failure(sub, exc, device)
+            result_q.put(
+                ("unit", worker_id, priority, UNIT_FAULT,
+                 (sub.priority, failure, None, None))
+            )
+
+
+def run_stealing(
+    spec,
+    subproblems: Sequence,
+    device,
+    tracer,
+    deadline: Optional[float],
+    workers: int,
+    results: List[Tuple[int, Any]],
+    on_result=None,
+    channel: Optional[TestChannel] = None,
+    manager=None,
+) -> List[str]:
+    """Race arms as stealable work units; returns still-pending labels.
+
+    Mirrors ``_run_pooled``'s contract: per-arm outcomes append to
+    ``results`` (via ``on_result`` for checkpointing), the first valid
+    winner cancels everything in flight, and the returned labels name
+    arms that still held units when the deadline expired (empty
+    otherwise).  Supervision outcomes (fault/broken/unavailable) use the
+    same counters and spans as the static pool so operators and tests
+    see one vocabulary across schedulers.
+    """
+    from .parallel import (
+        _POOL_UNAVAILABLE_ERRORS,
+        _run_arms_inline,
+        _valid_winner,
+        _with_deadline,
+    )
+
+    ordered = sorted(subproblems, key=lambda s: s.priority)
+    n_workers = max(1, min(workers, len(ordered)))
+    group = _next_group()
+
+    try:
+        fault_point("portfolio.pool")
+        ctx = multiprocessing.get_context()
+        cancel_event = ctx.Event()
+        result_q = ctx.Queue()
+        faults = _injection.snapshot() or None
+        task_qs: Dict[int, Any] = {}
+        procs: Dict[int, Any] = {}
+        for wid in range(n_workers):
+            task_qs[wid] = ctx.Queue()
+            proc = ctx.Process(
+                target=_steal_worker_main,
+                args=(wid, spec, ordered, device, task_qs[wid], result_q,
+                      faults, tracer.enabled, channel, cancel_event, group),
+                daemon=True,
+            )
+            proc.start()
+            procs[wid] = proc
+    except _POOL_UNAVAILABLE_ERRORS as exc:
+        tracer.count("portfolio.pool_unavailable")
+        with tracer.span(
+            "portfolio.degraded", reason=f"{type(exc).__name__}: {exc}"
+        ):
+            return _run_arms_inline(
+                spec, ordered, device, tracer, deadline, results,
+                on_result, channel,
+            )
+
+    label_of = {s.priority: s.label for s in ordered}
+    sub_of = {s.priority: s for s in ordered}
+    slices = {s.priority: 0 for s in ordered}
+    owner: Dict[int, Optional[int]] = {s.priority: None for s in ordered}
+    terminal: Set[int] = set()
+    pending = deque(s.priority for s in ordered)
+    idle: deque = deque()
+    in_flight: Dict[int, int] = {}
+    winner_found = False
+    broken: Optional[BaseException] = None
+
+    def dispatch() -> None:
+        while idle and pending and not winner_found:
+            wid = idle[0]
+            # Affinity order: this worker's own parked arm (warm resume
+            # is free) > a never-run arm > stealing another worker's arm.
+            pick = next(
+                (p for p in pending if owner[p] == wid), None
+            )
+            if pick is None:
+                pick = next(
+                    (p for p in pending if owner[p] is None), None
+                )
+            stolen = pick is None
+            if pick is None:
+                pick = pending[0]
+            bounded = _with_deadline(sub_of[pick], deadline)
+            if bounded is None:
+                # Deadline already expired: never launch another unit.
+                tracer.count("portfolio.deadline_expired")
+                return
+            idle.popleft()
+            pending.remove(pick)
+            if stolen:
+                tracer.count("portfolio.units_stolen")
+                if slices[pick] > 0:
+                    # The unit's warm state lives on another worker: it
+                    # will be rebuilt there from the checkpoint.
+                    tracer.count("portfolio.units_migrated")
+            owner[pick] = wid
+            in_flight[wid] = pick
+            tracer.count("portfolio.units_dispatched")
+            if manager is not None:
+                manager.record_unit(label_of[pick], wid, slices[pick])
+            task_qs[wid].put((pick, slices[pick], bounded))
+
+    def find_broken() -> Optional[BaseException]:
+        dead = [
+            wid for wid, proc in procs.items() if not proc.is_alive()
+        ]
+        if not dead:
+            return None
+        codes = [procs[wid].exitcode for wid in dead]
+        return PoolBroken(
+            f"steal worker(s) {dead} died (exitcode {codes})"
+        )
+
+    try:
+        while len(terminal) < len(ordered) and not winner_found:
+            if deadline is not None and time.monotonic() > deadline:
+                tracer.count("portfolio.deadline_expired")
+                break
+            # A worker that died hard never reports its in-flight unit;
+            # poll liveness every pass so the loss is noticed even while
+            # other workers keep the result queue busy.
+            broken = find_broken()
+            if broken is not None:
+                break
+            dispatch()
+            try:
+                msg = result_q.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            if msg[0] == "ready":
+                idle.append(msg[1])
+                continue
+            _, wid, priority, kind, payload = msg
+            in_flight.pop(wid, None)
+            idle.append(wid)
+            if kind == UNIT_PARKED:
+                slices[priority] += 1
+                pending.append(priority)
+                continue
+            terminal.add(priority)
+            if kind == UNIT_CANCELLED:
+                continue
+            pr, result, spans, counters = payload
+            if kind == UNIT_FAULT:
+                with tracer.span(
+                    "portfolio.arm.fault",
+                    label=label_of.get(priority, f"arm#{priority}"),
+                    priority=priority,
+                    error=result.message,
+                ):
+                    pass
+                tracer.count("portfolio.arm_faults")
+            if spans is not None:
+                tracer.attach(spans)
+            if counters is not None and tracer.enabled:
+                tracer.registry.merge(counters)
+            results.append((pr, result))
+            if on_result is not None:
+                on_result(pr, result)
+            if _valid_winner(result, device):
+                winner_found = True
+                cancel_event.set()
+                if channel is not None:
+                    channel.announce_winner(group)
+
+        if broken is not None:
+            # Hard worker death: abandon the fleet entirely and finish
+            # the unfinished arms in-process, best priority first — each
+            # resuming from its own checkpoint so completed slices are
+            # not repeated.  (The injection registry's "subprocess"
+            # scope keeps worker-killing test faults from re-firing.)
+            tracer.count("portfolio.pool_broken")
+            cancel_event.set()
+            _shutdown(procs, task_qs, result_q)
+            procs = {}
+            remaining = []
+            for sub in ordered:
+                if sub.priority in terminal:
+                    continue
+                opts = sub.options
+                if slices[sub.priority] > 0 and opts.checkpoint_dir:
+                    opts = opts.with_(resume=True)
+                remaining.append(
+                    type(sub)(sub.label, sub.device, opts, sub.priority)
+                )
+            with tracer.span(
+                "portfolio.recovery",
+                reason=f"{type(broken).__name__}: {broken}",
+                arms=len(remaining),
+            ):
+                return _run_arms_inline(
+                    spec, remaining, device, tracer, deadline, results,
+                    on_result, channel,
+                )
+        if not winner_found and len(terminal) < len(ordered):
+            return [
+                label_of[p]
+                for p in sorted(set(label_of) - terminal)
+            ]
+        return []
+    finally:
+        cancel_event.set()
+        _shutdown(procs, task_qs, result_q)
+
+
+def _shutdown(procs, task_qs, result_q) -> None:
+    """Best-effort teardown of the worker fleet and its queues."""
+    for tq in task_qs.values():
+        try:
+            tq.put_nowait(None)
+        except Exception:
+            pass
+    for proc in procs.values():
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    for proc in procs.values():
+        try:
+            proc.join(timeout=0.5)
+        except Exception:
+            pass
+    for q in list(task_qs.values()) + [result_q]:
+        try:
+            q.cancel_join_thread()
+            q.close()
+        except Exception:
+            pass

@@ -42,6 +42,7 @@ CANONICAL_VERSION = 1
 NON_SEMANTIC_OPTIONS = frozenset(
     {
         "parallel_workers",
+        "schedule",
         "total_max_seconds",
         "checkpoint_dir",
         "resume",

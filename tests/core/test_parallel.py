@@ -143,6 +143,42 @@ class TestPortfolioCompile:
         # … and their counters merged into the parent registry.
         assert tracer.registry.get("sat.solves") >= 1
 
+    def test_schedule_flag_routes_to_the_right_scheduler(
+        self, dispatch_spec, monkeypatch
+    ):
+        from repro.core import parallel as par
+
+        calls = []
+
+        def fake_steal(spec, subs, device, tracer, deadline, workers,
+                       results, on_result=None, channel=None, manager=None):
+            calls.append("steal")
+            results.append((subs[0].priority, _ok()))
+            return []
+
+        def fake_pooled(spec, subs, device, tracer, deadline, workers,
+                        results, on_result=None, channel=None):
+            calls.append("static")
+            results.append((subs[0].priority, _ok()))
+            return []
+
+        def fake_inline(spec, subs, device, tracer, deadline, results,
+                        on_result=None, channel=None):
+            calls.append("sequential")
+            results.append((subs[0].priority, _ok()))
+            return []
+
+        monkeypatch.setattr(par, "run_stealing", fake_steal)
+        monkeypatch.setattr(par, "_run_pooled", fake_pooled)
+        monkeypatch.setattr(par, "_run_arms_inline", fake_inline)
+        for options in (
+            CompileOptions(parallel_workers=2),                    # default
+            CompileOptions(parallel_workers=2, schedule="static"),
+            CompileOptions(parallel_workers=1),   # single stream wins over
+        ):
+            assert par.portfolio_compile(dispatch_spec, DEVICE, options).ok
+        assert calls == ["steal", "static", "sequential"]
+
     def test_sequential_path_falls_back_past_violating_winner(
         self, dispatch_spec, monkeypatch
     ):

@@ -1,0 +1,356 @@
+"""Work-stealing scheduler semantics (PR 9).
+
+Three contracts under test:
+
+* **Bus properties** — concurrent multi-writer publishes lose nothing and
+  duplicate nothing; per-consumer cursors are monotone; a dead manager
+  makes the channel inert rather than raising into the compile.
+* **Unit pacing** — one ``grant`` runs exactly one slice; cancellation
+  unwinds the compile thread at the next boundary.
+* **Winner identity** — an arm continued warm, an arm migrated mid-run
+  (checkpoint rebuild), and the steal vs static schedulers all land on
+  the same winner with the same resources.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import (
+    CompileOptions,
+    Subproblem,
+    derive_subproblems,
+    portfolio_compile,
+)
+from repro.core.compiler import ParserHawkCompiler
+from repro.core.stealing import (
+    UNIT_CANCELLED,
+    UNIT_DONE,
+    UNIT_PARKED,
+    ArmRunner,
+    UnitPacer,
+)
+from repro.core.cegis import UnitCancelled
+from repro.core.testpool import CexBus, start_bus
+from repro.core.testpool import TestChannel as Channel
+from repro.hw import tofino_profile
+from repro.ir import Bits
+from repro.obs import Tracer, use_tracer
+
+DEVICE = tofino_profile(key_limit=8, tcam_limit=64, lookahead_limit=8)
+
+TOPICS = ("layout-a", "layout-b")
+
+
+class TestBusProperties:
+    def test_concurrent_writers_lose_and_duplicate_nothing(self):
+        # Four writers race: each publishes a contended value series
+        # (identical across writers, so dedup races constantly) plus a
+        # writer-unique series, split over two topics.  Consumers drain
+        # concurrently with cursors.
+        bus = CexBus()
+        writers, per_writer = 4, 50
+        done = threading.Event()
+
+        def write(wid):
+            for i in range(per_writer):
+                topic = TOPICS[i % 2]
+                bus.publish(topic, i, 16)                 # contended
+                bus.publish(topic, 1000 + wid * 100 + i, 16)  # unique
+
+        batches = {t: [] for t in TOPICS}
+        cursor_trace = {t: [] for t in TOPICS}
+
+        def consume(topic):
+            cursor = 0
+            while True:
+                new_cursor, items = bus.fetch(topic, cursor)
+                assert new_cursor == cursor + len(items)  # monotone
+                cursor_trace[topic].append(new_cursor)
+                batches[topic].extend(items)
+                cursor = new_cursor
+                if done.is_set() and not items:
+                    return
+
+        threads = [
+            threading.Thread(target=write, args=(w,)) for w in range(writers)
+        ] + [threading.Thread(target=consume, args=(t,)) for t in TOPICS]
+        for t in threads:
+            t.start()
+        for t in threads[:writers]:
+            t.join()
+        done.set()
+        for t in threads[writers:]:
+            t.join()
+
+        for idx, topic in enumerate(TOPICS):
+            expected = {(i, 16) for i in range(idx, per_writer, 2)} | {
+                (1000 + w * 100 + i, 16)
+                for w in range(writers)
+                for i in range(idx, per_writer, 2)
+            }
+            got = batches[topic]
+            assert len(got) == len(set(got))      # no duplicates
+            assert set(got) == expected           # no losses
+            trace = cursor_trace[topic]
+            assert trace == sorted(trace)         # cursor never regresses
+
+    def test_dead_manager_makes_channel_inert(self):
+        manager, bus = start_bus()
+        channel = Channel(bus)
+        channel.publish("k", Bits(3, 4))
+        assert channel.fetch("k", 0) == (1, [(3, 4)])
+        manager.shutdown()
+        # Every operation degrades to a no-op: publish/announce swallow,
+        # fetch returns the caller's own cursor, stats/len go empty.
+        channel.publish("k", Bits(5, 4))
+        assert channel.fetch("k", 1) == (1, [])
+        channel.announce_winner("g")
+        assert channel.winner_declared("g") is False
+        assert channel.stats() == {}
+        assert len(channel) == 0
+
+
+class TestUnitPacing:
+    def _start(self, pacer, body):
+        outcome = {}
+
+        def drive():
+            try:
+                body()
+                outcome["kind"] = "done"
+            except UnitCancelled:
+                outcome["kind"] = "cancelled"
+            finally:
+                pacer.mark_idle()
+
+        thread = threading.Thread(target=drive, daemon=True)
+        thread.start()
+        return thread, outcome
+
+    def test_one_grant_runs_exactly_one_slice(self):
+        pacer = UnitPacer()
+        seen = []
+
+        def body():
+            for i in range(3):
+                pacer.checkpoint()
+                seen.append(i)
+
+        thread, outcome = self._start(pacer, body)
+        assert pacer.wait_idle(5)
+        assert seen == []               # parked before the first attempt
+        for expect in ([0], [0, 1], [0, 1, 2]):
+            pacer.grant()
+            assert pacer.wait_idle(5)
+            assert seen == expect
+        thread.join(5)
+        assert outcome["kind"] == "done"
+
+    def test_cancel_unwinds_at_the_boundary(self):
+        pacer = UnitPacer()
+        seen = []
+
+        def body():
+            while True:
+                pacer.checkpoint()
+                seen.append(len(seen))
+
+        thread, outcome = self._start(pacer, body)
+        assert pacer.wait_idle(5)
+        pacer.grant()
+        assert pacer.wait_idle(5)
+        pacer.cancel()
+        thread.join(5)
+        assert outcome["kind"] == "cancelled"
+        assert seen == [0]              # nothing ran past the cancel
+
+    def test_external_cancel_predicate_checked_each_slice(self):
+        # The predicate is sampled on entry to each checkpoint: a stop
+        # raised while a slice runs cancels the arm at the next boundary.
+        stop = threading.Event()
+        pacer = UnitPacer(should_cancel=stop.is_set)
+
+        def body():
+            pacer.checkpoint()
+            pacer.checkpoint()
+
+        thread, outcome = self._start(pacer, body)
+        assert pacer.wait_idle(5)
+        stop.set()
+        pacer.grant()
+        thread.join(5)
+        assert outcome["kind"] == "cancelled"
+
+
+def _first_arm(spec, **option_overrides):
+    sub = derive_subproblems(spec, DEVICE, CompileOptions())[0]
+    if option_overrides:
+        sub = Subproblem(
+            sub.label,
+            sub.device,
+            sub.options.with_(**option_overrides),
+            sub.priority,
+        )
+    return sub
+
+
+def _drive_to_terminal(runner, max_units=500):
+    for _ in range(max_units):
+        kind, payload = runner.run_unit()
+        if kind != UNIT_PARKED:
+            return kind, payload, runner.slices
+    raise AssertionError("arm never reached a terminal unit")
+
+
+class TestArmRunner:
+    def test_sliced_run_matches_unsliced_compile(self, dispatch_spec):
+        sub = _first_arm(dispatch_spec)
+        baseline = ParserHawkCompiler(sub.options).compile(
+            dispatch_spec, sub.device
+        )
+        runner = ArmRunner(dispatch_spec, sub)
+        kind, payload, units = _drive_to_terminal(runner)
+        assert kind == UNIT_DONE
+        priority, result, spans, counters = payload
+        assert priority == sub.priority
+        assert spans is None and counters is None   # untraced run
+        assert result.status == baseline.status
+        assert result.num_entries == baseline.num_entries
+        assert units >= 2   # front-end prep unit + at least one attempt
+
+    def test_traced_run_ships_spans_and_counters(self, dispatch_spec):
+        runner = ArmRunner(dispatch_spec, _first_arm(dispatch_spec),
+                           trace=True)
+        kind, payload, _units = _drive_to_terminal(runner)
+        assert kind == UNIT_DONE
+        _pr, result, spans, counters = payload
+        assert result.ok
+        assert spans["name"] == "portfolio.arm"
+        assert counters.get("sat.solves", 0) >= 1
+
+    def test_cancel_mid_run_reports_cancelled(self, dispatch_spec):
+        runner = ArmRunner(dispatch_spec, _first_arm(dispatch_spec))
+        kind, _payload = runner.run_unit()
+        assert kind == UNIT_PARKED
+        runner.cancel()
+        runner._thread.join(10)
+        assert runner.outcome == (UNIT_CANCELLED, None)
+
+    def test_migrated_rebuild_is_winner_identical(
+        self, dispatch_spec, tmp_path
+    ):
+        # Straight warm run (own checkpoint dir) fixes the expectation.
+        warm_sub = _first_arm(
+            dispatch_spec,
+            checkpoint_dir=str(tmp_path / "warm"),
+            checkpoint_interval_seconds=0.0,
+        )
+        kind, payload, units = _drive_to_terminal(
+            ArmRunner(dispatch_spec, warm_sub)
+        )
+        assert kind == UNIT_DONE
+        expected = payload[1]
+        assert expected.ok
+        assert units >= 2
+
+        # Migration: run some units on "worker one", abandon the warm
+        # thread (what a stale-slice discard does), and rebuild on
+        # "worker two" from the durable checkpoint with resume=True.
+        mig_sub = _first_arm(
+            dispatch_spec,
+            checkpoint_dir=str(tmp_path / "mig"),
+            checkpoint_interval_seconds=0.0,
+        )
+        first = ArmRunner(dispatch_spec, mig_sub)
+        for _ in range(units - 1):
+            kind, _payload = first.run_unit()
+            if kind != UNIT_PARKED:
+                break
+        assert kind == UNIT_PARKED    # parked mid-search, not finished
+        first.cancel()
+
+        resumed = Subproblem(
+            mig_sub.label,
+            mig_sub.device,
+            mig_sub.options.with_(resume=True),
+            mig_sub.priority,
+        )
+        kind, payload, _units = _drive_to_terminal(
+            ArmRunner(dispatch_spec, resumed)
+        )
+        assert kind == UNIT_DONE
+        result = payload[1]
+        assert result.status == expected.status
+        assert result.num_entries == expected.num_entries
+        assert result.num_stages == expected.num_stages
+
+
+class TestScheduleEquivalence:
+    """Steal and static schedules land on identical winners."""
+
+    def test_sequential_vs_steal_vs_static(self, dispatch_spec, rng):
+        sequential = portfolio_compile(
+            dispatch_spec, DEVICE, CompileOptions(parallel_workers=1)
+        )
+        assert sequential.ok
+        outcomes = {}
+        for schedule in ("steal", "static"):
+            tracer = Tracer()
+            with use_tracer(tracer):
+                result = portfolio_compile(
+                    dispatch_spec,
+                    DEVICE,
+                    CompileOptions(
+                        parallel_workers=2,
+                        schedule=schedule,
+                        total_max_seconds=300,
+                        seed=7,
+                    ),
+                )
+            outcomes[schedule] = (result, tracer.registry.snapshot())
+            assert result.ok, f"{schedule}: {result.message}"
+            assert result.program.check_constraints(DEVICE) == []
+            assert result.num_entries == sequential.num_entries
+            assert result.num_stages == sequential.num_stages
+        steal_counters = outcomes["steal"][1]
+        static_counters = outcomes["static"][1]
+        # The steal scheduler actually sliced the race into units …
+        assert steal_counters.get("portfolio.units_dispatched", 0) >= 2
+        # … and the static pool never did.
+        assert static_counters.get("portfolio.units_dispatched", 0) == 0
+
+    @pytest.mark.slow
+    def test_steal_vs_static_on_table3_rows(self, rng):
+        # Seeded Table-3 rows: schedule choice must not change the
+        # winner's resources (it is excluded from semantic fingerprints).
+        from repro.benchgen import TABLE3_ROWS
+
+        picked = [
+            b for b in TABLE3_ROWS
+            if b.base in ("parse_ethernet", "pure_extraction")
+            and not b.mutations
+        ]
+        assert picked
+        for bench in picked:
+            spec = bench.spec()
+            per_schedule = {}
+            for schedule in ("steal", "static"):
+                result = portfolio_compile(
+                    spec,
+                    DEVICE,
+                    CompileOptions(
+                        parallel_workers=2,
+                        schedule=schedule,
+                        total_max_seconds=300,
+                        seed=11,
+                    ),
+                )
+                assert result.ok, (bench.row_label, schedule, result.message)
+                per_schedule[schedule] = result
+            steal, static = per_schedule["steal"], per_schedule["static"]
+            assert steal.status == static.status, bench.row_label
+            assert steal.num_entries == static.num_entries, bench.row_label
+            assert steal.num_stages == static.num_stages, bench.row_label

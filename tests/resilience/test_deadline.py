@@ -10,10 +10,12 @@ All injected hangs sleep ≤ 2 s; every deadline here is well under that.
 
 from __future__ import annotations
 
+import concurrent.futures
 import time
 
 from repro.core import (
     CompileOptions,
+    STATUS_FAULT,
     STATUS_OK,
     STATUS_TIMEOUT,
     CompileResult,
@@ -155,6 +157,113 @@ class _StubProgram:
 
     def check_constraints(self, _device):
         return list(self._violations)
+
+
+class _InlinePool:
+    """Executor stub: ``submit`` runs the callable synchronously and
+    hands back an already-resolved Future."""
+
+    def __init__(self, max_workers=None):
+        pass
+
+    def submit(self, fn, *args, **kwargs):
+        future = concurrent.futures.Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # delivered via future.result()
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestHarvestOnExpiry:
+    """Regression: arms whose futures completed before the deadline fired
+    but were never yielded by ``as_completed`` used to be reported as
+    "still running" — silently dropping finished results (including a
+    completed winner)."""
+
+    def _patch_pool(self, monkeypatch):
+        from repro.core import parallel as par
+
+        monkeypatch.setattr(
+            par.concurrent.futures, "ProcessPoolExecutor", _InlinePool
+        )
+
+        def never_yields(futures, timeout=None):
+            raise concurrent.futures.TimeoutError()
+
+        monkeypatch.setattr(
+            par.concurrent.futures, "as_completed", never_yields
+        )
+        return par
+
+    def test_done_futures_harvested_into_results(self, monkeypatch):
+        from repro.obs import Tracer
+
+        par = self._patch_pool(monkeypatch)
+        winner = CompileResult(STATUS_OK, DEVICE, program=_StubProgram())
+        loser = CompileResult(STATUS_TIMEOUT, DEVICE, message="slow")
+        monkeypatch.setattr(
+            par,
+            "_run_subproblem",
+            lambda spec, sub, trace=False, faults=None, channel=None: (
+                sub.priority, winner if sub.priority == 0 else loser,
+                None, None,
+            ),
+        )
+        subs = [
+            Subproblem("fast", DEVICE, CompileOptions(), 0),
+            Subproblem("also-done", DEVICE, CompileOptions(), 1),
+        ]
+        tracer = Tracer()
+        results = []
+        pending = par._run_pooled(
+            None, subs, DEVICE, tracer,
+            deadline=time.monotonic() + 5.0, workers=2, results=results,
+        )
+        # Both arms had finished: nothing is still running, both results
+        # survived the expiry, and the winner is selectable.
+        assert pending == []
+        assert sorted(p for p, _r in results) == [0, 1]
+        assert tracer.registry.get("portfolio.deadline_expired") == 1
+        out = select_result(subs, results, DEVICE, pending=pending)
+        assert out is winner
+
+    def test_faulted_done_future_harvested_as_arm_fault(self, monkeypatch):
+        from repro.obs import Tracer
+
+        par = self._patch_pool(monkeypatch)
+
+        def run(spec, sub, trace=False, faults=None, channel=None):
+            if sub.priority == 0:
+                raise WorkerCrash("died before expiry")
+            return (
+                sub.priority,
+                CompileResult(STATUS_TIMEOUT, DEVICE, message="slow"),
+                None, None,
+            )
+
+        monkeypatch.setattr(par, "_run_subproblem", run)
+        subs = [
+            Subproblem("crashy", DEVICE, CompileOptions(), 0),
+            Subproblem("slow", DEVICE, CompileOptions(), 1),
+        ]
+        tracer = Tracer()
+        results = []
+        pending = par._run_pooled(
+            None, subs, DEVICE, tracer,
+            deadline=time.monotonic() + 5.0, workers=2, results=results,
+        )
+        assert pending == []
+        assert tracer.registry.get("portfolio.arm_faults") == 1
+        by_priority = dict(results)
+        assert by_priority[0].status == STATUS_FAULT
+        assert "WorkerCrash" in by_priority[0].message
+        out = select_result(subs, results, DEVICE, pending=pending)
+        assert out.status != STATUS_OK
+        assert "crashy" in out.message
 
 
 class TestPartialSelection:
