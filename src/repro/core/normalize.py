@@ -38,17 +38,46 @@ class CompileError(Exception):
 
 
 def canonicalize(spec: ParserSpec) -> ParserSpec:
-    """Apply the cleanup rewrites to a fixpoint."""
+    """Apply the cleanup rewrites to a fixpoint.
+
+    ``merge_transition_key`` and ``merge_states`` rewrite one site per
+    call, so each rewrite is drained to its own fixpoint inside the
+    round — otherwise a chained mutation (e.g. +R5 applied twice) needs
+    one outer round per site and an early ``_same_shape`` hit between
+    rounds can freeze the spec short of canonical.
+    """
     current = spec
     for _ in range(10 * max(1, len(spec.states))):
-        step = remove_unreachable_entries(current)
-        step = remove_redundant_entries(step)
-        step = merge_transition_key(step)
-        step = merge_states(step)
+        step = _drain(remove_unreachable_entries, current)
+        step = _drain(remove_redundant_entries, step)
+        step = _drain(merge_transition_key, step)
+        step = _drain(merge_states, step)
         if step is current or _same_shape(step, current):
             return step
         current = step
     return current
+
+
+def _drain(rewrite, spec: ParserSpec) -> ParserSpec:
+    """Run a single-site rewrite until it stops changing the spec."""
+    current = spec
+    for _ in range(10 * max(1, len(spec.states))):
+        step = rewrite(current)
+        if step is current or _same_shape(step, current):
+            return step
+        current = step
+    return current
+
+
+def saturate(spec: ParserSpec, budget: Optional["EqsatBudget"] = None):
+    """Equality-saturation normalization (PR 10): build an e-graph over
+    the spec, saturate the non-destructive R1–R5 rewrites to a bounded
+    fixed point, and extract the cost-minimal canonical representative.
+    Returns ``(spec, EqsatStats)``; see ``ir/eqsat.py``.
+    """
+    from ..ir.eqsat import saturate_spec
+
+    return saturate_spec(spec, budget)
 
 
 def _same_shape(a: ParserSpec, b: ParserSpec) -> bool:
@@ -211,11 +240,22 @@ def prepare_spec(
     pipelined: bool,
     minimize_widths: bool,
     fix_varbits: bool,
+    eqsat: bool = False,
 ) -> Tuple[ParserSpec, ScalePlan]:
-    """Canonicalize, unroll if the target is forward-only, scale."""
+    """Canonicalize, unroll if the target is forward-only, scale.
+
+    With ``eqsat`` the greedy canonical spec is additionally
+    equality-saturated (after unrolling for pipelined targets, so the
+    unrolled chain itself gets normalized) and the skeleton enumerates
+    from the extracted representative.
+    """
     prepared = canonicalize(spec)
+    if eqsat and not pipelined:
+        prepared, _stats = saturate(prepared)
     if pipelined:
         prepared = unroll_self_loops(prepared)
         prepared = canonicalize(prepared)
+        if eqsat:
+            prepared, _stats = saturate(prepared)
     scaled, plan = scale_spec(prepared, minimize_widths, fix_varbits)
     return scaled, plan

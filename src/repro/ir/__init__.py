@@ -1,6 +1,7 @@
 """Parser-specification IR: bits, spec, simulator, analyses, rewrites."""
 
 from .bits import Bits
+from .eqsat import EGraph, EqsatBudget, EqsatStats, saturate_spec
 from .simulator import (
     OUTCOME_ACCEPT,
     OUTCOME_OVERRUN,
@@ -28,6 +29,9 @@ from .spec import (
 __all__ = [
     "ACCEPT",
     "Bits",
+    "EGraph",
+    "EqsatBudget",
+    "EqsatStats",
     "Field",
     "FieldKey",
     "KeyPart",

@@ -39,6 +39,9 @@ CANONICAL_VERSION = 1
 # compile produces: execution-shape knobs and the persistence config.
 # ``certify`` only *observes* (DRAT logging + certificate emission), so
 # flipping it must not invalidate existing cache entries.
+# ``eqsat`` is deliberately NOT here: equality-saturation normalization
+# changes the spec the skeleton enumerates, so cache and checkpoint
+# entries from the two regimes must never mix.
 NON_SEMANTIC_OPTIONS = frozenset(
     {
         "parallel_workers",

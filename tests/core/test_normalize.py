@@ -211,3 +211,41 @@ class TestPrepare:
             spec, pipelined=False, minimize_widths=True, fix_varbits=True
         )
         assert has_loops(prepared)
+
+
+class TestCanonicalizeFixpoint:
+    """ISSUE 10 satellite: canonicalize must drain each cleanup rewrite
+    to its own fixed point — a chained mutation (here +R5 applied twice)
+    leaves one merge site per application, and a single pass over the
+    rewrite sequence only collapses one of them."""
+
+    def test_chained_split_needs_more_than_one_pass(self):
+        import random
+
+        from repro.benchgen.suites import Benchmark
+        from repro.ir.rewrites import (
+            merge_states,
+            merge_transition_key,
+            remove_redundant_entries,
+            remove_unreachable_entries,
+            split_states,
+        )
+        from tests.conftest import assert_specs_equivalent
+
+        base = Benchmark("Pure Extraction states", "pure_extraction").spec()
+        canonical = canonicalize(base)
+        mutated = split_states(split_states(canonical))
+        assert len(mutated.states) == len(canonical.states) + 2
+
+        one_pass = remove_unreachable_entries(mutated)
+        one_pass = remove_redundant_entries(one_pass)
+        one_pass = merge_transition_key(one_pass)
+        one_pass = merge_states(one_pass)
+        assert len(one_pass.states) > len(canonical.states), (
+            "single greedy pass unexpectedly reached the fixed point; "
+            "the regression scenario no longer applies"
+        )
+
+        recanon = canonicalize(mutated)
+        assert len(recanon.states) == len(canonical.states)
+        assert_specs_equivalent(base, recanon, random.Random(0x5EED))
